@@ -1,0 +1,137 @@
+"""E10 — threshold applications driven by DKG output (§1 motivation).
+
+The paper motivates DKG as the missing building block for dealerless
+threshold encryption/signatures and distributed PRFs/coins.  This bench
+runs each application end-to-end over a real simulated DKG and records
+the operation costs (partials verified, exponentiations implied,
+wall-clock for the crypto layer).
+"""
+
+from __future__ import annotations
+
+import random
+import time
+
+from conftest import once
+
+from repro.analysis import Table
+from repro.apps import dprf, threshold_elgamal as eg, threshold_schnorr as ts
+from repro.crypto import schnorr
+from repro.crypto.groups import toy_group
+from repro.dkg import DkgConfig, run_dkg
+
+G = toy_group()
+
+
+def test_e10_threshold_elgamal_roundtrip(benchmark, save_table) -> None:
+    def run():
+        dkg = run_dkg(DkgConfig(n=7, t=2, group=G), seed=61)
+        rng = random.Random(61)
+        message = G.commit(123)
+        start = time.perf_counter()
+        ct = eg.encrypt(G, dkg.public_key, message, rng)
+        partials = [
+            eg.partial_decrypt(G, ct, i, dkg.shares[i], rng)
+            for i in (1, 3, 5)
+        ]
+        plain = eg.combine(G, ct, dkg.commitment, partials, t=2)
+        elapsed = time.perf_counter() - start
+        return message == plain, len(partials), elapsed
+
+    ok, partials, elapsed = once(benchmark, run)
+    table = Table(
+        "E10a: threshold ElGamal decryption over DKG output",
+        ["decrypted correctly", "partials used", "crypto seconds"],
+    )
+    table.add(ok, partials, elapsed)
+    save_table(table, "E10")
+    assert ok
+
+
+def test_e10_threshold_schnorr_signing(benchmark, save_table) -> None:
+    def run():
+        key = run_dkg(DkgConfig(n=7, t=2, group=G), seed=62)
+        nonce = run_dkg(DkgConfig(n=7, t=2, group=G), seed=63)
+        message = b"bench signature"
+        partials = [
+            ts.PartialSignature(
+                i,
+                ts.partial_sign(
+                    G, message, key.shares[i], nonce.shares[i],
+                    key.public_key, nonce.public_key,
+                ),
+            )
+            for i in (2, 4, 6)
+        ]
+        sig = ts.combine(
+            G, message, partials, key.commitment, nonce.commitment, t=2
+        )
+        verified = schnorr.verify(G, key.public_key, message, sig)
+        # Total distributed cost: 2 DKGs (key + nonce) worth of messages.
+        total_msgs = key.metrics.messages_total + nonce.metrics.messages_total
+        return verified, total_msgs
+
+    verified, total_msgs = once(benchmark, run)
+    table = Table(
+        "E10b: threshold Schnorr (key DKG + per-message nonce DKG)",
+        ["signature verifies", "total DKG messages (2 instances)"],
+    )
+    table.add(verified, total_msgs)
+    save_table(table, "E10")
+    assert verified
+
+
+def test_e10_distributed_coin_throughput(benchmark, save_table) -> None:
+    def run():
+        dkg = run_dkg(DkgConfig(n=7, t=2, group=G), seed=64)
+        rng = random.Random(64)
+        flips = []
+        start = time.perf_counter()
+        for round_no in range(20):
+            tag = f"coin-{round_no}".encode()
+            partials = [
+                dprf.partial_eval(G, tag, i, dkg.shares[i], rng)
+                for i in (1, 2, 3)
+            ]
+            flips.append(dprf.coin_flip(G, tag, dkg.commitment, partials, t=2))
+        elapsed = time.perf_counter() - start
+        return flips, elapsed
+
+    flips, elapsed = once(benchmark, run)
+    table = Table(
+        "E10c: distributed common coin (DDH DPRF), 20 flips",
+        ["flips", "ones", "seconds total", "coins/sec"],
+    )
+    table.add(len(flips), sum(flips), elapsed, len(flips) / elapsed)
+    save_table(table, "E10")
+    assert set(flips) <= {0, 1}
+    assert 2 <= sum(flips) <= 18  # both outcomes occur
+
+
+def test_e10_partial_verification_filters_byzantine(benchmark, save_table) -> None:
+    def run():
+        dkg = run_dkg(DkgConfig(n=7, t=2, group=G), seed=65)
+        rng = random.Random(65)
+        tag = b"robustness"
+        good = [
+            dprf.partial_eval(G, tag, i, dkg.shares[i], rng) for i in (1, 2, 3)
+        ]
+        bad = [
+            dprf.partial_eval(G, tag, i, dkg.shares[i] + 7, rng)
+            for i in (4, 5)
+        ]
+        value = dprf.combine(G, tag, dkg.commitment, bad + good, t=2)
+        oracle = G.power(dprf.input_point(G, tag), dkg.reconstruct())
+        rejected = sum(
+            not dprf.verify_partial(G, tag, dkg.commitment, p) for p in bad
+        )
+        return value == oracle, rejected
+
+    correct, rejected = once(benchmark, run)
+    table = Table(
+        "E10d: Byzantine partial contributions filtered by DLEQ proofs",
+        ["output correct despite 2 bad partials", "bad partials rejected"],
+    )
+    table.add(correct, rejected)
+    save_table(table, "E10")
+    assert correct and rejected == 2

@@ -1,0 +1,87 @@
+"""E3 — DKG optimistic-phase complexity (§4 Efficiency).
+
+Paper claims: the n parallel HybridVSS instances dominate at
+O(t d n^3) messages / O(kappa t d n^4) bits; the leader's reliable
+broadcast adds only O(t d n^2) messages.  Crash-free, the totals are
+exact: n * (n + 2n^2) VSS messages + (n + 2n^2) broadcast messages.
+"""
+
+from __future__ import annotations
+
+from conftest import once
+
+from repro.analysis import Table, dkg_messages_optimistic, fit_exponent
+from repro.crypto.groups import toy_group
+from repro.dkg import DkgConfig, run_dkg
+
+NS = [7, 10, 13, 16, 19]
+G = toy_group()
+
+
+def _sweep():
+    rows = []
+    for n in NS:
+        t = (n - 1) // 3
+        res = run_dkg(DkgConfig(n=n, t=t, group=G), seed=2)
+        assert res.succeeded
+        assert res.metrics.leader_changes == 0  # optimistic path
+        vss_msgs = sum(
+            v for k, v in res.metrics.messages_by_kind.items()
+            if k.startswith("vss.")
+        )
+        dkg_msgs = sum(
+            v for k, v in res.metrics.messages_by_kind.items()
+            if k.startswith("dkg.")
+        )
+        rows.append(
+            (n, t, res.metrics.messages_total, vss_msgs, dkg_msgs,
+             res.metrics.bytes_total)
+        )
+    return rows
+
+
+def test_e3_total_message_count_exact(benchmark, save_table) -> None:
+    rows = once(benchmark, _sweep)
+    table = Table(
+        "E3a: DKG optimistic messages (paper: n VSSs + 1 reliable broadcast)",
+        ["n", "t", "measured", "paper exact", "ratio"],
+    )
+    for n, t, total, _, _, _ in rows:
+        predicted = dkg_messages_optimistic(n)
+        table.add(n, t, total, predicted, total / predicted)
+        assert total == predicted
+    save_table(table, "E3")
+    exponent = fit_exponent([r[0] for r in rows], [r[2] for r in rows])
+    assert 2.7 <= exponent <= 3.2, f"message growth ~n^{exponent:.2f}, want ~n^3"
+
+
+def test_e3_broadcast_overhead_is_one_order_below_vss(
+    benchmark, save_table
+) -> None:
+    rows = once(benchmark, _sweep)
+    table = Table(
+        "E3b: VSS vs agreement traffic (paper: O(n^3) vs O(n^2) messages)",
+        ["n", "vss msgs", "agreement msgs", "agreement share"],
+    )
+    for n, _, total, vss_msgs, dkg_msgs, _ in rows:
+        table.add(n, vss_msgs, dkg_msgs, dkg_msgs / total)
+        # agreement traffic is exactly one reliable broadcast
+        assert dkg_msgs == n + 2 * n * n
+    save_table(table, "E3")
+    vss_order = fit_exponent([r[0] for r in rows], [r[3] for r in rows])
+    dkg_order = fit_exponent([r[0] for r in rows], [r[4] for r in rows])
+    assert vss_order - dkg_order > 0.7  # one polynomial order apart
+
+
+def test_e3_bytes_growth(benchmark, save_table) -> None:
+    rows = once(benchmark, _sweep)
+    table = Table(
+        "E3c: DKG optimistic bytes (paper: O(kappa t d n^4))",
+        ["n", "bytes", "fitted order"],
+    )
+    exponent = fit_exponent([r[0] for r in rows], [r[5] for r in rows])
+    for n, _, _, _, _, total_bytes in rows:
+        table.add(n, total_bytes, f"n^{exponent:.2f}")
+    save_table(table, "E3")
+    # t ~ n/3: n^3 messages x n^2-entry matrices / mixed smaller terms.
+    assert 3.5 <= exponent <= 4.6, f"byte growth ~n^{exponent:.2f}, want ~n^4+"

@@ -1,0 +1,138 @@
+"""E4 — DKG pessimistic phase / leader changes (§4 Efficiency).
+
+Paper claims: each leader change costs O(t d n^2) messages and
+O(kappa t d n^3) bits; k faulty leaders in a row cost k such rounds,
+against the worst case O(t d n^2 (n + d)).  The bench forces 1..3
+silent Byzantine leaders and measures the per-change increment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from conftest import once
+
+from repro.analysis import Table
+from repro.crypto.groups import toy_group
+from repro.sim.adversary import Adversary
+from repro.sim.clock import TimeoutPolicy
+from repro.sim.node import Context, ProtocolNode
+from repro.dkg import DkgConfig, run_dkg
+
+G = toy_group()
+
+
+@dataclass
+class SilentNode(ProtocolNode):
+    def on_message(self, sender: int, payload: Any, ctx: Context) -> None:
+        pass
+
+    def on_operator(self, payload: Any, ctx: Context) -> None:
+        pass
+
+
+def _run_with_k_bad_leaders(n: int, t: int, k: int, seed: int = 7):
+    silent = set(range(1, k + 1))  # leaders for views 0..k-1
+    cfg = DkgConfig(
+        n=n, t=t, group=G,
+        timeout=TimeoutPolicy(initial=25.0, multiplier=2.0),
+    )
+    adv = Adversary.corrupting(t=t, f=0, byzantine=silent)
+
+    def factory(i, config, keystore, ca):
+        return SilentNode(i) if i in silent else None
+
+    return run_dkg(cfg, seed=seed, adversary=adv, node_factory=factory)
+
+
+def test_e4_per_leader_change_cost(benchmark, save_table) -> None:
+    def sweep():
+        n, t = 10, 2
+        rows = []
+        for k in (0, 1, 2):
+            if k == 0:
+                res = run_dkg(DkgConfig(n=n, t=t, group=G), seed=7)
+            else:
+                res = _run_with_k_bad_leaders(n, t, k)
+            assert res.succeeded
+            views = {o.view for o in res.completions.values()}
+            assert views == {k}
+            lead_ch = res.metrics.messages_by_kind.get("dkg.lead-ch", 0)
+            agreement = sum(
+                v for key, v in res.metrics.messages_by_kind.items()
+                if key.startswith("dkg.")
+            )
+            rows.append((k, lead_ch, agreement, res.last_completion_time))
+        return n, rows
+
+    n, rows = once(benchmark, sweep)
+    table = Table(
+        "E4a: pessimistic-phase traffic, n=10 (paper: O(t d n^2) per change)",
+        ["bad leaders", "lead-ch msgs", "agreement msgs", "completion time"],
+    )
+    for k, lead_ch, agreement, when in rows:
+        table.add(k, lead_ch, agreement, when)
+    save_table(table, "E4")
+    # No lead-ch traffic on the optimistic path; each leader change adds
+    # at most one all-to-all round of lead-ch messages.
+    assert rows[0][1] == 0
+    for k, lead_ch, _, _ in rows[1:]:
+        assert 0 < lead_ch <= k * n * n
+    # Traffic grows with the number of changes.
+    assert rows[1][1] < rows[2][1]
+
+
+def test_e4_leader_change_latency_grows_with_timeouts(
+    benchmark, save_table
+) -> None:
+    def sweep():
+        rows = []
+        for k in (0, 1, 2):
+            if k == 0:
+                res = run_dkg(DkgConfig(n=10, t=2, group=G), seed=8)
+            else:
+                res = _run_with_k_bad_leaders(10, 2, k, seed=8)
+            rows.append((k, res.metrics.leader_changes and max(
+                o.view for o in res.completions.values()
+            ) or 0, res.last_completion_time))
+        return rows
+
+    rows = once(benchmark, sweep)
+    table = Table(
+        "E4b: completion time vs bad leaders (timeouts dominate latency)",
+        ["bad leaders", "final view", "completion time"],
+    )
+    times = []
+    for k, view, when in rows:
+        table.add(k, view, when)
+        times.append(when)
+    save_table(table, "E4")
+    # Latency is monotone in the number of leader changes, and each
+    # change adds at least one timeout period (25.0 at view 0).
+    assert times[0] < times[1] < times[2]
+    assert times[1] - times[0] >= 20.0
+
+
+def test_e4_lead_ch_traffic_quadratic(benchmark, save_table) -> None:
+    def sweep():
+        rows = []
+        for n in (7, 10, 13):
+            t = (n - 1) // 3
+            res = _run_with_k_bad_leaders(n, t, 1, seed=9)
+            rows.append(
+                (n, res.metrics.messages_by_kind["dkg.lead-ch"],
+                 res.metrics.bytes_by_kind["dkg.lead-ch"])
+            )
+        return rows
+
+    rows = once(benchmark, sweep)
+    table = Table(
+        "E4c: lead-ch traffic for one change (paper: O(n^2) messages)",
+        ["n", "lead-ch msgs", "lead-ch bytes", "msgs / n^2"],
+    )
+    for n, msgs, total_bytes in rows:
+        table.add(n, msgs, total_bytes, msgs / (n * n))
+        # each honest node broadcasts one lead-ch: <= n^2 messages
+        assert msgs <= n * n
+    save_table(table, "E4")

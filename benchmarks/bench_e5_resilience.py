@@ -1,0 +1,111 @@
+"""E5 — the resilience bound n >= 3t + 2f + 1 (§2.2).
+
+Paper claims: 3t + 2f + 1 nodes are necessary and sufficient; with
+f = 0 the classic 3t + 1 applies; with t = 0, 2f + 1 nodes are needed.
+The bench sweeps (n, t, f) at and below the bound, with the adversary
+actually spending its full corruption/crash budget, and records
+success/failure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from conftest import once
+
+from repro.analysis import Table, resilience_bound
+from repro.crypto.groups import toy_group
+from repro.sim.adversary import Adversary
+from repro.sim.clock import TimeoutPolicy
+from repro.sim.node import Context, ProtocolNode
+from repro.dkg import DkgConfig, run_dkg
+
+G = toy_group()
+
+
+@dataclass
+class SilentNode(ProtocolNode):
+    def on_message(self, sender: int, payload: Any, ctx: Context) -> None:
+        pass
+
+    def on_operator(self, payload: Any, ctx: Context) -> None:
+        pass
+
+
+def _attempt(n: int, t: int, f: int, seed: int = 11) -> bool:
+    """Run a DKG with t silent Byzantine nodes and f crashed nodes;
+    return True iff every honest up node completed."""
+    byzantine = set(range(n - t + 1, n + 1))  # the top t indices
+    crashed = list(range(n - t - f + 1, n - t + 1))  # next f indices
+    cfg = DkgConfig(
+        n=n, t=t, f=f, group=G, enforce_resilience=False,
+        timeout=TimeoutPolicy(initial=15.0, multiplier=1.5, cap=60.0),
+    )
+    adv = Adversary(
+        t=t, f=f,
+        byzantine=frozenset(byzantine),
+        crash_plan=[(0.0, i, None) for i in crashed],
+        d_budget=max(10, f),
+    )
+
+    def factory(i, config, keystore, ca):
+        return SilentNode(i) if i in byzantine else None
+
+    res = run_dkg(
+        cfg, seed=seed, adversary=adv, node_factory=factory,
+        until=3_000.0, max_events=None,
+    )
+    honest_up = [
+        i for i in range(1, n + 1) if i not in byzantine and i not in crashed
+    ]
+    return all(res.nodes[i].completed is not None for i in honest_up)
+
+
+def test_e5_boundary_grid(benchmark, save_table) -> None:
+    def sweep():
+        rows = []
+        for t, f in [(1, 0), (2, 0), (1, 1), (0, 2), (2, 1)]:
+            bound = resilience_bound(t, f)
+            at_bound = _attempt(bound, t, f)
+            below = _attempt(bound - 1, t, f)
+            rows.append((t, f, bound, at_bound, below))
+        return rows
+
+    rows = once(benchmark, sweep)
+    table = Table(
+        "E5: DKG success at and below n = 3t + 2f + 1 (paper: tight bound)",
+        ["t", "f", "bound n", "succeeds at n", "succeeds at n-1"],
+    )
+    for t, f, bound, ok_at, ok_below in rows:
+        table.add(t, f, bound, ok_at, ok_below)
+        assert ok_at, f"DKG must succeed at the bound (t={t}, f={f})"
+        assert not ok_below, f"DKG must fail below the bound (t={t}, f={f})"
+    save_table(table, "E5")
+
+
+def test_e5_slack_above_bound_helps_latency(benchmark, save_table) -> None:
+    """Extra honest nodes above the bound reduce completion time: the
+    output threshold n - t - f is met by faster quorums."""
+
+    def sweep():
+        rows = []
+        t, f = 2, 0
+        for n in (7, 9, 11):
+            cfg = DkgConfig(n=n, t=t, f=f, group=G)
+            res = run_dkg(cfg, seed=12)
+            assert res.succeeded
+            rows.append((n, res.last_completion_time))
+        return rows
+
+    rows = once(benchmark, sweep)
+    table = Table(
+        "E5b: completion time vs slack above the bound (t=2, f=0)",
+        ["n", "last completion time"],
+    )
+    for n, when in rows:
+        table.add(n, when)
+    save_table(table, "E5")
+    # More nodes => quorums fill from the fastest messages; the slowest
+    # completion should not degrade.
+    assert rows[-1][1] <= rows[0][1] * 1.5

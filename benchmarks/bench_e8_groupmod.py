@@ -1,0 +1,99 @@
+"""E8 — group modification protocols (§6).
+
+Paper claims: modification agreement is one reliable broadcast per
+proposal (O(n^2) messages); node addition costs one resharing round
+plus t+1 subshare transfers, without touching existing shares; removal
+and t/f changes happen at phase boundaries via the renewal machinery.
+"""
+
+from __future__ import annotations
+
+from conftest import once
+
+from repro.analysis import Table
+from repro.crypto.groups import toy_group
+from repro.dkg import DkgConfig
+from repro.groupmod import GroupManager, ModProposal, run_node_addition
+
+G = toy_group()
+
+
+def test_e8_agreement_cost_per_proposal(benchmark, save_table) -> None:
+    def sweep():
+        rows = []
+        for n in (7, 10, 13):
+            t = (n - 1) // 3
+            gm = GroupManager(DkgConfig(n=n, t=t, group=G), seed=41)
+            gm.bootstrap()
+            report = gm.agree({1: ModProposal("add", n + 1)})
+            rows.append((n, report.metrics.messages_total))
+        return rows
+
+    rows = once(benchmark, sweep)
+    table = Table(
+        "E8a: modification agreement messages (paper: one reliable broadcast)",
+        ["n", "msgs", "msgs / n^2"],
+    )
+    for n, msgs in rows:
+        table.add(n, msgs, msgs / (n * n))
+        # propose (n) + echo (n^2) + ready (n^2)
+        assert msgs == n + 2 * n * n
+    save_table(table, "E8")
+
+
+def test_e8_node_addition_cost(benchmark, save_table) -> None:
+    def sweep():
+        rows = []
+        for n in (7, 10, 13):
+            t = (n - 1) // 3
+            gm = GroupManager(DkgConfig(n=n, t=t, group=G), seed=42)
+            gm.bootstrap()
+            result = run_node_addition(
+                gm.config, gm.shares, gm.commitment, n + 1, seed=42
+            )
+            assert result.share is not None
+            subshares = result.metrics.messages_by_kind["groupmod.subshare"]
+            rows.append((n, t, result.metrics.messages_total, subshares))
+        return rows
+
+    rows = once(benchmark, sweep)
+    table = Table(
+        "E8b: node addition traffic (paper: DKG-like resharing + subshares)",
+        ["n", "t", "total msgs", "subshare msgs"],
+    )
+    for n, t, msgs, subshares in rows:
+        table.add(n, t, msgs, subshares)
+        # every existing node sends exactly one subshare to P_new
+        assert subshares == n
+    save_table(table, "E8")
+
+
+def test_e8_full_lifecycle_secret_invariance(benchmark, save_table) -> None:
+    def run():
+        gm = GroupManager(DkgConfig(n=7, t=2, group=G), seed=43)
+        gm.bootstrap()
+        secret = gm.reconstruct()
+        steps = []
+        gm.add_node(8)
+        steps.append(("add node 8 (mid-phase)", gm.reconstruct() == secret,
+                      len(gm.members)))
+        gm.agree({1: ModProposal("remove", 2), 3: ModProposal("add", 9)})
+        gm.phase_change()
+        steps.append(("remove 2 + add 9 (phase change)",
+                      gm.reconstruct() == secret, len(gm.members)))
+        gm.agree({1: ModProposal("add", 10, f_delta=1)})
+        gm.phase_change()
+        steps.append(("add 10 with f+1", gm.reconstruct() == secret,
+                      len(gm.members)))
+        return steps, gm.config.f
+
+    steps, final_f = once(benchmark, run)
+    table = Table(
+        "E8c: lifecycle (bootstrap -> add -> remove+add -> f change)",
+        ["step", "secret preserved", "members"],
+    )
+    for step, ok, members in steps:
+        table.add(step, ok, members)
+        assert ok
+    save_table(table, "E8")
+    assert final_f == 1

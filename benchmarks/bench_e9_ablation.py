@@ -1,0 +1,118 @@
+"""E9 — design-choice ablations (§1, §3).
+
+Paper claims:
+* symmetric bivariate polynomials give a constant-factor complexity
+  reduction over general-bivariate AVSS (§3);
+* Feldman commitments are chosen over Pedersen's for simplicity and
+  efficiency — Pedersen costs a second generator exponentiation per
+  commitment entry and a blinding polynomial (§1).
+"""
+
+from __future__ import annotations
+
+import random
+import time
+
+from conftest import once
+
+from repro.analysis import Table
+from repro.baselines import run_general_avss
+from repro.crypto.bivariate import BivariatePolynomial
+from repro.crypto.feldman import FeldmanCommitment
+from repro.crypto.groups import small_group, toy_group
+from repro.crypto.pedersen import PedersenCommitment, derive_second_generator
+from repro.crypto.polynomials import Polynomial
+from repro.vss import VssConfig, run_vss
+
+G = toy_group()
+
+
+def test_e9_symmetric_vs_general_bivariate(benchmark, save_table) -> None:
+    def sweep():
+        rows = []
+        for n in (7, 10, 13, 16):
+            t = (n - 1) // 3
+            cfg = VssConfig(n=n, t=t, group=G)
+            sym = run_vss(cfg, secret=1, seed=51)
+            gen = run_general_avss(cfg, secret=1, seed=51)
+            rows.append(
+                (n, sym.metrics.bytes_total, gen.metrics.bytes_total)
+            )
+        return rows
+
+    rows = once(benchmark, sweep)
+    table = Table(
+        "E9a: symmetric vs general bivariate VSS bytes (paper: constant factor)",
+        ["n", "symmetric", "general (AVSS)", "general/symmetric"],
+    )
+    ratios = []
+    for n, sym_bytes, gen_bytes in rows:
+        ratio = gen_bytes / sym_bytes
+        ratios.append(ratio)
+        table.add(n, sym_bytes, gen_bytes, ratio)
+        assert ratio > 1.0
+    save_table(table, "E9")
+    # Constant factor: the ratio does not grow with n.
+    assert max(ratios) / min(ratios) < 1.3
+
+
+def test_e9_feldman_vs_pedersen_commit_time(benchmark, save_table) -> None:
+    """Commitment computation cost: Pedersen doubles the exponentiations
+    (g^a h^b per entry) and needs the blinding polynomial."""
+    group = small_group()  # 160-bit q: exponentiation cost is visible
+    rng = random.Random(52)
+    t = 5
+    h = derive_second_generator(group)
+
+    def measure():
+        results = []
+        reps = 20
+        start = time.perf_counter()
+        for _ in range(reps):
+            f = BivariatePolynomial.random_symmetric(t, group.q, rng)
+            FeldmanCommitment.commit(f, group)
+        feldman_time = (time.perf_counter() - start) / reps
+        start = time.perf_counter()
+        for _ in range(reps):
+            value = Polynomial.random(t, group.q, rng)
+            blind = Polynomial.random(t, group.q, rng)
+            PedersenCommitment.commit(value, blind, group, h)
+        pedersen_vec_time = (time.perf_counter() - start) / reps
+        # Normalize per committed coefficient: Feldman commits a
+        # (t+1)^2 matrix, Pedersen here a (t+1) vector.
+        results.append(
+            (feldman_time / (t + 1) ** 2, pedersen_vec_time / (t + 1))
+        )
+        return results
+
+    results = once(benchmark, measure)
+    feldman_per, pedersen_per = results[0]
+    table = Table(
+        "E9b: per-coefficient commitment cost, 160-bit group (seconds)",
+        ["scheme", "sec/coefficient", "relative"],
+    )
+    table.add("Feldman (g^a)", feldman_per, 1.0)
+    table.add("Pedersen (g^a h^b)", pedersen_per, pedersen_per / feldman_per)
+    save_table(table, "E9")
+    # Pedersen costs ~2x per coefficient (two exponentiations + mul).
+    assert 1.5 <= pedersen_per / feldman_per <= 3.5
+
+
+def test_e9_pedersen_share_size_overhead(benchmark, save_table) -> None:
+    """Pedersen shares carry the blinding value: 2x scalar payload."""
+
+    def measure():
+        group = toy_group()
+        feldman_share = group.scalar_bytes
+        pedersen_share = 2 * group.scalar_bytes
+        return feldman_share, pedersen_share
+
+    feldman_share, pedersen_share = once(benchmark, measure)
+    table = Table(
+        "E9c: per-share payload (paper: Feldman chosen for efficiency)",
+        ["scheme", "share bytes"],
+    )
+    table.add("Feldman", feldman_share)
+    table.add("Pedersen", pedersen_share)
+    save_table(table, "E9")
+    assert pedersen_share == 2 * feldman_share

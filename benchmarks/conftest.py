@@ -1,0 +1,36 @@
+"""Benchmark harness plumbing.
+
+Every bench prints a paper-vs-measured table and saves a copy under
+``benchmarks/results/`` so the artifacts survive pytest's capture; the
+EXPERIMENTS.md index references these files.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+from repro.analysis import Table
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture
+def save_table():
+    """Render a table to stdout and persist it to results/<name>.txt."""
+
+    def _save(table: Table, name: str) -> None:
+        RESULTS_DIR.mkdir(exist_ok=True)
+        text = table.render()
+        path = RESULTS_DIR / f"{name}.txt"
+        existing = path.read_text() if path.exists() else ""
+        if f"== {table.title} ==" not in existing:
+            path.write_text(existing + text + "\n")
+
+    return _save
+
+
+def once(benchmark, fn):
+    """Run an experiment exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

@@ -1,0 +1,31 @@
+"""repro — a reproduction of "Distributed Key Generation for the Internet"
+(Aniket Kate & Ian Goldberg, ICDCS 2009).
+
+The package implements, from scratch:
+
+* the paper's cryptographic substrate (Schnorr groups, symmetric
+  bivariate polynomials, Feldman/Pedersen commitments, Schnorr
+  signatures, DLEQ proofs) — :mod:`repro.crypto`;
+* a deterministic discrete-event network simulator with the paper's
+  hybrid fault model (t Byzantine + f crash/link failures, weak
+  synchrony for liveness) — :mod:`repro.sim`;
+* **HybridVSS** (§3) — :mod:`repro.vss`;
+* the asynchronous **DKG** with leader-based agreement (§4) —
+  :mod:`repro.dkg`;
+* proactive share renewal and recovery (§5) — :mod:`repro.proactive`;
+* group modification protocols (§6) — :mod:`repro.groupmod`;
+* synchronous / classic baselines (Joint-Feldman DKG, Bracha broadcast)
+  — :mod:`repro.baselines`;
+* threshold applications driven by DKG output (ElGamal, Schnorr
+  signatures, DDH-based distributed PRF / coin flipping) —
+  :mod:`repro.apps`.
+
+Quickstart::
+
+    from repro.dkg import run_dkg, DkgConfig
+    result = run_dkg(DkgConfig(n=7, t=2, f=0, seed=1))
+    assert result.succeeded
+    print(hex(result.public_key))
+"""
+
+__version__ = "1.0.0"

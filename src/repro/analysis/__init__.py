@@ -1,0 +1,48 @@
+"""Analytic complexity model (the paper's bounds as code) and bench
+harness helpers."""
+
+from repro.analysis.complexity import (
+    dkg_messages_optimistic,
+    dkg_messages_optimistic_bound,
+    dkg_messages_per_leader_change,
+    dkg_messages_worst_case,
+    echo_threshold,
+    fit_exponent,
+    ratio_table,
+    resilience_bound,
+    vss_bytes_crash_free_full,
+    vss_bytes_crash_free_hashed,
+    vss_messages_crash_free,
+    vss_messages_with_crashes,
+    vss_recovery_messages,
+)
+from repro.analysis.experiments import Table, geometric_sweep, kib
+from repro.analysis.latency import (
+    LatencySummary,
+    completion_latencies,
+    percentile,
+    summarize,
+)
+
+__all__ = [
+    "LatencySummary",
+    "Table",
+    "completion_latencies",
+    "percentile",
+    "summarize",
+    "dkg_messages_optimistic",
+    "dkg_messages_optimistic_bound",
+    "dkg_messages_per_leader_change",
+    "dkg_messages_worst_case",
+    "echo_threshold",
+    "fit_exponent",
+    "geometric_sweep",
+    "kib",
+    "ratio_table",
+    "resilience_bound",
+    "vss_bytes_crash_free_full",
+    "vss_bytes_crash_free_hashed",
+    "vss_messages_crash_free",
+    "vss_messages_with_crashes",
+    "vss_recovery_messages",
+]

@@ -1,0 +1,71 @@
+"""Shared harness helpers for the benchmark suite.
+
+Benchmarks in ``benchmarks/`` print paper-style tables: one row per
+sweep point, with the measured quantity next to the paper's claim.
+These helpers keep the formatting and the common sweep loops in one
+place so each bench file reads like the experiment it reproduces.
+"""
+
+from __future__ import annotations
+
+import sys
+from collections.abc import Iterable, Sequence
+from dataclasses import dataclass
+
+
+@dataclass
+class Table:
+    """A fixed-width table accumulated row by row, printed to stdout."""
+
+    title: str
+    columns: Sequence[str]
+    rows: list[Sequence[object]] = None  # type: ignore[assignment]
+
+    def __post_init__(self) -> None:
+        self.rows = []
+
+    def add(self, *row: object) -> None:
+        if len(row) != len(self.columns):
+            raise ValueError(
+                f"row has {len(row)} cells, expected {len(self.columns)}"
+            )
+        self.rows.append(row)
+
+    def render(self, out=None) -> str:
+        out = out if out is not None else sys.stdout
+        widths = [
+            max(len(str(c)), *(len(_fmt(r[i])) for r in self.rows)) if self.rows
+            else len(str(c))
+            for i, c in enumerate(self.columns)
+        ]
+        lines = [f"\n== {self.title} =="]
+        lines.append(
+            "  ".join(str(c).ljust(w) for c, w in zip(self.columns, widths))
+        )
+        lines.append("  ".join("-" * w for w in widths))
+        for row in self.rows:
+            lines.append(
+                "  ".join(_fmt(cell).ljust(w) for cell, w in zip(row, widths))
+            )
+        text = "\n".join(lines)
+        print(text, file=out)
+        return text
+
+
+def _fmt(cell: object) -> str:
+    if isinstance(cell, float):
+        if cell == 0:
+            return "0"
+        if abs(cell) >= 1000 or abs(cell) < 0.01:
+            return f"{cell:.3g}"
+        return f"{cell:.2f}"
+    return str(cell)
+
+
+def geometric_sweep(values: Iterable[int]) -> list[int]:
+    """Identity helper kept for readability at call sites."""
+    return list(values)
+
+
+def kib(n_bytes: int | float) -> float:
+    return n_bytes / 1024.0

@@ -1,0 +1,73 @@
+"""Latency statistics over simulation outputs.
+
+Completion-time *distributions* (not just the max) matter for the §2.1
+story: asynchronous protocols let fast quorums finish early, so the
+median node completes well before the straggler.  These helpers compute
+the standard summary statistics from a run's outputs without pulling in
+numpy for the core library.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Iterable, Sequence
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class LatencySummary:
+    count: int
+    minimum: float
+    median: float
+    p90: float
+    maximum: float
+    mean: float
+
+    def as_row(self) -> tuple[int, float, float, float, float, float]:
+        return (
+            self.count, self.minimum, self.median, self.p90, self.maximum,
+            self.mean,
+        )
+
+
+def percentile(sorted_values: Sequence[float], fraction: float) -> float:
+    """Linear-interpolation percentile over pre-sorted values."""
+    if not sorted_values:
+        raise ValueError("no values")
+    if not 0.0 <= fraction <= 1.0:
+        raise ValueError("fraction must be in [0, 1]")
+    if len(sorted_values) == 1:
+        return sorted_values[0]
+    position = fraction * (len(sorted_values) - 1)
+    low = math.floor(position)
+    high = math.ceil(position)
+    if low == high:
+        return sorted_values[low]
+    weight = position - low
+    interpolated = sorted_values[low] * (1 - weight) + sorted_values[high] * weight
+    # Clamp: float rounding of the convex combination must not place
+    # the result outside the data range by an ulp.
+    return min(max(interpolated, sorted_values[low]), sorted_values[high])
+
+
+def summarize(values: Iterable[float]) -> LatencySummary:
+    ordered = sorted(values)
+    if not ordered:
+        raise ValueError("no values to summarize")
+    return LatencySummary(
+        count=len(ordered),
+        minimum=ordered[0],
+        median=percentile(ordered, 0.5),
+        p90=percentile(ordered, 0.9),
+        maximum=ordered[-1],
+        mean=sum(ordered) / len(ordered),
+    )
+
+
+def completion_latencies(simulation, kind: str) -> list[float]:
+    """Extract output times of a given payload kind from a simulation."""
+    return [
+        record.time
+        for record in simulation.outputs
+        if getattr(record.payload, "kind", None) == kind
+    ]

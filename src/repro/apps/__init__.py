@@ -1,0 +1,37 @@
+"""Threshold applications built on DKG output (§1 motivation):
+threshold ElGamal encryption, threshold Schnorr signatures, and a
+DDH-based distributed PRF / common coin."""
+
+from repro.apps import beacon, dprf, kdc, threshold_elgamal, threshold_schnorr
+from repro.apps.beacon import Beacon, BeaconRound
+from repro.apps.dprf import EvaluationError, PartialEval, coin_flip
+from repro.apps.kdc import AccessDenied, KdcClient, KdcServer, build_kdc
+from repro.apps.threshold_elgamal import (
+    Ciphertext,
+    DecryptionError,
+    HybridCiphertext,
+    PartialDecryption,
+)
+from repro.apps.threshold_schnorr import PartialSignature, SigningError
+
+__all__ = [
+    "AccessDenied",
+    "Beacon",
+    "BeaconRound",
+    "Ciphertext",
+    "DecryptionError",
+    "EvaluationError",
+    "HybridCiphertext",
+    "PartialDecryption",
+    "PartialEval",
+    "PartialSignature",
+    "SigningError",
+    "KdcClient",
+    "KdcServer",
+    "build_kdc",
+    "coin_flip",
+    "dprf",
+    "kdc",
+    "threshold_elgamal",
+    "threshold_schnorr",
+]

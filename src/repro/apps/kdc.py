@@ -1,0 +1,101 @@
+"""Distributed key distribution centre (DKDC) — the paper's §1
+symmetric-key motivation ("In symmetric-key cryptography, DKGs are used
+to design distributed key distribution centres [4]").
+
+The Naor--Pinkas--Reingold construction: the servers share a DPRF key
+``s`` via the DKG; a client authorized for conversation/group ``cid``
+asks any ``t + 1`` servers for partial evaluations of ``f_s(cid)`` and
+combines them into the symmetric *conversation key*.  No single server
+(nor any ``t``) can compute or predict any group key; every authorized
+client derives the *same* key for the same ``cid``.
+
+This module wraps :mod:`repro.apps.dprf` in the KDC workflow: server
+objects with access policies, client key requests, and an auditable
+grant log.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.apps import dprf
+from repro.crypto.feldman import FeldmanCommitment, FeldmanVector
+from repro.crypto.groups import SchnorrGroup
+
+
+class AccessDenied(Exception):
+    """The server's policy refused the client's request."""
+
+
+@dataclass
+class KdcServer:
+    """One KDC server holding a DKG share.
+
+    ``acl`` maps conversation ids to the set of authorized client names
+    (None means an open conversation)."""
+
+    index: int
+    share: int
+    group: SchnorrGroup
+    acl: dict[bytes, set[str] | None] = field(default_factory=dict)
+    grant_log: list[tuple[str, bytes]] = field(default_factory=list)
+
+    def authorize(self, cid: bytes, clients: set[str] | None) -> None:
+        """Register a conversation with an optional member list."""
+        self.acl[cid] = set(clients) if clients is not None else None
+
+    def request_key_share(
+        self, client: str, cid: bytes, rng: random.Random
+    ) -> dprf.PartialEval:
+        """Serve a partial conversation-key evaluation, policy permitting."""
+        if cid not in self.acl:
+            raise AccessDenied(f"unknown conversation {cid!r}")
+        members = self.acl[cid]
+        if members is not None and client not in members:
+            raise AccessDenied(f"{client} not authorized for {cid!r}")
+        self.grant_log.append((client, cid))
+        return dprf.partial_eval(self.group, cid, self.index, self.share, rng)
+
+
+@dataclass
+class KdcClient:
+    """A client combining server responses into the conversation key."""
+
+    name: str
+    group: SchnorrGroup
+    commitment: FeldmanCommitment | FeldmanVector
+    t: int
+    key_bytes: int = 32
+
+    def derive_key(
+        self,
+        cid: bytes,
+        servers: list[KdcServer],
+        rng: random.Random,
+    ) -> bytes:
+        """Collect t+1 verified partials from the given servers and
+        combine them into the symmetric key for ``cid``."""
+        partials = []
+        for server in servers:
+            partial = server.request_key_share(self.name, cid, rng)
+            if dprf.verify_partial(self.group, cid, self.commitment, partial):
+                partials.append(partial)
+            if len(partials) == self.t + 1:
+                break
+        value = dprf.combine(self.group, cid, self.commitment, partials, self.t)
+        return dprf.prf_bytes(self.group, value, self.key_bytes)
+
+
+def build_kdc(
+    dkg_result,
+    acl: dict[bytes, set[str] | None],
+) -> list[KdcServer]:
+    """Stand up KDC servers from a completed DKG, pre-loading the ACL."""
+    servers = []
+    for index, share in sorted(dkg_result.shares.items()):
+        server = KdcServer(index, share, dkg_result.config.group)
+        for cid, members in acl.items():
+            server.authorize(cid, members)
+        servers.append(server)
+    return servers

@@ -1,0 +1,190 @@
+"""Threshold ElGamal encryption on top of DKG output (§1 motivation:
+"dealerless threshold public-key encryption").
+
+Encryption is standard ElGamal to the group public key ``g^s``.
+Decryption is distributed: each node publishes a *partial decryption*
+``c1^{s_i}`` with a Chaum--Pedersen DLEQ proof that the exponent
+matches its public share commitment ``g^{s_i}``; any ``t + 1`` verified
+partials combine by Lagrange interpolation in the exponent to recover
+``c1^s`` and hence the plaintext — no node ever reconstructs ``s``.
+
+Messages are group elements; hashed-ElGamal (:func:`encrypt_bytes` /
+:func:`decrypt_bytes_combine`) wraps arbitrary byte strings.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+from dataclasses import dataclass
+
+from repro.crypto import dleq
+from repro.crypto.feldman import FeldmanCommitment, FeldmanVector
+from repro.crypto.groups import SchnorrGroup
+from repro.crypto.polynomials import lagrange_coefficients
+
+
+@dataclass(frozen=True)
+class Ciphertext:
+    """An ElGamal ciphertext (c1, c2) = (g^k, m * pk^k)."""
+
+    c1: int
+    c2: int
+
+
+@dataclass(frozen=True)
+class PartialDecryption:
+    """One node's decryption share with its correctness proof."""
+
+    index: int
+    value: int  # c1^{s_i}
+    proof: dleq.DleqProof
+
+
+class DecryptionError(Exception):
+    """Too few valid partial decryptions."""
+
+
+def encrypt(
+    group: SchnorrGroup, public_key: int, message: int, rng: random.Random
+) -> Ciphertext:
+    """Encrypt a group element to the DKG public key."""
+    if not group.is_element(message):
+        raise ValueError("message must be a group element (use encrypt_bytes)")
+    k = group.random_nonzero_scalar(rng)
+    return Ciphertext(group.commit(k), group.mul(message, group.power(public_key, k)))
+
+
+def partial_decrypt(
+    group: SchnorrGroup,
+    ciphertext: Ciphertext,
+    index: int,
+    share: int,
+    rng: random.Random,
+) -> PartialDecryption:
+    """Produce this node's decryption share c1^{s_i} with a DLEQ proof
+    that log_g(g^{s_i}) == log_{c1}(c1^{s_i})."""
+    _, value, proof = dleq.prove(group, share, group.g, ciphertext.c1, rng)
+    return PartialDecryption(index, value, proof)
+
+
+def verify_partial(
+    group: SchnorrGroup,
+    ciphertext: Ciphertext,
+    commitment: FeldmanCommitment | FeldmanVector,
+    partial: PartialDecryption,
+) -> bool:
+    """Check a decryption share against the node's public share commitment."""
+    if isinstance(commitment, FeldmanCommitment):
+        share_pk = commitment.share_commitment(partial.index)
+    else:
+        share_pk = commitment.evaluate_in_exponent(partial.index)
+    return dleq.verify(
+        group, group.g, share_pk, ciphertext.c1, partial.value, partial.proof
+    )
+
+
+def combine(
+    group: SchnorrGroup,
+    ciphertext: Ciphertext,
+    commitment: FeldmanCommitment | FeldmanVector,
+    partials: list[PartialDecryption],
+    t: int,
+) -> int:
+    """Combine >= t+1 verified partials into the plaintext group element.
+
+    Invalid partials (bad proofs — Byzantine contributions) are
+    discarded; raises :class:`DecryptionError` if fewer than ``t + 1``
+    valid ones remain.
+    """
+    valid: dict[int, int] = {}
+    for partial in partials:
+        if partial.index in valid:
+            continue
+        if verify_partial(group, ciphertext, commitment, partial):
+            valid[partial.index] = partial.value
+    if len(valid) < t + 1:
+        raise DecryptionError(
+            f"need {t + 1} valid partial decryptions, have {len(valid)}"
+        )
+    chosen = sorted(valid.items())[: t + 1]
+    lambdas = lagrange_coefficients([i for i, _ in chosen], 0, group.q)
+    # c1^s = prod c1^{s_i * lambda_i}  (interpolation in the exponent)
+    c1_s = 1
+    for lam, (_, value) in zip(lambdas, chosen):
+        c1_s = group.mul(c1_s, group.power(value, lam))
+    return group.mul(ciphertext.c2, group.inv(c1_s))
+
+
+# -- hashed ElGamal for byte strings ------------------------------------------------
+
+
+@dataclass(frozen=True)
+class HybridCiphertext:
+    """Hashed-ElGamal: ephemeral point + XOR-padded payload."""
+
+    c1: int
+    pad: bytes
+
+
+def _kdf(group: SchnorrGroup, shared_point: int, length: int) -> bytes:
+    out = b""
+    counter = 0
+    while len(out) < length:
+        out += hashlib.sha256(
+            b"eg-kdf|" + group.element_to_bytes(shared_point) + counter.to_bytes(4, "big")
+        ).digest()
+        counter += 1
+    return out[:length]
+
+
+def encrypt_bytes(
+    group: SchnorrGroup, public_key: int, plaintext: bytes, rng: random.Random
+) -> HybridCiphertext:
+    k = group.random_nonzero_scalar(rng)
+    shared = group.power(public_key, k)
+    pad = bytes(
+        a ^ b for a, b in zip(plaintext, _kdf(group, shared, len(plaintext)))
+    )
+    return HybridCiphertext(group.commit(k), pad)
+
+
+def partial_decrypt_hybrid(
+    group: SchnorrGroup,
+    ciphertext: HybridCiphertext,
+    index: int,
+    share: int,
+    rng: random.Random,
+) -> PartialDecryption:
+    _, value, proof = dleq.prove(group, share, group.g, ciphertext.c1, rng)
+    return PartialDecryption(index, value, proof)
+
+
+def decrypt_bytes_combine(
+    group: SchnorrGroup,
+    ciphertext: HybridCiphertext,
+    commitment: FeldmanCommitment | FeldmanVector,
+    partials: list[PartialDecryption],
+    t: int,
+) -> bytes:
+    """Combine partials and strip the KDF pad."""
+    as_elgamal = Ciphertext(ciphertext.c1, 1)
+    valid: dict[int, int] = {}
+    for partial in partials:
+        if partial.index in valid:
+            continue
+        if verify_partial(group, as_elgamal, commitment, partial):
+            valid[partial.index] = partial.value
+    if len(valid) < t + 1:
+        raise DecryptionError(
+            f"need {t + 1} valid partial decryptions, have {len(valid)}"
+        )
+    chosen = sorted(valid.items())[: t + 1]
+    lambdas = lagrange_coefficients([i for i, _ in chosen], 0, group.q)
+    shared = 1
+    for lam, (_, value) in zip(lambdas, chosen):
+        shared = group.mul(shared, group.power(value, lam))
+    return bytes(
+        a ^ b
+        for a, b in zip(ciphertext.pad, _kdf(group, shared, len(ciphertext.pad)))
+    )

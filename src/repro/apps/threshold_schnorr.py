@@ -1,0 +1,117 @@
+"""Threshold Schnorr signatures from DKG output (§1: "dealerless
+threshold ... signature schemes").
+
+Signing a message requires a *fresh shared nonce* — exactly another
+DKG instance (this is why the paper calls DKG the fundamental building
+block): the group runs an ephemeral DKG for ``k`` with public nonce
+point ``R = g^k``, each signer publishes the partial response
+``z_i = k_i + c * s_i mod q`` where ``c = H(X || R || m)`` and ``k_i``,
+``s_i`` are its nonce and key shares, and any ``t + 1`` verified
+partials Lagrange-interpolate to the full response ``z`` with
+``(c, z)`` an ordinary Schnorr signature under the group key ``X``.
+
+Partial responses are publicly verifiable against the Feldman
+commitments of both sharings: ``g^{z_i} == R_i * X_i^c`` where
+``R_i = g^{k_i}`` and ``X_i = g^{s_i}`` are the per-node commitment
+evaluations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.crypto.feldman import FeldmanCommitment, FeldmanVector
+from repro.crypto.groups import SchnorrGroup
+from repro.crypto.polynomials import lagrange_coefficients
+from repro.crypto.schnorr import Signature, _challenge
+
+
+@dataclass(frozen=True)
+class PartialSignature:
+    """One signer's response share z_i = k_i + c * s_i."""
+
+    index: int
+    response: int
+
+
+class SigningError(Exception):
+    """Too few valid partial signatures."""
+
+
+def _share_pk(commitment: FeldmanCommitment | FeldmanVector, index: int) -> int:
+    if isinstance(commitment, FeldmanCommitment):
+        return commitment.share_commitment(index)
+    return commitment.evaluate_in_exponent(index)
+
+
+def challenge(
+    group: SchnorrGroup, public_key: int, nonce_point: int, message: bytes
+) -> int:
+    """The Fiat-Shamir challenge c = H(X || R || m) — identical to the
+    single-signer scheme, so threshold signatures verify with the plain
+    :func:`repro.crypto.schnorr.verify`."""
+    return _challenge(group, public_key, nonce_point, message)
+
+
+def partial_sign(
+    group: SchnorrGroup,
+    message: bytes,
+    key_share: int,
+    nonce_share: int,
+    public_key: int,
+    nonce_point: int,
+) -> int:
+    """z_i = k_i + c * s_i mod q."""
+    c = challenge(group, public_key, nonce_point, message)
+    return group.scalar_add(nonce_share, group.scalar_mul(c, key_share))
+
+
+def verify_partial(
+    group: SchnorrGroup,
+    message: bytes,
+    partial: PartialSignature,
+    key_commitment: FeldmanCommitment | FeldmanVector,
+    nonce_commitment: FeldmanCommitment | FeldmanVector,
+) -> bool:
+    """g^{z_i} == R_i * X_i^c, with R_i, X_i from the commitments."""
+    public_key = key_commitment.public_key()
+    nonce_point = nonce_commitment.public_key()
+    c = challenge(group, public_key, nonce_point, message)
+    lhs = group.commit(partial.response)
+    rhs = group.mul(
+        _share_pk(nonce_commitment, partial.index),
+        group.power(_share_pk(key_commitment, partial.index), c),
+    )
+    return lhs == rhs
+
+
+def combine(
+    group: SchnorrGroup,
+    message: bytes,
+    partials: list[PartialSignature],
+    key_commitment: FeldmanCommitment | FeldmanVector,
+    nonce_commitment: FeldmanCommitment | FeldmanVector,
+    t: int,
+) -> Signature:
+    """Interpolate >= t+1 verified partials into a standard signature.
+
+    Byzantine partials are filtered by :func:`verify_partial`; raises
+    :class:`SigningError` when fewer than ``t + 1`` valid ones remain.
+    """
+    valid: dict[int, int] = {}
+    for partial in partials:
+        if partial.index in valid:
+            continue
+        if verify_partial(group, message, partial, key_commitment, nonce_commitment):
+            valid[partial.index] = partial.response
+    if len(valid) < t + 1:
+        raise SigningError(
+            f"need {t + 1} valid partial signatures, have {len(valid)}"
+        )
+    chosen = sorted(valid.items())[: t + 1]
+    lambdas = lagrange_coefficients([i for i, _ in chosen], 0, group.q)
+    z = sum(lam * resp for lam, (_, resp) in zip(lambdas, chosen)) % group.q
+    c = challenge(
+        group, key_commitment.public_key(), nonce_commitment.public_key(), message
+    )
+    return Signature(c, z)

@@ -1,0 +1,126 @@
+"""Bracha's reliable broadcast [20] — the agreement backbone.
+
+Both HybridVSS's echo/ready structure and the DKG's proposal broadcast
+descend from this protocol; we provide the classic standalone version
+(n >= 3t + 1, deliver at 2t + 1 readies) both as a baseline for
+message-count comparison and as a tested reference implementation of
+the quorum-intersection argument.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.sim.node import Context, ProtocolNode
+
+
+@dataclass(frozen=True)
+class BrachaInitial:
+    tag: str
+    value: Any
+    size: int = 32
+
+    kind = "bracha.initial"
+
+    def byte_size(self) -> int:
+        return self.size
+
+
+@dataclass(frozen=True)
+class BrachaEcho:
+    tag: str
+    value: Any
+    size: int = 32
+
+    kind = "bracha.echo"
+
+    def byte_size(self) -> int:
+        return self.size
+
+
+@dataclass(frozen=True)
+class BrachaReady:
+    tag: str
+    value: Any
+    size: int = 32
+
+    kind = "bracha.ready"
+
+    def byte_size(self) -> int:
+        return self.size
+
+
+@dataclass(frozen=True)
+class BroadcastInput:
+    tag: str
+    value: Any
+
+    kind = "bracha.in.broadcast"
+
+
+@dataclass(frozen=True)
+class DeliveredOutput:
+    tag: str
+    value: Any
+
+    kind = "bracha.out.delivered"
+
+
+@dataclass
+class BrachaNode(ProtocolNode):
+    """Classic Bracha reliable broadcast for n >= 3t + 1."""
+
+    n: int = 0
+    t: int = 0
+    delivered: dict[str, Any] = field(default_factory=dict)
+    _echoes: dict[tuple[str, Any], set[int]] = field(default_factory=dict)
+    _readies: dict[tuple[str, Any], set[int]] = field(default_factory=dict)
+    _sent_echo: set[str] = field(default_factory=set)
+    _sent_ready: set[str] = field(default_factory=set)
+
+    @property
+    def echo_quorum(self) -> int:
+        return math.ceil((self.n + self.t + 1) / 2)
+
+    def _broadcast(self, ctx: Context, msg: Any) -> None:
+        for j in range(1, self.n + 1):
+            ctx.send(j, msg)
+
+    def on_operator(self, payload: Any, ctx: Context) -> None:
+        if isinstance(payload, BroadcastInput):
+            self._broadcast(ctx, BrachaInitial(payload.tag, payload.value))
+
+    def on_message(self, sender: int, payload: Any, ctx: Context) -> None:
+        if isinstance(payload, BrachaInitial):
+            if payload.tag not in self._sent_echo:
+                self._sent_echo.add(payload.tag)
+                self._broadcast(ctx, BrachaEcho(payload.tag, payload.value))
+        elif isinstance(payload, BrachaEcho):
+            key = (payload.tag, payload.value)
+            voters = self._echoes.setdefault(key, set())
+            voters.add(sender)
+            if (
+                len(voters) >= self.echo_quorum
+                and payload.tag not in self._sent_ready
+            ):
+                self._sent_ready.add(payload.tag)
+                self._broadcast(ctx, BrachaReady(payload.tag, payload.value))
+        elif isinstance(payload, BrachaReady):
+            key = (payload.tag, payload.value)
+            voters = self._readies.setdefault(key, set())
+            voters.add(sender)
+            if (
+                len(voters) >= self.t + 1
+                and payload.tag not in self._sent_ready
+            ):
+                # ready amplification
+                self._sent_ready.add(payload.tag)
+                self._broadcast(ctx, BrachaReady(payload.tag, payload.value))
+            if (
+                len(voters) >= 2 * self.t + 1
+                and payload.tag not in self.delivered
+            ):
+                self.delivered[payload.tag] = payload.value
+                ctx.output(DeliveredOutput(payload.tag, payload.value))

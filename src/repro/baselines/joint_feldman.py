@@ -1,0 +1,177 @@
+"""Joint-Feldman DKG (Pedersen's DKG) in the synchronous round model.
+
+This is the classic synchronous baseline the paper improves on: every
+node Feldman-shares a random secret in round 0, complaints are
+broadcast in round 1, dealers with more than ``t`` complaints are
+disqualified in round 2, and the final share is the sum over the
+qualified set QUAL.
+
+Two simplifications relative to Gennaro et al.'s hardened variant are
+deliberate and documented: (a) complaint *justification* is collapsed
+into complaint counting (a dealer with > t complaints is out); (b) we
+do not implement the Pedersen-commitment first phase that fixes the
+public-key bias attack — this baseline exists for complexity and
+latency comparison (E6/E8), not as a security reference.
+
+Every round costs the full synchrony bound ``Delta`` — the §2.1
+argument the E6 benchmark quantifies.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.crypto.feldman import FeldmanVector
+from repro.crypto.groups import SchnorrGroup
+from repro.crypto.polynomials import Polynomial
+from repro.baselines.syncnet import SyncMessage, SyncResult, run_synchronous
+
+DEAL_KIND = "jf.deal"
+COMPLAINT_KIND = "jf.complaint"
+
+
+@dataclass
+class JfDeal:
+    commitment: FeldmanVector
+    share: int
+
+
+@dataclass
+class JointFeldmanNode:
+    """One synchronous JF-DKG participant."""
+
+    node_id: int
+    n: int
+    t: int
+    group: SchnorrGroup
+    rng: random.Random
+    secret: int | None = None
+    misbehave_against: set[int] = field(default_factory=set)
+
+    def __post_init__(self) -> None:
+        if self.secret is None:
+            self.secret = self.group.random_scalar(self.rng)
+        self._poly = Polynomial.random(
+            self.t, self.group.q, self.rng, constant_term=self.secret
+        )
+        self._commitment = FeldmanVector.commit(self._poly, self.group)
+        self._deals: dict[int, JfDeal] = {}
+        self._complaints: dict[int, set[int]] = {}
+        self._done = False
+        self.qual: tuple[int, ...] = ()
+        self.share: int | None = None
+        self.public_key: int | None = None
+
+    # round 0: deal to everyone
+    def begin(self) -> list[SyncMessage]:
+        out = []
+        size = self._commitment.byte_size() + self.group.scalar_bytes
+        for j in range(1, self.n + 1):
+            share = self._poly(j)
+            if j in self.misbehave_against:
+                share = (share + 1) % self.group.q  # a corrupt dealing
+            out.append(
+                SyncMessage(
+                    self.node_id, j, DEAL_KIND,
+                    JfDeal(self._commitment, share), size,
+                )
+            )
+        return out
+
+    def step(self, round_no: int, inbox: list[SyncMessage]) -> list[SyncMessage]:
+        if round_no == 1:
+            return self._complain(inbox)
+        if round_no == 2:
+            # Complaints broadcast in round 1 have all arrived: tally
+            # them and finalize (deal, complain, finalize = 3 rounds).
+            self._collect_complaints(inbox)
+            self._finalize()
+        return []
+
+    # round 1: verify deals, broadcast complaints
+    def _complain(self, inbox: list[SyncMessage]) -> list[SyncMessage]:
+        out = []
+        for msg in inbox:
+            if msg.kind != DEAL_KIND:
+                continue
+            deal: JfDeal = msg.body
+            self._deals[msg.sender] = deal
+            if not deal.commitment.verify_share(self.node_id, deal.share):
+                for j in range(1, self.n + 1):
+                    out.append(
+                        SyncMessage(
+                            self.node_id, j, COMPLAINT_KIND, msg.sender, 4
+                        )
+                    )
+        return out
+
+    # round 2: tally complaints
+    def _collect_complaints(self, inbox: list[SyncMessage]) -> None:
+        for msg in inbox:
+            if msg.kind == COMPLAINT_KIND:
+                self._complaints.setdefault(msg.body, set()).add(msg.sender)
+
+    # round 3: build QUAL and the final share
+    def _finalize(self) -> None:
+        qual = [
+            d
+            for d in sorted(self._deals)
+            if len(self._complaints.get(d, ())) <= self.t
+            and self._deals[d].commitment.verify_share(
+                self.node_id, self._deals[d].share
+            )
+        ]
+        self.qual = tuple(qual)
+        q = self.group.q
+        self.share = sum(self._deals[d].share for d in qual) % q
+        pk = 1
+        for d in qual:
+            pk = self.group.mul(pk, self._deals[d].commitment.public_key())
+        self.public_key = pk
+        self._done = True
+
+    def finished(self) -> bool:
+        return self._done
+
+
+@dataclass
+class JfResult:
+    nodes: dict[int, JointFeldmanNode]
+    sync: SyncResult
+
+    @property
+    def public_key(self) -> int:
+        keys = {n.public_key for n in self.nodes.values() if n.public_key}
+        if len(keys) != 1:
+            raise AssertionError("JF-DKG public key disagreement")
+        return keys.pop()
+
+    @property
+    def shares(self) -> dict[int, int]:
+        return {i: n.share for i, n in self.nodes.items() if n.share is not None}
+
+
+def run_joint_feldman(
+    n: int,
+    t: int,
+    group: SchnorrGroup,
+    seed: int = 0,
+    delta: float = 10.0,
+    misbehaving: dict[int, set[int]] | None = None,
+) -> JfResult:
+    """Run the synchronous JF-DKG; ``delta`` is the per-round bound.
+
+    ``misbehaving`` maps a dealer to the set of recipients it cheats.
+    """
+    rng = random.Random(("jf", seed).__repr__())
+    nodes = {
+        i: JointFeldmanNode(
+            i, n, t, group,
+            random.Random(("jf-node", seed, i).__repr__()),
+            misbehave_against=(misbehaving or {}).get(i, set()),
+        )
+        for i in range(1, n + 1)
+    }
+    sync = run_synchronous(nodes, delta=delta)
+    return JfResult(nodes=nodes, sync=sync)

@@ -1,0 +1,102 @@
+"""A synchronous round-based execution model for baseline protocols.
+
+§2.1's core argument: protocols built on (partially) synchronous
+assumptions bake a conservative bound ``Delta`` into their round
+structure — every round costs ``Delta`` wall-clock time whether or not
+messages arrived earlier, and an adversary aware of the bound can delay
+its messages to the verge of ``Delta`` for free.  Asynchronous
+protocols instead complete as fast as the honest messages actually
+travel.  The E6 benchmark quantifies this by running the synchronous
+Joint-Feldman baseline in this model against our DKG in the
+discrete-event simulator.
+
+The model: in each round every node reads its inbox (messages sent to
+it in the previous round) and emits messages for the next round.
+Latency is ``rounds * delta``; message/byte counts are tallied like the
+asynchronous metrics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Protocol
+
+from repro.sim.metrics import Metrics
+
+
+@dataclass(frozen=True)
+class SyncMessage:
+    """One synchronous-model message (sized for metering)."""
+
+    sender: int
+    recipient: int
+    kind: str
+    body: Any
+    size: int
+
+
+class SyncNode(Protocol):
+    """What the synchronous runner requires of a participant."""
+
+    node_id: int
+
+    def begin(self) -> list[SyncMessage]:
+        """Round 0 output."""
+        ...
+
+    def step(self, round_no: int, inbox: list[SyncMessage]) -> list[SyncMessage]:
+        """Consume the previous round's messages, emit the next round's."""
+        ...
+
+    def finished(self) -> bool:
+        ...
+
+
+@dataclass
+class SyncResult:
+    rounds: int
+    metrics: Metrics
+    delta: float
+
+    @property
+    def latency(self) -> float:
+        """Wall-clock cost: every round is charged the full bound Delta."""
+        return self.rounds * self.delta
+
+
+def run_synchronous(
+    nodes: dict[int, Any],
+    delta: float,
+    max_rounds: int = 50,
+) -> SyncResult:
+    """Drive the nodes through lock-step rounds until all finish."""
+    metrics = Metrics()
+    in_flight: list[SyncMessage] = []
+    for node in nodes.values():
+        for msg in node.begin():
+            metrics.record_send(msg.sender, msg.kind, msg.size)
+            in_flight.append(msg)
+    rounds = 1
+    while rounds <= max_rounds:
+        if all(node.finished() for node in nodes.values()):
+            break
+        inboxes: dict[int, list[SyncMessage]] = {i: [] for i in nodes}
+        for msg in in_flight:
+            if msg.recipient in inboxes:
+                inboxes[msg.recipient].append(msg)
+        in_flight = []
+        progressed = False
+        for i, node in nodes.items():
+            out = node.step(rounds, inboxes[i])
+            if out or inboxes[i]:
+                progressed = True
+            for msg in out:
+                metrics.record_send(msg.sender, msg.kind, msg.size)
+                in_flight.append(msg)
+        rounds += 1
+        if not progressed and not in_flight:
+            break
+    for i, node in nodes.items():
+        if node.finished():
+            metrics.record_completion(i, rounds * delta)
+    return SyncResult(rounds=rounds, metrics=metrics, delta=delta)

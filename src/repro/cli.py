@@ -1,0 +1,197 @@
+"""Command-line interface: run simulated protocol sessions from a shell.
+
+Examples::
+
+    python -m repro dkg --n 10 --t 3 --seed 7
+    python -m repro vss --n 7 --t 2 --secret 42 --reconstruct
+    python -m repro renew --n 7 --t 2 --phases 3
+    python -m repro resilience --t 2 --f 1
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from repro.crypto.groups import group_by_name
+from repro.crypto.hashing import FullMatrixCodec, HashedMatrixCodec
+from repro.dkg import DkgConfig, run_dkg
+from repro.proactive import ProactiveSystem
+from repro.sim.adversary import Adversary
+from repro.vss import VssConfig, run_vss
+
+
+def _common_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--n", type=int, default=7, help="number of nodes")
+    parser.add_argument("--t", type=int, default=2, help="Byzantine threshold")
+    parser.add_argument("--f", type=int, default=0, help="crash limit")
+    parser.add_argument("--seed", type=int, default=0, help="simulation seed")
+    parser.add_argument(
+        "--group", default="toy",
+        help="group parameters: toy/small/medium/large/rfc5114-1024-160",
+    )
+    parser.add_argument(
+        "--hashed-codec", action="store_true",
+        help="use the Cachin-style hash-compressed commitment codec",
+    )
+    parser.add_argument(
+        "--json", action="store_true", help="emit machine-readable JSON"
+    )
+
+
+def _codec(args: argparse.Namespace):
+    return HashedMatrixCodec() if args.hashed_codec else FullMatrixCodec()
+
+
+def _emit(args: argparse.Namespace, payload: dict) -> None:
+    if args.json:
+        print(json.dumps(payload, indent=2, default=str))
+    else:
+        for key, value in payload.items():
+            print(f"{key}: {value}")
+
+
+def cmd_dkg(args: argparse.Namespace) -> int:
+    config = DkgConfig(
+        n=args.n, t=args.t, f=args.f,
+        group=group_by_name(args.group), codec=_codec(args),
+    )
+    result = run_dkg(config, seed=args.seed, reconstruct=args.reconstruct)
+    payload = {
+        "succeeded": result.succeeded,
+        "q_set": list(result.q_set),
+        "public_key": hex(result.public_key),
+        "completed_nodes": result.completed_nodes,
+        "completion_time": result.last_completion_time,
+        "leader_changes": result.metrics.leader_changes,
+        "messages": result.metrics.messages_total,
+        "bytes": result.metrics.bytes_total,
+    }
+    if args.reconstruct:
+        payload["reconstructed"] = {
+            str(i): hex(v) for i, v in result.protocol_reconstructions.items()
+        }
+    _emit(args, payload)
+    return 0 if result.succeeded else 1
+
+
+def cmd_vss(args: argparse.Namespace) -> int:
+    config = VssConfig(
+        n=args.n, t=args.t, f=args.f,
+        group=group_by_name(args.group), codec=_codec(args),
+    )
+    result = run_vss(
+        config, secret=args.secret, seed=args.seed, reconstruct=args.reconstruct
+    )
+    payload = {
+        "completed_nodes": result.completed_nodes,
+        "messages": result.metrics.messages_total,
+        "bytes": result.metrics.bytes_total,
+        "public_key": hex(result.agreed_commitment().public_key())
+        if result.shares else None,
+    }
+    if args.reconstruct:
+        payload["reconstructions"] = {
+            str(i): v for i, v in result.reconstructions.items()
+        }
+    _emit(args, payload)
+    return 0 if len(result.completed_nodes) == args.n else 1
+
+
+def cmd_renew(args: argparse.Namespace) -> int:
+    config = DkgConfig(
+        n=args.n, t=args.t, f=args.f,
+        group=group_by_name(args.group), codec=_codec(args),
+    )
+    system = ProactiveSystem(config, seed=args.seed)
+    system.bootstrap()
+    secret_before = system.reconstruct()
+    phases = []
+    for _ in range(args.phases):
+        report = system.renew()
+        phases.append(
+            {
+                "phase": report.phase,
+                "messages": report.metrics.messages_total,
+                "public_key_stable": report.public_key == system.public_key,
+            }
+        )
+    _emit(
+        args,
+        {
+            "public_key": hex(system.public_key),
+            "phases": phases,
+            "secret_invariant": system.reconstruct() == secret_before,
+        },
+    )
+    return 0
+
+
+def cmd_resilience(args: argparse.Namespace) -> int:
+    """Probe the n >= 3t + 2f + 1 boundary for the given (t, f)."""
+    bound = 3 * args.t + 2 * args.f + 1
+    results = {}
+    for n in (bound, bound - 1):
+        if n < 1:
+            continue
+        config = DkgConfig(
+            n=n, t=args.t, f=args.f,
+            group=group_by_name(args.group),
+            enforce_resilience=False,
+        )
+        byz = frozenset(range(n - args.t + 1, n + 1)) if args.t else frozenset()
+        adv = Adversary(t=args.t, f=args.f, byzantine=byz)
+        from repro.sim.node import ProtocolNode
+
+        res = run_dkg(
+            config, seed=args.seed, adversary=adv,
+            node_factory=lambda i, c, k, ca: ProtocolNode(i) if i in byz else None,
+            until=2000.0, max_events=None,
+        )
+        honest = [i for i in range(1, n + 1) if i not in byz]
+        results[n] = all(res.nodes[i].completed is not None for i in honest)
+    _emit(args, {"bound": bound, "success_by_n": results})
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Simulated runs of the Kate-Goldberg asynchronous DKG stack",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_dkg = sub.add_parser("dkg", help="run one DKG session")
+    _common_args(p_dkg)
+    p_dkg.add_argument("--reconstruct", action="store_true",
+                       help="also run protocol Rec afterwards")
+    p_dkg.set_defaults(func=cmd_dkg)
+
+    p_vss = sub.add_parser("vss", help="run one HybridVSS sharing")
+    _common_args(p_vss)
+    p_vss.add_argument("--secret", type=int, default=None)
+    p_vss.add_argument("--reconstruct", action="store_true")
+    p_vss.set_defaults(func=cmd_vss)
+
+    p_renew = sub.add_parser("renew", help="bootstrap + proactive renewal")
+    _common_args(p_renew)
+    p_renew.add_argument("--phases", type=int, default=2)
+    p_renew.set_defaults(func=cmd_renew)
+
+    p_res = sub.add_parser(
+        "resilience", help="probe the 3t+2f+1 boundary for given t, f"
+    )
+    _common_args(p_res)
+    p_res.set_defaults(func=cmd_resilience)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

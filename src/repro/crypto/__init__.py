@@ -1,0 +1,54 @@
+"""Cryptographic substrate: discrete-log groups, polynomials, commitments,
+signatures and zero-knowledge proofs.
+
+Everything in this subpackage is pure (no simulator dependencies) and
+deterministic given a seeded ``random.Random``.
+"""
+
+from repro.crypto.bivariate import BivariatePolynomial
+from repro.crypto.dleq import DleqProof
+from repro.crypto.feldman import FeldmanCommitment, FeldmanVector
+from repro.crypto.groups import (
+    RFC5114_1024_160,
+    SchnorrGroup,
+    group_by_name,
+    large_group,
+    medium_group,
+    small_group,
+    toy_group,
+)
+from repro.crypto.pedersen import PedersenCommitment, PedersenShare, deal_pedersen
+from repro.crypto.polynomials import (
+    Polynomial,
+    interpolate_at,
+    interpolate_polynomial,
+    lagrange_coefficients,
+)
+from repro.crypto.schnorr import Signature, SigningKey
+from repro.crypto.shares import ReconstructionError, Share, reconstruct_secret
+
+__all__ = [
+    "BivariatePolynomial",
+    "DleqProof",
+    "FeldmanCommitment",
+    "FeldmanVector",
+    "PedersenCommitment",
+    "PedersenShare",
+    "Polynomial",
+    "ReconstructionError",
+    "RFC5114_1024_160",
+    "SchnorrGroup",
+    "Share",
+    "Signature",
+    "SigningKey",
+    "deal_pedersen",
+    "group_by_name",
+    "interpolate_at",
+    "interpolate_polynomial",
+    "lagrange_coefficients",
+    "large_group",
+    "medium_group",
+    "reconstruct_secret",
+    "small_group",
+    "toy_group",
+]

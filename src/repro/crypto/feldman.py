@@ -1,0 +1,192 @@
+"""Feldman commitments and the HybridVSS verification predicates (§3).
+
+The dealer commits to the symmetric bivariate polynomial ``f`` by
+publishing the matrix ``C`` with ``C_jl = g^{f_jl}``.  Two predicates
+from Fig. 1 are implemented verbatim:
+
+* ``verify-poly(C, i, a)`` — the row polynomial ``a`` handed to node
+  ``P_i`` is consistent with ``C``:
+  ``g^{a_l} == prod_j (C_jl)^{i^j}`` for all ``l in [0, t]``.
+* ``verify-point(C, i, m, alpha)`` — a point ``alpha`` relayed by node
+  ``P_m`` equals ``f(m, i)``:
+  ``g^alpha == prod_{j,l} (C_jl)^{m^j i^l}``.
+
+A univariate variant (:class:`FeldmanVector`) commits to a degree-t
+polynomial by its coefficient exponentiations; it is used by the Rec
+protocol to validate shares, by share renewal (the ``V_l`` values of
+§5.2), and by the synchronous baselines.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.crypto.bivariate import BivariatePolynomial
+from repro.crypto.groups import SchnorrGroup
+from repro.crypto.polynomials import Polynomial
+
+
+@dataclass(frozen=True)
+class FeldmanCommitment:
+    """Commitment matrix C with C[j][l] = g^{f_jl} for a bivariate f."""
+
+    matrix: tuple[tuple[int, ...], ...]
+    group: SchnorrGroup
+
+    def __post_init__(self) -> None:
+        if any(len(row) != len(self.matrix) for row in self.matrix):
+            raise ValueError("commitment matrix must be square")
+
+    @property
+    def degree(self) -> int:
+        return len(self.matrix) - 1
+
+    @classmethod
+    def commit(
+        cls, poly: BivariatePolynomial, group: SchnorrGroup
+    ) -> "FeldmanCommitment":
+        """Compute C_jl = g^{f_jl} for every coefficient of ``poly``."""
+        if poly.q != group.q:
+            raise ValueError("polynomial field does not match group order")
+        matrix = tuple(
+            tuple(group.commit(c) for c in row) for row in poly.coeffs
+        )
+        return cls(matrix, group)
+
+    def verify_poly(self, i: int, a: Polynomial) -> bool:
+        """Fig. 1 predicate verify-poly(C, i, a).
+
+        True iff ``a`` is the correct row polynomial f(i, .) under C.
+        """
+        t = self.degree
+        if a.degree != t or a.q != self.group.q:
+            return False
+        g = self.group
+        i_pows = [pow(i, j, g.q) for j in range(t + 1)]
+        for ell in range(t + 1):
+            expected = 1
+            for j in range(t + 1):
+                expected = g.mul(expected, g.power(self.matrix[j][ell], i_pows[j]))
+            if g.commit(a.coeffs[ell]) != expected:
+                return False
+        return True
+
+    def verify_point(self, i: int, m: int, alpha: int) -> bool:
+        """Fig. 1 predicate verify-point(C, i, m, alpha).
+
+        True iff alpha = f(m, i) under the committed f.
+        """
+        g = self.group
+        t = self.degree
+        m_pows = [pow(m, j, g.q) for j in range(t + 1)]
+        i_pows = [pow(i, ell, g.q) for ell in range(t + 1)]
+        expected = 1
+        for j in range(t + 1):
+            for ell in range(t + 1):
+                e = (m_pows[j] * i_pows[ell]) % g.q
+                expected = g.mul(expected, g.power(self.matrix[j][ell], e))
+        return g.commit(alpha) == expected
+
+    def verify_share(self, i: int, share: int) -> bool:
+        """True iff ``share`` = f(i, 0): the final VSS share of node i.
+
+        Used by Rec to filter bad shares before interpolation.
+        """
+        return self.verify_point(0, i, share)
+
+    def public_key(self) -> int:
+        """g^{f_00} = g^s: the public counterpart of the shared secret."""
+        return self.matrix[0][0]
+
+    def share_commitment(self, i: int) -> int:
+        """g^{f(i,0)}: the public verification value for node i's share."""
+        g = self.group
+        t = self.degree
+        acc = 1
+        i_pows = [pow(i, j, g.q) for j in range(t + 1)]
+        for j in range(t + 1):
+            acc = g.mul(acc, g.power(self.matrix[j][0], i_pows[j]))
+        return acc
+
+    def combine(self, other: "FeldmanCommitment") -> "FeldmanCommitment":
+        """Entry-wise product: commitment to the sum of the two committed
+        polynomials (DKG Fig. 2: ``C_pq <- prod_d (C_d)_pq``)."""
+        if self.degree != other.degree or self.group != other.group:
+            raise ValueError("incompatible commitments")
+        g = self.group
+        matrix = tuple(
+            tuple(g.mul(a, b) for a, b in zip(ra, rb))
+            for ra, rb in zip(self.matrix, other.matrix)
+        )
+        return FeldmanCommitment(matrix, g)
+
+    def column_vector(self, index: int = 0) -> "FeldmanVector":
+        """The univariate commitment to f(., index); ``index=0`` commits to
+        the polynomial whose evaluations are the nodes' final shares."""
+        g = self.group
+        t = self.degree
+        idx_pows = [pow(index, ell, g.q) for ell in range(t + 1)]
+        entries = []
+        for j in range(t + 1):
+            acc = 1
+            for ell in range(t + 1):
+                acc = g.mul(acc, g.power(self.matrix[j][ell], idx_pows[ell]))
+            entries.append(acc)
+        return FeldmanVector(tuple(entries), g)
+
+    @property
+    def num_entries(self) -> int:
+        return len(self.matrix) ** 2
+
+    def byte_size(self) -> int:
+        """Serialized size: (t+1)^2 group elements."""
+        return self.num_entries * self.group.element_bytes
+
+
+@dataclass(frozen=True)
+class FeldmanVector:
+    """Univariate Feldman commitment: entries[l] = g^{a_l}."""
+
+    entries: tuple[int, ...]
+    group: SchnorrGroup
+
+    @property
+    def degree(self) -> int:
+        return len(self.entries) - 1
+
+    @classmethod
+    def commit(cls, poly: Polynomial, group: SchnorrGroup) -> "FeldmanVector":
+        if poly.q != group.q:
+            raise ValueError("polynomial field does not match group order")
+        return cls(tuple(group.commit(c) for c in poly.coeffs), group)
+
+    def verify_share(self, i: int, share: int) -> bool:
+        """True iff g^share == prod_l entries[l]^{i^l}."""
+        g = self.group
+        expected = 1
+        for ell, entry in enumerate(self.entries):
+            expected = g.mul(expected, g.power(entry, pow(i, ell, g.q)))
+        return g.commit(share) == expected
+
+    def evaluate_in_exponent(self, i: int) -> int:
+        """g^{a(i)} computed from the commitment alone."""
+        g = self.group
+        acc = 1
+        for ell, entry in enumerate(self.entries):
+            acc = g.mul(acc, g.power(entry, pow(i, ell, g.q)))
+        return acc
+
+    def public_key(self) -> int:
+        """g^{a_0}."""
+        return self.entries[0]
+
+    def combine(self, other: "FeldmanVector") -> "FeldmanVector":
+        if self.degree != other.degree or self.group != other.group:
+            raise ValueError("incompatible commitments")
+        g = self.group
+        return FeldmanVector(
+            tuple(g.mul(a, b) for a, b in zip(self.entries, other.entries)), g
+        )
+
+    def byte_size(self) -> int:
+        return len(self.entries) * self.group.element_bytes

@@ -1,0 +1,201 @@
+"""Schnorr groups: the discrete-log setting of the paper (§2.3).
+
+A :class:`SchnorrGroup` wraps parameters ``(p, q, g)`` — a prime-order-q
+multiplicative subgroup of ``Z_p^*`` — and provides the group and scalar
+arithmetic the protocols need: exponentiation, scalar field operations
+mod q, random scalars, and (de)serialization with stable byte sizes so
+the metrics layer can meter communication complexity.
+
+Two kinds of parameter sets are exposed:
+
+* :func:`toy_group`, :func:`small_group`, :func:`medium_group` —
+  deterministically generated small parameters used by tests and
+  benchmarks, where protocol logic rather than bignum arithmetic should
+  dominate the runtime;
+* :data:`RFC5114_1024_160` and :data:`RFC5114_2048_256` — standardized
+  MODP Diffie-Hellman groups with prime-order subgroups, for
+  realistic-size runs.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from functools import lru_cache
+
+from repro.crypto.primes import SchnorrParams, generate_schnorr_params
+
+
+@dataclass(frozen=True)
+class SchnorrGroup:
+    """A prime-order multiplicative subgroup of Z_p^*.
+
+    Group elements are plain ints in ``[1, p)``; scalars are ints in
+    ``[0, q)``.  All methods are pure.
+    """
+
+    p: int
+    q: int
+    g: int
+    name: str = field(default="custom", compare=False)
+
+    # -- scalar field (Z_q) ------------------------------------------------
+
+    def scalar(self, x: int) -> int:
+        """Reduce an integer into the scalar field Z_q."""
+        return x % self.q
+
+    def scalar_add(self, a: int, b: int) -> int:
+        return (a + b) % self.q
+
+    def scalar_sub(self, a: int, b: int) -> int:
+        return (a - b) % self.q
+
+    def scalar_mul(self, a: int, b: int) -> int:
+        return (a * b) % self.q
+
+    def scalar_neg(self, a: int) -> int:
+        return (-a) % self.q
+
+    def scalar_inv(self, a: int) -> int:
+        """Multiplicative inverse in Z_q; raises ZeroDivisionError on 0."""
+        if a % self.q == 0:
+            raise ZeroDivisionError("0 has no inverse in Z_q")
+        return pow(a, -1, self.q)
+
+    def random_scalar(self, rng: random.Random) -> int:
+        """Uniform scalar in [0, q)."""
+        return rng.randrange(self.q)
+
+    def random_nonzero_scalar(self, rng: random.Random) -> int:
+        """Uniform scalar in [1, q)."""
+        return rng.randrange(1, self.q)
+
+    # -- group (G subset of Z_p^*) -----------------------------------------
+
+    @property
+    def identity(self) -> int:
+        return 1
+
+    def power(self, base: int, exponent: int) -> int:
+        """base ** exponent mod p (exponent reduced mod q)."""
+        return pow(base, exponent % self.q, self.p)
+
+    def commit(self, exponent: int) -> int:
+        """g ** exponent mod p — the Feldman commitment of one scalar."""
+        return pow(self.g, exponent % self.q, self.p)
+
+    def mul(self, a: int, b: int) -> int:
+        return (a * b) % self.p
+
+    def inv(self, a: int) -> int:
+        return pow(a, -1, self.p)
+
+    def is_element(self, a: int) -> bool:
+        """Membership test: a in [1, p) and a^q == 1 (prime-order subgroup)."""
+        return 0 < a < self.p and pow(a, self.q, self.p) == 1
+
+    # -- sizes (for communication metering) ---------------------------------
+
+    @property
+    def element_bytes(self) -> int:
+        """Serialized size of one group element."""
+        return (self.p.bit_length() + 7) // 8
+
+    @property
+    def scalar_bytes(self) -> int:
+        """Serialized size of one scalar."""
+        return (self.q.bit_length() + 7) // 8
+
+    @property
+    def security_bits(self) -> int:
+        """kappa: the bit length of the subgroup order q."""
+        return self.q.bit_length()
+
+    # -- serialization -------------------------------------------------------
+
+    def element_to_bytes(self, a: int) -> bytes:
+        return a.to_bytes(self.element_bytes, "big")
+
+    def element_from_bytes(self, raw: bytes) -> int:
+        a = int.from_bytes(raw, "big")
+        if not self.is_element(a):
+            raise ValueError("bytes do not encode a group element")
+        return a
+
+    def scalar_to_bytes(self, x: int) -> bytes:
+        return (x % self.q).to_bytes(self.scalar_bytes, "big")
+
+    def scalar_from_bytes(self, raw: bytes) -> int:
+        return int.from_bytes(raw, "big") % self.q
+
+    def validate(self) -> None:
+        SchnorrParams(self.p, self.q, self.g).validate()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"SchnorrGroup({self.name}, |q|={self.q.bit_length()} bits)"
+
+
+@lru_cache(maxsize=None)
+def toy_group(seed: int = 0) -> SchnorrGroup:
+    """64-bit-q group: fast enough for whole-protocol property tests."""
+    params = generate_schnorr_params(q_bits=64, p_bits=128, seed=seed)
+    return SchnorrGroup(params.p, params.q, params.g, name=f"toy-{seed}")
+
+
+@lru_cache(maxsize=None)
+def small_group(seed: int = 0) -> SchnorrGroup:
+    """160-bit-q group: matches the classic DSA parameter shape."""
+    params = generate_schnorr_params(q_bits=160, p_bits=512, seed=seed)
+    return SchnorrGroup(params.p, params.q, params.g, name=f"small-{seed}")
+
+
+@lru_cache(maxsize=None)
+def medium_group(seed: int = 0) -> SchnorrGroup:
+    """256-bit-q group in a 1024-bit field: realistic modern shape."""
+    params = generate_schnorr_params(q_bits=256, p_bits=1024, seed=seed)
+    return SchnorrGroup(params.p, params.q, params.g, name=f"medium-{seed}")
+
+
+# RFC 5114 section 2.1: 1024-bit MODP group with 160-bit prime-order subgroup.
+RFC5114_1024_160 = SchnorrGroup(
+    p=int(
+        "B10B8F96A080E01DDE92DE5EAE5D54EC52C99FBCFB06A3C69A6A9DCA52D23B61"
+        "6073E28675A23D189838EF1E2EE652C013ECB4AEA906112324975C3CD49B83BF"
+        "ACCBDD7D90C4BD7098488E9C219A73724EFFD6FAE5644738FAA31A4FF55BCCC0"
+        "A151AF5F0DC8B4BD45BF37DF365C1A65E68CFDA76D4DA708DF1FB2BC2E4A4371",
+        16,
+    ),
+    q=int("F518AA8781A8DF278ABA4E7D64B7CB9D49462353", 16),
+    g=int(
+        "A4D1CBD5C3FD34126765A442EFB99905F8104DD258AC507FD6406CFF14266D31"
+        "266FEA1E5C41564B777E690F5504F213160217B4B01B886A5E91547F9E2749F4"
+        "D7FBD7D3B9A92EE1909D0D2263F80A76A6A24C087A091F531DBF0A0169B6A28A"
+        "D662A4D18E73AFA32D779D5918D08BC8858F4DCEF97C2A24855E6EEB22B3B2E5",
+        16,
+    ),
+    name="rfc5114-1024-160",
+)
+
+@lru_cache(maxsize=None)
+def large_group(seed: int = 0) -> SchnorrGroup:
+    """256-bit-q group in a 2048-bit field (slow to generate; lazy+cached)."""
+    params = generate_schnorr_params(q_bits=256, p_bits=2048, seed=seed)
+    return SchnorrGroup(params.p, params.q, params.g, name=f"large-{seed}")
+
+
+GROUP_REGISTRY = {
+    "toy": toy_group,
+    "small": small_group,
+    "medium": medium_group,
+    "large": large_group,
+}
+
+
+def group_by_name(name: str, seed: int = 0) -> SchnorrGroup:
+    """Look up a named parameter set (toy/small/medium/large/rfc5114-1024-160)."""
+    if name in GROUP_REGISTRY:
+        return GROUP_REGISTRY[name](seed)
+    if name == "rfc5114-1024-160":
+        return RFC5114_1024_160
+    raise KeyError(f"unknown group {name!r}")

@@ -1,0 +1,159 @@
+"""Univariate polynomials over Z_q and Lagrange interpolation.
+
+Shamir secret sharing (and everything built on it in this package)
+works with degree-``t`` polynomials over the scalar field of a Schnorr
+group.  Polynomials are represented by coefficient lists
+``[a_0, a_1, ..., a_t]`` so that ``a(y) = sum a_l * y**l``; all
+arithmetic is mod ``q``.
+"""
+
+from __future__ import annotations
+
+import random
+from collections.abc import Iterable, Sequence
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Polynomial:
+    """An immutable univariate polynomial over Z_q.
+
+    ``coeffs[l]`` is the coefficient of ``y**l``.  The zero polynomial
+    is represented as ``(0,)`` so ``degree`` is always well defined for
+    sharing purposes (a constant polynomial has degree 0).
+    """
+
+    coeffs: tuple[int, ...]
+    q: int
+
+    def __post_init__(self) -> None:
+        if not self.coeffs:
+            object.__setattr__(self, "coeffs", (0,))
+        object.__setattr__(
+            self, "coeffs", tuple(c % self.q for c in self.coeffs)
+        )
+
+    @property
+    def degree(self) -> int:
+        """Formal degree: len(coeffs) - 1 (leading zeros are kept, because
+        a sharing polynomial's *capacity* t matters, not its true degree)."""
+        return len(self.coeffs) - 1
+
+    def evaluate(self, y: int) -> int:
+        """Horner evaluation of the polynomial at ``y`` mod q."""
+        acc = 0
+        for c in reversed(self.coeffs):
+            acc = (acc * y + c) % self.q
+        return acc
+
+    def __call__(self, y: int) -> int:
+        return self.evaluate(y)
+
+    def add(self, other: "Polynomial") -> "Polynomial":
+        if self.q != other.q:
+            raise ValueError("polynomials over different fields")
+        n = max(len(self.coeffs), len(other.coeffs))
+        a = list(self.coeffs) + [0] * (n - len(self.coeffs))
+        b = list(other.coeffs) + [0] * (n - len(other.coeffs))
+        return Polynomial(tuple((x + y) % self.q for x, y in zip(a, b)), self.q)
+
+    def scale(self, k: int) -> "Polynomial":
+        """Multiply every coefficient by the scalar ``k``."""
+        return Polynomial(tuple((c * k) % self.q for c in self.coeffs), self.q)
+
+    @property
+    def constant_term(self) -> int:
+        """a(0): the shared secret in Shamir-style sharings."""
+        return self.coeffs[0]
+
+    @classmethod
+    def random(
+        cls,
+        degree: int,
+        q: int,
+        rng: random.Random,
+        constant_term: int | None = None,
+    ) -> "Polynomial":
+        """Uniformly random degree-``degree`` polynomial; optionally with a
+        fixed constant term (the secret being shared)."""
+        if degree < 0:
+            raise ValueError("degree must be non-negative")
+        coeffs = [rng.randrange(q) for _ in range(degree + 1)]
+        if constant_term is not None:
+            coeffs[0] = constant_term % q
+        return cls(tuple(coeffs), q)
+
+
+def lagrange_coefficients(
+    indices: Sequence[int], x: int, q: int
+) -> list[int]:
+    """Lagrange coefficients lambda_j for interpolating at point ``x``
+    from the evaluation points in ``indices``.
+
+    Given values v_j = a(i_j) for distinct points i_j, the interpolated
+    value is ``a(x) = sum lambda_j * v_j`` where::
+
+        lambda_j = prod_{m != j} (x - i_m) / (i_j - i_m)   (mod q)
+
+    Raises ValueError on duplicate indices (interpolation undefined).
+    """
+    if len(set(i % q for i in indices)) != len(indices):
+        raise ValueError("duplicate interpolation indices")
+    coeffs = []
+    for j, i_j in enumerate(indices):
+        num, den = 1, 1
+        for m, i_m in enumerate(indices):
+            if m == j:
+                continue
+            num = (num * (x - i_m)) % q
+            den = (den * (i_j - i_m)) % q
+        coeffs.append((num * pow(den, -1, q)) % q)
+    return coeffs
+
+
+def interpolate_at(
+    points: Iterable[tuple[int, int]], x: int, q: int
+) -> int:
+    """Interpolate the unique low-degree polynomial through ``points``
+    (pairs ``(i, a(i))``) and evaluate it at ``x``, all mod q."""
+    pts = list(points)
+    indices = [i for i, _ in pts]
+    lambdas = lagrange_coefficients(indices, x, q)
+    return sum(lam * v for lam, (_, v) in zip(lambdas, pts)) % q
+
+
+def interpolate_polynomial(
+    points: Iterable[tuple[int, int]], q: int
+) -> Polynomial:
+    """Full Lagrange interpolation: recover the coefficient vector of the
+    unique polynomial of degree < len(points) through the given points.
+
+    Used by HybridVSS nodes to reconstruct their row polynomial from
+    echo/ready points (Fig. 1: "Lagrange-interpolate a from A_C").
+    """
+    pts = list(points)
+    if not pts:
+        raise ValueError("cannot interpolate from zero points")
+    if len(set(i % q for i, _ in pts)) != len(pts):
+        raise ValueError("duplicate interpolation indices")
+    n = len(pts)
+    # result accumulates sum over j of v_j * basis_j(y)
+    result = [0] * n
+    for j, (i_j, v_j) in enumerate(pts):
+        # basis polynomial prod_{m != j} (y - i_m) / (i_j - i_m)
+        basis = [1]
+        den = 1
+        for m, (i_m, _) in enumerate(pts):
+            if m == j:
+                continue
+            # multiply basis by (y - i_m)
+            new = [0] * (len(basis) + 1)
+            for k, c in enumerate(basis):
+                new[k] = (new[k] - c * i_m) % q
+                new[k + 1] = (new[k + 1] + c) % q
+            basis = new
+            den = (den * (i_j - i_m)) % q
+        scale = (v_j * pow(den, -1, q)) % q
+        for k, c in enumerate(basis):
+            result[k] = (result[k] + c * scale) % q
+    return Polynomial(tuple(result), q)

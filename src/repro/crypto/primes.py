@@ -1,0 +1,168 @@
+"""Primality testing and Schnorr-group parameter generation.
+
+The paper's cryptographic setting (§2.3) is a multiplicative subgroup
+``G`` of ``Z_p^*`` of prime order ``q`` with ``q | (p - 1)`` and a
+generator ``g``.  This module provides the number-theoretic substrate:
+a deterministic Miller--Rabin primality test (with the proven
+deterministic witness sets for small inputs and a seeded witness choice
+for large ones) and a deterministic parameter generator so that test
+fixtures are reproducible.
+
+Nothing here depends on the rest of the package.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+# Deterministic Miller-Rabin witness sets.  Testing against these bases is
+# *proven* correct for all inputs below the associated bound (Sorenson &
+# Webster 2015 for the largest entry).
+_DETERMINISTIC_WITNESSES: list[tuple[int, tuple[int, ...]]] = [
+    (2_047, (2,)),
+    (1_373_653, (2, 3)),
+    (9_080_191, (31, 73)),
+    (25_326_001, (2, 3, 5)),
+    (3_215_031_751, (2, 3, 5, 7)),
+    (4_759_123_141, (2, 7, 61)),
+    (1_122_004_669_633, (2, 13, 23, 1662803)),
+    (2_152_302_898_747, (2, 3, 5, 7, 11)),
+    (3_474_749_660_383, (2, 3, 5, 7, 11, 13)),
+    (341_550_071_728_321, (2, 3, 5, 7, 11, 13, 17)),
+    (3_825_123_056_546_413_051, (2, 3, 5, 7, 11, 13, 17, 19, 23)),
+    (318_665_857_834_031_151_167_461, (2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37)),
+]
+
+_SMALL_PRIMES = (
+    2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47, 53, 59, 61,
+    67, 71, 73, 79, 83, 89, 97, 101, 103, 107, 109, 113, 127, 131, 137,
+    139, 149, 151, 157, 163, 167, 173, 179, 181, 191, 193, 197, 199,
+)
+
+
+def _miller_rabin_round(n: int, a: int, d: int, r: int) -> bool:
+    """Return True if ``n`` passes one Miller-Rabin round with base ``a``."""
+    x = pow(a, d, n)
+    if x == 1 or x == n - 1:
+        return True
+    for _ in range(r - 1):
+        x = (x * x) % n
+        if x == n - 1:
+            return True
+    return False
+
+
+def is_prime(n: int, rounds: int = 40, rng: random.Random | None = None) -> bool:
+    """Primality test: deterministic below 3.3e24, Miller-Rabin above.
+
+    For inputs below the largest proven bound this is exact.  Above it,
+    ``rounds`` random bases give an error probability below 4**-rounds,
+    negligible for the security parameters used here.
+    """
+    if n < 2:
+        return False
+    for p in _SMALL_PRIMES:
+        if n == p:
+            return True
+        if n % p == 0:
+            return False
+    d, r = n - 1, 0
+    while d % 2 == 0:
+        d //= 2
+        r += 1
+    for bound, witnesses in _DETERMINISTIC_WITNESSES:
+        if n < bound:
+            return all(_miller_rabin_round(n, a, d, r) for a in witnesses)
+    rng = rng or random.Random(n & 0xFFFFFFFF)
+    for _ in range(rounds):
+        a = rng.randrange(2, n - 1)
+        if not _miller_rabin_round(n, a, d, r):
+            return False
+    return True
+
+
+def next_prime(n: int) -> int:
+    """Smallest prime strictly greater than ``n``."""
+    candidate = n + 1
+    if candidate <= 2:
+        return 2
+    if candidate % 2 == 0:
+        candidate += 1
+    while not is_prime(candidate):
+        candidate += 2
+    return candidate
+
+
+@dataclass(frozen=True)
+class SchnorrParams:
+    """Parameters (p, q, g) for a Schnorr group: q | p-1, g generates
+    the order-q subgroup of Z_p^*."""
+
+    p: int
+    q: int
+    g: int
+
+    def validate(self) -> None:
+        """Raise ValueError unless (p, q, g) is a well-formed Schnorr group."""
+        if not is_prime(self.p):
+            raise ValueError("p is not prime")
+        if not is_prime(self.q):
+            raise ValueError("q is not prime")
+        if (self.p - 1) % self.q != 0:
+            raise ValueError("q does not divide p - 1")
+        if not (1 < self.g < self.p):
+            raise ValueError("generator out of range")
+        if pow(self.g, self.q, self.p) != 1:
+            raise ValueError("g does not have order dividing q")
+        if self.g == 1 or pow(self.g, 1, self.p) == 1:
+            raise ValueError("g is the identity")
+
+
+def generate_schnorr_params(
+    q_bits: int, p_bits: int | None = None, seed: int = 0
+) -> SchnorrParams:
+    """Deterministically generate Schnorr-group parameters.
+
+    Finds a ``q_bits``-bit prime ``q`` and then a prime ``p = k*q + 1``
+    of roughly ``p_bits`` bits (default ``2 * q_bits``), then a generator
+    of the order-``q`` subgroup.  The same ``(q_bits, p_bits, seed)``
+    always yields the same parameters, which keeps test fixtures and
+    benchmarks reproducible.
+    """
+    if q_bits < 8:
+        raise ValueError("q_bits must be at least 8")
+    p_bits = p_bits or 2 * q_bits
+    if p_bits < q_bits + 2:
+        raise ValueError("p_bits must exceed q_bits by at least 2")
+    rng = random.Random(("schnorr", q_bits, p_bits, seed).__repr__())
+
+    while True:
+        q = rng.getrandbits(q_bits) | (1 << (q_bits - 1)) | 1
+        if not is_prime(q):
+            continue
+        # Search for k such that p = k*q + 1 is prime and p has p_bits bits.
+        k_bits = p_bits - q_bits
+        for _ in range(4096):
+            k = rng.getrandbits(k_bits) | (1 << (k_bits - 1))
+            if k % 2 == 1:
+                k += 1  # keep p odd: p = k*q + 1 with k even
+            p = k * q + 1
+            if p.bit_length() != p_bits:
+                continue
+            if is_prime(p):
+                g = _find_generator(p, q, rng)
+                params = SchnorrParams(p=p, q=q, g=g)
+                params.validate()
+                return params
+        # extremely unlikely: retry with a fresh q
+
+
+def _find_generator(p: int, q: int, rng: random.Random) -> int:
+    """Find a generator of the order-q subgroup of Z_p^*."""
+    k = (p - 1) // q
+    while True:
+        h = rng.randrange(2, p - 1)
+        g = pow(h, k, p)
+        if g != 1:
+            return g

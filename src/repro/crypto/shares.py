@@ -1,0 +1,77 @@
+"""Share containers and secret reconstruction helpers.
+
+A :class:`Share` is what a node holds after a VSS/DKG completes: its
+index, the share value ``s_i = f(i, 0)`` (or the summed/interpolated
+value for DKG/renewal), and the commitment that makes it publicly
+verifiable.  :func:`reconstruct_secret` is the client-side core of the
+Rec protocol: filter shares against the commitment, then Lagrange-
+interpolate at 0.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+from dataclasses import dataclass
+
+from repro.crypto.feldman import FeldmanCommitment, FeldmanVector
+from repro.crypto.polynomials import interpolate_at
+
+
+@dataclass(frozen=True)
+class Share:
+    """A verifiable secret share held by node ``index``."""
+
+    index: int
+    value: int
+    commitment: FeldmanCommitment | FeldmanVector
+
+    def verify(self) -> bool:
+        """Check this share against its own commitment."""
+        return self.commitment.verify_share(self.index, self.value)
+
+    @property
+    def public_key(self) -> int:
+        """g^s for the secret this share belongs to."""
+        return self.commitment.public_key()
+
+
+class ReconstructionError(Exception):
+    """Raised when too few valid shares are available to reconstruct."""
+
+
+def reconstruct_secret(
+    shares: Iterable[Share],
+    threshold: int,
+    q: int,
+) -> int:
+    """Reconstruct the secret from at least ``threshold + 1`` valid shares.
+
+    Shares failing their commitment check are discarded (Byzantine nodes
+    may submit garbage during Rec); duplicates by index are collapsed.
+    Raises :class:`ReconstructionError` if fewer than ``threshold + 1``
+    distinct valid shares remain.
+    """
+    seen: dict[int, int] = {}
+    for share in shares:
+        if share.index in seen:
+            continue
+        if share.verify():
+            seen[share.index] = share.value
+    if len(seen) < threshold + 1:
+        raise ReconstructionError(
+            f"need {threshold + 1} valid shares, have {len(seen)}"
+        )
+    points = list(seen.items())[: threshold + 1]
+    return interpolate_at(points, 0, q)
+
+
+def reconstruct_raw(
+    points: Iterable[tuple[int, int]],
+    q: int,
+) -> int:
+    """Interpolate (index, value) pairs at 0 without verification.
+
+    For internal use where shares were already verified (e.g. inside a
+    node that validated ready messages via verify-point).
+    """
+    return interpolate_at(list(points), 0, q)

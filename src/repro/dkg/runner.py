@@ -1,0 +1,180 @@
+"""One-call DKG simulation: build PKI, nodes, adversary — run — collect.
+
+:func:`run_dkg` is the package's flagship entry point (and the
+``quickstart`` example's workhorse): it simulates a complete DKG
+session in the hybrid model and returns a :class:`DkgResult` exposing
+the group public key, per-node shares, the agreed dealer set ``Q``,
+and the run's metrics.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.crypto.feldman import FeldmanCommitment
+from repro.crypto.shares import Share, reconstruct_secret
+from repro.sim.adversary import Adversary
+from repro.sim.metrics import Metrics
+from repro.sim.network import DelayModel, UniformDelay
+from repro.sim.pki import CertificateAuthority, KeyStore
+from repro.sim.runner import Simulation
+from repro.dkg.config import DkgConfig
+from repro.dkg.messages import (
+    DkgCompletedOutput,
+    DkgReconstructInput,
+    DkgStartInput,
+)
+from repro.dkg.node import DkgNode
+
+
+@dataclass
+class DkgResult:
+    """Outcome of one simulated DKG session."""
+
+    config: DkgConfig
+    nodes: dict[int, DkgNode]
+    metrics: Metrics
+    simulation: Simulation
+    ca: CertificateAuthority
+
+    @property
+    def completions(self) -> dict[int, DkgCompletedOutput]:
+        return {
+            i: node.completed
+            for i, node in self.nodes.items()
+            if node.completed is not None
+        }
+
+    @property
+    def completed_nodes(self) -> list[int]:
+        return sorted(self.completions)
+
+    @property
+    def succeeded(self) -> bool:
+        """True iff every honest, finally-up node completed."""
+        finally_up = [
+            i
+            for i in self.nodes
+            if i not in self.simulation.crashed
+            and not self.simulation.adversary.is_byzantine(i)
+        ]
+        return all(self.nodes[i].completed is not None for i in finally_up)
+
+    @property
+    def public_key(self) -> int:
+        keys = {out.public_key for out in self.completions.values()}
+        if len(keys) != 1:
+            raise AssertionError(f"public key disagreement: {len(keys)} keys")
+        return keys.pop()
+
+    @property
+    def q_set(self) -> tuple[int, ...]:
+        sets = {out.q_set for out in self.completions.values()}
+        if len(sets) != 1:
+            raise AssertionError("agreement violation: divergent Q sets")
+        return sets.pop()
+
+    @property
+    def commitment(self) -> FeldmanCommitment:
+        commitments = {out.commitment for out in self.completions.values()}
+        if len(commitments) != 1:
+            raise AssertionError("agreement violation: divergent commitments")
+        return commitments.pop()
+
+    @property
+    def shares(self) -> dict[int, int]:
+        return {i: out.share for i, out in self.completions.items()}
+
+    @property
+    def last_completion_time(self) -> float | None:
+        """Time when the slowest node output DKG-completed (not to be
+        confused with Metrics.last_completion, which tracks the first
+        output of any kind — e.g. a VSS shared output)."""
+        times = [
+            o.time
+            for o in self.simulation.outputs
+            if getattr(o.payload, "kind", "") == "dkg.out.completed"
+        ]
+        return max(times) if times else None
+
+    @property
+    def protocol_reconstructions(self) -> dict[int, int]:
+        """Values output by nodes that ran protocol Rec (if requested)."""
+        return {
+            i: node.reconstructed.value
+            for i, node in self.nodes.items()
+            if node.reconstructed is not None
+        }
+
+    def reconstruct(self) -> int:
+        """Client-side reconstruction of the group secret from shares."""
+        commitment = self.commitment
+        shares = [
+            Share(i, value, commitment) for i, value in self.shares.items()
+        ]
+        return reconstruct_secret(shares, self.config.t, self.config.group.q)
+
+    def expected_secret(self) -> int:
+        """sum of the dealt secrets over the agreed set Q (oracle view)."""
+        q = self.config.group.q
+        return sum(self.nodes[d].secret for d in self.q_set) % q
+
+
+def run_dkg(
+    config: DkgConfig,
+    seed: int = 0,
+    tau: int = 0,
+    delay_model: DelayModel | None = None,
+    adversary: Adversary | None = None,
+    secrets: dict[int, int] | None = None,
+    node_factory: Callable[[int, DkgConfig, KeyStore, CertificateAuthority], Any]
+    | None = None,
+    until: float | None = None,
+    max_events: int | None = 2_000_000,
+    reconstruct: bool = False,
+) -> DkgResult:
+    """Simulate one DKG session.
+
+    ``node_factory(i, config, keystore, ca)`` may return a replacement
+    (Byzantine) node for index ``i`` or None for the default honest node.
+    """
+    adversary = adversary or Adversary.passive(config.t, config.f)
+    sim = Simulation(
+        delay_model=delay_model or UniformDelay(),
+        adversary=adversary,
+        seed=seed,
+    )
+    enroll_rng = random.Random(("dkg-pki", seed).__repr__())
+    ca = CertificateAuthority(config.group)
+    nodes: dict[int, DkgNode] = {}
+    members = config.vss().indices
+    for i in members:
+        keystore = KeyStore.enroll(i, ca, enroll_rng)
+        node = None
+        if node_factory is not None:
+            node = node_factory(i, config, keystore, ca)
+        if node is None:
+            node = DkgNode(
+                i,
+                config,
+                keystore,
+                ca,
+                tau=tau,
+                secret=(secrets or {}).get(i),
+            )
+        sim.add_node(node)
+        if isinstance(node, DkgNode):
+            nodes[i] = node
+    for i in members:
+        sim.inject(i, DkgStartInput(tau), at=0.0)
+    sim.run(until=until, max_events=max_events)
+    if reconstruct:
+        # Run protocol Rec on the combined shares (Definition 4.1's
+        # consistency clause) as a second stage of the same simulation.
+        for i, node in nodes.items():
+            if node.completed is not None and i not in sim.crashed:
+                sim.inject(i, DkgReconstructInput(tau), at=sim.queue.now)
+        sim.run(until=until, max_events=max_events)
+    return DkgResult(config, nodes, sim.metrics, sim, ca)

@@ -1,0 +1,51 @@
+"""Group modification protocols (§6): modification agreement, node
+addition, node removal, and threshold/crash-limit modification."""
+
+from repro.groupmod.addition import (
+    AdditionNode,
+    AdditionResult,
+    JoiningNode,
+    run_node_addition,
+    run_node_additions,
+)
+from repro.groupmod.agreement import (
+    GroupModAgreementNode,
+    apply_proposals,
+    default_policy,
+)
+from repro.groupmod.manager import AgreementReport, GroupManager
+from repro.groupmod.messages import (
+    JoinedOutput,
+    ModProposal,
+    NodeAddInput,
+    NodeAddRequestMsg,
+    ProposalDeliveredOutput,
+    ProposalEchoMsg,
+    ProposalMsg,
+    ProposalReadyMsg,
+    ProposeInput,
+    SubshareMsg,
+)
+
+__all__ = [
+    "AdditionNode",
+    "AdditionResult",
+    "AgreementReport",
+    "GroupManager",
+    "GroupModAgreementNode",
+    "JoinedOutput",
+    "JoiningNode",
+    "ModProposal",
+    "NodeAddInput",
+    "NodeAddRequestMsg",
+    "ProposalDeliveredOutput",
+    "ProposalEchoMsg",
+    "ProposalMsg",
+    "ProposalReadyMsg",
+    "ProposeInput",
+    "SubshareMsg",
+    "apply_proposals",
+    "default_policy",
+    "run_node_addition",
+    "run_node_additions",
+]

@@ -1,0 +1,160 @@
+"""Group modification agreement (§6.1).
+
+A Bracha-style reliable broadcast per proposal: the proposer sends the
+proposal to everyone; nodes that *agree* with it (an application policy
+— by default, anything that keeps ``n >= 3t + 2f + 1`` satisfiable)
+echo it; an echo quorum triggers ready; ``t + 1`` readies amplify; at
+``n - t - f`` readies the proposal enters the node's modification
+queue, to be applied at the next phase change.
+
+Proposals are commutative (adds/removes with t/f *deltas*), so nodes
+may deliver them in different orders and still converge on the same
+phase-change reconfiguration — the property the paper uses to avoid
+atomic broadcast.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.sim.node import Context, ProtocolNode
+from repro.vss.config import VssConfig
+from repro.groupmod.messages import (
+    ModProposal,
+    NodeAddInput,
+    NodeAddRequestMsg,
+    ProposalDeliveredOutput,
+    ProposalEchoMsg,
+    ProposalMsg,
+    ProposalReadyMsg,
+    ProposeInput,
+)
+
+
+def default_policy(config: VssConfig, proposal: ModProposal) -> bool:
+    """Agree iff the proposal keeps the resilience bound satisfiable.
+
+    n' = n ± 1, t' = t + t_delta, f' = f + f_delta must satisfy
+    n' >= 3t' + 2f' + 1 with non-negative t', f'.
+    """
+    n = config.n + (1 if proposal.action == "add" else -1)
+    t = config.t + proposal.t_delta
+    f = config.f + proposal.f_delta
+    if proposal.action == "add" and proposal.node in config.indices:
+        return False
+    if proposal.action == "remove" and proposal.node not in config.indices:
+        return False
+    return t >= 0 and f >= 0 and n >= 3 * t + 2 * f + 1
+
+
+@dataclass
+class _ProposalState:
+    echoes: set[int] = field(default_factory=set)
+    readies: set[int] = field(default_factory=set)
+    echoed: bool = False
+    readied: bool = False
+    delivered: bool = False
+
+
+@dataclass
+class GroupModAgreementNode(ProtocolNode):
+    """One node of the modification agreement protocol."""
+
+    config: VssConfig = None  # type: ignore[assignment]
+    policy: Callable[[VssConfig, ModProposal], bool] = default_policy
+    queue: list[ModProposal] = field(default_factory=list)
+    _states: dict[ModProposal, _ProposalState] = field(default_factory=dict)
+
+    def _state(self, proposal: ModProposal) -> _ProposalState:
+        return self._states.setdefault(proposal, _ProposalState())
+
+    def on_operator(self, payload: Any, ctx: Context) -> None:
+        if isinstance(payload, ProposeInput):
+            for j in self.config.indices:
+                ctx.send(j, ProposalMsg(payload.proposal))
+        else:
+            raise TypeError(f"unexpected operator input {payload!r}")
+
+    def on_message(self, sender: int, payload: Any, ctx: Context) -> None:
+        if isinstance(payload, ProposalMsg):
+            self._on_proposal(payload.proposal, ctx)
+        elif isinstance(payload, ProposalEchoMsg):
+            self._on_echo(sender, payload.proposal, ctx)
+        elif isinstance(payload, ProposalReadyMsg):
+            self._on_ready(sender, payload.proposal, ctx)
+
+    def _on_proposal(self, proposal: ModProposal, ctx: Context) -> None:
+        state = self._state(proposal)
+        if state.echoed:
+            return
+        # "nodes who agree with the proposal continue with echo messages"
+        if not self.policy(self.config, proposal):
+            return
+        state.echoed = True
+        for j in self.config.indices:
+            ctx.send(j, ProposalEchoMsg(proposal))
+
+    def _on_echo(self, sender: int, proposal: ModProposal, ctx: Context) -> None:
+        state = self._state(proposal)
+        if sender in state.echoes:
+            return
+        state.echoes.add(sender)
+        if len(state.echoes) == self.config.echo_threshold and not state.readied:
+            state.readied = True
+            for j in self.config.indices:
+                ctx.send(j, ProposalReadyMsg(proposal))
+
+    def _on_ready(self, sender: int, proposal: ModProposal, ctx: Context) -> None:
+        state = self._state(proposal)
+        if sender in state.readies:
+            return
+        state.readies.add(sender)
+        if (
+            len(state.readies) == self.config.ready_threshold
+            and not state.readied
+        ):
+            # ready amplification (one honest ready witnessed)
+            state.readied = True
+            for j in self.config.indices:
+                ctx.send(j, ProposalReadyMsg(proposal))
+        elif (
+            len(state.readies) == self.config.output_threshold
+            and not state.delivered
+        ):
+            # "Once it receives n - t - f ready messages, a node adds
+            # the proposal into its modification queue."
+            state.delivered = True
+            self.queue.append(proposal)
+            ctx.output(ProposalDeliveredOutput(proposal))
+
+
+def apply_proposals(
+    members: tuple[int, ...],
+    t: int,
+    f: int,
+    proposals: list[ModProposal],
+) -> tuple[tuple[int, ...], int, int]:
+    """Fold a set of agreed proposals into (members', t', f').
+
+    Order-independent by construction: membership changes are set
+    operations and t/f changes are summed deltas (§6.1 commutativity).
+    Raises ValueError if the result violates n >= 3t + 2f + 1.
+    """
+    member_set = set(members)
+    t_new, f_new = t, f
+    for proposal in proposals:
+        if proposal.action == "add":
+            member_set.add(proposal.node)
+        else:
+            member_set.discard(proposal.node)
+        t_new += proposal.t_delta
+        f_new += proposal.f_delta
+    n_new = len(member_set)
+    if t_new < 0 or f_new < 0 or n_new < 3 * t_new + 2 * f_new + 1:
+        raise ValueError(
+            f"proposals yield invalid configuration n={n_new}, "
+            f"t={t_new}, f={f_new}"
+        )
+    return tuple(sorted(member_set)), t_new, f_new

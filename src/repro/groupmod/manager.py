@@ -1,0 +1,233 @@
+"""Lifecycle orchestration: agreement, phase-change reconfiguration
+(node removal, threshold/crash-limit modification), and mid-phase node
+addition (§6).
+
+:class:`GroupManager` is the long-lived controller a deployment
+operator would run: it bootstraps the initial DKG, collects agreed
+modification proposals during a phase (§6.1), applies them at the next
+phase change by running a *reconfiguring* share renewal (§6.3/§6.4 —
+the resharing polynomials get the new degree ``t'`` and the member set
+changes), and supports §6.2 node addition inside a phase.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import random
+from dataclasses import dataclass, field
+
+from repro.crypto.feldman import FeldmanCommitment, FeldmanVector
+from repro.crypto.shares import Share, reconstruct_secret
+from repro.sim.adversary import Adversary
+from repro.sim.metrics import Metrics
+from repro.sim.network import DelayModel, UniformDelay
+from repro.sim.pki import CertificateAuthority, KeyStore
+from repro.sim.runner import Simulation
+from repro.dkg.config import DkgConfig
+from repro.dkg.runner import DkgResult, run_dkg
+from repro.proactive.messages import RenewInput
+from repro.proactive.renewal import RenewalNode
+from repro.groupmod.addition import AdditionResult, run_node_addition
+from repro.groupmod.agreement import (
+    GroupModAgreementNode,
+    apply_proposals,
+)
+from repro.groupmod.messages import ModProposal, ProposeInput
+
+
+@dataclass
+class AgreementReport:
+    """What one agreement round delivered at each node."""
+
+    queues: dict[int, list[ModProposal]]
+    metrics: Metrics
+
+    def common_queue(self) -> list[ModProposal]:
+        """Proposals delivered by every node (commutative, so order-free)."""
+        queues = list(self.queues.values())
+        if not queues:
+            return []
+        common = set(queues[0])
+        for queue in queues[1:]:
+            common &= set(queue)
+        return sorted(common, key=lambda p: p.as_bytes())
+
+
+class GroupManager:
+    """A threshold deployment with evolving membership."""
+
+    def __init__(self, config: DkgConfig, seed: int = 0):
+        self.config = config
+        self.seed = seed
+        self.phase = 0
+        self.shares: dict[int, int] = {}
+        self.commitment: FeldmanCommitment | FeldmanVector | None = None
+        self.public_key: int | None = None
+        self.pending: list[ModProposal] = []
+        self._rng = random.Random(("groupmod", seed).__repr__())
+
+    @property
+    def members(self) -> tuple[int, ...]:
+        return tuple(self.config.vss().indices)
+
+    # -- phase 0 ------------------------------------------------------------------
+
+    def bootstrap(self, **kwargs: object) -> DkgResult:
+        result = run_dkg(self.config, seed=self.seed, **kwargs)  # type: ignore[arg-type]
+        if not result.completions:
+            raise RuntimeError("bootstrap DKG did not complete")
+        self.shares = dict(result.shares)
+        self.commitment = result.commitment
+        self.public_key = result.public_key
+        return result
+
+    # -- §6.1 agreement --------------------------------------------------------------
+
+    def agree(
+        self,
+        proposals: dict[int, ModProposal],
+        seed_offset: int = 0,
+        delay_model: DelayModel | None = None,
+        until: float | None = None,
+    ) -> AgreementReport:
+        """Run one agreement round: ``proposals`` maps proposer -> proposal.
+
+        Proposals delivered at every node are appended to the pending
+        modification queue (applied at the next phase change).
+        """
+        vss_config = self.config.vss()
+        sim = Simulation(
+            delay_model=delay_model or UniformDelay(),
+            adversary=Adversary.passive(self.config.t, self.config.f),
+            seed=self.seed * 31 + seed_offset + self.phase,
+        )
+        nodes = {
+            i: GroupModAgreementNode(i, vss_config) for i in vss_config.indices
+        }
+        for node in nodes.values():
+            sim.add_node(node)
+        for proposer, proposal in proposals.items():
+            sim.inject(proposer, ProposeInput(proposal), at=0.0)
+        sim.run(until=until)
+        report = AgreementReport(
+            queues={i: list(node.queue) for i, node in nodes.items()},
+            metrics=sim.metrics,
+        )
+        self.pending.extend(report.common_queue())
+        return report
+
+    # -- §6.2 node addition (mid-phase) --------------------------------------------------
+
+    def add_node(
+        self,
+        new_node: int,
+        seed_offset: int = 0,
+        delay_model: DelayModel | None = None,
+    ) -> AdditionResult:
+        """Provide ``new_node`` a share *now* (without renewal), then
+        extend the member list.  The commitment is unchanged."""
+        if self.commitment is None:
+            raise RuntimeError("bootstrap() must run first")
+        result = run_node_addition(
+            self.config,
+            self.shares,
+            self.commitment,
+            new_node,
+            seed=self.seed * 17 + seed_offset,
+            tau=self.phase + 1,
+            delay_model=delay_model,
+        )
+        if result.share is None:
+            raise RuntimeError("node addition failed to deliver a share")
+        new_members = tuple(sorted(set(self.members) | {new_node}))
+        self.config = dataclasses.replace(
+            self.config,
+            n=len(new_members),
+            members=new_members,
+            initial_leader=min(new_members),
+        )
+        self.shares[new_node] = result.share
+        return result
+
+    # -- §6.3/§6.4 phase change: apply queued modifications ---------------------------------
+
+    def phase_change(
+        self,
+        delay_model: DelayModel | None = None,
+        crash_plan: list[tuple[float, int, float | None]] | None = None,
+        until: float | None = None,
+    ) -> Metrics:
+        """Apply all pending proposals and renew shares for the new group.
+
+        Node removals simply exclude the node from the resharing
+        (§6.3); the resharing polynomials take the *new* degree t'
+        (§6.4); the agreement still needs old_t + 1 dealer subsharings,
+        so the reconfiguration DKG runs with ``q_size = old_t + 1``.
+        """
+        if self.commitment is None:
+            raise RuntimeError("bootstrap() must run first")
+        old_t = self.config.t
+        new_members, new_t, new_f = apply_proposals(
+            self.members, old_t, self.config.f, self.pending
+        )
+        self.pending = []
+        self.phase += 1
+        new_config = dataclasses.replace(
+            self.config,
+            n=len(new_members),
+            t=new_t,
+            f=new_f,
+            members=new_members,
+            initial_leader=min(new_members),
+            q_size=old_t + 1,
+        )
+        adversary = (
+            Adversary.crash_only(new_t, new_f, crash_plan)
+            if crash_plan
+            else Adversary.passive(new_t, new_f)
+        )
+        sim = Simulation(
+            delay_model=delay_model or UniformDelay(),
+            adversary=adversary,
+            seed=self.seed * 101 + self.phase,
+        )
+        ca = CertificateAuthority(self.config.group)
+        enroll_rng = random.Random(("gm-pki", self.seed, self.phase).__repr__())
+        nodes: dict[int, RenewalNode] = {}
+        for i in new_members:
+            keystore = KeyStore.enroll(i, ca, enroll_rng)
+            node = RenewalNode(
+                i,
+                new_config,
+                keystore,
+                ca,
+                phase=self.phase,
+                prev_share=self.shares.get(i),
+                prev_commitment=self.commitment,
+            )
+            sim.add_node(node)
+            nodes[i] = node
+        for i in new_members:
+            sim.inject(i, RenewInput(self.phase), at=0.0)
+        sim.run(until=until)
+        renewed = {
+            i: node.renewed for i, node in nodes.items() if node.renewed is not None
+        }
+        if not renewed:
+            raise RuntimeError("phase change renewal did not complete")
+        commitments = {out.commitment for out in renewed.values()}
+        if len(commitments) != 1:
+            raise AssertionError("phase change consistency violation")
+        # Adopt the new world: config without the q_size override.
+        self.config = dataclasses.replace(new_config, q_size=None)
+        self.commitment = commitments.pop()
+        self.shares = {i: out.share for i, out in renewed.items()}
+        return sim.metrics
+
+    # -- oracle helper ---------------------------------------------------------------------------
+
+    def reconstruct(self) -> int:
+        if self.commitment is None:
+            raise RuntimeError("no shares yet")
+        shares = [Share(i, v, self.commitment) for i, v in self.shares.items()]
+        return reconstruct_secret(shares, self.config.t, self.config.group.q)

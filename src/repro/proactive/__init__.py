@@ -1,0 +1,21 @@
+"""Proactive security (§5): phases, share renewal and share recovery.
+
+Renewal refreshes every node's share at each phase boundary so that a
+mobile adversary's collection of <= t shares per phase never combines
+into the secret; recovery lets rebooted nodes reclaim their shares via
+the HybridVSS help mechanism.
+"""
+
+from repro.proactive.messages import ClockTickMsg, RenewInput, RenewedOutput
+from repro.proactive.renewal import RenewalNode, share_commitment_at
+from repro.proactive.system import PhaseReport, ProactiveSystem
+
+__all__ = [
+    "ClockTickMsg",
+    "PhaseReport",
+    "ProactiveSystem",
+    "RenewInput",
+    "RenewalNode",
+    "RenewedOutput",
+    "share_commitment_at",
+]

@@ -1,0 +1,174 @@
+"""Share renewal (§5.2): the DKG modified for proactive refresh.
+
+A :class:`RenewalNode` differs from a :class:`~repro.dkg.node.DkgNode`
+in exactly the paper's three modifications:
+
+1. On its local clock tick it reshares its previous-phase share
+   ``s_{i, tau-1}`` (not a fresh random secret), then *erases* the old
+   share and the dealt polynomials, and broadcasts its clock tick.
+   Retransmitted ``send`` messages carry only commitments.
+2. It waits for ``t + 1`` identical clock ticks before proceeding with
+   the other Sh instances (incoming protocol messages are buffered
+   until the gate opens).
+3. On deciding ``Q`` it Lagrange-*interpolates* the received subshares
+   at index 0 — ``s_i' = sum_d lambda_d^(Q,0) s_{i,d}`` — instead of
+   summing them, and publishes the vector commitment
+   ``V_l = prod_d ((C_d)_{l0})^(lambda_d)``.
+
+The renewed shares lie on a fresh degree-t polynomial whose value at 0
+is the *original* secret; old and new shares are mutually useless to a
+mobile adversary (tested in tests/proactive/).
+
+Each node additionally verifies that every dealer reshared the value it
+was supposed to: the dealer's ``C[0][0]`` must equal the public
+per-node share commitment ``g^{s_{d, tau-1}}`` derived from the
+previous phase's commitment.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.crypto.feldman import FeldmanCommitment, FeldmanVector
+from repro.crypto.polynomials import lagrange_coefficients
+from repro.sim.node import Context
+from repro.sim.pki import CertificateAuthority, KeyStore
+from repro.dkg.config import DkgConfig
+from repro.dkg.messages import DkgCompletedOutput
+from repro.dkg.node import DkgNode
+from repro.proactive.messages import ClockTickMsg, RenewInput, RenewedOutput
+
+
+def share_commitment_at(
+    commitment: FeldmanCommitment | FeldmanVector, index: int
+) -> int:
+    """g^{share of node `index`} from either commitment shape."""
+    if isinstance(commitment, FeldmanCommitment):
+        return commitment.share_commitment(index)
+    return commitment.evaluate_in_exponent(index)
+
+
+class RenewalNode(DkgNode):
+    """One node of the share renewal protocol for phase ``phase``."""
+
+    def __init__(
+        self,
+        node_id: int,
+        config: DkgConfig,
+        keystore: KeyStore,
+        ca: CertificateAuthority,
+        phase: int,
+        prev_share: int | None,
+        prev_commitment: FeldmanCommitment | FeldmanVector | None = None,
+    ):
+        # prev_share may be None for a member that holds no share of the
+        # previous phase (e.g. freshly added at this phase boundary, §6.2
+        # note on additions "at the start of a new phase"): it cannot
+        # contribute a sharing but participates in everyone else's.
+        super().__init__(
+            node_id,
+            config,
+            keystore,
+            ca,
+            tau=phase,
+            secret=prev_share if prev_share is not None else 0,
+        )
+        self._deals = prev_share is not None
+        self.phase = phase
+        if prev_commitment is not None:
+            for dealer, session in self.sessions.items():
+                session.expected_secret_commitment = share_commitment_at(
+                    prev_commitment, dealer
+                )
+        self.ticks: set[int] = set()
+        self._buffer: list[tuple[int, Any]] = []
+        self.renewed: RenewedOutput | None = None
+
+    # -- clock-tick gate (modifications 1 and 2) ------------------------------
+
+    @property
+    def _gate_open(self) -> bool:
+        return len(self.ticks) >= self.config.t + 1
+
+    def on_operator(self, payload: Any, ctx: Context) -> None:
+        if isinstance(payload, RenewInput):
+            self._local_tick(ctx)
+        else:
+            super().on_operator(payload, ctx)
+
+    def _local_tick(self, ctx: Context) -> None:
+        """Modification 1: reshare s_{i, tau-1}, erase, broadcast tick."""
+        if self.started:
+            return
+        self.started = True
+        if self._deals:
+            session = self.sessions[self.node_id]
+            session.start_dealing(self.secret, ctx)
+            # Erasure: forget the old share (it lives on only as
+            # subshares spread across the network) and the dealt rows.
+            self.secret = None  # type: ignore[assignment]
+            session.erase_dealt_polynomials()
+        self.ticks.add(self.node_id)
+        # Ticks go through the B log so that help-driven retransmission
+        # lets a crashed-and-recovered node reopen its tick gate.
+        self._log_and_broadcast(ctx, ClockTickMsg(self.phase))
+        self._drain_buffer(ctx)
+
+    def on_message(self, sender: int, payload: Any, ctx: Context) -> None:
+        if isinstance(payload, ClockTickMsg):
+            if payload.phase == self.phase:
+                self.ticks.add(sender)
+                self._drain_buffer(ctx)
+            return
+        if not self._gate_open:
+            # Modification 2: hold protocol traffic until t+1 ticks.
+            self._buffer.append((sender, payload))
+            return
+        super().on_message(sender, payload, ctx)
+
+    def _drain_buffer(self, ctx: Context) -> None:
+        if not self._gate_open or not self._buffer:
+            return
+        pending, self._buffer = self._buffer, []
+        for sender, payload in pending:
+            super().on_message(sender, payload, ctx)
+
+    # -- modification 3: interpolate instead of sum ------------------------------
+
+    def _try_complete(self, ctx: Context) -> None:
+        if self.completed is not None or self.decided_q is None:
+            return
+        outputs = []
+        for dealer in self.decided_q:
+            session = self.sessions.get(dealer)
+            if session is None or session.completed is None:
+                return
+            outputs.append((dealer, session.completed))
+        group = self.config.group
+        dealers = [d for d, _ in outputs]
+        lambdas = lagrange_coefficients(dealers, 0, group.q)
+        share = (
+            sum(lam * out.share for lam, (_, out) in zip(lambdas, outputs))
+            % group.q
+        )
+        # V_l = prod_{P_d in Q} ((C_d)_{l0})^{lambda_d^{Q,0}}
+        entries = []
+        for ell in range(self.config.t + 1):
+            acc = 1
+            for lam, (_, out) in zip(lambdas, outputs):
+                acc = group.mul(
+                    acc, group.power(out.commitment.matrix[ell][0], lam)
+                )
+            entries.append(acc)
+        vector = FeldmanVector(tuple(entries), group)
+        self._stop_timer(ctx)
+        self.renewed = RenewedOutput(self.phase, vector, share, self.decided_q)
+        self.completed = DkgCompletedOutput(
+            tau=self.tau,
+            view=self.view,
+            q_set=self.decided_q,
+            commitment=vector,
+            share=share,
+            public_key=vector.public_key(),
+        )
+        ctx.output(self.renewed)

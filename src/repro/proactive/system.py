@@ -1,0 +1,181 @@
+"""Multi-phase proactive DKG orchestration (§5).
+
+:class:`ProactiveSystem` strings together an initial DKG (phase 0) and
+successive share-renewal phases, each run as its own deterministic
+simulation.  It tracks the authoritative share set and commitment
+across phases, injects per-node clock skew (local clocks, §5.1),
+applies per-phase crash/corruption schedules, and rotates the keys of
+recovering nodes (§5.1's reboot procedure).
+
+A mobile adversary is modelled by giving each phase its own corruption
+set; the system records what the adversary saw (the corrupted nodes'
+shares) so tests can check that cross-phase share collections are
+useless.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.crypto.feldman import FeldmanCommitment, FeldmanVector
+from repro.crypto.shares import Share, reconstruct_secret
+from repro.sim.adversary import Adversary
+from repro.sim.metrics import Metrics
+from repro.sim.network import DelayModel, UniformDelay
+from repro.sim.pki import CertificateAuthority, KeyStore
+from repro.sim.runner import Simulation
+from repro.dkg.config import DkgConfig
+from repro.dkg.runner import DkgResult, run_dkg
+from repro.proactive.messages import RenewInput
+from repro.proactive.renewal import RenewalNode
+
+
+@dataclass
+class PhaseReport:
+    """Result of one renewal phase."""
+
+    phase: int
+    shares: dict[int, int]
+    commitment: FeldmanVector
+    metrics: Metrics
+    exposed_shares: dict[int, int] = field(default_factory=dict)
+    q_set: tuple[int, ...] = ()
+
+    @property
+    def public_key(self) -> int:
+        return self.commitment.public_key()
+
+
+class ProactiveSystem:
+    """A long-lived (n, t, f) threshold system with periodic renewal."""
+
+    def __init__(self, config: DkgConfig, seed: int = 0):
+        self.config = config
+        self.seed = seed
+        self.phase = 0
+        self.shares: dict[int, int] = {}
+        self.commitment: FeldmanCommitment | FeldmanVector | None = None
+        self.public_key: int | None = None
+        self.reports: list[PhaseReport] = []
+        self.adversary_view: dict[int, dict[int, int]] = {}  # phase -> node -> share
+        self._rng = random.Random(("proactive", seed).__repr__())
+
+    # -- phase 0: the initial DKG ----------------------------------------------
+
+    def bootstrap(self, **kwargs: object) -> DkgResult:
+        """Run the initial DKG and adopt its shares as phase 0."""
+        result = run_dkg(self.config, seed=self.seed, **kwargs)  # type: ignore[arg-type]
+        if not result.completions:
+            raise RuntimeError("bootstrap DKG did not complete")
+        self.shares = dict(result.shares)
+        self.commitment = result.commitment
+        self.public_key = result.public_key
+        return result
+
+    # -- renewal phases ------------------------------------------------------------
+
+    def renew(
+        self,
+        corrupted: set[int] | None = None,
+        crash_plan: list[tuple[float, int, float | None]] | None = None,
+        delay_model: DelayModel | None = None,
+        clock_skews: dict[int, float] | None = None,
+        until: float | None = None,
+    ) -> PhaseReport:
+        """Run one share-renewal phase.
+
+        ``corrupted`` — the mobile adversary's choice of nodes *this
+        phase* (their current shares are recorded as exposed); they
+        still follow the protocol (honest-but-curious corruption),
+        which suffices for the mobile-adversary privacy experiments.
+        ``crash_plan`` — per-phase crash/recovery schedule.
+        ``clock_skews`` — per-node local-clock offsets for the tick.
+        """
+        if self.commitment is None:
+            raise RuntimeError("bootstrap() must run before renew()")
+        corrupted = corrupted or set()
+        if len(corrupted) > self.config.t:
+            raise ValueError("mobile adversary exceeds t corruptions in a phase")
+        self.phase += 1
+        phase = self.phase
+
+        # The adversary reads the corrupted nodes' current shares.
+        exposed = {i: self.shares[i] for i in corrupted if i in self.shares}
+        self.adversary_view[phase] = dict(exposed)
+
+        adversary = (
+            Adversary.crash_only(self.config.t, self.config.f, crash_plan)
+            if crash_plan
+            else Adversary.passive(self.config.t, self.config.f)
+        )
+        sim = Simulation(
+            delay_model=delay_model or UniformDelay(),
+            adversary=adversary,
+            seed=(self.seed * 1009 + phase),
+        )
+        ca = CertificateAuthority(self.config.group)
+        enroll_rng = random.Random(("proactive-pki", self.seed, phase).__repr__())
+        nodes: dict[int, RenewalNode] = {}
+        for i in range(1, self.config.n + 1):
+            if i not in self.shares:
+                continue  # node lost its share (e.g. crashed through a phase)
+            keystore = KeyStore.enroll(i, ca, enroll_rng)
+            node = RenewalNode(
+                i,
+                self.config,
+                keystore,
+                ca,
+                phase=phase,
+                prev_share=self.shares[i],
+                prev_commitment=self.commitment,
+            )
+            sim.add_node(node)
+            nodes[i] = node
+        skews = clock_skews or {}
+        for i in nodes:
+            sim.inject(i, RenewInput(phase), at=skews.get(i, 0.0))
+        sim.run(until=until)
+
+        renewed = {
+            i: node.renewed for i, node in nodes.items() if node.renewed is not None
+        }
+        if not renewed:
+            raise RuntimeError(f"renewal phase {phase} did not complete")
+        commitments = {out.commitment for out in renewed.values()}
+        if len(commitments) != 1:
+            raise AssertionError("renewal consistency violation")
+        commitment = commitments.pop()
+        # §5.1: safety over liveness — shares not renewed this phase are
+        # gone (their owners deleted them when the protocol started).
+        self.shares = {i: out.share for i, out in renewed.items()}
+        self.commitment = commitment
+        q_sets = {out.q_set for out in renewed.values()}
+        if len(q_sets) != 1:
+            raise AssertionError("renewal agreement violation on Q")
+        report = PhaseReport(
+            phase=phase,
+            shares=dict(self.shares),
+            commitment=commitment,
+            metrics=sim.metrics,
+            exposed_shares=exposed,
+            q_set=q_sets.pop(),
+        )
+        self.reports.append(report)
+        return report
+
+    # -- oracle helpers for tests/benches ---------------------------------------------
+
+    def reconstruct(self) -> int:
+        """Reconstruct the current secret from the live share set."""
+        if self.commitment is None:
+            raise RuntimeError("no shares yet")
+        shares = [Share(i, v, self.commitment) for i, v in self.shares.items()]
+        return reconstruct_secret(shares, self.config.t, self.config.group.q)
+
+    def exposed_union(self) -> dict[int, list[tuple[int, int]]]:
+        """Everything the mobile adversary ever saw: phase -> (node, share)."""
+        return {
+            phase: sorted(view.items())
+            for phase, view in self.adversary_view.items()
+        }

@@ -1,0 +1,135 @@
+"""The hybrid-model adversary (§2.2): t-limited Byzantine + f-limited
+crash/link failures, static, rushing, with a d(kappa) crash budget.
+
+Responsibilities, matching the paper's assumptions:
+
+* **Corruption** — before the run, the adversary picks up to ``t``
+  nodes to corrupt (static adversary).  Protocol layers substitute a
+  Byzantine strategy node for each corrupted index.
+* **Crash scheduling** — at most ``f`` non-Byzantine nodes are crashed
+  at any instant, and at most ``d_budget`` crash events occur over the
+  adversary's lifetime (the ``d(kappa)`` bound that makes complexity
+  d-uniformly bounded).  Link failures are modelled as crashes of one
+  endpoint, per the paper's convention.
+* **Scheduling** — the adversary may delay messages, subject to the
+  rule that messages between honest uncrashed nodes are delivered; a
+  *rushing* adversary sees honest messages before choosing its own,
+  modelled by delivering messages to Byzantine recipients with
+  near-zero delay.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+
+class CrashBudgetExceeded(RuntimeError):
+    """The adversary attempted more crashes than d(kappa) allows."""
+
+
+@dataclass
+class Adversary:
+    """Fault configuration and scheduling policy for one run.
+
+    ``byzantine`` is the static corruption set (|byzantine| <= t);
+    ``crash_plan`` is a list of (time, node, up_duration) triples — the
+    node crashes at ``time`` and recovers after ``up_duration`` (None
+    means it stays down forever).
+    """
+
+    t: int
+    f: int
+    byzantine: frozenset[int] = frozenset()
+    crash_plan: list[tuple[float, int, float | None]] = field(default_factory=list)
+    d_budget: int = 10
+    rushing: bool = True
+    rush_delay: float = 1e-6
+    # Extra delay applied to messages *sent by* Byzantine nodes, used by
+    # E6 to model the adversary holding back its messages to the verge
+    # of the honest nodes' timeout.
+    byzantine_send_delay: float = 0.0
+
+    def __post_init__(self) -> None:
+        if len(self.byzantine) > self.t:
+            raise ValueError(
+                f"{len(self.byzantine)} corrupt nodes exceeds t={self.t}"
+            )
+        for _, node, _ in self.crash_plan:
+            if node in self.byzantine:
+                raise ValueError(
+                    "crash plan may only target non-Byzantine nodes; "
+                    f"node {node} is corrupted"
+                )
+        self._validate_crash_plan()
+
+    def _validate_crash_plan(self) -> None:
+        """Enforce the f-at-any-instant and d-lifetime crash bounds."""
+        if len(self.crash_plan) > self.d_budget:
+            raise CrashBudgetExceeded(
+                f"{len(self.crash_plan)} crashes exceed d(kappa)={self.d_budget}"
+            )
+        # Sweep the crash intervals; at no instant may more than f overlap.
+        boundaries: list[tuple[float, int]] = []
+        for start, _, duration in self.crash_plan:
+            boundaries.append((start, +1))
+            if duration is not None:
+                boundaries.append((start + duration, -1))
+        boundaries.sort()
+        depth = 0
+        for _, delta in boundaries:
+            depth += delta
+            if depth > self.f:
+                raise ValueError(
+                    f"crash plan exceeds f={self.f} simultaneous crashes"
+                )
+
+    def is_byzantine(self, node: int) -> bool:
+        return node in self.byzantine
+
+    def delivery_delay(
+        self,
+        rng: random.Random,
+        sender: int,
+        recipient: int,
+        base_delay: float,
+    ) -> float:
+        """Final delay for one message, after adversarial scheduling."""
+        if self.rushing and recipient in self.byzantine:
+            # Rushing adversary: its nodes see honest traffic "first".
+            return self.rush_delay
+        if sender in self.byzantine and self.byzantine_send_delay > 0:
+            return base_delay + self.byzantine_send_delay
+        return base_delay
+
+    @classmethod
+    def passive(cls, t: int = 0, f: int = 0) -> "Adversary":
+        """No corruptions, no crashes: the fault-free baseline."""
+        return cls(t=t, f=f)
+
+    @classmethod
+    def crash_only(
+        cls,
+        t: int,
+        f: int,
+        crash_plan: list[tuple[float, int, float | None]],
+        d_budget: int | None = None,
+    ) -> "Adversary":
+        """Crash/recovery faults without Byzantine corruption."""
+        return cls(
+            t=t,
+            f=f,
+            crash_plan=crash_plan,
+            d_budget=d_budget if d_budget is not None else max(10, len(crash_plan)),
+        )
+
+    @classmethod
+    def corrupting(
+        cls,
+        t: int,
+        f: int,
+        byzantine: set[int],
+        **kwargs: object,
+    ) -> "Adversary":
+        """Static Byzantine corruption of the given node set."""
+        return cls(t=t, f=f, byzantine=frozenset(byzantine), **kwargs)  # type: ignore[arg-type]

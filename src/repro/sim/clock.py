@@ -1,0 +1,54 @@
+"""Weak synchrony timeouts and local phase clocks.
+
+§2.1: liveness (only) rests on the Castro--Liskov assumption that
+``delay(t)`` — the time from first transmission to delivery — does not
+grow faster than ``t`` indefinitely.  Protocols therefore use timeouts
+that *grow* across retries (leader changes), guaranteeing that some
+timeout eventually exceeds the true network delay.
+:class:`TimeoutPolicy` implements the standard geometric schedule.
+
+§5.1: proactive phases are driven by *local* clock ticks at fixed
+intervals; a node waits for ``t`` other nodes' ticks before acting.
+:class:`PhaseClock` models the local-tick source.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class TimeoutPolicy:
+    """Geometric timeout schedule: timeout(k) = initial * multiplier**k.
+
+    ``k`` counts how many times this node has already given up on a
+    leader in the current session, mirroring PBFT view-change timers.
+    The multiplier > 1 realizes "delay(t) does not grow faster than t":
+    eventually the timeout exceeds any actual network delay, so an
+    honest leader is given enough time to finish.
+    """
+
+    initial: float = 20.0
+    multiplier: float = 2.0
+    cap: float = 10_000.0
+
+    def timeout(self, attempt: int) -> float:
+        value = self.initial * (self.multiplier ** attempt)
+        return min(value, self.cap)
+
+
+@dataclass(frozen=True)
+class PhaseClock:
+    """A local clock ticking at fixed intervals (§5.1).
+
+    ``tick_time(k)`` is when this node's local phase ``k`` begins; the
+    per-node ``skew`` models unsynchronized local clocks.
+    """
+
+    interval: float
+    skew: float = 0.0
+
+    def tick_time(self, phase: int) -> float:
+        if phase < 1:
+            raise ValueError("phases are numbered from 1")
+        return self.skew + phase * self.interval

@@ -1,0 +1,76 @@
+"""Measurement of the quantities the paper's evaluation reasons about.
+
+The paper's efficiency claims (§3, §4) are stated in terms of
+
+* **message complexity** — the number of messages transferred, and
+* **communication complexity** — the total bit length of messages,
+
+plus counts of recoveries and leader changes.  Every send passes
+through :class:`Metrics`, which tallies both, bucketed by message kind,
+so benchmarks can print per-kind breakdowns (e.g. echo vs. ready vs.
+recovery traffic) next to the paper's asymptotic bounds.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+
+
+@dataclass
+class Metrics:
+    """Counters for one simulation run."""
+
+    messages_total: int = 0
+    bytes_total: int = 0
+    messages_by_kind: Counter = field(default_factory=Counter)
+    bytes_by_kind: Counter = field(default_factory=Counter)
+    messages_by_sender: Counter = field(default_factory=Counter)
+    deliveries_dropped: int = 0
+    crashes: int = 0
+    recoveries: int = 0
+    leader_changes: int = 0
+    timers_set: int = 0
+    completion_times: dict[int, float] = field(default_factory=dict)
+
+    def record_send(self, sender: int, kind: str, size_bytes: int) -> None:
+        self.messages_total += 1
+        self.bytes_total += size_bytes
+        self.messages_by_kind[kind] += 1
+        self.bytes_by_kind[kind] += size_bytes
+        self.messages_by_sender[sender] += 1
+
+    def record_drop(self) -> None:
+        self.deliveries_dropped += 1
+
+    def record_crash(self) -> None:
+        self.crashes += 1
+
+    def record_recovery(self) -> None:
+        self.recoveries += 1
+
+    def record_leader_change(self) -> None:
+        self.leader_changes += 1
+
+    def record_completion(self, node: int, time: float) -> None:
+        # Keep the first completion time per node.
+        self.completion_times.setdefault(node, time)
+
+    @property
+    def last_completion(self) -> float | None:
+        """Time at which the slowest completing node finished, if any."""
+        if not self.completion_times:
+            return None
+        return max(self.completion_times.values())
+
+    def summary(self) -> dict[str, object]:
+        """A plain-dict snapshot convenient for bench table rows."""
+        return {
+            "messages": self.messages_total,
+            "bytes": self.bytes_total,
+            "crashes": self.crashes,
+            "recoveries": self.recoveries,
+            "leader_changes": self.leader_changes,
+            "completed_nodes": len(self.completion_times),
+            "last_completion": self.last_completion,
+        }

@@ -1,0 +1,128 @@
+"""Deterministic protocol state machines (§7 system design).
+
+The paper describes nodes as deterministic state machines driven by
+three message categories: *operator* messages (in/out), *network*
+messages, and *timer* messages (start/stop timer).  This module defines
+the base class every protocol node extends, and the :class:`Context`
+through which a node performs its only allowed effects: sending
+messages, setting/cancelling timers, and emitting operator outputs.
+
+Handlers never touch the event queue or other nodes directly, which is
+what makes single-node unit testing of each ``upon`` clause possible.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from repro.sim.runner import Simulation
+
+
+@dataclass
+class OutputRecord:
+    """An operator ``out`` message emitted by a node."""
+
+    node: int
+    time: float
+    payload: Any
+
+
+class Context:
+    """A node's window onto the simulation: effects and environment."""
+
+    def __init__(self, sim: "Simulation", node_id: int):
+        self._sim = sim
+        self.node_id = node_id
+
+    @property
+    def now(self) -> float:
+        return self._sim.queue.now
+
+    @property
+    def rng(self) -> random.Random:
+        return self._sim.node_rng(self.node_id)
+
+    @property
+    def n(self) -> int:
+        return len(self._sim.nodes)
+
+    @property
+    def all_nodes(self) -> list[int]:
+        return sorted(self._sim.nodes)
+
+    def send(self, recipient: int, payload: Any) -> None:
+        """Send a network message (metered, delivered per the delay model)."""
+        self._sim.enqueue_message(self.node_id, recipient, payload)
+
+    def broadcast(self, payload: Any, include_self: bool = True) -> None:
+        """Send ``payload`` to every node (n point-to-point messages —
+        the paper has no broadcast channel; this is sugar for a loop)."""
+        for recipient in self.all_nodes:
+            if recipient == self.node_id and not include_self:
+                continue
+            self.send(recipient, payload)
+
+    def set_timer(self, delay: float, tag: Any) -> int:
+        """Start a timer; returns an id usable with :meth:`cancel_timer`."""
+        return self._sim.set_timer(self.node_id, delay, tag)
+
+    def cancel_timer(self, timer_id: int) -> None:
+        self._sim.cancel_timer(self.node_id, timer_id)
+
+    def output(self, payload: Any) -> None:
+        """Emit an operator ``out`` message (protocol result)."""
+        self._sim.record_output(self.node_id, payload)
+
+    def record_leader_change(self) -> None:
+        """Count one leader change in the run's metrics (DKG Fig. 3)."""
+        self._sim.metrics.record_leader_change()
+
+
+@dataclass
+class ProtocolNode:
+    """Base class for all protocol state machines.
+
+    Subclasses override the ``on_*`` hooks.  State lives in instance
+    attributes and persists across crash/recovery (stable storage),
+    while in-flight messages during a crash are lost — the hybrid-model
+    semantics of §2.2.
+    """
+
+    node_id: int
+
+    def on_message(self, sender: int, payload: Any, ctx: Context) -> None:
+        """Handle a network message."""
+
+    def on_timer(self, tag: Any, ctx: Context) -> None:
+        """Handle an expired timer."""
+
+    def on_operator(self, payload: Any, ctx: Context) -> None:
+        """Handle an operator ``in`` message."""
+
+    def on_crash(self) -> None:
+        """Called when the adversary crashes this node."""
+
+    def on_recover(self, ctx: Context) -> None:
+        """Called when this node recovers (may send recover messages)."""
+
+
+@dataclass
+class RecordingNode(ProtocolNode):
+    """A trivial node that logs everything it receives — used by
+    simulator unit tests and as a sink in partial deployments."""
+
+    received: list[tuple[float, int, Any]] = field(default_factory=list)
+    timers: list[tuple[float, Any]] = field(default_factory=list)
+    recovered_at: list[float] = field(default_factory=list)
+
+    def on_message(self, sender: int, payload: Any, ctx: Context) -> None:
+        self.received.append((ctx.now, sender, payload))
+
+    def on_timer(self, tag: Any, ctx: Context) -> None:
+        self.timers.append((ctx.now, tag))
+
+    def on_recover(self, ctx: Context) -> None:
+        self.recovered_at.append(ctx.now)

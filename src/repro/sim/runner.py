@@ -1,0 +1,197 @@
+"""The simulation runner: wires nodes, network, adversary and metrics.
+
+A :class:`Simulation` is a deterministic function of (nodes, delay
+model, adversary, seed).  It owns the event queue and drives node state
+machines until quiescence (no events left), a time horizon, or an event
+budget — whichever comes first.  Protocol layers build a simulation,
+inject operator inputs, call :meth:`Simulation.run`, and read results
+from :attr:`Simulation.outputs` and :attr:`Simulation.metrics`.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any
+
+from repro.sim.adversary import Adversary
+from repro.sim.events import (
+    CrashNode,
+    EventQueue,
+    MessageDelivery,
+    OperatorInput,
+    RecoverNode,
+    TimerFired,
+)
+from repro.sim.metrics import Metrics
+from repro.sim.network import DelayModel, UniformDelay
+from repro.sim.node import Context, OutputRecord, ProtocolNode
+
+
+class Simulation:
+    """A deterministic discrete-event run of a set of protocol nodes."""
+
+    def __init__(
+        self,
+        nodes: dict[int, ProtocolNode] | None = None,
+        delay_model: DelayModel | None = None,
+        adversary: Adversary | None = None,
+        seed: int = 0,
+        observers: list | None = None,
+    ):
+        self.queue = EventQueue()
+        self.metrics = Metrics()
+        # Observers see every dispatched event (see repro.sim.tracing).
+        self.observers = list(observers or [])
+        self.nodes: dict[int, ProtocolNode] = dict(nodes or {})
+        self.delay_model = delay_model or UniformDelay()
+        self.adversary = adversary or Adversary.passive()
+        self.seed = seed
+        self.outputs: list[OutputRecord] = []
+        self.crashed: set[int] = set()
+        self._net_rng = random.Random(("net", seed).__repr__())
+        self._node_rngs: dict[int, random.Random] = {}
+        self._timer_ids = iter(range(1, 1 << 62))
+        self._cancelled_timers: set[int] = set()
+        self._events_processed = 0
+        self._schedule_crash_plan()
+
+    # -- construction --------------------------------------------------------
+
+    def add_node(self, node: ProtocolNode) -> None:
+        if node.node_id in self.nodes:
+            raise ValueError(f"duplicate node id {node.node_id}")
+        self.nodes[node.node_id] = node
+
+    def node_rng(self, node_id: int) -> random.Random:
+        """A per-node RNG derived deterministically from the seed."""
+        if node_id not in self._node_rngs:
+            self._node_rngs[node_id] = random.Random(
+                ("node", self.seed, node_id).__repr__()
+            )
+        return self._node_rngs[node_id]
+
+    def _schedule_crash_plan(self) -> None:
+        for time, node, up_duration in self.adversary.crash_plan:
+            self.queue.push(time, CrashNode(node))
+            if up_duration is not None:
+                self.queue.push(time + up_duration, RecoverNode(node))
+
+    # -- effects used by Context ---------------------------------------------
+
+    def enqueue_message(self, sender: int, recipient: int, payload: Any) -> None:
+        if recipient not in self.nodes:
+            raise KeyError(f"unknown recipient {recipient}")
+        size = payload.byte_size()
+        self.metrics.record_send(sender, payload.kind, size)
+        observe = getattr(self.delay_model, "observe_time", None)
+        if observe is not None:
+            observe(self.queue.now)
+        base = self.delay_model.sample(self._net_rng, sender, recipient)
+        delay = self.adversary.delivery_delay(self._net_rng, sender, recipient, base)
+        self.queue.push(
+            self.queue.now + delay,
+            MessageDelivery(sender, recipient, payload, size),
+        )
+
+    def set_timer(self, node: int, delay: float, tag: Any) -> int:
+        timer_id = next(self._timer_ids)
+        self.metrics.timers_set += 1
+        self.queue.push(self.queue.now + delay, TimerFired(node, tag, timer_id))
+        return timer_id
+
+    def cancel_timer(self, node: int, timer_id: int) -> None:
+        self._cancelled_timers.add(timer_id)
+
+    def record_output(self, node: int, payload: Any) -> None:
+        record = OutputRecord(node, self.queue.now, payload)
+        self.outputs.append(record)
+        self.metrics.record_completion(node, self.queue.now)
+
+    # -- external inputs -------------------------------------------------------
+
+    def inject(self, node: int, payload: Any, at: float | None = None) -> None:
+        """Schedule an operator ``in`` message for ``node``."""
+        self.queue.push(
+            at if at is not None else self.queue.now, OperatorInput(node, payload)
+        )
+
+    def crash(self, node: int, at: float) -> None:
+        """Manually schedule a crash (bench/test convenience)."""
+        self.queue.push(at, CrashNode(node))
+
+    def recover(self, node: int, at: float) -> None:
+        self.queue.push(at, RecoverNode(node))
+
+    # -- main loop --------------------------------------------------------------
+
+    def run(
+        self,
+        until: float | None = None,
+        max_events: int | None = 2_000_000,
+    ) -> None:
+        """Process events until quiescence, ``until``, or ``max_events``."""
+        while self.queue:
+            if max_events is not None and self._events_processed >= max_events:
+                raise RuntimeError(
+                    f"event budget {max_events} exhausted at t={self.queue.now:.2f} "
+                    "(possible livelock)"
+                )
+            next_time = self.queue._heap[0][0]
+            if until is not None and next_time > until:
+                self.queue.now = until
+                return
+            time, event = self.queue.pop()
+            self._events_processed += 1
+            for observer in self.observers:
+                observer.on_event(time, event)
+            self._dispatch(event)
+
+    def _dispatch(self, event: Any) -> None:
+        if isinstance(event, MessageDelivery):
+            if event.recipient in self.crashed:
+                # §2.2: a crashed node's links are down; in-flight
+                # messages to it are lost (recovered later via help).
+                self.metrics.record_drop()
+                return
+            node = self.nodes[event.recipient]
+            node.on_message(event.sender, event.payload, self._ctx(node))
+        elif isinstance(event, TimerFired):
+            if event.timer_id in self._cancelled_timers:
+                self._cancelled_timers.discard(event.timer_id)
+                return
+            if event.node in self.crashed:
+                return
+            node = self.nodes[event.node]
+            node.on_timer(event.tag, self._ctx(node))
+        elif isinstance(event, OperatorInput):
+            if event.node in self.crashed:
+                return
+            node = self.nodes[event.node]
+            node.on_operator(event.payload, self._ctx(node))
+        elif isinstance(event, CrashNode):
+            if event.node not in self.crashed:
+                self.crashed.add(event.node)
+                self.metrics.record_crash()
+                self.nodes[event.node].on_crash()
+        elif isinstance(event, RecoverNode):
+            if event.node in self.crashed:
+                self.crashed.discard(event.node)
+                self.metrics.record_recovery()
+                node = self.nodes[event.node]
+                node.on_recover(self._ctx(node))
+        else:  # pragma: no cover - defensive
+            raise TypeError(f"unknown event {event!r}")
+
+    def _ctx(self, node: ProtocolNode) -> Context:
+        return Context(self, node.node_id)
+
+    # -- result helpers -----------------------------------------------------------
+
+    def outputs_for(self, node: int) -> list[OutputRecord]:
+        return [o for o in self.outputs if o.node == node]
+
+    def outputs_of_kind(self, kind: str) -> list[OutputRecord]:
+        """Outputs whose payload has the given ``kind`` attribute."""
+        return [
+            o for o in self.outputs if getattr(o.payload, "kind", None) == kind
+        ]

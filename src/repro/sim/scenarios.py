@@ -1,0 +1,138 @@
+"""Canned fault scenarios: reusable builders for adversary schedules.
+
+Benchmarks, tests and the CLI all need the same handful of fault
+shapes — a rolling restart, a crash storm against one slot, a targeted
+leader assassination, a flaky node.  Building the (time, node,
+duration) crash plans by hand is error-prone (the f-overlap and
+d-budget rules must hold); these builders construct valid plans by
+construction.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.sim.adversary import Adversary
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """A named, reproducible fault scenario."""
+
+    name: str
+    adversary: Adversary
+    description: str
+
+
+def fault_free(t: int, f: int) -> ScenarioSpec:
+    """No faults: the optimistic baseline."""
+    return ScenarioSpec(
+        "fault-free", Adversary.passive(t, f), "no corruptions, no crashes"
+    )
+
+
+def rolling_restart(
+    t: int,
+    f: int,
+    nodes: list[int],
+    start: float = 1.0,
+    downtime: float = 10.0,
+    gap: float = 2.0,
+) -> ScenarioSpec:
+    """Each listed node crashes and recovers in turn, never overlapping:
+    the operational 'rolling upgrade' pattern (requires f >= 1)."""
+    if f < 1:
+        raise ValueError("rolling restarts need f >= 1")
+    plan = []
+    at = start
+    for node in nodes:
+        plan.append((at, node, downtime))
+        at += downtime + gap
+    return ScenarioSpec(
+        f"rolling-restart-{len(nodes)}",
+        Adversary.crash_only(t, f, plan, d_budget=max(10, len(plan))),
+        f"{len(nodes)} nodes restart serially ({downtime} down, {gap} gap)",
+    )
+
+
+def crash_storm(
+    t: int,
+    f: int,
+    victims: list[int],
+    episodes: int,
+    seed: int = 0,
+    window: float = 100.0,
+    downtime: float = 5.0,
+) -> ScenarioSpec:
+    """Randomized repeated crashes of nodes from ``victims``, packed into
+    ``window`` time units, respecting the f-overlap rule by serializing
+    episodes (one slot, f >= 1)."""
+    if f < 1:
+        raise ValueError("crash storms need f >= 1")
+    rng = random.Random(("storm", seed).__repr__())
+    slot = window / max(episodes, 1)
+    if slot <= downtime:
+        raise ValueError("window too small for non-overlapping episodes")
+    plan = []
+    for k in range(episodes):
+        node = rng.choice(victims)
+        at = k * slot + rng.uniform(0, slot - downtime - 1e-6)
+        plan.append((at, node, downtime))
+    plan.sort()
+    return ScenarioSpec(
+        f"crash-storm-{episodes}",
+        Adversary.crash_only(t, f, plan, d_budget=max(10, episodes)),
+        f"{episodes} randomized crash/recovery episodes in {window} units",
+    )
+
+
+def leader_assassination(
+    t: int,
+    f: int,
+    leaders: list[int],
+    timeout: float,
+) -> ScenarioSpec:
+    """Crash each successive leader just before it can finish its view:
+    the worst realistic crash pattern for the pessimistic phase.
+
+    Leaders are crashed permanently one view apart (respecting f by
+    recovering the previous victim when the next falls — the paper's
+    model allows recovery without rejoining usefully mid-phase)."""
+    if f < 1:
+        raise ValueError("leader assassination needs f >= 1")
+    plan = []
+    for k, leader in enumerate(leaders):
+        at = 0.5 + k * timeout
+        # recover just before the next victim crashes to respect f=1
+        plan.append((at, leader, timeout - 0.2))
+    return ScenarioSpec(
+        f"assassinate-{len(leaders)}-leaders",
+        Adversary.crash_only(t, f, plan, d_budget=max(10, len(plan))),
+        f"views 0..{len(leaders)-1} lose their leader to a crash",
+    )
+
+
+def flaky_node(
+    t: int,
+    f: int,
+    node: int,
+    flaps: int,
+    up_time: float = 8.0,
+    down_time: float = 3.0,
+    start: float = 1.0,
+) -> ScenarioSpec:
+    """One node repeatedly flapping (crash/recover cycles) — the
+    'bad NIC' pattern; §2.2 models a broken link as a crashed endpoint."""
+    if f < 1:
+        raise ValueError("flaky nodes need f >= 1")
+    plan = []
+    at = start
+    for _ in range(flaps):
+        plan.append((at, node, down_time))
+        at += down_time + up_time
+    return ScenarioSpec(
+        f"flaky-node-{node}x{flaps}",
+        Adversary.crash_only(t, f, plan, d_budget=max(10, flaps)),
+        f"node {node} flaps {flaps} times",
+    )

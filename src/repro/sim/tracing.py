@@ -1,0 +1,102 @@
+"""Structured simulation traces.
+
+Production distributed systems live and die by their observability; the
+simulator therefore supports pluggable *observers* that see every
+dispatched event.  :class:`Tracer` is the standard observer: it records
+a bounded, queryable timeline of deliveries, timers, crashes and
+outputs, renders human-readable transcripts, and computes per-node
+timelines — used by tests to assert ordering properties and by humans
+to debug protocol runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.sim.events import (
+    CrashNode,
+    Event,
+    MessageDelivery,
+    OperatorInput,
+    RecoverNode,
+    TimerFired,
+)
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One dispatched event with its timestamp."""
+
+    time: float
+    category: str  # deliver | timer | operator | crash | recover | drop
+    node: int
+    detail: str
+
+
+def _describe(event: Event) -> tuple[str, int, str]:
+    if isinstance(event, MessageDelivery):
+        kind = getattr(event.payload, "kind", type(event.payload).__name__)
+        return ("deliver", event.recipient, f"{kind} from {event.sender}")
+    if isinstance(event, TimerFired):
+        return ("timer", event.node, f"tag={event.tag!r}")
+    if isinstance(event, OperatorInput):
+        kind = getattr(event.payload, "kind", type(event.payload).__name__)
+        return ("operator", event.node, kind)
+    if isinstance(event, CrashNode):
+        return ("crash", event.node, "crashed")
+    if isinstance(event, RecoverNode):
+        return ("recover", event.node, "recovered")
+    return ("other", -1, repr(event))
+
+
+@dataclass
+class Tracer:
+    """Bounded in-memory event trace.
+
+    Attach with ``Simulation(...observers=[tracer])`` (or append to
+    ``sim.observers``); query with :meth:`records_for`,
+    :meth:`of_category`, or render with :meth:`transcript`.
+    """
+
+    limit: int = 100_000
+    records: list[TraceRecord] = field(default_factory=list)
+    dropped: int = 0
+
+    def on_event(self, time: float, event: Event) -> None:
+        if len(self.records) >= self.limit:
+            self.dropped += 1
+            return
+        category, node, detail = _describe(event)
+        self.records.append(TraceRecord(time, category, node, detail))
+
+    # -- queries ----------------------------------------------------------------
+
+    def records_for(self, node: int) -> list[TraceRecord]:
+        return [r for r in self.records if r.node == node]
+
+    def of_category(self, category: str) -> list[TraceRecord]:
+        return [r for r in self.records if r.category == category]
+
+    def first(self, category: str, node: int | None = None) -> TraceRecord | None:
+        for record in self.records:
+            if record.category == category and (
+                node is None or record.node == node
+            ):
+                return record
+        return None
+
+    def transcript(self, limit: int = 50) -> str:
+        """A human-readable tail of the trace."""
+        lines = [
+            f"t={r.time:9.3f}  [{r.category:8s}] node {r.node:3d}  {r.detail}"
+            for r in self.records[-limit:]
+        ]
+        suffix = f"\n... ({self.dropped} dropped)" if self.dropped else ""
+        return "\n".join(lines) + suffix
+
+    def counts(self) -> dict[str, int]:
+        out: dict[str, int] = {}
+        for record in self.records:
+            out[record.category] = out.get(record.category, 0) + 1
+        return out

@@ -1,0 +1,91 @@
+"""Tests for the analytic complexity model and shape-fitting helpers."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.analysis import complexity as cx
+
+
+class TestClosedForms:
+    def test_vss_exact_count_matches_simulation(self) -> None:
+        # Cross-validate the closed form against an actual run.
+        from repro.crypto.groups import toy_group
+        from repro.vss import VssConfig, run_vss
+
+        res = run_vss(VssConfig(n=7, t=2, group=toy_group()), secret=1, seed=0)
+        assert res.metrics.messages_total == cx.vss_messages_crash_free(7)
+
+    def test_dkg_exact_count_matches_simulation(self) -> None:
+        from repro.crypto.groups import toy_group
+        from repro.dkg import DkgConfig, run_dkg
+
+        res = run_dkg(DkgConfig(n=7, t=2, group=toy_group()), seed=0)
+        assert res.metrics.messages_total == cx.dkg_messages_optimistic(7)
+
+    def test_hashed_codec_bound_below_full(self) -> None:
+        for n in (7, 13, 19):
+            t = (n - 1) // 3
+            assert cx.vss_bytes_crash_free_hashed(n, t, 16) < (
+                cx.vss_bytes_crash_free_full(n, t, 16)
+            )
+
+    @given(st.integers(0, 10), st.integers(0, 10))
+    def test_resilience_bound(self, t: int, f: int) -> None:
+        assert cx.resilience_bound(t, f) == 3 * t + 2 * f + 1
+
+    def test_worst_case_dominates_optimistic(self) -> None:
+        for n in (7, 10, 31):
+            assert cx.dkg_messages_worst_case(n, 2, 5) >= (
+                cx.dkg_messages_optimistic_bound(n, 2, 5)
+            )
+
+
+class TestFitExponent:
+    def test_quadratic_series(self) -> None:
+        ns = [4, 8, 16, 32]
+        ys = [n * n for n in ns]
+        assert cx.fit_exponent(ns, ys) == pytest.approx(2.0)
+
+    def test_cubic_series(self) -> None:
+        ns = [4, 8, 16, 32]
+        ys = [n**3 for n in ns]
+        assert cx.fit_exponent(ns, ys) == pytest.approx(3.0)
+
+    def test_mixed_series_between_orders(self) -> None:
+        ns = [4, 8, 16, 32]
+        ys = [n * n + 100 * n for n in ns]
+        e = cx.fit_exponent(ns, ys)
+        assert 1.0 < e < 2.0
+
+    def test_rejects_degenerate_input(self) -> None:
+        with pytest.raises(ValueError):
+            cx.fit_exponent([4], [16])
+        with pytest.raises(ValueError):
+            cx.fit_exponent([4, 4], [16, 16])
+
+
+class TestTableHelpers:
+    def test_ratio_table(self) -> None:
+        rows = cx.ratio_table([4, 8], [16.0, 64.0], [16.0, 64.0])
+        assert rows == [(4, 16.0, 16.0, 1.0), (8, 64.0, 64.0, 1.0)]
+
+    def test_render_table(self, capsys) -> None:
+        from repro.analysis import Table
+
+        table = Table("demo", ["n", "messages"])
+        table.add(7, 105)
+        table.add(13, 351)
+        text = table.render()
+        captured = capsys.readouterr().out
+        assert "demo" in captured
+        assert "105" in text
+
+    def test_row_width_validation(self) -> None:
+        from repro.analysis import Table
+
+        table = Table("demo", ["a", "b"])
+        with pytest.raises(ValueError):
+            table.add(1)

@@ -1,0 +1,78 @@
+"""Tests for latency statistics helpers."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.latency import (
+    LatencySummary,
+    completion_latencies,
+    percentile,
+    summarize,
+)
+
+
+class TestPercentile:
+    def test_known_values(self) -> None:
+        values = [1.0, 2.0, 3.0, 4.0, 5.0]
+        assert percentile(values, 0.0) == 1.0
+        assert percentile(values, 0.5) == 3.0
+        assert percentile(values, 1.0) == 5.0
+        assert percentile(values, 0.25) == 2.0
+
+    def test_interpolation(self) -> None:
+        assert percentile([0.0, 10.0], 0.5) == 5.0
+        assert percentile([0.0, 10.0], 0.9) == 9.0
+
+    def test_single_value(self) -> None:
+        assert percentile([7.0], 0.3) == 7.0
+
+    def test_validation(self) -> None:
+        with pytest.raises(ValueError):
+            percentile([], 0.5)
+        with pytest.raises(ValueError):
+            percentile([1.0], 1.5)
+
+    @given(st.lists(st.floats(min_value=0, max_value=1e6), min_size=1,
+                    max_size=50))
+    @settings(max_examples=50)
+    def test_bounds(self, values: list[float]) -> None:
+        ordered = sorted(values)
+        for fraction in (0.0, 0.25, 0.5, 0.9, 1.0):
+            p = percentile(ordered, fraction)
+            assert ordered[0] <= p <= ordered[-1]
+
+
+class TestSummarize:
+    def test_summary_fields(self) -> None:
+        summary = summarize([3.0, 1.0, 2.0, 4.0])
+        assert summary.count == 4
+        assert summary.minimum == 1.0
+        assert summary.maximum == 4.0
+        assert summary.median == 2.5
+        assert summary.mean == 2.5
+
+    def test_empty_rejected(self) -> None:
+        with pytest.raises(ValueError):
+            summarize([])
+
+    def test_as_row(self) -> None:
+        row = summarize([1.0]).as_row()
+        assert row == (1, 1.0, 1.0, 1.0, 1.0, 1.0)
+
+
+class TestCompletionLatencies:
+    def test_extracts_from_real_run(self) -> None:
+        from repro.crypto.groups import toy_group
+        from repro.dkg import DkgConfig, run_dkg
+
+        res = run_dkg(DkgConfig(n=4, t=1, group=toy_group()), seed=1)
+        times = completion_latencies(res.simulation, "dkg.out.completed")
+        assert len(times) == 4
+        summary = summarize(times)
+        # median node finishes no later than the straggler — the §2.1
+        # "fast quorums finish early" shape.
+        assert summary.median <= summary.maximum
+        assert summary.maximum == res.last_completion_time

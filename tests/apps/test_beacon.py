@@ -1,0 +1,91 @@
+"""Tests for the chained randomness beacon service."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.apps.beacon import GENESIS, Beacon
+from repro.crypto.groups import toy_group
+from repro.dkg import DkgConfig, run_dkg
+
+G = toy_group()
+
+
+@pytest.fixture(scope="module")
+def dkg():
+    return run_dkg(DkgConfig(n=7, t=2, f=0, group=G), seed=88)
+
+
+def _advance(beacon: Beacon, dkg, committee, rng) -> None:
+    partials = [beacon.contribute(i, dkg.shares[i], rng) for i in committee]
+    beacon.advance(partials)
+
+
+class TestBeacon:
+    def test_chain_grows_and_verifies(self, dkg) -> None:
+        rng = random.Random(1)
+        beacon = Beacon(G, dkg.commitment, t=2)
+        for committee in [(1, 2, 3), (2, 4, 6), (5, 6, 7)]:
+            _advance(beacon, dkg, committee, rng)
+        assert beacon.height == 3
+        assert beacon.verify_chain()
+        assert len({r.output for r in beacon.rounds}) == 3
+
+    def test_outputs_committee_independent(self, dkg) -> None:
+        rng = random.Random(2)
+        a = Beacon(G, dkg.commitment, t=2)
+        b = Beacon(G, dkg.commitment, t=2)
+        _advance(a, dkg, (1, 2, 3), rng)
+        _advance(b, dkg, (5, 6, 7), rng)
+        assert a.rounds[0].output == b.rounds[0].output
+
+    def test_tag_chains_previous_output(self, dkg) -> None:
+        rng = random.Random(3)
+        beacon = Beacon(G, dkg.commitment, t=2)
+        tag0 = beacon.next_tag()
+        assert GENESIS in tag0
+        _advance(beacon, dkg, (1, 2, 3), rng)
+        tag1 = beacon.next_tag()
+        assert beacon.rounds[0].output in tag1
+        assert tag0 != tag1
+
+    def test_bad_contribution_rejected(self, dkg) -> None:
+        rng = random.Random(4)
+        beacon = Beacon(G, dkg.commitment, t=2)
+        bad = beacon.contribute(1, dkg.shares[1] + 1, rng)
+        assert not beacon.verify_contribution(bad)
+        good = [beacon.contribute(i, dkg.shares[i], rng) for i in (2, 3, 4)]
+        round_ = beacon.advance([bad] + good)
+        # output equals the oracle value regardless of the bad partial
+        from repro.apps import dprf
+
+        oracle = G.power(
+            dprf.input_point(G, b"beacon|" + (0).to_bytes(8, "big") + b"|" + GENESIS),
+            dkg.reconstruct(),
+        )
+        assert round_.value == oracle
+
+    def test_tampered_history_detected(self, dkg) -> None:
+        rng = random.Random(5)
+        beacon = Beacon(G, dkg.commitment, t=2)
+        _advance(beacon, dkg, (1, 2, 3), rng)
+        _advance(beacon, dkg, (1, 2, 3), rng)
+        from repro.apps.beacon import BeaconRound
+
+        forged = BeaconRound(0, b"\xff" * 32, beacon.rounds[0].value)
+        beacon.rounds[0] = forged
+        assert not beacon.verify_chain()
+
+    def test_randint_draws(self, dkg) -> None:
+        rng = random.Random(6)
+        beacon = Beacon(G, dkg.commitment, t=2)
+        with pytest.raises(RuntimeError):
+            beacon.randint(0, 10)
+        _advance(beacon, dkg, (1, 2, 3), rng)
+        draw = beacon.randint(1, 100)
+        assert 1 <= draw <= 100
+        assert beacon.randint(1, 100) == draw  # deterministic per round
+        with pytest.raises(ValueError):
+            beacon.randint(5, 4)

@@ -1,0 +1,102 @@
+"""Tests for the DDH distributed PRF / common coin."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.apps import dprf
+from repro.crypto.groups import toy_group
+from repro.dkg import DkgConfig, run_dkg
+
+G = toy_group()
+
+
+@pytest.fixture(scope="module")
+def dkg():
+    return run_dkg(DkgConfig(n=7, t=2, f=0, group=G), seed=55)
+
+
+class TestDprf:
+    def test_evaluation_matches_oracle(self, dkg) -> None:
+        # The combined value equals H1(x)^s computed with the oracle
+        # secret available to the test.
+        rng = random.Random(1)
+        secret = dkg.reconstruct()
+        tag = b"epoch-7"
+        partials = [
+            dprf.partial_eval(G, tag, i, dkg.shares[i], rng) for i in (1, 4, 6)
+        ]
+        value = dprf.combine(G, tag, dkg.commitment, partials, t=2)
+        assert value == G.power(dprf.input_point(G, tag), secret)
+
+    def test_uniqueness_across_subsets(self, dkg) -> None:
+        rng = random.Random(2)
+        tag = b"round-1"
+        values = set()
+        for subset in [(1, 2, 3), (4, 5, 6), (2, 5, 7)]:
+            partials = [
+                dprf.partial_eval(G, tag, i, dkg.shares[i], rng) for i in subset
+            ]
+            values.add(dprf.combine(G, tag, dkg.commitment, partials, t=2))
+        assert len(values) == 1  # no subset can bias the output
+
+    def test_different_tags_different_outputs(self, dkg) -> None:
+        rng = random.Random(3)
+        outs = []
+        for tag in (b"a", b"b"):
+            partials = [
+                dprf.partial_eval(G, tag, i, dkg.shares[i], rng) for i in (1, 2, 3)
+            ]
+            outs.append(dprf.combine(G, tag, dkg.commitment, partials, t=2))
+        assert outs[0] != outs[1]
+
+    def test_bad_partials_rejected(self, dkg) -> None:
+        rng = random.Random(4)
+        tag = b"x"
+        bad = dprf.partial_eval(G, tag, 1, dkg.shares[1] + 1, rng)
+        assert not dprf.verify_partial(G, tag, dkg.commitment, bad)
+        good = [
+            dprf.partial_eval(G, tag, i, dkg.shares[i], rng) for i in (2, 3, 4)
+        ]
+        value = dprf.combine(G, tag, dkg.commitment, [bad] + good, t=2)
+        oracle = G.power(dprf.input_point(G, tag), dkg.reconstruct())
+        assert value == oracle
+
+    def test_too_few_partials_raises(self, dkg) -> None:
+        with pytest.raises(dprf.EvaluationError):
+            dprf.combine(G, b"t", dkg.commitment, [], t=2)
+
+    def test_prf_bytes_deterministic_and_sized(self, dkg) -> None:
+        value = G.commit(5)
+        assert dprf.prf_bytes(G, value, 48) == dprf.prf_bytes(G, value, 48)
+        assert len(dprf.prf_bytes(G, value, 48)) == 48
+
+    def test_coin_flip_unbiased_empirically(self, dkg) -> None:
+        rng = random.Random(5)
+        flips = []
+        for round_no in range(60):
+            tag = f"coin-{round_no}".encode()
+            partials = [
+                dprf.partial_eval(G, tag, i, dkg.shares[i], rng) for i in (1, 2, 3)
+            ]
+            flips.append(dprf.coin_flip(G, tag, dkg.commitment, partials, t=2))
+        ones = sum(flips)
+        assert 12 <= ones <= 48  # loose binomial bounds, deterministic seed
+
+    def test_coin_agreement_between_observers(self, dkg) -> None:
+        # Two combiners using different partial subsets see the same coin.
+        rng = random.Random(6)
+        tag = b"agree"
+        a = dprf.coin_flip(
+            G, tag, dkg.commitment,
+            [dprf.partial_eval(G, tag, i, dkg.shares[i], rng) for i in (1, 2, 3)],
+            t=2,
+        )
+        b = dprf.coin_flip(
+            G, tag, dkg.commitment,
+            [dprf.partial_eval(G, tag, i, dkg.shares[i], rng) for i in (5, 6, 7)],
+            t=2,
+        )
+        assert a == b

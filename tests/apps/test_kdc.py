@@ -1,0 +1,95 @@
+"""Tests for the distributed key distribution centre (§1's [4])."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.apps.kdc import AccessDenied, KdcClient, KdcServer, build_kdc
+from repro.crypto.groups import toy_group
+from repro.dkg import DkgConfig, run_dkg
+
+G = toy_group()
+CID_TEAM = b"conv:team-alpha"
+CID_OPEN = b"conv:town-square"
+
+
+@pytest.fixture(scope="module")
+def kdc():
+    dkg = run_dkg(DkgConfig(n=7, t=2, f=0, group=G), seed=31)
+    servers = build_kdc(
+        dkg,
+        acl={CID_TEAM: {"alice", "bob"}, CID_OPEN: None},
+    )
+    return dkg, servers
+
+
+class TestKdc:
+    def test_authorized_clients_derive_same_key(self, kdc) -> None:
+        dkg, servers = kdc
+        rng = random.Random(1)
+        alice = KdcClient("alice", G, dkg.commitment, t=2)
+        bob = KdcClient("bob", G, dkg.commitment, t=2)
+        k1 = alice.derive_key(CID_TEAM, servers[:3], rng)
+        k2 = bob.derive_key(CID_TEAM, servers[4:], rng)  # disjoint servers
+        assert k1 == k2
+        assert len(k1) == 32
+
+    def test_unauthorized_client_denied(self, kdc) -> None:
+        dkg, servers = kdc
+        rng = random.Random(2)
+        eve = KdcClient("eve", G, dkg.commitment, t=2)
+        with pytest.raises(AccessDenied, match="not authorized"):
+            eve.derive_key(CID_TEAM, servers, rng)
+
+    def test_unknown_conversation_denied(self, kdc) -> None:
+        dkg, servers = kdc
+        rng = random.Random(3)
+        alice = KdcClient("alice", G, dkg.commitment, t=2)
+        with pytest.raises(AccessDenied, match="unknown conversation"):
+            alice.derive_key(b"conv:nonexistent", servers, rng)
+
+    def test_open_conversation_for_anyone(self, kdc) -> None:
+        dkg, servers = kdc
+        rng = random.Random(4)
+        eve = KdcClient("eve", G, dkg.commitment, t=2)
+        key = eve.derive_key(CID_OPEN, servers, rng)
+        assert len(key) == 32
+
+    def test_distinct_conversations_distinct_keys(self, kdc) -> None:
+        dkg, servers = kdc
+        rng = random.Random(5)
+        alice = KdcClient("alice", G, dkg.commitment, t=2)
+        assert alice.derive_key(CID_TEAM, servers, rng) != alice.derive_key(
+            CID_OPEN, servers, rng
+        )
+
+    def test_corrupt_server_response_skipped(self, kdc) -> None:
+        dkg, servers = kdc
+        rng = random.Random(6)
+        # Server 0 holds a corrupted share: its partials fail DLEQ and
+        # the client transparently uses the next servers.
+        bad = KdcServer(servers[0].index, servers[0].share + 1, G,
+                        acl=dict(servers[0].acl))
+        alice = KdcClient("alice", G, dkg.commitment, t=2)
+        key = alice.derive_key(CID_TEAM, [bad] + servers[1:], rng)
+        honest_key = alice.derive_key(CID_TEAM, servers[1:], rng)
+        assert key == honest_key
+
+    def test_grant_log_records_requests(self, kdc) -> None:
+        dkg, servers = kdc
+        rng = random.Random(7)
+        server = KdcServer(1, dkg.shares[1], G)
+        server.authorize(CID_OPEN, None)
+        server.request_key_share("carol", CID_OPEN, rng)
+        assert ("carol", CID_OPEN) in server.grant_log
+
+    def test_t_servers_cannot_compute_key_alone(self, kdc) -> None:
+        dkg, servers = kdc
+        rng = random.Random(8)
+        alice = KdcClient("alice", G, dkg.commitment, t=2)
+        from repro.apps.dprf import EvaluationError
+
+        with pytest.raises(EvaluationError):
+            alice.derive_key(CID_TEAM, servers[:2], rng)  # only t = 2

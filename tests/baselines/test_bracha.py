@@ -1,0 +1,91 @@
+"""Tests for the classic Bracha reliable broadcast baseline."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from repro.baselines import BrachaNode, BroadcastInput
+from repro.baselines.bracha import BrachaEcho, BrachaInitial
+from repro.sim.adversary import Adversary
+from repro.sim.node import Context, ProtocolNode
+from repro.sim.runner import Simulation
+
+
+def _deploy(n: int, t: int, seed: int = 0, replace: dict[int, Any] | None = None):
+    sim = Simulation(seed=seed, adversary=Adversary.passive(t, 0))
+    nodes = {}
+    for i in range(1, n + 1):
+        node = (replace or {}).get(i) or BrachaNode(i, n=n, t=t)
+        sim.add_node(node)
+        if isinstance(node, BrachaNode):
+            nodes[i] = node
+    return sim, nodes
+
+
+class TestBracha:
+    def test_all_deliver_same_value(self) -> None:
+        sim, nodes = _deploy(7, 2, seed=1)
+        sim.inject(1, BroadcastInput("m1", "hello"), at=0.0)
+        sim.run()
+        assert all(node.delivered.get("m1") == "hello" for node in nodes.values())
+
+    def test_message_complexity(self) -> None:
+        sim, nodes = _deploy(7, 2, seed=2)
+        sim.inject(1, BroadcastInput("m", "v"), at=0.0)
+        sim.run()
+        m = sim.metrics
+        assert m.messages_by_kind["bracha.initial"] == 7
+        assert m.messages_by_kind["bracha.echo"] == 49
+        assert m.messages_by_kind["bracha.ready"] == 49
+
+    def test_silent_byzantine_minority_tolerated(self) -> None:
+        @dataclass
+        class Silent(ProtocolNode):
+            pass
+
+        sim, nodes = _deploy(
+            7, 2, seed=3, replace={6: Silent(6), 7: Silent(7)}
+        )
+        sim.inject(1, BroadcastInput("m", "v"), at=0.0)
+        sim.run()
+        assert all(node.delivered.get("m") == "v" for node in nodes.values())
+
+    def test_equivocating_sender_cannot_split(self) -> None:
+        @dataclass
+        class Equivocator(ProtocolNode):
+            n: int = 7
+
+            def on_operator(self, payload: Any, ctx: Context) -> None:
+                for j in range(1, self.n + 1):
+                    value = "a" if j <= self.n // 2 else "b"
+                    ctx.send(j, BrachaInitial("m", value))
+
+        sim, nodes = _deploy(7, 2, seed=4, replace={1: Equivocator(1)})
+        sim.inject(1, BroadcastInput("m", "ignored"), at=0.0)
+        sim.run()
+        delivered = {node.delivered.get("m") for node in nodes.values()}
+        # Nobody delivers, or everybody delivers one value; never both.
+        assert len(delivered - {None}) <= 1
+
+    def test_multiple_tags_independent(self) -> None:
+        sim, nodes = _deploy(4, 1, seed=5)
+        sim.inject(1, BroadcastInput("x", 1), at=0.0)
+        sim.inject(2, BroadcastInput("y", 2), at=0.0)
+        sim.run()
+        for node in nodes.values():
+            assert node.delivered == {"x": 1, "y": 2}
+
+    def test_forged_echoes_below_quorum_ignored(self) -> None:
+        @dataclass
+        class EchoForger(ProtocolNode):
+            n: int = 7
+
+            def on_operator(self, payload: Any, ctx: Context) -> None:
+                for j in range(1, self.n + 1):
+                    ctx.send(j, BrachaEcho("m", "forged"))
+
+        sim, nodes = _deploy(7, 2, seed=6, replace={1: EchoForger(1)})
+        sim.inject(1, BroadcastInput("m", "x"), at=0.0)
+        sim.run()
+        assert all("m" not in node.delivered for node in nodes.values())

@@ -1,0 +1,67 @@
+"""Tests for the synchronous Joint-Feldman DKG baseline."""
+
+from __future__ import annotations
+
+from repro.baselines import run_joint_feldman
+from repro.crypto.groups import toy_group
+from repro.crypto.polynomials import interpolate_at
+
+G = toy_group()
+
+
+class TestJointFeldman:
+    def test_honest_run_agrees(self) -> None:
+        result = run_joint_feldman(n=7, t=2, group=G, seed=1)
+        assert len(result.shares) == 7
+        assert result.public_key  # raises on disagreement
+        quals = {node.qual for node in result.nodes.values()}
+        assert len(quals) == 1
+        assert quals.pop() == tuple(range(1, 8))
+
+    def test_shares_reconstruct_to_public_key(self) -> None:
+        result = run_joint_feldman(n=7, t=2, group=G, seed=2)
+        pts = sorted(result.shares.items())[:3]
+        secret = interpolate_at(pts, 0, G.q)
+        assert G.commit(secret) == result.public_key
+
+    def test_cheating_dealer_disqualified(self) -> None:
+        # Dealer 3 cheats against t+1 nodes: > t complaints, out of QUAL.
+        result = run_joint_feldman(
+            n=7, t=2, group=G, seed=3, misbehaving={3: {1, 2, 4}}
+        )
+        quals = {node.qual for node in result.nodes.values()}
+        assert len(quals) == 1
+        assert 3 not in quals.pop()
+        # DKG still completes and agrees.
+        assert result.public_key
+
+    def test_mildly_cheating_dealer_survives_with_agreement(self) -> None:
+        # Cheating against <= t nodes: stays in QUAL by complaint count,
+        # but recipients of bad shares exclude it locally in our
+        # simplified model — which is exactly the subtlety the full
+        # protocol's justification round repairs.  We assert only that
+        # the honest majority agrees.
+        result = run_joint_feldman(
+            n=7, t=2, group=G, seed=4, misbehaving={3: {1}}
+        )
+        quals = {node.qual for node in result.nodes.values()}
+        # Node 1 excludes dealer 3; others keep it: this is the known
+        # JF-DKG complaint-handling gap our simplification surfaces.
+        assert len(quals) <= 2
+
+    def test_round_count_and_latency(self) -> None:
+        result = run_joint_feldman(n=7, t=2, group=G, seed=5, delta=10.0)
+        assert result.sync.rounds <= 5
+        assert result.sync.latency == result.sync.rounds * 10.0
+
+    def test_message_complexity_quadratic(self) -> None:
+        result = run_joint_feldman(n=7, t=2, group=G, seed=6)
+        # n deals of n messages; no complaints in the honest case.
+        assert result.sync.metrics.messages_by_kind["jf.deal"] == 49
+        assert result.sync.metrics.messages_by_kind.get("jf.complaint", 0) == 0
+
+    def test_determinism(self) -> None:
+        a = run_joint_feldman(n=7, t=2, group=G, seed=7)
+        b = run_joint_feldman(n=7, t=2, group=G, seed=7)
+        assert a.public_key == b.public_key
+        assert a.shares == b.shares

@@ -1,0 +1,26 @@
+"""Shared fixtures: a cached toy group and deterministic RNGs."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.crypto.groups import SchnorrGroup, small_group, toy_group
+
+
+@pytest.fixture(scope="session")
+def group() -> SchnorrGroup:
+    """The default 64-bit-q toy group (fast, protocol logic dominates)."""
+    return toy_group()
+
+
+@pytest.fixture(scope="session")
+def group160() -> SchnorrGroup:
+    """A DSA-shaped 160-bit-q group for crypto-layer tests."""
+    return small_group()
+
+
+@pytest.fixture
+def rng() -> random.Random:
+    return random.Random(0xC0FFEE)

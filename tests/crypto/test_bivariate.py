@@ -1,0 +1,112 @@
+"""Tests for symmetric bivariate polynomials (the HybridVSS dealer's object)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.bivariate import BivariatePolynomial
+from repro.crypto.groups import toy_group
+
+Q = toy_group().q
+
+degrees = st.integers(min_value=0, max_value=5)
+seeds = st.integers(min_value=0, max_value=2**32)
+points = st.integers(min_value=0, max_value=200)
+
+
+class TestConstruction:
+    @given(degrees, seeds)
+    def test_random_symmetric_is_symmetric(self, t: int, seed: int) -> None:
+        f = BivariatePolynomial.random_symmetric(t, Q, random.Random(seed))
+        assert f.is_symmetric()
+        assert f.degree == t
+
+    @given(degrees, seeds)
+    def test_secret_is_f00(self, t: int, seed: int) -> None:
+        f = BivariatePolynomial.random_symmetric(
+            t, Q, random.Random(seed), secret=1234
+        )
+        assert f.secret == 1234
+        assert f.evaluate(0, 0) == 1234
+
+    def test_general_polynomial_usually_not_symmetric(self) -> None:
+        f = BivariatePolynomial.random_general(3, Q, random.Random(0))
+        assert not f.is_symmetric()
+
+    def test_rejects_non_square_matrix(self) -> None:
+        with pytest.raises(ValueError):
+            BivariatePolynomial(((1, 2), (3,)), Q)
+
+    def test_coefficients_reduced(self) -> None:
+        f = BivariatePolynomial(((Q + 1,),), Q)
+        assert f.coeffs == ((1,),)
+
+
+class TestEvaluation:
+    @given(degrees, seeds, points, points)
+    @settings(max_examples=60)
+    def test_symmetry_of_evaluation(self, t: int, seed: int, x: int, y: int) -> None:
+        f = BivariatePolynomial.random_symmetric(t, Q, random.Random(seed))
+        assert f.evaluate(x, y) == f.evaluate(y, x)
+
+    @given(degrees, seeds, points, points)
+    @settings(max_examples=60)
+    def test_evaluate_matches_naive(self, t: int, seed: int, x: int, y: int) -> None:
+        f = BivariatePolynomial.random_general(t, Q, random.Random(seed))
+        naive = (
+            sum(
+                f.coeffs[j][l] * pow(x, j, Q) * pow(y, l, Q)
+                for j in range(t + 1)
+                for l in range(t + 1)
+            )
+            % Q
+        )
+        assert f.evaluate(x, y) == naive
+
+    @given(degrees, seeds, points, points)
+    @settings(max_examples=60)
+    def test_row_polynomial_consistency(self, t: int, seed: int, x: int, y: int) -> None:
+        f = BivariatePolynomial.random_symmetric(t, Q, random.Random(seed))
+        assert f.row_polynomial(x)(y) == f.evaluate(x, y)
+
+    @given(degrees, seeds, points, points)
+    @settings(max_examples=60)
+    def test_column_polynomial_consistency(
+        self, t: int, seed: int, x: int, y: int
+    ) -> None:
+        f = BivariatePolynomial.random_general(t, Q, random.Random(seed))
+        assert f.column_polynomial(y)(x) == f.evaluate(x, y)
+
+
+class TestSharingStructure:
+    """The algebraic facts HybridVSS relies on."""
+
+    @given(st.integers(min_value=1, max_value=4), seeds)
+    @settings(max_examples=40)
+    def test_row_polys_interpolate_to_shares(self, t: int, seed: int) -> None:
+        # Node i's final share is f(i, 0); the secret is f(0, 0); shares
+        # of t+1 nodes interpolate to the secret.
+        from repro.crypto.polynomials import interpolate_at
+
+        rng = random.Random(seed)
+        f = BivariatePolynomial.random_symmetric(t, Q, rng, secret=777)
+        shares = [(i, f.evaluate(i, 0)) for i in range(1, t + 2)]
+        assert interpolate_at(shares, 0, Q) == 777
+
+    @given(st.integers(min_value=1, max_value=4), seeds)
+    @settings(max_examples=40)
+    def test_echo_points_interpolate_to_row_poly(self, t: int, seed: int) -> None:
+        # Node i can reconstruct its row polynomial from t+1 points
+        # f(m, i) received in echoes — this is the Fig. 1 interpolation.
+        from repro.crypto.polynomials import interpolate_polynomial
+
+        rng = random.Random(seed)
+        f = BivariatePolynomial.random_symmetric(t, Q, rng)
+        i = 3
+        pts = [(m, f.evaluate(m, i)) for m in range(1, t + 2)]
+        recovered = interpolate_polynomial(pts, Q)
+        assert recovered.coeffs == f.row_polynomial(i).coeffs

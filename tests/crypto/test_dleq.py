@@ -1,0 +1,56 @@
+"""Tests for Chaum-Pedersen DLEQ proofs (threshold application layer)."""
+
+from __future__ import annotations
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto import dleq
+from repro.crypto.groups import toy_group
+from repro.crypto.hashing import hash_to_element
+
+G = toy_group()
+
+
+class TestDleq:
+    @given(st.integers(1, G.q - 1), st.integers(0, 2**32))
+    @settings(max_examples=40)
+    def test_roundtrip(self, secret: int, seed: int) -> None:
+        rng = random.Random(seed)
+        g2 = hash_to_element(G.p, G.q, b"base", str(seed).encode())
+        h1, h2, proof = dleq.prove(G, secret, G.g, g2, rng)
+        assert h1 == G.commit(secret)
+        assert h2 == G.power(g2, secret)
+        assert dleq.verify(G, G.g, h1, g2, h2, proof)
+
+    @given(st.integers(1, G.q - 1), st.integers(0, 2**32))
+    @settings(max_examples=30)
+    def test_rejects_mismatched_exponents(self, secret: int, seed: int) -> None:
+        rng = random.Random(seed)
+        g2 = hash_to_element(G.p, G.q, b"base2")
+        h1, _, proof = dleq.prove(G, secret, G.g, g2, rng)
+        wrong_h2 = G.power(g2, (secret + 1) % G.q)
+        assert not dleq.verify(G, G.g, h1, g2, wrong_h2, proof)
+
+    def test_rejects_tampered_proof(self) -> None:
+        rng = random.Random(7)
+        g2 = hash_to_element(G.p, G.q, b"base3")
+        h1, h2, proof = dleq.prove(G, 42, G.g, g2, rng)
+        bad = dleq.DleqProof((proof.challenge + 1) % G.q, proof.response)
+        assert not dleq.verify(G, G.g, h1, g2, h2, bad)
+        bad2 = dleq.DleqProof(proof.challenge, (proof.response + 1) % G.q)
+        assert not dleq.verify(G, G.g, h1, g2, h2, bad2)
+
+    def test_rejects_non_group_elements(self) -> None:
+        rng = random.Random(8)
+        g2 = hash_to_element(G.p, G.q, b"base4")
+        h1, h2, proof = dleq.prove(G, 9, G.g, g2, rng)
+        assert not dleq.verify(G, G.g, 0, g2, h2, proof)
+        assert not dleq.verify(G, G.g, h1, g2, G.p, proof)
+
+    def test_proof_size(self) -> None:
+        rng = random.Random(9)
+        _, _, proof = dleq.prove(G, 5, G.g, G.commit(3), rng)
+        assert proof.byte_size(G) == 2 * G.scalar_bytes

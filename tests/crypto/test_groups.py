@@ -1,0 +1,127 @@
+"""Tests for SchnorrGroup arithmetic and parameter registries."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.groups import (
+    RFC5114_1024_160,
+    SchnorrGroup,
+    group_by_name,
+    toy_group,
+)
+
+scalars = st.integers(min_value=0, max_value=1 << 80)
+
+
+class TestScalarField:
+    @given(scalars, scalars)
+    def test_add_sub_roundtrip(self, a: int, b: int) -> None:
+        g = toy_group()
+        assert g.scalar_sub(g.scalar_add(a, b), b) == g.scalar(a)
+
+    @given(scalars)
+    def test_inverse(self, a: int) -> None:
+        g = toy_group()
+        a = g.scalar(a)
+        if a == 0:
+            with pytest.raises(ZeroDivisionError):
+                g.scalar_inv(a)
+        else:
+            assert g.scalar_mul(a, g.scalar_inv(a)) == 1
+
+    @given(scalars)
+    def test_neg(self, a: int) -> None:
+        g = toy_group()
+        assert g.scalar_add(a, g.scalar_neg(a)) == 0
+
+    def test_random_scalar_in_range(self) -> None:
+        g = toy_group()
+        rng = random.Random(1)
+        for _ in range(100):
+            assert 0 <= g.random_scalar(rng) < g.q
+            assert 1 <= g.random_nonzero_scalar(rng) < g.q
+
+
+class TestGroupOps:
+    @given(scalars, scalars)
+    def test_exponent_laws(self, a: int, b: int) -> None:
+        g = toy_group()
+        lhs = g.mul(g.commit(a), g.commit(b))
+        rhs = g.commit(g.scalar_add(a, b))
+        assert lhs == rhs
+
+    @given(scalars)
+    def test_commit_lands_in_subgroup(self, a: int) -> None:
+        g = toy_group()
+        assert g.is_element(g.commit(a))
+
+    def test_identity(self) -> None:
+        g = toy_group()
+        assert g.commit(0) == g.identity
+        assert g.is_element(g.identity)
+
+    @given(scalars)
+    def test_inverse_element(self, a: int) -> None:
+        g = toy_group()
+        x = g.commit(a)
+        assert g.mul(x, g.inv(x)) == g.identity
+
+    def test_non_element_detection(self) -> None:
+        g = toy_group()
+        assert not g.is_element(0)
+        assert not g.is_element(g.p)
+        # An element of the full group Z_p^* that is not in the order-q
+        # subgroup: a generator of Z_p^* itself, with overwhelming
+        # probability 2 is not in the subgroup for our parameters.
+        if pow(2, g.q, g.p) != 1:
+            assert not g.is_element(2)
+
+
+class TestSerialization:
+    @given(scalars)
+    def test_element_roundtrip(self, a: int) -> None:
+        g = toy_group()
+        x = g.commit(a)
+        assert g.element_from_bytes(g.element_to_bytes(x)) == x
+
+    @given(scalars)
+    def test_scalar_roundtrip(self, a: int) -> None:
+        g = toy_group()
+        s = g.scalar(a)
+        assert g.scalar_from_bytes(g.scalar_to_bytes(s)) == s
+
+    def test_element_from_bytes_rejects_non_elements(self) -> None:
+        g = toy_group()
+        raw = (0).to_bytes(g.element_bytes, "big")
+        with pytest.raises(ValueError):
+            g.element_from_bytes(raw)
+
+    def test_sizes_positive(self) -> None:
+        g = toy_group()
+        assert g.element_bytes >= 16
+        assert g.scalar_bytes >= 8
+        assert g.security_bits == g.q.bit_length()
+
+
+class TestRegistry:
+    @pytest.mark.parametrize("name", ["toy", "small"])
+    def test_named_groups_validate(self, name: str) -> None:
+        g = group_by_name(name)
+        g.validate()
+
+    def test_rfc_group_validates(self) -> None:
+        RFC5114_1024_160.validate()
+        assert RFC5114_1024_160.p.bit_length() == 1024
+        assert RFC5114_1024_160.q.bit_length() == 160
+
+    def test_unknown_name_raises(self) -> None:
+        with pytest.raises(KeyError):
+            group_by_name("nonexistent")
+
+    def test_seeded_variants_differ(self) -> None:
+        assert toy_group(0) != toy_group(1)

@@ -1,0 +1,102 @@
+"""Tests for Pedersen commitments (the §1 alternative to Feldman)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.groups import toy_group
+from repro.crypto.pedersen import (
+    PedersenCommitment,
+    deal_pedersen,
+    derive_second_generator,
+)
+from repro.crypto.polynomials import Polynomial, interpolate_at
+
+G = toy_group()
+Q = G.q
+
+
+class TestSecondGenerator:
+    def test_h_is_group_element(self) -> None:
+        h = derive_second_generator(G)
+        assert G.is_element(h)
+        assert h not in (1, G.g)
+
+    def test_h_is_deterministic_per_label(self) -> None:
+        assert derive_second_generator(G) == derive_second_generator(G)
+        assert derive_second_generator(G) != derive_second_generator(G, b"other")
+
+
+class TestPedersenCommitment:
+    @given(st.integers(0, Q - 1), st.integers(1, 4), st.integers(0, 2**32))
+    @settings(max_examples=30)
+    def test_shares_verify(self, secret: int, t: int, seed: int) -> None:
+        rng = random.Random(seed)
+        commitment, shares = deal_pedersen(secret, t, list(range(1, 2 * t + 2)), G, rng)
+        for share in shares:
+            assert commitment.verify_share(share.index, share.value, share.blind)
+
+    @given(st.integers(0, Q - 1), st.integers(0, 2**32))
+    @settings(max_examples=30)
+    def test_tampered_share_rejected(self, secret: int, seed: int) -> None:
+        rng = random.Random(seed)
+        commitment, shares = deal_pedersen(secret, 2, [1, 2, 3, 4, 5], G, rng)
+        s = shares[0]
+        assert not commitment.verify_share(s.index, (s.value + 1) % Q, s.blind)
+        assert not commitment.verify_share(s.index, s.value, (s.blind + 1) % Q)
+
+    @given(st.integers(0, Q - 1), st.integers(1, 3), st.integers(0, 2**32))
+    @settings(max_examples=30)
+    def test_shares_reconstruct_secret(self, secret: int, t: int, seed: int) -> None:
+        rng = random.Random(seed)
+        _, shares = deal_pedersen(secret, t, list(range(1, t + 2)), G, rng)
+        points = [(s.index, s.value) for s in shares]
+        assert interpolate_at(points, 0, Q) == secret
+
+    def test_commit_requires_matching_degrees(self) -> None:
+        rng = random.Random(0)
+        a = Polynomial.random(2, Q, rng)
+        b = Polynomial.random(3, Q, rng)
+        with pytest.raises(ValueError):
+            PedersenCommitment.commit(a, b, G)
+
+    def test_combine(self) -> None:
+        rng = random.Random(1)
+        h = derive_second_generator(G)
+        c1, s1 = deal_pedersen(10, 2, [1, 2, 3], G, rng, h=h)
+        c2, s2 = deal_pedersen(20, 2, [1, 2, 3], G, rng, h=h)
+        combined = c1.combine(c2)
+        for a, b in zip(s1, s2):
+            assert combined.verify_share(
+                a.index, (a.value + b.value) % Q, (a.blind + b.blind) % Q
+            )
+
+    def test_combine_rejects_mismatched_h(self) -> None:
+        rng = random.Random(2)
+        c1, _ = deal_pedersen(1, 1, [1], G, rng, h=derive_second_generator(G))
+        c2, _ = deal_pedersen(1, 1, [1], G, rng, h=derive_second_generator(G, b"x"))
+        with pytest.raises(ValueError):
+            c1.combine(c2)
+
+    def test_byte_size(self) -> None:
+        rng = random.Random(3)
+        c, _ = deal_pedersen(5, 3, [1], G, rng)
+        assert c.byte_size() == 4 * G.element_bytes
+
+    def test_hiding_blinds_differ_from_feldman(self) -> None:
+        # Same value polynomial, different blinding polynomials give
+        # different commitments — the unconditional-hiding property's
+        # mechanical prerequisite.
+        rng = random.Random(4)
+        value = Polynomial.random(2, Q, rng, constant_term=7)
+        b1 = Polynomial.random(2, Q, rng)
+        b2 = Polynomial.random(2, Q, rng)
+        h = derive_second_generator(G)
+        assert (
+            PedersenCommitment.commit(value, b1, G, h).entries
+            != PedersenCommitment.commit(value, b2, G, h).entries
+        )

@@ -1,0 +1,130 @@
+"""Tests for univariate polynomials and Lagrange interpolation."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.groups import toy_group
+from repro.crypto.polynomials import (
+    Polynomial,
+    interpolate_at,
+    interpolate_polynomial,
+    lagrange_coefficients,
+)
+
+Q = toy_group().q
+
+coeff_lists = st.lists(
+    st.integers(min_value=0, max_value=Q - 1), min_size=1, max_size=8
+)
+
+
+class TestPolynomial:
+    def test_zero_polynomial_normalization(self) -> None:
+        p = Polynomial((), Q)
+        assert p.coeffs == (0,)
+        assert p(12345) == 0
+
+    @given(coeff_lists, st.integers(min_value=0, max_value=Q - 1))
+    def test_horner_matches_naive(self, coeffs: list[int], y: int) -> None:
+        p = Polynomial(tuple(coeffs), Q)
+        naive = sum(c * pow(y, i, Q) for i, c in enumerate(coeffs)) % Q
+        assert p(y) == naive
+
+    @given(coeff_lists, coeff_lists, st.integers(min_value=0, max_value=Q - 1))
+    def test_add_is_pointwise(self, ca: list[int], cb: list[int], y: int) -> None:
+        a, b = Polynomial(tuple(ca), Q), Polynomial(tuple(cb), Q)
+        assert a.add(b)(y) == (a(y) + b(y)) % Q
+
+    @given(coeff_lists, st.integers(), st.integers(min_value=0, max_value=Q - 1))
+    def test_scale(self, coeffs: list[int], k: int, y: int) -> None:
+        p = Polynomial(tuple(coeffs), Q)
+        assert p.scale(k)(y) == (k * p(y)) % Q
+
+    def test_add_rejects_mismatched_fields(self) -> None:
+        with pytest.raises(ValueError):
+            Polynomial((1,), Q).add(Polynomial((1,), Q - 2))
+
+    def test_random_with_fixed_constant_term(self) -> None:
+        rng = random.Random(7)
+        p = Polynomial.random(5, Q, rng, constant_term=42)
+        assert p.constant_term == 42
+        assert p.degree == 5
+
+    def test_random_rejects_negative_degree(self) -> None:
+        with pytest.raises(ValueError):
+            Polynomial.random(-1, Q, random.Random(0))
+
+    def test_coefficients_reduced_mod_q(self) -> None:
+        p = Polynomial((Q + 3, 2 * Q + 1), Q)
+        assert p.coeffs == (3, 1)
+
+
+class TestLagrange:
+    @given(st.integers(min_value=0, max_value=5), st.data())
+    @settings(max_examples=60)
+    def test_interpolate_at_recovers_evaluation(self, degree: int, data) -> None:
+        rng = random.Random(data.draw(st.integers(0, 2**32)))
+        poly = Polynomial.random(degree, Q, rng)
+        indices = rng.sample(range(1, 50), degree + 1)
+        points = [(i, poly(i)) for i in indices]
+        x = data.draw(st.integers(min_value=0, max_value=100))
+        assert interpolate_at(points, x, Q) == poly(x)
+
+    @given(st.integers(min_value=0, max_value=5), st.integers(0, 2**32))
+    @settings(max_examples=60)
+    def test_interpolate_polynomial_recovers_coefficients(
+        self, degree: int, seed: int
+    ) -> None:
+        rng = random.Random(seed)
+        poly = Polynomial.random(degree, Q, rng)
+        indices = rng.sample(range(1, 100), degree + 1)
+        recovered = interpolate_polynomial([(i, poly(i)) for i in indices], Q)
+        assert recovered.coeffs == poly.coeffs
+
+    def test_lagrange_coefficients_sum_to_one_at_member_point(self) -> None:
+        # Interpolating at one of the nodes: the coefficient of that node
+        # is 1 and the others 0.
+        lambdas = lagrange_coefficients([1, 2, 3], 2, Q)
+        assert lambdas == [0, 1, 0]
+
+    def test_secret_share_reconstruction_example(self) -> None:
+        # A (5, 2) Shamir sharing reconstructs from any 3 shares.
+        rng = random.Random(3)
+        poly = Polynomial.random(2, Q, rng, constant_term=99)
+        shares = {i: poly(i) for i in range(1, 6)}
+        for subset in [(1, 2, 3), (1, 3, 5), (2, 4, 5)]:
+            pts = [(i, shares[i]) for i in subset]
+            assert interpolate_at(pts, 0, Q) == 99
+
+    def test_duplicate_indices_rejected(self) -> None:
+        with pytest.raises(ValueError):
+            lagrange_coefficients([1, 1, 2], 0, Q)
+        with pytest.raises(ValueError):
+            interpolate_polynomial([(1, 5), (1, 6)], Q)
+
+    def test_interpolate_empty_rejected(self) -> None:
+        with pytest.raises(ValueError):
+            interpolate_polynomial([], Q)
+
+    @given(st.integers(min_value=1, max_value=4), st.integers(0, 2**32))
+    @settings(max_examples=40)
+    def test_too_few_points_give_wrong_secret_generically(
+        self, degree: int, seed: int
+    ) -> None:
+        # With only `degree` points (one short), interpolation yields a
+        # lower-degree polynomial that generically misses the secret:
+        # this is the privacy side of Shamir sharing.
+        rng = random.Random(seed)
+        poly = Polynomial.random(degree, Q, rng)
+        points = [(i, poly(i)) for i in range(1, degree + 1)]
+        guess = interpolate_at(points, 0, Q)
+        # Not a theorem for every polynomial (the top coefficient could
+        # be 0), but overwhelmingly true for random ones; tolerate the
+        # rare coincidence by checking degree freedom instead.
+        if poly.coeffs[-1] != 0:
+            assert guess != poly.constant_term or degree == 0

@@ -1,0 +1,106 @@
+"""Unit and property tests for primality testing and parameter generation."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.primes import (
+    SchnorrParams,
+    generate_schnorr_params,
+    is_prime,
+    next_prime,
+)
+
+KNOWN_PRIMES = [
+    2, 3, 5, 7, 11, 13, 101, 257, 65_537, 2_147_483_647,
+    (1 << 61) - 1,  # Mersenne prime M61
+    1_000_000_007,
+]
+
+KNOWN_COMPOSITES = [
+    0, 1, 4, 9, 15, 21, 25, 561, 1105, 1729,  # includes Carmichael numbers
+    2_465, 6_601, 8_911, 41_041, 825_265,
+    (1 << 61) - 3,
+    1_000_000_007 * 1_000_000_009,
+]
+
+
+class TestIsPrime:
+    @pytest.mark.parametrize("p", KNOWN_PRIMES)
+    def test_known_primes(self, p: int) -> None:
+        assert is_prime(p)
+
+    @pytest.mark.parametrize("c", KNOWN_COMPOSITES)
+    def test_known_composites_including_carmichael(self, c: int) -> None:
+        assert not is_prime(c)
+
+    def test_negative_numbers_are_not_prime(self) -> None:
+        assert not is_prime(-7)
+
+    @given(st.integers(min_value=2, max_value=100_000))
+    @settings(max_examples=200)
+    def test_agrees_with_trial_division(self, n: int) -> None:
+        by_trial = all(n % d for d in range(2, int(n**0.5) + 1)) and n >= 2
+        assert is_prime(n) == by_trial
+
+    @given(st.integers(min_value=2, max_value=10_000))
+    def test_product_of_two_primes_is_composite(self, n: int) -> None:
+        if is_prime(n):
+            assert not is_prime(n * n)
+
+
+class TestNextPrime:
+    def test_next_prime_small(self) -> None:
+        assert next_prime(1) == 2
+        assert next_prime(2) == 3
+        assert next_prime(14) == 17
+
+    @given(st.integers(min_value=0, max_value=50_000))
+    @settings(max_examples=50)
+    def test_result_is_prime_and_greater(self, n: int) -> None:
+        p = next_prime(n)
+        assert p > n
+        assert is_prime(p)
+
+
+class TestSchnorrParams:
+    def test_generation_is_deterministic(self) -> None:
+        a = generate_schnorr_params(q_bits=32, p_bits=64, seed=5)
+        b = generate_schnorr_params(q_bits=32, p_bits=64, seed=5)
+        assert a == b
+
+    def test_different_seeds_differ(self) -> None:
+        a = generate_schnorr_params(q_bits=32, p_bits=64, seed=1)
+        b = generate_schnorr_params(q_bits=32, p_bits=64, seed=2)
+        assert a != b
+
+    def test_generated_params_validate(self) -> None:
+        params = generate_schnorr_params(q_bits=48, p_bits=96, seed=3)
+        params.validate()
+        assert params.q.bit_length() == 48
+        assert params.p.bit_length() == 96
+
+    def test_validate_rejects_composite_p(self) -> None:
+        good = generate_schnorr_params(q_bits=32, p_bits=64, seed=0)
+        bad = SchnorrParams(p=good.p + 2, q=good.q, g=good.g)
+        with pytest.raises(ValueError):
+            bad.validate()
+
+    def test_validate_rejects_wrong_order_generator(self) -> None:
+        good = generate_schnorr_params(q_bits=32, p_bits=64, seed=0)
+        # p-1 has order dividing 2, not q (p-1 squared is 1 mod p)
+        bad = SchnorrParams(p=good.p, q=good.q, g=good.p - 1)
+        with pytest.raises(ValueError):
+            bad.validate()
+
+    def test_rejects_tiny_q(self) -> None:
+        with pytest.raises(ValueError):
+            generate_schnorr_params(q_bits=4)
+
+    def test_rejects_p_not_exceeding_q(self) -> None:
+        with pytest.raises(ValueError):
+            generate_schnorr_params(q_bits=32, p_bits=33)

@@ -1,0 +1,78 @@
+"""Tests for Schnorr signatures (message authentication, §2.3)."""
+
+from __future__ import annotations
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.groups import toy_group
+from repro.crypto.schnorr import Signature, SigningKey, verify
+
+G = toy_group()
+
+
+class TestSignVerify:
+    @given(st.binary(max_size=64), st.integers(0, 2**32))
+    @settings(max_examples=40)
+    def test_roundtrip(self, message: bytes, seed: int) -> None:
+        rng = random.Random(seed)
+        key = SigningKey.generate(G, rng)
+        sig = key.sign(message, rng)
+        assert verify(G, key.public_key, message, sig)
+
+    @given(st.binary(min_size=1, max_size=64), st.integers(0, 2**32))
+    @settings(max_examples=40)
+    def test_rejects_modified_message(self, message: bytes, seed: int) -> None:
+        rng = random.Random(seed)
+        key = SigningKey.generate(G, rng)
+        sig = key.sign(message, rng)
+        tampered = bytes([message[0] ^ 1]) + message[1:]
+        assert not verify(G, key.public_key, tampered, sig)
+
+    def test_rejects_wrong_key(self) -> None:
+        rng = random.Random(1)
+        k1 = SigningKey.generate(G, rng)
+        k2 = SigningKey.generate(G, rng)
+        sig = k1.sign(b"msg", rng)
+        assert not verify(G, k2.public_key, b"msg", sig)
+
+    def test_rejects_tampered_signature_fields(self) -> None:
+        rng = random.Random(2)
+        key = SigningKey.generate(G, rng)
+        sig = key.sign(b"msg", rng)
+        assert not verify(
+            G, key.public_key, b"msg", Signature(sig.challenge + 1, sig.response)
+        )
+        assert not verify(
+            G, key.public_key, b"msg", Signature(sig.challenge, (sig.response + 1) % G.q)
+        )
+
+    def test_rejects_out_of_range_values(self) -> None:
+        rng = random.Random(3)
+        key = SigningKey.generate(G, rng)
+        sig = key.sign(b"msg", rng)
+        assert not verify(G, key.public_key, b"msg", Signature(sig.challenge, G.q))
+        assert not verify(G, key.public_key, b"msg", Signature(-1, sig.response))
+
+    def test_rejects_invalid_public_key(self) -> None:
+        rng = random.Random(4)
+        key = SigningKey.generate(G, rng)
+        sig = key.sign(b"msg", rng)
+        assert not verify(G, 0, b"msg", sig)
+        assert not verify(G, G.p, b"msg", sig)
+
+    def test_signature_size(self) -> None:
+        rng = random.Random(5)
+        sig = SigningKey.generate(G, rng).sign(b"x", rng)
+        assert sig.byte_size(G) == 2 * G.scalar_bytes
+
+    def test_distinct_nonces_give_distinct_signatures(self) -> None:
+        rng = random.Random(6)
+        key = SigningKey.generate(G, rng)
+        s1 = key.sign(b"m", rng)
+        s2 = key.sign(b"m", rng)
+        assert s1 != s2  # randomized signing
+        assert verify(G, key.public_key, b"m", s1)
+        assert verify(G, key.public_key, b"m", s2)

@@ -1,0 +1,89 @@
+"""Tests for Share containers and client-side reconstruction."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.bivariate import BivariatePolynomial
+from repro.crypto.feldman import FeldmanCommitment, FeldmanVector
+from repro.crypto.groups import toy_group
+from repro.crypto.polynomials import Polynomial
+from repro.crypto.shares import (
+    ReconstructionError,
+    Share,
+    reconstruct_raw,
+    reconstruct_secret,
+)
+
+G = toy_group()
+Q = G.q
+
+
+def _deal(t: int, secret: int, seed: int):
+    f = BivariatePolynomial.random_symmetric(t, Q, random.Random(seed), secret=secret)
+    c = FeldmanCommitment.commit(f, G)
+    shares = [Share(i, f.evaluate(i, 0), c) for i in range(1, 3 * t + 2)]
+    return f, c, shares
+
+
+class TestShare:
+    def test_verify(self) -> None:
+        _, c, shares = _deal(2, 55, 0)
+        assert all(s.verify() for s in shares)
+        bad = Share(1, (shares[0].value + 1) % Q, c)
+        assert not bad.verify()
+
+    def test_public_key(self) -> None:
+        _, _, shares = _deal(2, 55, 1)
+        assert shares[0].public_key == G.commit(55)
+
+    def test_vector_commitment_share(self) -> None:
+        rng = random.Random(2)
+        poly = Polynomial.random(2, Q, rng, constant_term=9)
+        vec = FeldmanVector.commit(poly, G)
+        assert Share(3, poly(3), vec).verify()
+
+
+class TestReconstructSecret:
+    @given(st.integers(0, Q - 1), st.integers(1, 3), st.integers(0, 2**32))
+    @settings(max_examples=30)
+    def test_reconstructs_from_exactly_t_plus_one(
+        self, secret: int, t: int, seed: int
+    ) -> None:
+        _, _, shares = _deal(t, secret, seed)
+        assert reconstruct_secret(shares[: t + 1], t, Q) == secret
+
+    @given(st.integers(0, Q - 1), st.integers(1, 3), st.integers(0, 2**32))
+    @settings(max_examples=30)
+    def test_reconstructs_from_surplus_shares(
+        self, secret: int, t: int, seed: int
+    ) -> None:
+        _, _, shares = _deal(t, secret, seed)
+        assert reconstruct_secret(shares, t, Q) == secret
+
+    def test_bad_shares_are_filtered_out(self) -> None:
+        _, c, shares = _deal(2, 1000, 5)
+        corrupted = [Share(s.index, (s.value + 3) % Q, c) for s in shares[:2]]
+        mixed = corrupted + shares[2:]
+        assert reconstruct_secret(mixed, 2, Q) == 1000
+
+    def test_too_few_valid_shares_raises(self) -> None:
+        _, c, shares = _deal(2, 7, 6)
+        corrupted = [Share(s.index, (s.value + 3) % Q, c) for s in shares]
+        with pytest.raises(ReconstructionError):
+            reconstruct_secret(corrupted[:2] + shares[:2], 2, Q)
+
+    def test_duplicate_indices_collapsed(self) -> None:
+        _, _, shares = _deal(2, 31, 7)
+        duplicated = [shares[0], shares[0], shares[1], shares[2]]
+        assert reconstruct_secret(duplicated, 2, Q) == 31
+
+    def test_reconstruct_raw(self) -> None:
+        rng = random.Random(8)
+        poly = Polynomial.random(3, Q, rng, constant_term=77)
+        pts = [(i, poly(i)) for i in (2, 4, 6, 8)]
+        assert reconstruct_raw(pts, Q) == 77

@@ -1,0 +1,67 @@
+"""Tests for DkgConfig: leader rotation, member lists, q_size."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.crypto.groups import toy_group
+from repro.dkg.config import DkgConfig
+
+G = toy_group()
+
+
+class TestLeaderRotation:
+    def test_default_cycle(self) -> None:
+        cfg = DkgConfig(n=7, t=2, group=G)
+        assert [cfg.leader_of_view(v) for v in range(8)] == [
+            1, 2, 3, 4, 5, 6, 7, 1
+        ]
+
+    @given(st.integers(0, 100))
+    def test_rotation_is_periodic(self, view: int) -> None:
+        cfg = DkgConfig(n=7, t=2, group=G)
+        assert cfg.leader_of_view(view) == cfg.leader_of_view(view + 7)
+
+    def test_rotation_over_sparse_members(self) -> None:
+        cfg = DkgConfig(
+            n=4, t=1, group=G, members=(2, 5, 8, 9), initial_leader=5
+        )
+        assert [cfg.leader_of_view(v) for v in range(5)] == [5, 8, 9, 2, 5]
+
+    def test_initial_leader_must_be_member(self) -> None:
+        with pytest.raises(ValueError, match="member"):
+            DkgConfig(n=4, t=1, group=G, members=(2, 5, 8, 9), initial_leader=1)
+
+
+class TestMembers:
+    def test_member_count_must_match_n(self) -> None:
+        with pytest.raises(ValueError, match="inconsistent"):
+            DkgConfig(n=4, t=1, group=G, members=(1, 2, 3), initial_leader=1)
+
+    def test_members_sorted_and_deduplicated_check(self) -> None:
+        cfg = DkgConfig(n=4, t=1, group=G, members=(9, 2, 5, 8), initial_leader=2)
+        assert cfg.vss().indices == [2, 5, 8, 9]
+        with pytest.raises(ValueError, match="distinct"):
+            DkgConfig(n=4, t=1, group=G, members=(1, 1, 2, 3), initial_leader=1)
+
+    def test_zero_index_forbidden(self) -> None:
+        # index 0 is the secret's evaluation point
+        with pytest.raises(ValueError):
+            DkgConfig(n=4, t=1, group=G, members=(0, 1, 2, 3), initial_leader=1)
+
+
+class TestQSize:
+    def test_default_is_t_plus_one(self) -> None:
+        assert DkgConfig(n=7, t=2, group=G).proposal_size == 3
+
+    def test_override(self) -> None:
+        cfg = DkgConfig(n=7, t=1, group=G, q_size=4)
+        assert cfg.proposal_size == 4
+
+    def test_out_of_range_rejected(self) -> None:
+        with pytest.raises(ValueError, match="q_size"):
+            DkgConfig(n=7, t=2, group=G, q_size=8)
+        with pytest.raises(ValueError, match="q_size"):
+            DkgConfig(n=7, t=2, group=G, q_size=0)

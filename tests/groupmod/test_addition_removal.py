@@ -1,0 +1,170 @@
+"""Tests for node addition (§6.2), removal (§6.3), and threshold
+modification (§6.4) via the GroupManager lifecycle."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.crypto.groups import toy_group
+from repro.crypto.polynomials import interpolate_at
+from repro.dkg import DkgConfig
+from repro.groupmod import GroupManager, ModProposal, run_node_addition
+
+G = toy_group()
+
+
+def _manager(n: int = 7, t: int = 2, f: int = 0, seed: int = 1) -> GroupManager:
+    gm = GroupManager(DkgConfig(n=n, t=t, f=f, group=G), seed=seed)
+    gm.bootstrap()
+    return gm
+
+
+class TestNodeAddition:
+    def test_new_node_receives_valid_share(self) -> None:
+        gm = _manager()
+        secret = gm.reconstruct()
+        gm.add_node(8)
+        assert 8 in gm.members
+        assert gm.commitment.verify_share(8, gm.shares[8])
+        assert gm.reconstruct() == secret
+
+    def test_existing_shares_unchanged(self) -> None:
+        gm = _manager(seed=2)
+        before = dict(gm.shares)
+        gm.add_node(8)
+        for i, share in before.items():
+            assert gm.shares[i] == share
+
+    def test_new_share_is_on_the_same_polynomial(self) -> None:
+        # The joining share interpolates with any t existing shares to
+        # the same secret.
+        gm = _manager(seed=3)
+        secret = gm.reconstruct()
+        gm.add_node(8)
+        pts = [(1, gm.shares[1]), (2, gm.shares[2]), (8, gm.shares[8])]
+        assert interpolate_at(pts, 0, G.q) == secret
+
+    def test_multiple_sequential_additions(self) -> None:
+        gm = _manager(seed=4)
+        secret = gm.reconstruct()
+        gm.add_node(8)
+        gm.add_node(9)
+        assert gm.members == (1, 2, 3, 4, 5, 6, 7, 8, 9)
+        assert gm.reconstruct() == secret
+
+    def test_adding_existing_member_rejected(self) -> None:
+        gm = _manager(seed=5)
+        with pytest.raises(ValueError, match="already a member"):
+            run_node_addition(gm.config, gm.shares, gm.commitment, 3, seed=0)
+
+    def test_subshare_vector_matches_share_pk(self) -> None:
+        gm = _manager(seed=6)
+        result = run_node_addition(gm.config, gm.shares, gm.commitment, 8, seed=6)
+        assert result.vector is not None
+        from repro.proactive.renewal import share_commitment_at
+
+        assert result.vector.public_key() == share_commitment_at(gm.commitment, 8)
+
+
+class TestNodeRemoval:
+    def test_removal_at_phase_change(self) -> None:
+        gm = _manager(n=8, seed=7)  # one node of slack above 3t+1
+        secret = gm.reconstruct()
+        gm.agree({1: ModProposal("remove", 4)})
+        gm.phase_change()
+        assert 4 not in gm.members
+        assert gm.reconstruct() == secret
+
+    def test_removed_node_share_is_useless_after_renewal(self) -> None:
+        gm = _manager(n=8, seed=8)
+        secret = gm.reconstruct()
+        old_share_4 = gm.shares[4]
+        gm.agree({1: ModProposal("remove", 4)})
+        gm.phase_change()
+        # Old share + t fresh shares interpolate to garbage.
+        pts = [(4, old_share_4)] + sorted(gm.shares.items())[:2]
+        assert interpolate_at(pts, 0, G.q) != secret
+
+    def test_removal_that_breaks_bound_never_agreed(self) -> None:
+        gm = _manager(n=7, t=2, f=0, seed=9)  # exactly 3t+1
+        report = gm.agree({1: ModProposal("remove", 4)})
+        assert report.common_queue() == []
+        gm.phase_change()  # no-op reconfiguration (plain renewal)
+        assert 4 in gm.members
+
+
+class TestThresholdModification:
+    def test_raise_threshold_with_additions(self) -> None:
+        # The per-proposal policy checks each proposal against the
+        # *current* configuration (commutativity forbids cross-proposal
+        # awareness), so raising t needs existing slack: n=9, t=2 can
+        # accept an add carrying t_delta=1 (n'=10 >= 3*3+1).
+        gm = _manager(n=9, t=2, f=0, seed=10)
+        secret = gm.reconstruct()
+        gm.agree({3: ModProposal("add", 10, t_delta=1)})
+        gm.phase_change()
+        assert gm.config.t == 3
+        assert gm.config.n == 10
+        assert gm.reconstruct() == secret
+        # New sharing degree: t+1 = 4 shares needed now; 3 insufficient.
+        pts = sorted(gm.shares.items())[:3]
+        assert interpolate_at(pts, 0, G.q) != secret
+
+    def test_lower_threshold_with_removals(self) -> None:
+        gm = _manager(n=11, t=3, f=0, seed=11)
+        secret = gm.reconstruct()
+        gm.agree(
+            {
+                1: ModProposal("remove", 9, t_delta=-1),
+                2: ModProposal("remove", 10),
+            }
+        )
+        gm.phase_change()
+        assert gm.config.t == 2
+        assert gm.config.n == 9
+        assert gm.reconstruct() == secret
+        # t+1 = 3 fresh shares now suffice.
+        pts = sorted(gm.shares.items())[:3]
+        assert interpolate_at(pts, 0, G.q) == secret
+
+    def test_crash_limit_modification(self) -> None:
+        gm = _manager(n=8, t=2, f=0, seed=12)
+        secret = gm.reconstruct()
+        gm.agree(
+            {
+                1: ModProposal("add", 9),
+                2: ModProposal("add", 10, f_delta=1),
+            }
+        )
+        gm.phase_change()
+        assert gm.config.f == 1
+        assert gm.config.n == 10
+        assert gm.reconstruct() == secret
+
+    def test_new_member_participates_in_next_phase(self) -> None:
+        gm = _manager(seed=13)
+        secret = gm.reconstruct()
+        gm.agree({1: ModProposal("add", 8)})
+        gm.phase_change()
+        assert 8 in gm.members
+        assert 8 in gm.shares  # received a share through the renewal
+        assert gm.commitment.verify_share(8, gm.shares[8])
+        # And it can deal in the following phase.
+        gm.phase_change()
+        assert gm.reconstruct() == secret
+
+
+class TestLifecycleIntegration:
+    def test_full_lifecycle(self) -> None:
+        """bootstrap -> add mid-phase -> agree remove+add -> phase change
+        -> renew again: the secret never changes."""
+        gm = _manager(seed=14)
+        secret = gm.reconstruct()
+        pk = gm.public_key
+        gm.add_node(8)
+        gm.agree({1: ModProposal("remove", 2), 3: ModProposal("add", 9)})
+        gm.phase_change()
+        assert gm.members == (1, 3, 4, 5, 6, 7, 8, 9)
+        gm.phase_change()  # plain renewal
+        assert gm.reconstruct() == secret
+        assert gm.commitment.public_key() == pk

@@ -1,0 +1,139 @@
+"""Tests for group modification agreement (§6.1)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.crypto.groups import toy_group
+from repro.sim.adversary import Adversary
+from repro.sim.node import ProtocolNode
+from repro.sim.runner import Simulation
+from repro.vss.config import VssConfig
+from repro.groupmod.agreement import (
+    GroupModAgreementNode,
+    apply_proposals,
+    default_policy,
+)
+from repro.groupmod.messages import ModProposal, ProposeInput
+
+G = toy_group()
+
+
+def _run(proposals: dict[int, ModProposal], n: int = 7, t: int = 2, f: int = 0,
+         seed: int = 0, byzantine: set[int] | None = None):
+    cfg = VssConfig(n=n, t=t, f=f, group=G)
+    adv = (
+        Adversary.corrupting(t, f, byzantine)
+        if byzantine
+        else Adversary.passive(t, f)
+    )
+    sim = Simulation(adversary=adv, seed=seed)
+    nodes = {}
+    for i in cfg.indices:
+        if byzantine and i in byzantine:
+            sim.add_node(ProtocolNode(i))  # silent
+        else:
+            node = GroupModAgreementNode(i, cfg)
+            sim.add_node(node)
+            nodes[i] = node
+    for proposer, proposal in proposals.items():
+        sim.inject(proposer, ProposeInput(proposal), at=0.0)
+    sim.run()
+    return nodes, sim
+
+
+class TestAgreement:
+    def test_valid_proposal_delivered_everywhere(self) -> None:
+        p = ModProposal("add", 8)
+        nodes, _ = _run({1: p})
+        assert all(node.queue == [p] for node in nodes.values())
+
+    def test_multiple_proposals_all_delivered(self) -> None:
+        p1 = ModProposal("add", 9)
+        p2 = ModProposal("remove", 7)
+        nodes, _ = _run({1: p1, 2: p2}, n=8)
+        for node in nodes.values():
+            assert set(node.queue) == {p1, p2}
+
+    def test_policy_rejected_proposal_not_delivered(self) -> None:
+        # Removing a node when n = 3t+2f+1 exactly would break the
+        # bound: honest nodes refuse to echo.
+        p = ModProposal("remove", 3)
+        nodes, _ = _run({1: p}, n=7, t=2, f=0)
+        assert all(node.queue == [] for node in nodes.values())
+
+    def test_duplicate_adds_rejected_by_policy(self) -> None:
+        p = ModProposal("add", 3)  # node 3 already a member
+        nodes, _ = _run({1: p}, n=7)
+        assert all(node.queue == [] for node in nodes.values())
+
+    def test_remove_unknown_node_rejected(self) -> None:
+        p = ModProposal("remove", 99)
+        nodes, _ = _run({1: p}, n=10, t=2)
+        assert all(node.queue == [] for node in nodes.values())
+
+    def test_silent_byzantine_minority_does_not_block(self) -> None:
+        p = ModProposal("add", 9)
+        nodes, _ = _run({1: p}, byzantine={6, 7})
+        assert all(node.queue == [p] for node in nodes.values())
+
+    def test_delivery_needs_quorum(self) -> None:
+        # With t+1 silent nodes (over budget), delivery stalls but never
+        # yields divergent queues.
+        p = ModProposal("add", 9)
+        cfg = VssConfig(n=7, t=2, f=0, group=G)
+        sim = Simulation(seed=1)
+        nodes = {}
+        for i in cfg.indices:
+            if i >= 5:
+                sim.add_node(ProtocolNode(i))
+            else:
+                node = GroupModAgreementNode(i, cfg)
+                sim.add_node(node)
+                nodes[i] = node
+        sim.inject(1, ProposeInput(p), at=0.0)
+        sim.run()
+        assert all(node.queue == [] for node in nodes.values())
+
+
+class TestDefaultPolicy:
+    def test_add_keeping_bound_ok(self) -> None:
+        cfg = VssConfig(n=7, t=2, f=0, group=G)
+        assert default_policy(cfg, ModProposal("add", 8))
+
+    def test_threshold_raise_requires_enough_nodes(self) -> None:
+        cfg = VssConfig(n=7, t=2, f=0, group=G)
+        assert not default_policy(cfg, ModProposal("add", 8, t_delta=1))
+        cfg_big = VssConfig(n=9, t=2, f=0, group=G)
+        assert default_policy(cfg_big, ModProposal("add", 10, t_delta=1))
+
+    def test_negative_deltas_validated(self) -> None:
+        cfg = VssConfig(n=7, t=2, f=0, group=G)
+        assert default_policy(cfg, ModProposal("remove", 7, t_delta=-1))
+        assert not default_policy(cfg, ModProposal("remove", 7, t_delta=-3))
+
+
+class TestApplyProposals:
+    def test_commutativity(self) -> None:
+        members = (1, 2, 3, 4, 5, 6, 7)
+        ps = [
+            ModProposal("add", 8),
+            ModProposal("remove", 2),
+            ModProposal("add", 9, t_delta=-1),
+        ]
+        a = apply_proposals(members, 2, 0, ps)
+        b = apply_proposals(members, 2, 0, list(reversed(ps)))
+        assert a == b == ((1, 3, 4, 5, 6, 7, 8, 9), 1, 0)
+
+    def test_invalid_result_raises(self) -> None:
+        with pytest.raises(ValueError):
+            apply_proposals((1, 2, 3, 4), 1, 0, [ModProposal("remove", 4)])
+
+    def test_empty_is_identity(self) -> None:
+        assert apply_proposals((1, 2, 3, 4), 1, 0, []) == ((1, 2, 3, 4), 1, 0)
+
+    def test_proposal_validation(self) -> None:
+        with pytest.raises(ValueError):
+            ModProposal("frobnicate", 1)
+        with pytest.raises(ValueError):
+            ModProposal("add", 0)

@@ -1,0 +1,63 @@
+"""Test helpers: a stub Context for driving protocol state machines
+message-by-message, mirroring the pseudocode's `upon` clauses without a
+full simulation."""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Any
+
+
+@dataclass
+class StubContext:
+    """Captures a node's effects instead of scheduling them."""
+
+    node_id: int = 1
+    now: float = 0.0
+    n_nodes: int = 7
+    sent: list[tuple[int, Any]] = field(default_factory=list)
+    outputs: list[Any] = field(default_factory=list)
+    timers: list[tuple[int, float, Any]] = field(default_factory=list)
+    cancelled: list[int] = field(default_factory=list)
+    leader_changes: int = 0
+    _timer_counter: int = 0
+    rng: random.Random = field(default_factory=lambda: random.Random(0))
+
+    @property
+    def all_nodes(self) -> list[int]:
+        return list(range(1, self.n_nodes + 1))
+
+    def send(self, recipient: int, payload: Any) -> None:
+        self.sent.append((recipient, payload))
+
+    def broadcast(self, payload: Any, include_self: bool = True) -> None:
+        for j in self.all_nodes:
+            if j == self.node_id and not include_self:
+                continue
+            self.send(j, payload)
+
+    def set_timer(self, delay: float, tag: Any) -> int:
+        self._timer_counter += 1
+        self.timers.append((self._timer_counter, delay, tag))
+        return self._timer_counter
+
+    def cancel_timer(self, timer_id: int) -> None:
+        self.cancelled.append(timer_id)
+
+    def output(self, payload: Any) -> None:
+        self.outputs.append(payload)
+
+    def record_leader_change(self) -> None:
+        self.leader_changes += 1
+
+    # -- assertion sugar -------------------------------------------------------
+
+    def sent_of_kind(self, kind: str) -> list[tuple[int, Any]]:
+        return [
+            (r, p) for r, p in self.sent if getattr(p, "kind", None) == kind
+        ]
+
+    def clear(self) -> None:
+        self.sent.clear()
+        self.outputs.clear()

@@ -1,0 +1,117 @@
+"""Clause-level tests for the RenewalNode modifications (§5.2)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.crypto.groups import toy_group
+from repro.sim.pki import CertificateAuthority, KeyStore
+from repro.dkg.config import DkgConfig
+from repro.proactive.messages import ClockTickMsg, RenewInput
+from repro.proactive.renewal import RenewalNode, share_commitment_at
+
+from tests.helpers import StubContext
+
+G = toy_group()
+N, T = 7, 2
+
+
+@pytest.fixture()
+def world():
+    rng = random.Random(5)
+    ca = CertificateAuthority(G)
+    stores = {i: KeyStore.enroll(i, ca, rng) for i in range(1, N + 1)}
+    config = DkgConfig(n=N, t=T, group=G)
+    return stores, ca, config
+
+
+def _node(stores, ca, config, me=2, share=777):
+    node = RenewalNode(
+        me, config, stores[me], ca, phase=1, prev_share=share
+    )
+    return node, StubContext(node_id=me, n_nodes=N)
+
+
+class TestTickGate:
+    def test_local_tick_deals_and_broadcasts(self, world) -> None:
+        stores, ca, config = world
+        node, ctx = _node(stores, ca, config)
+        node.on_operator(RenewInput(1), ctx)
+        assert len(ctx.sent_of_kind("proactive.tick")) == N
+        assert len(ctx.sent_of_kind("vss.send")) == N
+        # the dealt commitment commits to the previous share
+        _, send = ctx.sent_of_kind("vss.send")[0]
+        assert send.commitment.public_key() == G.commit(777)
+
+    def test_old_share_erased_after_dealing(self, world) -> None:
+        stores, ca, config = world
+        node, ctx = _node(stores, ca, config)
+        node.on_operator(RenewInput(1), ctx)
+        assert node.secret is None  # erased
+        # logged sends are commitment-only after erasure
+        ctx.clear()
+        node.sessions[2].start_recovery(ctx)
+        for _, msg in ctx.sent_of_kind("vss.send"):
+            assert msg.poly is None
+
+    def test_messages_buffered_until_t_plus_one_ticks(self, world) -> None:
+        stores, ca, config = world
+        dealer, dctx = _node(stores, ca, config, me=3, share=10)
+        dealer.on_operator(RenewInput(1), dctx)
+        send_to_2 = next(
+            msg for recipient, msg in dctx.sent_of_kind("vss.send")
+            if recipient == 2
+        )
+
+        node, ctx = _node(stores, ca, config, me=2)
+        node.on_message(3, send_to_2, ctx)  # gate closed: buffered
+        assert ctx.sent_of_kind("vss.echo") == []
+        node.on_message(3, ClockTickMsg(1), ctx)
+        node.on_message(4, ClockTickMsg(1), ctx)
+        assert ctx.sent_of_kind("vss.echo") == []  # still only 2 ticks
+        node.on_message(5, ClockTickMsg(1), ctx)  # t+1 = 3 ticks
+        # buffer drains: the send is processed, echoes go out
+        assert len(ctx.sent_of_kind("vss.echo")) == N
+
+    def test_own_tick_counts_toward_gate(self, world) -> None:
+        stores, ca, config = world
+        node, ctx = _node(stores, ca, config)
+        node.on_operator(RenewInput(1), ctx)
+        node.on_message(3, ClockTickMsg(1), ctx)
+        node.on_message(4, ClockTickMsg(1), ctx)
+        assert node._gate_open  # 2 remote + own
+
+    def test_ticks_for_other_phase_ignored(self, world) -> None:
+        stores, ca, config = world
+        node, ctx = _node(stores, ca, config)
+        for sender in (3, 4, 5):
+            node.on_message(sender, ClockTickMsg(2), ctx)
+        assert not node._gate_open
+
+    def test_shareless_member_does_not_deal(self, world) -> None:
+        stores, ca, config = world
+        node = RenewalNode(
+            2, config, stores[2], ca, phase=1, prev_share=None
+        )
+        ctx = StubContext(node_id=2, n_nodes=N)
+        node.on_operator(RenewInput(1), ctx)
+        assert ctx.sent_of_kind("vss.send") == []
+        assert len(ctx.sent_of_kind("proactive.tick")) == N
+
+
+class TestShareCommitmentAt:
+    def test_matrix_and_vector_shapes(self) -> None:
+        from repro.crypto.bivariate import BivariatePolynomial
+        from repro.crypto.feldman import FeldmanCommitment, FeldmanVector
+        from repro.crypto.polynomials import Polynomial
+
+        rng = random.Random(1)
+        f = BivariatePolynomial.random_symmetric(2, G.q, rng, secret=5)
+        matrix = FeldmanCommitment.commit(f, G)
+        assert share_commitment_at(matrix, 3) == G.commit(f.evaluate(3, 0))
+
+        poly = Polynomial.random(2, G.q, rng, constant_term=5)
+        vector = FeldmanVector.commit(poly, G)
+        assert share_commitment_at(vector, 3) == G.commit(poly(3))

@@ -1,0 +1,50 @@
+"""Tests for weak-synchrony timeout schedules and phase clocks."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.sim.clock import PhaseClock, TimeoutPolicy
+
+
+class TestTimeoutPolicy:
+    def test_geometric_growth(self) -> None:
+        policy = TimeoutPolicy(initial=10.0, multiplier=2.0)
+        assert policy.timeout(0) == 10.0
+        assert policy.timeout(1) == 20.0
+        assert policy.timeout(3) == 80.0
+
+    def test_cap(self) -> None:
+        policy = TimeoutPolicy(initial=10.0, multiplier=10.0, cap=500.0)
+        assert policy.timeout(5) == 500.0
+
+    @given(st.integers(min_value=0, max_value=30))
+    def test_monotone_nondecreasing(self, k: int) -> None:
+        policy = TimeoutPolicy(initial=5.0, multiplier=1.5)
+        assert policy.timeout(k + 1) >= policy.timeout(k)
+
+    def test_eventually_exceeds_any_delay(self) -> None:
+        # The liveness argument: for any fixed real delay D there is an
+        # attempt k with timeout(k) > D (until the cap).
+        policy = TimeoutPolicy(initial=1.0, multiplier=2.0, cap=1e9)
+        d = 1e6
+        assert any(policy.timeout(k) > d for k in range(40))
+
+
+class TestPhaseClock:
+    def test_tick_times(self) -> None:
+        clk = PhaseClock(interval=100.0, skew=3.0)
+        assert clk.tick_time(1) == 103.0
+        assert clk.tick_time(2) == 203.0
+
+    def test_phase_zero_rejected(self) -> None:
+        with pytest.raises(ValueError):
+            PhaseClock(interval=10.0).tick_time(0)
+
+    def test_skewed_clocks_preserve_order_within_interval(self) -> None:
+        fast = PhaseClock(interval=100.0, skew=0.0)
+        slow = PhaseClock(interval=100.0, skew=30.0)
+        # Same phase starts within one interval of each other.
+        assert abs(fast.tick_time(5) - slow.tick_time(5)) < 100.0

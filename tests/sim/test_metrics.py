@@ -1,0 +1,49 @@
+"""Tests for the metrics accounting layer."""
+
+from __future__ import annotations
+
+from repro.sim.metrics import Metrics
+
+
+class TestMetrics:
+    def test_record_send_accumulates(self) -> None:
+        metrics = Metrics()
+        metrics.record_send(1, "a", 100)
+        metrics.record_send(2, "a", 50)
+        metrics.record_send(1, "b", 10)
+        assert metrics.messages_total == 3
+        assert metrics.bytes_total == 160
+        assert metrics.messages_by_kind == {"a": 2, "b": 1}
+        assert metrics.bytes_by_kind == {"a": 150, "b": 10}
+        assert metrics.messages_by_sender == {1: 2, 2: 1}
+
+    def test_completion_keeps_first_time(self) -> None:
+        metrics = Metrics()
+        metrics.record_completion(1, 5.0)
+        metrics.record_completion(1, 9.0)
+        metrics.record_completion(2, 7.0)
+        assert metrics.completion_times == {1: 5.0, 2: 7.0}
+        assert metrics.last_completion == 7.0
+
+    def test_last_completion_empty(self) -> None:
+        assert Metrics().last_completion is None
+
+    def test_counters(self) -> None:
+        metrics = Metrics()
+        metrics.record_crash()
+        metrics.record_recovery()
+        metrics.record_leader_change()
+        metrics.record_drop()
+        assert (metrics.crashes, metrics.recoveries) == (1, 1)
+        assert metrics.leader_changes == 1
+        assert metrics.deliveries_dropped == 1
+
+    def test_summary_shape(self) -> None:
+        metrics = Metrics()
+        metrics.record_send(1, "x", 5)
+        metrics.record_completion(1, 2.0)
+        summary = metrics.summary()
+        assert summary["messages"] == 1
+        assert summary["bytes"] == 5
+        assert summary["completed_nodes"] == 1
+        assert summary["last_completion"] == 2.0

@@ -1,0 +1,58 @@
+"""Tests for the simulated CA and node key stores."""
+
+from __future__ import annotations
+
+import random
+
+from repro.crypto.groups import toy_group
+from repro.sim.pki import CertificateAuthority, KeyStore
+
+
+def _setup() -> tuple[CertificateAuthority, KeyStore, random.Random]:
+    rng = random.Random(5)
+    ca = CertificateAuthority(toy_group())
+    ks = KeyStore.enroll(1, ca, rng)
+    return ca, ks, rng
+
+
+class TestCertificateAuthority:
+    def test_enroll_and_verify(self) -> None:
+        ca, ks, rng = _setup()
+        sig = ks.sign(b"hello", rng)
+        assert ca.verify(1, b"hello", sig)
+        assert not ca.verify(1, b"bye", sig)
+
+    def test_unknown_node_fails_verification(self) -> None:
+        ca, ks, rng = _setup()
+        sig = ks.sign(b"hello", rng)
+        assert not ca.verify(2, b"hello", sig)
+
+    def test_revocation(self) -> None:
+        ca, ks, rng = _setup()
+        sig = ks.sign(b"hello", rng)
+        ca.revoke(1)
+        assert not ca.verify(1, b"hello", sig)
+        assert len(ca.revocation_list) == 1
+        assert ca.revocation_list[0].revoked
+
+    def test_reissue_bumps_serial_and_revokes_old(self) -> None:
+        ca, ks, rng = _setup()
+        first = ca._certs[1].serial
+        ca.issue(1, toy_group().commit(123))
+        assert ca._certs[1].serial == first + 1
+        assert len(ca.revocation_list) == 1
+
+
+class TestKeyStore:
+    def test_rotate_invalidates_old_signatures(self) -> None:
+        ca, ks, rng = _setup()
+        old_sig = ks.sign(b"msg", rng)
+        ks.rotate(rng)
+        assert not ca.verify(1, b"msg", old_sig)
+        new_sig = ks.sign(b"msg", rng)
+        assert ca.verify(1, b"msg", new_sig)
+
+    def test_rotation_appears_on_revocation_list(self) -> None:
+        ca, ks, rng = _setup()
+        ks.rotate(rng)
+        assert len(ca.revocation_list) == 1

@@ -1,0 +1,223 @@
+"""Tests for the Simulation runner: delivery, timers, crash semantics,
+determinism, and metrics accounting."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+import pytest
+
+from repro.sim.adversary import Adversary
+from repro.sim.network import ConstantDelay, RawPayload, UniformDelay
+from repro.sim.node import Context, ProtocolNode, RecordingNode
+from repro.sim.runner import Simulation
+
+
+@dataclass
+class PingNode(ProtocolNode):
+    """Sends one ping to everyone on operator input; echoes pongs back."""
+
+    pongs: list[int] = field(default_factory=list)
+
+    def on_operator(self, payload: Any, ctx: Context) -> None:
+        ctx.broadcast(RawPayload("ping", 100), include_self=False)
+
+    def on_message(self, sender: int, payload: Any, ctx: Context) -> None:
+        if payload.kind == "ping":
+            ctx.send(sender, RawPayload("pong", 50))
+        else:
+            self.pongs.append(sender)
+
+
+def _sim(n: int = 3, **kwargs: Any) -> tuple[Simulation, dict[int, PingNode]]:
+    sim = Simulation(**kwargs)
+    nodes = {i: PingNode(i) for i in range(1, n + 1)}
+    for node in nodes.values():
+        sim.add_node(node)
+    return sim, nodes
+
+
+class TestDelivery:
+    def test_ping_pong_roundtrip(self) -> None:
+        sim, nodes = _sim(3, seed=1)
+        sim.inject(1, RawPayload("go", 0))
+        sim.run()
+        assert sorted(nodes[1].pongs) == [2, 3]
+
+    def test_metrics_count_messages_and_bytes(self) -> None:
+        sim, _ = _sim(3, seed=1)
+        sim.inject(1, RawPayload("go", 0))
+        sim.run()
+        # 2 pings of 100 bytes + 2 pongs of 50 bytes
+        assert sim.metrics.messages_total == 4
+        assert sim.metrics.bytes_total == 300
+        assert sim.metrics.messages_by_kind["ping"] == 2
+        assert sim.metrics.bytes_by_kind["pong"] == 100
+
+    def test_unknown_recipient_raises(self) -> None:
+        sim, _ = _sim(2)
+        with pytest.raises(KeyError):
+            sim.enqueue_message(1, 99, RawPayload("x", 0))
+
+    def test_duplicate_node_id_rejected(self) -> None:
+        sim, _ = _sim(2)
+        with pytest.raises(ValueError):
+            sim.add_node(PingNode(1))
+
+
+class TestDeterminism:
+    def test_same_seed_same_trace(self) -> None:
+        def trace(seed: int) -> list[tuple[float, int, Any]]:
+            sim = Simulation(seed=seed, delay_model=UniformDelay())
+            rec = {i: RecordingNode(i) for i in (1, 2, 3)}
+            for r in rec.values():
+                sim.add_node(r)
+            pinger = PingNode(4)
+            sim.add_node(pinger)
+            sim.inject(4, RawPayload("go", 0))
+            sim.run()
+            return [x for r in rec.values() for x in r.received]
+
+        assert trace(42) == trace(42)
+        assert trace(42) != trace(43)
+
+    def test_constant_delay_is_exact(self) -> None:
+        sim = Simulation(seed=0, delay_model=ConstantDelay(2.5))
+        rec = RecordingNode(2)
+        sim.add_node(PingNode(1))
+        sim.add_node(rec)
+        sim.inject(1, RawPayload("go", 0), at=1.0)
+        sim.run()
+        assert rec.received[0][0] == pytest.approx(3.5)
+
+
+class TestTimers:
+    def test_timer_fires_and_can_be_cancelled(self) -> None:
+        @dataclass
+        class TimerNode(ProtocolNode):
+            fired: list[Any] = field(default_factory=list)
+
+            def on_operator(self, payload: Any, ctx: Context) -> None:
+                keep = ctx.set_timer(1.0, "keep")
+                kill = ctx.set_timer(1.0, "kill")
+                ctx.cancel_timer(kill)
+
+            def on_timer(self, tag: Any, ctx: Context) -> None:
+                self.fired.append(tag)
+
+        sim = Simulation(seed=0)
+        node = TimerNode(1)
+        sim.add_node(node)
+        sim.inject(1, RawPayload("go", 0))
+        sim.run()
+        assert node.fired == ["keep"]
+
+    def test_timer_suppressed_while_crashed(self) -> None:
+        @dataclass
+        class TimerNode(ProtocolNode):
+            fired: list[Any] = field(default_factory=list)
+
+            def on_operator(self, payload: Any, ctx: Context) -> None:
+                ctx.set_timer(5.0, "late")
+
+            def on_timer(self, tag: Any, ctx: Context) -> None:
+                self.fired.append(tag)
+
+        sim = Simulation(seed=0)
+        node = TimerNode(1)
+        sim.add_node(node)
+        sim.inject(1, RawPayload("go", 0))
+        sim.crash(1, at=2.0)
+        sim.run()
+        assert node.fired == []
+
+
+class TestCrashSemantics:
+    def test_messages_to_crashed_node_are_dropped(self) -> None:
+        sim = Simulation(seed=0, delay_model=ConstantDelay(1.0))
+        rec = RecordingNode(2)
+        sim.add_node(PingNode(1))
+        sim.add_node(rec)
+        sim.crash(2, at=0.5)
+        sim.inject(1, RawPayload("go", 0), at=1.0)  # ping arrives at 2.0
+        sim.run()
+        assert rec.received == []
+        assert sim.metrics.deliveries_dropped == 1
+
+    def test_recovery_restores_delivery_and_fires_hook(self) -> None:
+        sim = Simulation(seed=0, delay_model=ConstantDelay(1.0))
+        rec = RecordingNode(2)
+        sim.add_node(PingNode(1))
+        sim.add_node(rec)
+        sim.crash(2, at=0.5)
+        sim.recover(2, at=5.0)
+        sim.inject(1, RawPayload("go", 0), at=6.0)
+        sim.run()
+        assert len(rec.received) == 1
+        assert rec.recovered_at == [5.0]
+        assert sim.metrics.crashes == 1
+        assert sim.metrics.recoveries == 1
+
+    def test_crash_plan_from_adversary_is_scheduled(self) -> None:
+        adv = Adversary.crash_only(t=0, f=1, crash_plan=[(1.0, 2, 3.0)])
+        sim = Simulation(seed=0, adversary=adv)
+        rec = RecordingNode(2)
+        sim.add_node(RecordingNode(1))
+        sim.add_node(rec)
+        sim.run()
+        assert sim.metrics.crashes == 1
+        assert rec.recovered_at == [4.0]
+
+    def test_operator_input_dropped_while_crashed(self) -> None:
+        sim = Simulation(seed=0)
+        rec = RecordingNode(1)
+        sim.add_node(rec)
+        sim.crash(1, at=0.0)
+        sim.inject(1, RawPayload("go", 0), at=1.0)
+        sim.run()
+        assert rec.received == []
+
+
+class TestRunControls:
+    def test_until_stops_early(self) -> None:
+        sim = Simulation(seed=0, delay_model=ConstantDelay(10.0))
+        rec = RecordingNode(2)
+        sim.add_node(PingNode(1))
+        sim.add_node(rec)
+        sim.inject(1, RawPayload("go", 0))
+        sim.run(until=5.0)
+        assert rec.received == []
+        sim.run()  # finish
+        assert len(rec.received) == 1
+
+    def test_event_budget_guards_livelock(self) -> None:
+        @dataclass
+        class LoopNode(ProtocolNode):
+            def on_operator(self, payload: Any, ctx: Context) -> None:
+                ctx.send(self.node_id, RawPayload("loop", 1))
+
+            def on_message(self, sender: int, payload: Any, ctx: Context) -> None:
+                ctx.send(self.node_id, RawPayload("loop", 1))
+
+        sim = Simulation(seed=0)
+        sim.add_node(LoopNode(1))
+        sim.inject(1, RawPayload("go", 0))
+        with pytest.raises(RuntimeError, match="event budget"):
+            sim.run(max_events=100)
+
+    def test_outputs_helpers(self) -> None:
+        @dataclass
+        class OutNode(ProtocolNode):
+            def on_operator(self, payload: Any, ctx: Context) -> None:
+                ctx.output(RawPayload("done", 0))
+
+        sim = Simulation(seed=0)
+        sim.add_node(OutNode(1))
+        sim.add_node(OutNode(2))
+        sim.inject(1, RawPayload("go", 0))
+        sim.inject(2, RawPayload("go", 0))
+        sim.run()
+        assert len(sim.outputs_for(1)) == 1
+        assert len(sim.outputs_of_kind("done")) == 2
+        assert sim.metrics.completion_times.keys() == {1, 2}

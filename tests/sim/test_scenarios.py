@@ -1,0 +1,99 @@
+"""Tests for the canned fault scenario builders."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.crypto.groups import toy_group
+from repro.sim.scenarios import (
+    crash_storm,
+    fault_free,
+    flaky_node,
+    leader_assassination,
+    rolling_restart,
+)
+from repro.dkg import DkgConfig, run_dkg
+
+G = toy_group()
+
+
+class TestBuilders:
+    def test_fault_free(self) -> None:
+        spec = fault_free(2, 1)
+        assert not spec.adversary.crash_plan
+        assert not spec.adversary.byzantine
+
+    def test_rolling_restart_serializes(self) -> None:
+        spec = rolling_restart(2, 1, nodes=[3, 4, 5], downtime=5.0, gap=1.0)
+        plan = spec.adversary.crash_plan
+        assert len(plan) == 3
+        # episodes never overlap (validated by the Adversary too)
+        for (t1, _, d1), (t2, _, _) in zip(plan, plan[1:]):
+            assert t1 + d1 <= t2
+
+    def test_rolling_restart_requires_f(self) -> None:
+        with pytest.raises(ValueError, match="f >= 1"):
+            rolling_restart(2, 0, nodes=[1])
+
+    def test_crash_storm_respects_budget(self) -> None:
+        spec = crash_storm(2, 1, victims=[2, 3, 4], episodes=5, seed=1)
+        assert len(spec.adversary.crash_plan) == 5
+        assert spec.adversary.d_budget >= 5
+
+    def test_crash_storm_window_validation(self) -> None:
+        with pytest.raises(ValueError, match="window too small"):
+            crash_storm(2, 1, victims=[2], episodes=50, window=10.0)
+
+    def test_flaky_node_flaps(self) -> None:
+        spec = flaky_node(2, 1, node=4, flaps=4)
+        plan = spec.adversary.crash_plan
+        assert len(plan) == 4
+        assert all(node == 4 for _, node, _ in plan)
+
+    def test_leader_assassination_spacing(self) -> None:
+        spec = leader_assassination(2, 1, leaders=[1, 2], timeout=25.0)
+        plan = spec.adversary.crash_plan
+        assert plan[1][0] - plan[0][0] == 25.0
+
+
+class TestScenariosEndToEnd:
+    def test_dkg_survives_rolling_restart(self) -> None:
+        spec = rolling_restart(2, 1, nodes=[3, 6], downtime=8.0, gap=2.0)
+        res = run_dkg(
+            DkgConfig(n=9, t=2, f=1, group=G), seed=5, adversary=spec.adversary
+        )
+        assert res.succeeded
+        assert res.metrics.crashes == 2
+
+    def test_dkg_survives_crash_storm(self) -> None:
+        spec = crash_storm(2, 1, victims=[2, 4, 6, 8], episodes=4, seed=6)
+        res = run_dkg(
+            DkgConfig(n=9, t=2, f=1, group=G), seed=6, adversary=spec.adversary
+        )
+        assert res.succeeded
+
+    def test_dkg_survives_flaky_node(self) -> None:
+        spec = flaky_node(2, 1, node=5, flaps=3)
+        res = run_dkg(
+            DkgConfig(n=9, t=2, f=1, group=G), seed=7, adversary=spec.adversary
+        )
+        assert res.succeeded
+        assert res.metrics.recoveries >= 2
+
+    def test_dkg_survives_leader_assassination(self) -> None:
+        from repro.sim.clock import TimeoutPolicy
+
+        spec = leader_assassination(2, 1, leaders=[1], timeout=25.0)
+        res = run_dkg(
+            DkgConfig(
+                n=9, t=2, f=1, group=G,
+                timeout=TimeoutPolicy(initial=25.0, multiplier=2.0),
+            ),
+            seed=8,
+            adversary=spec.adversary,
+        )
+        # the crashed leader's view times out; the next leader finishes
+        assert all(
+            res.nodes[i].completed is not None
+            for i in range(2, 10)
+        )

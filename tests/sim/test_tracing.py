@@ -1,0 +1,84 @@
+"""Tests for the simulation tracer/observer facility."""
+
+from __future__ import annotations
+
+from repro.sim.network import ConstantDelay, RawPayload
+from repro.sim.node import RecordingNode
+from repro.sim.runner import Simulation
+from repro.sim.tracing import Tracer
+
+
+def _traced_run() -> tuple[Tracer, Simulation]:
+    tracer = Tracer()
+    sim = Simulation(
+        seed=1, delay_model=ConstantDelay(1.0), observers=[tracer]
+    )
+    sim.add_node(RecordingNode(1))
+    sim.add_node(RecordingNode(2))
+    sim.inject(1, RawPayload("go", 0))
+    sim.enqueue_message(1, 2, RawPayload("ping", 10))
+    sim.set_timer(2, 5.0, "tick")
+    sim.crash(1, at=3.0)
+    sim.recover(1, at=4.0)
+    sim.run()
+    return tracer, sim
+
+
+class TestTracer:
+    def test_categories_recorded(self) -> None:
+        tracer, _ = _traced_run()
+        counts = tracer.counts()
+        assert counts["operator"] == 1
+        assert counts["deliver"] == 1
+        assert counts["timer"] == 1
+        assert counts["crash"] == 1
+        assert counts["recover"] == 1
+
+    def test_records_are_time_ordered(self) -> None:
+        tracer, _ = _traced_run()
+        times = [r.time for r in tracer.records]
+        assert times == sorted(times)
+
+    def test_queries(self) -> None:
+        tracer, _ = _traced_run()
+        assert all(r.node == 2 for r in tracer.of_category("deliver"))
+        first_crash = tracer.first("crash")
+        assert first_crash is not None and first_crash.time == 3.0
+        assert tracer.first("deliver", node=99) is None
+        assert len(tracer.records_for(2)) == 2  # delivery + timer
+
+    def test_transcript_renders(self) -> None:
+        tracer, _ = _traced_run()
+        text = tracer.transcript()
+        assert "deliver" in text and "ping from 1" in text
+
+    def test_limit_drops_excess(self) -> None:
+        tracer = Tracer(limit=2)
+        sim = Simulation(seed=2, observers=[tracer])
+        sim.add_node(RecordingNode(1))
+        for k in range(5):
+            sim.inject(1, RawPayload("x", 0), at=float(k))
+        sim.run()
+        assert len(tracer.records) == 2
+        assert tracer.dropped == 3
+        assert "dropped" in tracer.transcript()
+
+    def test_tracing_full_vss_run(self) -> None:
+        from repro.crypto.groups import toy_group
+        from repro.vss import SessionId, ShareInput, VssConfig, VssNode
+
+        tracer = Tracer()
+        cfg = VssConfig(n=4, t=1, group=toy_group())
+        sim = Simulation(seed=3, observers=[tracer])
+        sid = SessionId(1, 0)
+        for i in cfg.indices:
+            sim.add_node(VssNode(i, cfg, sid))
+        sim.inject(1, ShareInput(sid, 42), at=0.0)
+        sim.run()
+        counts = tracer.counts()
+        # n sends + n^2 echoes + n^2 readies delivered
+        assert counts["deliver"] == 4 + 2 * 16
+        assert counts["operator"] == 1
+        # every node's trace shows protocol progress
+        for i in cfg.indices:
+            assert any("vss.send" in r.detail for r in tracer.records_for(i))

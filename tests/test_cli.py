@@ -1,0 +1,74 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestCli:
+    def test_dkg_command(self, capsys) -> None:
+        code = main(["dkg", "--n", "4", "--t", "1", "--seed", "3"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "succeeded: True" in out
+        assert "public_key" in out
+
+    def test_dkg_json_output(self, capsys) -> None:
+        code = main(["dkg", "--n", "4", "--t", "1", "--json"])
+        payload = json.loads(capsys.readouterr().out)
+        assert code == 0
+        assert payload["succeeded"] is True
+        assert len(payload["q_set"]) == 2
+
+    def test_dkg_with_reconstruct(self, capsys) -> None:
+        code = main(["dkg", "--n", "4", "--t", "1", "--reconstruct", "--json"])
+        payload = json.loads(capsys.readouterr().out)
+        assert code == 0
+        assert len(set(payload["reconstructed"].values())) == 1
+
+    def test_vss_command(self, capsys) -> None:
+        code = main(
+            ["vss", "--n", "4", "--t", "1", "--secret", "42",
+             "--reconstruct", "--json"]
+        )
+        payload = json.loads(capsys.readouterr().out)
+        assert code == 0
+        assert payload["completed_nodes"] == [1, 2, 3, 4]
+        assert set(payload["reconstructions"].values()) == {42}
+
+    def test_vss_hashed_codec_smaller(self, capsys) -> None:
+        main(["vss", "--n", "7", "--t", "2", "--json"])
+        full = json.loads(capsys.readouterr().out)
+        main(["vss", "--n", "7", "--t", "2", "--hashed-codec", "--json"])
+        hashed = json.loads(capsys.readouterr().out)
+        assert hashed["bytes"] < full["bytes"]
+
+    def test_renew_command(self, capsys) -> None:
+        code = main(
+            ["renew", "--n", "4", "--t", "1", "--phases", "2", "--json"]
+        )
+        payload = json.loads(capsys.readouterr().out)
+        assert code == 0
+        assert payload["secret_invariant"] is True
+        assert len(payload["phases"]) == 2
+        assert all(p["public_key_stable"] for p in payload["phases"])
+
+    def test_resilience_command(self, capsys) -> None:
+        code = main(["resilience", "--t", "1", "--f", "0", "--json"])
+        payload = json.loads(capsys.readouterr().out)
+        assert code == 0
+        assert payload["bound"] == 4
+        assert payload["success_by_n"]["4"] is True
+        assert payload["success_by_n"]["3"] is False
+
+    def test_parser_requires_command(self) -> None:
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_group_rejected(self) -> None:
+        with pytest.raises(KeyError):
+            main(["dkg", "--n", "4", "--t", "1", "--group", "nope"])

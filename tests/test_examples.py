@@ -1,0 +1,31 @@
+"""Smoke tests: every example script runs to completion."""
+
+from __future__ import annotations
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = sorted(
+    (pathlib.Path(__file__).parent.parent / "examples").glob("*.py")
+)
+
+
+@pytest.mark.parametrize("script", EXAMPLES, ids=lambda p: p.stem)
+def test_example_runs(script: pathlib.Path) -> None:
+    result = subprocess.run(
+        [sys.executable, str(script)],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert result.returncode == 0, result.stderr
+    assert result.stdout  # examples narrate what they do
+
+
+def test_examples_present() -> None:
+    names = {p.stem for p in EXAMPLES}
+    assert {"quickstart", "threshold_wallet", "randomness_beacon",
+            "resilient_cluster"} <= names

@@ -1,0 +1,155 @@
+"""Failure-injection integration tests: partitions, mid-protocol
+crashes at randomized times, and compound fault scenarios."""
+
+from __future__ import annotations
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.groups import toy_group
+from repro.sim.adversary import Adversary
+from repro.sim.clock import TimeoutPolicy
+from repro.sim.network import PartitionDelay, UniformDelay
+from repro.dkg import DkgConfig, run_dkg
+from repro.vss import VssConfig, run_vss
+
+G = toy_group()
+
+COMMON = dict(
+    max_examples=10,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+class TestPartitions:
+    def test_vss_completes_after_partition_heals(self) -> None:
+        cfg = VssConfig(n=7, t=2, group=G)
+        delays = PartitionDelay(
+            group_a=frozenset({1, 2, 3}), heal_time=50.0,
+            base=UniformDelay(0.5, 1.5),
+        )
+        res = run_vss(cfg, secret=5, seed=1, delay_model=delays)
+        assert res.completed_nodes == list(range(1, 8))
+        # Completion necessarily waits for the heal: the dealer is in
+        # group A and the echo quorum (5) spans the partition.
+        assert res.metrics.last_completion > 50.0
+
+    def test_dkg_completes_after_partition_heals(self) -> None:
+        cfg = DkgConfig(
+            n=7, t=2, group=G,
+            timeout=TimeoutPolicy(initial=40.0, multiplier=2.0),
+        )
+        delays = PartitionDelay(
+            group_a=frozenset({1, 2, 3}), heal_time=30.0,
+            base=UniformDelay(0.5, 1.5),
+        )
+        res = run_dkg(cfg, seed=2, delay_model=delays)
+        assert res.succeeded
+        assert res.reconstruct() == res.expected_secret()
+
+    def test_majority_side_unaffected_when_dealer_inside(self) -> None:
+        # Dealer and the whole echo quorum on one side: that side
+        # finishes before the heal; the minority side after.
+        cfg = VssConfig(n=7, t=2, group=G)
+        delays = PartitionDelay(
+            group_a=frozenset({6, 7}), heal_time=80.0,
+            base=UniformDelay(0.5, 1.5),
+        )
+        res = run_vss(cfg, secret=5, seed=3, delay_model=delays)
+        assert set(res.completed_nodes) == set(range(1, 8))
+        majority_times = [
+            o.time for o in res.simulation.outputs if o.node <= 5
+        ]
+        minority_times = [
+            o.time for o in res.simulation.outputs if o.node >= 6
+        ]
+        assert max(majority_times) < 80.0
+        assert min(minority_times) > 80.0
+
+    @given(st.integers(0, 2**31), st.floats(min_value=5.0, max_value=60.0))
+    @settings(**COMMON)
+    def test_partition_never_breaks_safety(self, seed: int, heal: float) -> None:
+        cfg = DkgConfig(
+            n=7, t=2, group=G,
+            timeout=TimeoutPolicy(initial=heal + 10.0, multiplier=2.0),
+        )
+        delays = PartitionDelay(
+            group_a=frozenset({1, 4, 5}), heal_time=heal,
+            base=UniformDelay(0.5, 1.5),
+        )
+        res = run_dkg(cfg, seed=seed, delay_model=delays)
+        if res.completions:
+            # whatever completes, it agrees
+            _ = res.q_set
+            _ = res.public_key
+            assert res.reconstruct() == res.expected_secret()
+
+
+class TestRandomizedCrashes:
+    @given(
+        st.integers(0, 2**31),
+        st.floats(min_value=0.1, max_value=12.0),
+        st.integers(min_value=1, max_value=9),
+    )
+    @settings(**COMMON)
+    def test_dkg_survives_one_crash_anytime_anywhere(
+        self, seed: int, crash_at: float, victim: int
+    ) -> None:
+        cfg = DkgConfig(n=9, t=2, f=1, group=G)
+        adv = Adversary.crash_only(
+            t=2, f=1, crash_plan=[(crash_at, victim, 60.0)]
+        )
+        res = run_dkg(cfg, seed=seed, adversary=adv)
+        assert res.succeeded
+        assert res.reconstruct() == res.expected_secret()
+
+    @given(st.integers(0, 2**31))
+    @settings(**COMMON)
+    def test_serial_crash_recover_cycles(self, seed: int) -> None:
+        # The same f=1 slot crashes three different nodes in sequence.
+        cfg = DkgConfig(n=9, t=2, f=1, group=G)
+        plan = [(0.5, 3, 5.0), (6.0, 7, 5.0), (12.0, 2, 5.0)]
+        adv = Adversary.crash_only(t=2, f=1, crash_plan=plan, d_budget=6)
+        res = run_dkg(cfg, seed=seed, adversary=adv)
+        assert res.succeeded
+        assert res.metrics.crashes == 3
+
+
+class TestCompoundFaults:
+    def test_partition_plus_crash_plus_byzantine(self) -> None:
+        """Everything at once: a Byzantine node, a crash/recovery, and a
+        partition — the DKG still completes and agrees."""
+        from dataclasses import dataclass
+        from typing import Any
+
+        from repro.sim.node import Context, ProtocolNode
+
+        @dataclass
+        class SilentNode(ProtocolNode):
+            def on_message(self, sender: int, payload: Any, ctx: Context) -> None:
+                pass
+
+            def on_operator(self, payload: Any, ctx: Context) -> None:
+                pass
+
+        cfg = DkgConfig(
+            n=10, t=2, f=1, group=G,
+            timeout=TimeoutPolicy(initial=60.0, multiplier=2.0),
+        )
+        adv = Adversary(
+            t=2, f=1,
+            byzantine=frozenset({4}),
+            crash_plan=[(1.0, 8, 45.0)],
+            d_budget=4,
+        )
+        delays = PartitionDelay(
+            group_a=frozenset({1, 2, 3}), heal_time=25.0,
+            base=UniformDelay(0.5, 1.5),
+        )
+        res = run_dkg(
+            cfg, seed=9, adversary=adv, delay_model=delays,
+            node_factory=lambda i, c, k, ca: SilentNode(i) if i == 4 else None,
+        )
+        assert res.succeeded
+        assert res.reconstruct() == res.expected_secret()

@@ -1,0 +1,144 @@
+"""Whole-protocol property-based tests.
+
+Hypothesis drives randomized deployments (n, t, f), network conditions,
+seeds and fault schedules through complete VSS/DKG/renewal runs and
+checks the Definition 3.1 / 4.1 properties on every one.  Because the
+simulator is deterministic, every failure shrinks to a reproducible
+(config, seed) pair.
+"""
+
+from __future__ import annotations
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.crypto import Share, reconstruct_secret
+from repro.crypto.groups import toy_group
+from repro.crypto.polynomials import interpolate_at
+from repro.sim.adversary import Adversary
+from repro.sim.network import ConstantDelay, ExponentialDelay, UniformDelay
+from repro.dkg import DkgConfig, run_dkg
+from repro.proactive import ProactiveSystem
+from repro.vss import VssConfig, run_vss
+
+G = toy_group()
+
+# (t, f, slack) drawn small enough to keep runs fast; n derived.
+deployments = st.tuples(
+    st.integers(min_value=1, max_value=2),   # t
+    st.integers(min_value=0, max_value=1),   # f
+    st.integers(min_value=0, max_value=2),   # slack above the bound
+)
+
+delay_models = st.sampled_from(
+    [
+        ConstantDelay(1.0),
+        UniformDelay(0.2, 2.0),
+        UniformDelay(0.9, 1.1),
+        ExponentialDelay(mean=1.0),
+        # Extreme jitter: delays spanning three orders of magnitude give
+        # essentially arbitrary message reordering — the defining stress
+        # of the asynchronous model.
+        UniformDelay(0.01, 50.0),
+    ]
+)
+
+seeds = st.integers(min_value=0, max_value=2**32 - 1)
+
+COMMON = dict(
+    max_examples=15,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+class TestVssProperties:
+    @given(deployments, seeds, delay_models)
+    @settings(**COMMON)
+    def test_liveness_and_consistency(self, dep, seed, delays) -> None:
+        t, f, slack = dep
+        n = 3 * t + 2 * f + 1 + slack
+        cfg = VssConfig(n=n, t=t, f=f, group=G)
+        secret = seed % G.q
+        res = run_vss(cfg, secret=secret, seed=seed, delay_model=delays)
+        # Liveness: every node completes.
+        assert res.completed_nodes == list(range(1, n + 1))
+        # Consistency: single commitment; t+1 shares give the secret.
+        commitment = res.agreed_commitment()
+        shares = [
+            Share(i, out.share, commitment)
+            for i, out in sorted(res.shares.items())[: t + 1]
+        ]
+        assert reconstruct_secret(shares, t, G.q) == secret
+
+    @given(deployments, seeds)
+    @settings(**COMMON)
+    def test_crash_recovery_liveness(self, dep, seed) -> None:
+        t, f, slack = dep
+        if f == 0:
+            f = 1
+        n = 3 * t + 2 * f + 1 + slack
+        cfg = VssConfig(n=n, t=t, f=f, group=G)
+        victim = (seed % n) + 1
+        crash_at = 0.1 + (seed % 7) * 0.5
+        adv = Adversary.crash_only(
+            t=t, f=f, crash_plan=[(crash_at, victim, 40.0)]
+        )
+        res = run_vss(cfg, secret=1, seed=seed, adversary=adv)
+        assert set(res.completed_nodes) == set(range(1, n + 1))
+
+    @given(deployments, seeds)
+    @settings(**COMMON)
+    def test_all_shares_verify(self, dep, seed) -> None:
+        t, f, slack = dep
+        n = 3 * t + 2 * f + 1 + slack
+        res = run_vss(VssConfig(n=n, t=t, f=f, group=G), secret=7, seed=seed)
+        commitment = res.agreed_commitment()
+        for i, out in res.shares.items():
+            assert commitment.verify_share(i, out.share)
+
+
+class TestDkgProperties:
+    @given(deployments, seeds, delay_models)
+    @settings(**COMMON)
+    def test_agreement_consistency_correctness(self, dep, seed, delays) -> None:
+        t, f, slack = dep
+        n = 3 * t + 2 * f + 1 + slack
+        cfg = DkgConfig(n=n, t=t, f=f, group=G)
+        res = run_dkg(cfg, seed=seed, delay_model=delays)
+        # Liveness + agreement (property accessors raise on divergence).
+        assert res.succeeded
+        assert len(res.q_set) == t + 1
+        # Correctness: shares reconstruct sum of Q's dealt secrets, and
+        # the public key matches.
+        assert res.reconstruct() == res.expected_secret()
+        assert res.public_key == G.commit(res.expected_secret())
+
+    @given(seeds)
+    @settings(**COMMON)
+    def test_privacy_no_t_subset_reconstructs(self, seed) -> None:
+        res = run_dkg(DkgConfig(n=7, t=2, f=0, group=G), seed=seed)
+        secret = res.expected_secret()
+        items = sorted(res.shares.items())
+        # every 2-subset of shares interpolates to something wrong
+        import itertools
+
+        for combo in itertools.combinations(items, 2):
+            assert interpolate_at(list(combo), 0, G.q) != secret
+
+
+class TestRenewalProperties:
+    @given(seeds, st.integers(min_value=1, max_value=3))
+    @settings(max_examples=8, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    def test_secret_invariant_random_phases(self, seed, phases) -> None:
+        system = ProactiveSystem(DkgConfig(n=7, t=2, group=G), seed=seed)
+        system.bootstrap()
+        secret = system.reconstruct()
+        pk = system.public_key
+        for _ in range(phases):
+            report = system.renew()
+            assert system.reconstruct() == secret
+            assert report.public_key == pk
+            for i, share in report.shares.items():
+                assert report.commitment.verify_share(i, share)

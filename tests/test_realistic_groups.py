@@ -1,0 +1,51 @@
+"""End-to-end runs on realistic-size group parameters.
+
+Most tests use the 64-bit toy group so protocol logic dominates; these
+confirm nothing about the stack silently depends on small parameters.
+Kept small (n=4) because 1024-bit exponentiations are ~100x slower.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.crypto import Share, reconstruct_secret
+from repro.crypto.groups import RFC5114_1024_160, medium_group
+from repro.dkg import DkgConfig, run_dkg
+from repro.vss import VssConfig, run_vss
+
+
+class TestRfcGroupVss:
+    def test_vss_roundtrip_on_rfc5114(self) -> None:
+        group = RFC5114_1024_160
+        cfg = VssConfig(n=4, t=1, group=group)
+        secret = 0xDEADBEEFCAFE % group.q
+        res = run_vss(cfg, secret=secret, seed=1)
+        assert res.completed_nodes == [1, 2, 3, 4]
+        commitment = res.agreed_commitment()
+        shares = [Share(i, out.share, commitment) for i, out in res.shares.items()]
+        assert reconstruct_secret(shares, 1, group.q) == secret
+
+
+class TestMediumGroupDkg:
+    def test_dkg_on_256_bit_q(self) -> None:
+        group = medium_group()
+        cfg = DkgConfig(n=4, t=1, group=group)
+        res = run_dkg(cfg, seed=2)
+        assert res.succeeded
+        assert res.public_key == group.commit(res.expected_secret())
+
+    def test_threshold_app_on_medium_group(self) -> None:
+        from repro.apps import threshold_elgamal as eg
+
+        group = medium_group()
+        res = run_dkg(DkgConfig(n=4, t=1, group=group), seed=3)
+        rng = random.Random(3)
+        message = group.commit(777)
+        ct = eg.encrypt(group, res.public_key, message, rng)
+        partials = [
+            eg.partial_decrypt(group, ct, i, res.shares[i], rng) for i in (1, 3)
+        ]
+        assert eg.combine(group, ct, res.commitment, partials, t=1) == message

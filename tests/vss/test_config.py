@@ -1,0 +1,98 @@
+"""Tests for the resilience arithmetic of §2.2 encoded in VssConfig."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.vss.config import ResilienceError, VssConfig
+
+
+class TestResilienceBound:
+    @pytest.mark.parametrize(
+        "n,t,f",
+        [(4, 1, 0), (7, 2, 0), (10, 3, 0), (6, 1, 1), (9, 2, 1), (11, 2, 2)],
+    )
+    def test_valid_configs(self, n: int, t: int, f: int) -> None:
+        cfg = VssConfig(n=n, t=t, f=f)
+        assert cfg.satisfies_resilience()
+
+    @pytest.mark.parametrize("n,t,f", [(3, 1, 0), (6, 2, 0), (5, 1, 1), (2, 0, 1)])
+    def test_sub_resilient_configs_rejected(self, n: int, t: int, f: int) -> None:
+        with pytest.raises(ResilienceError):
+            VssConfig(n=n, t=t, f=f)
+
+    def test_enforcement_can_be_disabled_for_experiments(self) -> None:
+        cfg = VssConfig(n=3, t=1, f=0, enforce_resilience=False)
+        assert not cfg.satisfies_resilience()
+
+    def test_negative_parameters_rejected(self) -> None:
+        with pytest.raises(ValueError):
+            VssConfig(n=4, t=-1)
+        with pytest.raises(ValueError):
+            VssConfig(n=0, t=0)
+
+    def test_f_zero_reduces_to_3t_plus_1(self) -> None:
+        # §2.2: "for f = 0, 3t + 1 nodes are required"
+        VssConfig(n=7, t=2, f=0)
+        with pytest.raises(ResilienceError):
+            VssConfig(n=6, t=2, f=0)
+
+    def test_t_zero_requires_2f_plus_1(self) -> None:
+        # §2.2: "for t = 0, 2f + 1 nodes are mandatory"
+        VssConfig(n=5, t=0, f=2)
+        with pytest.raises(ResilienceError):
+            VssConfig(n=4, t=0, f=2)
+
+
+class TestThresholds:
+    @given(
+        st.integers(min_value=0, max_value=5),
+        st.integers(min_value=0, max_value=3),
+        st.integers(min_value=0, max_value=6),
+    )
+    def test_threshold_formulas(self, t: int, f: int, slack: int) -> None:
+        n = 3 * t + 2 * f + 1 + slack
+        cfg = VssConfig(n=n, t=t, f=f)
+        assert cfg.echo_threshold == math.ceil((n + t + 1) / 2)
+        assert cfg.ready_threshold == t + 1
+        assert cfg.output_threshold == n - t - f
+
+    @given(
+        st.integers(min_value=0, max_value=5),
+        st.integers(min_value=0, max_value=3),
+        st.integers(min_value=0, max_value=6),
+    )
+    def test_echo_threshold_guarantees_intersection(
+        self, t: int, f: int, slack: int
+    ) -> None:
+        # Two echo quorums intersect in at least t+1 nodes, hence in one
+        # honest node — the agreement backbone of Bracha broadcast.
+        n = 3 * t + 2 * f + 1 + slack
+        cfg = VssConfig(n=n, t=t, f=f)
+        quorum = cfg.echo_threshold
+        assert 2 * quorum - n >= t + 1
+
+    @given(
+        st.integers(min_value=0, max_value=5),
+        st.integers(min_value=0, max_value=3),
+    )
+    def test_output_threshold_reachable_with_faults(self, t: int, f: int) -> None:
+        # Even with t Byzantine silent and f crashed, the remaining
+        # honest nodes can reach the output threshold.
+        n = 3 * t + 2 * f + 1
+        cfg = VssConfig(n=n, t=t, f=f)
+        honest_up = n - t - f
+        assert honest_up >= cfg.output_threshold
+
+    def test_help_budgets(self) -> None:
+        cfg = VssConfig(n=7, t=2, f=0, d_budget=4)
+        assert cfg.help_per_node_budget == 4
+        assert cfg.help_total_budget == 12
+
+    def test_indices_exclude_zero(self) -> None:
+        cfg = VssConfig(n=4, t=1)
+        assert cfg.indices == [1, 2, 3, 4]

@@ -1,0 +1,83 @@
+"""Tests for VSS message types, sizes and session identifiers."""
+
+from __future__ import annotations
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.bivariate import BivariatePolynomial
+from repro.crypto.feldman import FeldmanCommitment
+from repro.crypto.groups import toy_group
+from repro.vss.messages import (
+    EchoMsg,
+    HelpMsg,
+    ReadyMsg,
+    SendMsg,
+    SessionId,
+    SharePointMsg,
+    ready_signing_bytes,
+)
+
+G = toy_group()
+
+
+def _commitment(seed: int = 0) -> FeldmanCommitment:
+    f = BivariatePolynomial.random_symmetric(2, G.q, random.Random(seed))
+    return FeldmanCommitment.commit(f, G)
+
+
+class TestSessionId:
+    @given(st.integers(0, 2**31), st.integers(0, 2**31))
+    @settings(max_examples=30)
+    def test_bytes_unique_per_session(self, dealer: int, tau: int) -> None:
+        a = SessionId(dealer, tau)
+        b = SessionId(dealer, tau + 1)
+        c = SessionId(dealer + 1, tau)
+        assert a.as_bytes() != b.as_bytes()
+        assert a.as_bytes() != c.as_bytes()
+
+    def test_hashable_and_equal(self) -> None:
+        assert SessionId(1, 2) == SessionId(1, 2)
+        assert len({SessionId(1, 2), SessionId(1, 2), SessionId(2, 1)}) == 2
+
+    def test_str(self) -> None:
+        assert str(SessionId(3, 7)) == "(P3,7)"
+
+
+class TestMessageSizes:
+    def test_sizes_are_what_the_sender_stamped(self) -> None:
+        c = _commitment()
+        sid = SessionId(1, 0)
+        assert SendMsg(sid, c, None, size=123).byte_size() == 123
+        assert EchoMsg(sid, c, 5, size=77).byte_size() == 77
+        assert ReadyMsg(sid, c, 5, None, size=88).byte_size() == 88
+        assert SharePointMsg(sid, 5, size=20).byte_size() == 20
+
+    def test_size_not_part_of_equality(self) -> None:
+        # Retransmitted messages compare equal regardless of the size
+        # stamp, which keeps dedup by value semantics.
+        c = _commitment()
+        sid = SessionId(1, 0)
+        assert EchoMsg(sid, c, 5, size=10) == EchoMsg(sid, c, 5, size=99)
+
+    def test_help_msg_size_fixed(self) -> None:
+        assert HelpMsg(SessionId(1, 0)).byte_size() == 8
+
+
+class TestReadySigningBytes:
+    def test_domain_separation(self) -> None:
+        sid = SessionId(1, 0)
+        assert ready_signing_bytes(sid, b"x" * 32) != ready_signing_bytes(
+            SessionId(1, 1), b"x" * 32
+        )
+        assert ready_signing_bytes(sid, b"x" * 32) != ready_signing_bytes(
+            sid, b"y" * 32
+        )
+
+    def test_deterministic(self) -> None:
+        sid = SessionId(4, 9)
+        assert ready_signing_bytes(sid, b"d" * 32) == ready_signing_bytes(
+            sid, b"d" * 32
+        )
