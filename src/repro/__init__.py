@@ -18,7 +18,10 @@ The package implements, from scratch:
   — :mod:`repro.baselines`;
 * threshold applications driven by DKG output (ElGamal, Schnorr
   signatures, DDH-based distributed PRF / coin flipping) —
-  :mod:`repro.apps`.
+  :mod:`repro.apps`;
+* a real network runtime — wire codec, transport abstraction, and a
+  localhost asyncio cluster running the same node state machines over
+  actual TCP sockets — :mod:`repro.net`.
 
 Quickstart::
 
@@ -26,6 +29,11 @@ Quickstart::
     result = run_dkg(DkgConfig(n=7, t=2, f=0, seed=1))
     assert result.succeeded
     print(hex(result.public_key))
+
+Same session over real sockets::
+
+    from repro.net import run_local_cluster
+    result = run_local_cluster(DkgConfig(n=7, t=2, f=0), seed=1)
 """
 
 __version__ = "1.0.0"

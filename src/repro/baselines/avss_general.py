@@ -21,7 +21,6 @@ the two schemes, so counts match by construction.
 from __future__ import annotations
 
 from repro.crypto.feldman import FeldmanCommitment
-from repro.vss.messages import SESSION_ID_BYTES
 from repro.vss.session import VssSession
 
 
@@ -51,32 +50,22 @@ def run_general_avss(config, secret=None, dealer=1, seed=0, **kwargs):
 
 
 class GeneralAvssSession(VssSession):
-    """HybridVSS priced under general-bivariate AVSS message sizes."""
+    """HybridVSS priced under general-bivariate AVSS message sizes.
+
+    Sizes build on the symmetric scheme's true wire lengths
+    (:mod:`repro.net.wire`) plus the general scheme's extra payload: a
+    second univariate polynomial in ``send`` and a second evaluation
+    point in every ``echo``/``ready``.
+    """
 
     def _send_size(self, commitment: FeldmanCommitment, with_poly: bool) -> int:
-        # Two univariate polynomials (row + column) instead of one.
-        poly_bytes = (
-            2 * (self.config.t + 1) * self._scalar_bytes() if with_poly else 0
-        )
-        return (
-            SESSION_ID_BYTES
-            + self.config.codec.send_overhead(commitment)
-            + poly_bytes
-        )
+        # Second univariate polynomial (column next to row).
+        extra = (self.config.t + 1) * self._scalar_bytes() if with_poly else 0
+        return super()._send_size(commitment, with_poly) + extra
 
     def _echo_size(self, commitment: FeldmanCommitment) -> int:
-        # Two points: f(i, m) and f(m, i).
-        return (
-            SESSION_ID_BYTES
-            + self.config.codec.echo_overhead(commitment)
-            + 2 * self._scalar_bytes()
-        )
+        # Second point: f(i, m) next to f(m, i).
+        return super()._echo_size(commitment) + self._scalar_bytes()
 
     def _ready_size(self, commitment: FeldmanCommitment) -> int:
-        sig_bytes = 2 * self._scalar_bytes() if self.sign_ready else 0
-        return (
-            SESSION_ID_BYTES
-            + self.config.codec.ready_overhead(commitment)
-            + 2 * self._scalar_bytes()
-            + sig_bytes
-        )
+        return super()._ready_size(commitment) + self._scalar_bytes()

@@ -1,4 +1,4 @@
-"""Command-line interface: run simulated protocol sessions from a shell.
+"""Command-line interface: run protocol sessions from a shell.
 
 Examples::
 
@@ -6,6 +6,8 @@ Examples::
     python -m repro vss --n 7 --t 2 --secret 42 --reconstruct
     python -m repro renew --n 7 --t 2 --phases 3
     python -m repro resilience --t 2 --f 1
+    python -m repro cluster --n 7 --t 2 --seed 7        # real asyncio TCP
+    python -m repro cluster --n 7 --t 2 --f 1 --crash 7@2
 """
 
 from __future__ import annotations
@@ -128,6 +130,61 @@ def cmd_renew(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_crash(spec: str) -> tuple[int, float, float | None]:
+    """Parse NODE@AT[+UP]: crash NODE at time AT, recover UP later."""
+    try:
+        node_part, _, time_part = spec.partition("@")
+        at_part, plus, up_part = time_part.partition("+")
+        node = int(node_part)
+        at = float(at_part)
+        up_after = float(up_part) if plus else None
+        return node, at, up_after
+    except ValueError as exc:
+        raise argparse.ArgumentTypeError(
+            f"bad crash spec {spec!r} (want NODE@AT or NODE@AT+UP)"
+        ) from exc
+
+
+def cmd_cluster(args: argparse.Namespace) -> int:
+    """Run one DKG over real asyncio TCP sockets on localhost."""
+    from repro.net import DropRetryLink, run_local_cluster
+    from repro.sim.network import UniformDelay
+
+    config = DkgConfig(
+        n=args.n, t=args.t, f=args.f,
+        group=group_by_name(args.group), codec=_codec(args),
+    )
+    delay_model = None
+    if args.latency > 0:
+        delay_model = UniformDelay(0.5 * args.latency, 1.5 * args.latency)
+    if args.drop > 0:
+        delay_model = DropRetryLink(
+            base=delay_model, drop_probability=args.drop
+        )
+    result = run_local_cluster(
+        config,
+        seed=args.seed,
+        delay_model=delay_model,
+        time_scale=args.time_scale,
+        crash_plan=args.crash,
+        timeout=args.timeout,
+    )
+    payload = {
+        "transport": "asyncio-tcp",
+        "succeeded": result.succeeded,
+        "completed_nodes": result.completed_nodes,
+        "crashed_nodes": sorted(result.crashed),
+        "wall_seconds": round(result.wall_seconds, 4),
+        "messages": result.metrics.messages_total,
+        "bytes": result.metrics.bytes_total,
+    }
+    if result.completions:
+        payload["q_set"] = list(result.q_set)
+        payload["public_key"] = hex(result.public_key)
+    _emit(args, payload)
+    return 0 if result.succeeded else 1
+
+
 def cmd_resilience(args: argparse.Namespace) -> int:
     """Probe the n >= 3t + 2f + 1 boundary for the given (t, f)."""
     bound = 3 * args.t + 2 * args.f + 1
@@ -184,6 +241,33 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _common_args(p_res)
     p_res.set_defaults(func=cmd_resilience)
+
+    p_cluster = sub.add_parser(
+        "cluster", help="run one DKG over real asyncio TCP on localhost"
+    )
+    _common_args(p_cluster)
+    p_cluster.add_argument(
+        "--time-scale", type=float, default=0.02,
+        help="wall seconds per protocol time unit (timers and delays)",
+    )
+    p_cluster.add_argument(
+        "--latency", type=float, default=0.0,
+        help="mean injected link latency in time units (0 = raw sockets)",
+    )
+    p_cluster.add_argument(
+        "--drop", type=float, default=0.0,
+        help="per-message drop probability, healed by retransmission",
+    )
+    p_cluster.add_argument(
+        "--crash", type=_parse_crash, action="append", default=[],
+        metavar="NODE@AT[+UP]",
+        help="crash NODE at time AT (recover UP units later); repeatable",
+    )
+    p_cluster.add_argument(
+        "--timeout", type=float, default=60.0,
+        help="wall-clock seconds to wait for completion",
+    )
+    p_cluster.set_defaults(func=cmd_cluster)
 
     return parser
 

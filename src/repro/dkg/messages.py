@@ -25,7 +25,7 @@ from dataclasses import dataclass, field
 from typing import Union
 
 from repro.crypto.schnorr import Signature
-from repro.vss.messages import ReadyWitness
+from repro.vss.messages import WIRE_FRAME_OVERHEAD, ReadyWitness
 
 VIEW_BYTES = 2
 TAU_BYTES = 4
@@ -245,7 +245,7 @@ class DkgHelpMsg:
     kind = "dkg.help"
 
     def byte_size(self) -> int:
-        return TAU_BYTES
+        return WIRE_FRAME_OVERHEAD + TAU_BYTES
 
 
 DkgMessage = Union[DkgSendMsg, DkgEchoMsg, DkgReadyMsg, LeadChMsg, DkgHelpMsg]

@@ -45,7 +45,6 @@ from repro.dkg.messages import (
     DkgSendMsg,
     DkgSharePointMsg,
     DkgStartInput,
-    INDEX_BYTES,
     LeadChMsg,
     LeadChWitness,
     MTypeProof,
@@ -53,8 +52,6 @@ from repro.dkg.messages import (
     ReadyCert,
     RTypeProof,
     SetVote,
-    TAU_BYTES,
-    VIEW_BYTES,
     dkg_echo_bytes,
     dkg_ready_bytes,
     lead_ch_bytes,
@@ -137,27 +134,15 @@ class DkgNode(ProtocolNode):
         self._ctx: Context | None = None  # current dispatch context
 
     # -- sizes --------------------------------------------------------------
+    #
+    # Stamped sizes are the true wire length of the frame repro.net.wire
+    # emits for the message (fixed-width given the deployment group), so
+    # the E3/E4 communication measurements meter real serialized bytes.
 
-    @property
-    def _sig_bytes(self) -> int:
-        return 2 * self.config.group.scalar_bytes
+    def _stamp(self, msg: Any) -> Any:
+        from repro.net import wire
 
-    def _vote_msg_size(self, q: tuple[int, ...]) -> int:
-        return TAU_BYTES + VIEW_BYTES + len(q) * INDEX_BYTES + self._sig_bytes
-
-    def _send_msg_size(
-        self, proof: Proof, election: tuple[LeadChWitness, ...]
-    ) -> int:
-        return (
-            TAU_BYTES
-            + VIEW_BYTES
-            + proof.byte_size(self._sig_bytes)
-            + len(election) * (INDEX_BYTES + VIEW_BYTES + self._sig_bytes)
-        )
-
-    def _lead_ch_size(self, proof: Proof | None) -> int:
-        proof_bytes = proof.byte_size(self._sig_bytes) if proof else 1
-        return TAU_BYTES + VIEW_BYTES + proof_bytes + self._sig_bytes
+        return wire.stamp(msg, self.config.codec, group=self.config.group)
 
     # -- small helpers --------------------------------------------------------
 
@@ -269,13 +254,7 @@ class DkgNode(ProtocolNode):
             return  # will retry when more VSS sessions finish
         self.proposed_in_view.add(self.view)
         election = tuple(self.lc_votes.get(self.view, {}).values())
-        msg = DkgSendMsg(
-            self.tau,
-            self.view,
-            proof,
-            election,
-            size=self._send_msg_size(proof, election),
-        )
+        msg = self._stamp(DkgSendMsg(self.tau, self.view, proof, election))
         self._log_and_broadcast(ctx, msg)
 
     def _arm_timer(self, ctx: Context) -> None:
@@ -320,9 +299,7 @@ class DkgNode(ProtocolNode):
             return
         self.sent_echo_for.add((self.view, q))
         signature = self.keystore.sign(dkg_echo_bytes(self.tau, q), self.rng)
-        echo = DkgEchoMsg(
-            self.tau, self.view, q, signature, size=self._vote_msg_size(q)
-        )
+        echo = self._stamp(DkgEchoMsg(self.tau, self.view, q, signature))
         self._log_and_broadcast(ctx, echo)
 
     # -- Fig. 2: upon (L, tau, echo, Q)_sign from P_m (first time) -------------------
@@ -385,9 +362,7 @@ class DkgNode(ProtocolNode):
             return
         self.sent_ready_for.add(q)
         signature = self.keystore.sign(dkg_ready_bytes(self.tau, q), self.rng)
-        ready = DkgReadyMsg(
-            self.tau, self.view, q, signature, size=self._vote_msg_size(q)
-        )
+        ready = self._stamp(DkgReadyMsg(self.tau, self.view, q, signature))
         self._log_and_broadcast(ctx, ready)
 
     # -- completion -------------------------------------------------------------------
@@ -442,13 +417,7 @@ class DkgNode(ProtocolNode):
         signature = self.keystore.sign(
             lead_ch_bytes(self.tau, target_view), self.rng
         )
-        msg = LeadChMsg(
-            self.tau,
-            target_view,
-            proof,
-            signature,
-            size=self._lead_ch_size(proof),
-        )
+        msg = self._stamp(LeadChMsg(self.tau, target_view, proof, signature))
         self._log_and_broadcast(ctx, msg)
         # Record our own vote so we can count it toward the quorum.
         self.lc_votes.setdefault(target_view, {})[self.node_id] = LeadChWitness(
@@ -528,11 +497,7 @@ class DkgNode(ProtocolNode):
             return
         self._rec_started = True
         self._share_verifier = _share_verifier_for(self.completed.commitment)
-        msg = DkgSharePointMsg(
-            self.tau,
-            self.completed.share,
-            size=TAU_BYTES + self.config.group.scalar_bytes,
-        )
+        msg = self._stamp(DkgSharePointMsg(self.tau, self.completed.share))
         self._log_and_broadcast(ctx, msg)
 
     def _on_rec_share(

@@ -122,6 +122,43 @@ class DkgResult:
         return sum(self.nodes[d].secret for d in self.q_set) % q
 
 
+def build_dkg_deployment(
+    config: DkgConfig,
+    seed: int = 0,
+    tau: int = 0,
+    secrets: dict[int, int] | None = None,
+    node_factory: Callable[[int, DkgConfig, KeyStore, CertificateAuthority], Any]
+    | None = None,
+) -> tuple[CertificateAuthority, dict[int, Any]]:
+    """Enroll a PKI and construct one node per member index.
+
+    Shared by the simulator entry point below and the real-socket
+    :class:`~repro.net.cluster.LocalCluster` — both execution layers
+    drive byte-identical node state machines.  ``node_factory`` may
+    return a replacement (Byzantine) node for an index or None for the
+    default honest :class:`DkgNode`.
+    """
+    enroll_rng = random.Random(("dkg-pki", seed).__repr__())
+    ca = CertificateAuthority(config.group)
+    nodes: dict[int, Any] = {}
+    for i in config.vss().indices:
+        keystore = KeyStore.enroll(i, ca, enroll_rng)
+        node = None
+        if node_factory is not None:
+            node = node_factory(i, config, keystore, ca)
+        if node is None:
+            node = DkgNode(
+                i,
+                config,
+                keystore,
+                ca,
+                tau=tau,
+                secret=(secrets or {}).get(i),
+            )
+        nodes[i] = node
+    return ca, nodes
+
+
 def run_dkg(
     config: DkgConfig,
     seed: int = 0,
@@ -146,28 +183,15 @@ def run_dkg(
         adversary=adversary,
         seed=seed,
     )
-    enroll_rng = random.Random(("dkg-pki", seed).__repr__())
-    ca = CertificateAuthority(config.group)
+    ca, all_nodes = build_dkg_deployment(
+        config, seed=seed, tau=tau, secrets=secrets, node_factory=node_factory
+    )
     nodes: dict[int, DkgNode] = {}
-    members = config.vss().indices
-    for i in members:
-        keystore = KeyStore.enroll(i, ca, enroll_rng)
-        node = None
-        if node_factory is not None:
-            node = node_factory(i, config, keystore, ca)
-        if node is None:
-            node = DkgNode(
-                i,
-                config,
-                keystore,
-                ca,
-                tau=tau,
-                secret=(secrets or {}).get(i),
-            )
+    for i, node in all_nodes.items():
         sim.add_node(node)
         if isinstance(node, DkgNode):
             nodes[i] = node
-    for i in members:
+    for i in all_nodes:
         sim.inject(i, DkgStartInput(tau), at=0.0)
     sim.run(until=until, max_events=max_events)
     if reconstruct:

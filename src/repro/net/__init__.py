@@ -1,0 +1,40 @@
+"""repro.net — a real network runtime for the VSS/DKG stack.
+
+The paper is about running DKG *over the Internet*; this package makes
+the reproduction's node state machines executable outside the
+discrete-event simulator:
+
+* :mod:`repro.net.wire` — a canonical, versioned binary codec that
+  round-trips every protocol payload (length-prefixed frames);
+* :mod:`repro.net.peers` — addressing: node index -> (host, port);
+* :mod:`repro.net.transport` — the :class:`Transport` protocol behind
+  :class:`~repro.sim.node.Context`, with :class:`SimTransport`
+  (discrete-event) and :class:`AsyncioTransport` (real TCP) backends;
+* :mod:`repro.net.host` — :class:`NodeHost`, one node on a transport;
+* :mod:`repro.net.cluster` — :class:`LocalCluster`, n asyncio hosts on
+  localhost running a full DKG, with transport-level fault injection.
+"""
+
+from repro.net.cluster import ClusterResult, LocalCluster, run_local_cluster
+from repro.net.host import NodeHost
+from repro.net.peers import PeerAddress, PeerRegistry
+from repro.net.transport import AsyncioTransport, DropRetryLink, SimTransport, Transport
+from repro.net.wire import WireError, decode, encode, encoded_size, stamp
+
+__all__ = [
+    "AsyncioTransport",
+    "ClusterResult",
+    "DropRetryLink",
+    "LocalCluster",
+    "NodeHost",
+    "PeerAddress",
+    "PeerRegistry",
+    "SimTransport",
+    "Transport",
+    "WireError",
+    "decode",
+    "encode",
+    "encoded_size",
+    "run_local_cluster",
+    "stamp",
+]

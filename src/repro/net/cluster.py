@@ -1,0 +1,317 @@
+"""LocalCluster: a full DKG over real asyncio TCP on localhost.
+
+The orchestrator spawns one :class:`~repro.net.host.NodeHost` per
+member index — each with its own server socket, outbound connections,
+timers and metrics tap — injects the operator ``start`` inputs, and
+waits until every honest, finally-up node has output
+``(DKG-completed, C, s_i)``.  The byte streams between hosts are real:
+every protocol message is serialized by :mod:`repro.net.wire`, crosses
+a kernel socket, and is decoded on the far side.
+
+Fault injection mirrors the simulator's scenarios at the transport
+level:
+
+* added latency / partitions — pass any
+  :class:`~repro.sim.network.DelayModel` (including
+  :class:`~repro.sim.network.PartitionDelay`) as ``delay_model``;
+* message loss healed by retransmission —
+  :class:`~repro.net.transport.DropRetryLink`;
+* crash (+ optional later recovery) — :meth:`LocalCluster.crash`
+  entries, executed as wall-clock events against the live hosts.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.dkg.config import DkgConfig
+from repro.dkg.messages import DkgCompletedOutput, DkgStartInput
+from repro.dkg.runner import build_dkg_deployment
+from repro.net.host import NodeHost
+from repro.net.peers import PeerRegistry
+from repro.net.transport import DEFAULT_TIME_SCALE, AsyncioTransport
+from repro.sim.metrics import Metrics
+from repro.sim.network import DelayModel
+
+COMPLETED_KIND = "dkg.out.completed"
+
+
+@dataclass
+class ClusterResult:
+    """Outcome of one real-network DKG session."""
+
+    config: DkgConfig
+    seed: int
+    completions: dict[int, DkgCompletedOutput]
+    metrics: Metrics
+    wall_seconds: float
+    crashed: set[int] = field(default_factory=set)
+    expected: set[int] = field(default_factory=set)
+    errors: list[Exception] = field(default_factory=list)
+
+    @property
+    def completed_nodes(self) -> list[int]:
+        return sorted(self.completions)
+
+    @property
+    def succeeded(self) -> bool:
+        """Every honest, finally-up node completed; no handler errors;
+        and all completions agree (Definition 4.1 agreement)."""
+        if self.errors:
+            return False
+        if not self.expected <= set(self.completions):
+            return False
+        try:
+            self.public_key
+            self.q_set
+        except AssertionError:
+            return False
+        return True
+
+    @property
+    def public_key(self) -> int:
+        keys = {out.public_key for out in self.completions.values()}
+        if len(keys) != 1:
+            raise AssertionError(f"public key disagreement: {len(keys)} keys")
+        return keys.pop()
+
+    @property
+    def q_set(self) -> tuple[int, ...]:
+        sets = {out.q_set for out in self.completions.values()}
+        if len(sets) != 1:
+            raise AssertionError("agreement violation: divergent Q sets")
+        return sets.pop()
+
+    @property
+    def shares(self) -> dict[int, int]:
+        return {i: out.share for i, out in self.completions.items()}
+
+
+class LocalCluster:
+    """n asyncio hosts on localhost running one DKG session."""
+
+    def __init__(
+        self,
+        config: DkgConfig,
+        seed: int = 0,
+        tau: int = 0,
+        *,
+        delay_model: DelayModel | None = None,
+        time_scale: float = DEFAULT_TIME_SCALE,
+        host: str = "127.0.0.1",
+        secrets: dict[int, int] | None = None,
+        node_factory: Callable[..., Any] | None = None,
+    ):
+        self.config = config
+        self.seed = seed
+        self.tau = tau
+        self.time_scale = time_scale
+        self.metrics = Metrics()
+        self.registry = PeerRegistry()
+        self.ca, self.nodes = build_dkg_deployment(
+            config, seed=seed, tau=tau, secrets=secrets, node_factory=node_factory
+        )
+        members = config.vss().indices
+        self.hosts: dict[int, NodeHost] = {}
+        for i, node in self.nodes.items():
+            transport = AsyncioTransport(
+                i,
+                self.registry,
+                members,
+                seed=seed,
+                metrics=self.metrics,
+                delay_model=delay_model,
+                time_scale=time_scale,
+                group=config.group,
+                codec=config.codec,
+                host=host,
+            )
+            self.hosts[i] = NodeHost(node, transport)
+        self.crashed: set[int] = set()
+        self.errors: list[Exception] = []
+        self._crash_plan: list[tuple[int, float, float | None]] = []
+        self._fault_handles: list[asyncio.TimerHandle] = []
+        self._recover_tasks: set[asyncio.Task] = set()
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._t0: float | None = None
+        self._started = False
+
+    # -- fault injection ------------------------------------------------------
+
+    def crash(self, node: int, at: float, up_after: float | None = None) -> None:
+        """Crash ``node`` at time ``at`` (protocol units); if
+        ``up_after`` is given, recover it that much later — the same
+        shape as the simulator adversary's crash plan.  Entries added
+        after :meth:`start` are scheduled immediately."""
+        if node not in self.hosts:
+            raise KeyError(f"unknown node {node}")
+        entry = (node, at, up_after)
+        self._crash_plan.append(entry)
+        if self._started and self._loop is not None:
+            self._schedule_entry(self._loop, entry)
+
+    def _schedule_faults(self, loop: asyncio.AbstractEventLoop) -> None:
+        for entry in self._crash_plan:
+            self._schedule_entry(loop, entry)
+
+    def _schedule_entry(
+        self, loop: asyncio.AbstractEventLoop, entry: tuple[int, float, float | None]
+    ) -> None:
+        # ``at`` is absolute protocol time from cluster start (the
+        # simulator crash plan's semantics), so entries registered
+        # after start() are scheduled against the elapsed clock.
+        node, at, up_after = entry
+        elapsed = loop.time() - self._t0 if self._t0 is not None else 0.0
+        self._fault_handles.append(
+            loop.call_later(
+                max(0.0, at * self.time_scale - elapsed), self._crash_now, node
+            )
+        )
+        if up_after is not None:
+            self._fault_handles.append(
+                loop.call_later(
+                    max(0.0, (at + up_after) * self.time_scale - elapsed),
+                    self._recover_now,
+                    node,
+                )
+            )
+
+    def _crash_now(self, node: int) -> None:
+        self.hosts[node].crash()
+        self.crashed.add(node)
+        self.metrics.record_crash()
+
+    def _recover_now(self, node: int) -> None:
+        task = asyncio.ensure_future(self._do_recover(node))
+        self._recover_tasks.add(task)
+        task.add_done_callback(self._recover_tasks.discard)
+
+    async def _do_recover(self, node: int) -> None:
+        try:
+            await self.hosts[node].recover()
+        except Exception as exc:
+            # The node stays in `crashed`: a failed rebind is a real
+            # fault, surfaced on the result rather than lost in a task.
+            self.errors.append(exc)
+            return
+        self.crashed.discard(node)
+        self.metrics.record_recovery()
+
+    def finally_up(self) -> set[int]:
+        """Nodes the paper's liveness clause obligates to finish: every
+        member not left crashed by the fault plan."""
+        down = {
+            node
+            for node, _at, up_after in self._crash_plan
+            if up_after is None
+        }
+        return {i for i in self.hosts if i not in down}
+
+    # -- lifecycle ------------------------------------------------------------
+
+    async def start(self) -> None:
+        if self._started:
+            return
+        for hst in self.hosts.values():
+            await hst.start()
+        self._loop = asyncio.get_running_loop()
+        self._t0 = self._loop.time()
+        self._schedule_faults(self._loop)
+        self._started = True
+
+    async def stop(self) -> None:
+        for handle in self._fault_handles:
+            handle.cancel()
+        self._fault_handles.clear()
+        for task in list(self._recover_tasks):
+            task.cancel()
+        if self._recover_tasks:
+            await asyncio.gather(*self._recover_tasks, return_exceptions=True)
+        await asyncio.gather(
+            *(hst.stop() for hst in self.hosts.values()),
+            return_exceptions=True,
+        )
+
+    async def __aenter__(self) -> "LocalCluster":
+        await self.start()
+        return self
+
+    async def __aexit__(self, *exc: Any) -> None:
+        await self.stop()
+
+    # -- the protocol run ------------------------------------------------------
+
+    async def run_dkg(self, timeout: float = 60.0) -> ClusterResult:
+        """Drive one DKG to completion; ``timeout`` in wall seconds."""
+        await self.start()
+        loop = asyncio.get_running_loop()
+        t_start = loop.time()
+        for i in self.hosts:
+            self.hosts[i].inject(DkgStartInput(self.tau))
+        expected = self.finally_up()
+        try:
+            await asyncio.wait_for(
+                asyncio.gather(
+                    *(
+                        self.hosts[i].wait_for_output(COMPLETED_KIND)
+                        for i in sorted(expected)
+                    )
+                ),
+                timeout,
+            )
+        except asyncio.TimeoutError:
+            pass  # partial result; succeeded will be False
+        wall = loop.time() - t_start
+        completions: dict[int, DkgCompletedOutput] = {}
+        errors: list[Exception] = list(self.errors)
+        for i, hst in self.hosts.items():
+            found = hst.outputs_of_kind(COMPLETED_KIND)
+            if found:
+                completions[i] = found[0].payload
+            errors.extend(hst.transport.errors)
+        return ClusterResult(
+            config=self.config,
+            seed=self.seed,
+            completions=completions,
+            metrics=self.metrics,
+            wall_seconds=wall,
+            crashed=set(self.crashed),
+            expected=expected,
+            errors=errors,
+        )
+
+
+def run_local_cluster(
+    config: DkgConfig,
+    seed: int = 0,
+    tau: int = 0,
+    *,
+    delay_model: DelayModel | None = None,
+    time_scale: float = DEFAULT_TIME_SCALE,
+    crash_plan: list[tuple[int, float, float | None]] | None = None,
+    timeout: float = 60.0,
+) -> ClusterResult:
+    """Synchronous convenience wrapper: spawn, run one DKG, tear down.
+
+    ``crash_plan`` entries are ``(node, at, up_after-or-None)`` in
+    protocol time units, exactly like the simulator adversary's.
+    """
+
+    async def _run() -> ClusterResult:
+        cluster = LocalCluster(
+            config,
+            seed=seed,
+            tau=tau,
+            delay_model=delay_model,
+            time_scale=time_scale,
+        )
+        for node, at, up_after in crash_plan or []:
+            cluster.crash(node, at, up_after)
+        try:
+            return await cluster.run_dkg(timeout=timeout)
+        finally:
+            await cluster.stop()
+
+    return asyncio.run(_run())

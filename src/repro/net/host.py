@@ -1,0 +1,104 @@
+"""NodeHost: one protocol state machine living on a transport.
+
+A host owns a :class:`~repro.sim.node.ProtocolNode` (any of the
+package's state machines — VSS, DKG, proactive, baselines) and an
+:class:`~repro.net.transport.AsyncioTransport`, and is the glue the
+simulator's event loop used to be: it turns inbound frames into
+``on_message`` calls, timer fires into ``on_timer``, operator inputs
+into ``on_operator``, all with a fresh :class:`~repro.sim.node.Context`
+bound to the transport — the very same ``Context`` API the node runs
+under in the simulator.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Any
+
+from repro.net.transport import AsyncioTransport
+from repro.sim.node import Context, OutputRecord, ProtocolNode
+
+
+class NodeHost:
+    """Drives one node over one transport endpoint."""
+
+    def __init__(self, node: ProtocolNode, transport: AsyncioTransport):
+        if node.node_id != transport.node_id:
+            raise ValueError("node and transport disagree on the node index")
+        self.node = node
+        self.transport = transport
+        transport.on_message = self._on_message
+        transport.on_timer = self._on_timer
+
+    # -- plumbing ------------------------------------------------------------
+
+    def _ctx(self) -> Context:
+        return Context(self.transport, self.node.node_id)
+
+    def _on_message(self, sender: int, payload: Any) -> None:
+        self.node.on_message(sender, payload, self._ctx())
+
+    def _on_timer(self, tag: Any) -> None:
+        self.node.on_timer(tag, self._ctx())
+
+    # -- lifecycle -----------------------------------------------------------
+
+    async def start(self) -> None:
+        await self.transport.start()
+
+    async def stop(self) -> None:
+        await self.transport.stop()
+
+    def crash(self) -> None:
+        """Transport links down + the node's crash hook (§2.2)."""
+        self.transport.crash()
+        self.node.on_crash()
+
+    async def recover(self) -> None:
+        """Restart the endpoint, then let the node run its recovery
+        (help requests + B-log replay) over the revived links."""
+        await self.transport.recover()
+        self.node.on_recover(self._ctx())
+
+    # -- operator surface ----------------------------------------------------
+
+    def inject(self, payload: Any) -> None:
+        """Deliver an operator ``in`` message to the node."""
+        if self.transport.crashed:
+            return
+        self.node.on_operator(payload, self._ctx())
+
+    @property
+    def outputs(self) -> list[OutputRecord]:
+        return self.transport.outputs
+
+    def outputs_of_kind(self, kind: str) -> list[OutputRecord]:
+        return [
+            o
+            for o in self.outputs
+            if getattr(o.payload, "kind", None) == kind
+        ]
+
+    async def wait_for_output(self, kind: str, timeout: float | None = None) -> Any:
+        """Block until the node emits an output of ``kind``; returns it.
+
+        ``timeout`` is in wall-clock seconds; ``asyncio.TimeoutError``
+        is raised on expiry.
+        """
+
+        async def _wait() -> Any:
+            while True:
+                found = self.outputs_of_kind(kind)
+                if found:
+                    return found[0].payload
+                event = self.transport.output_event
+                assert event is not None, "host not started"
+                event.clear()
+                await event.wait()
+
+        return await asyncio.wait_for(_wait(), timeout)
+
+    def raise_errors(self) -> None:
+        """Surface the first handler exception, if any (tests/cluster)."""
+        if self.transport.errors:
+            raise self.transport.errors[0]

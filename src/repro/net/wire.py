@@ -1,0 +1,928 @@
+"""Canonical binary wire codec for every protocol payload.
+
+Frames are length-prefixed and versioned::
+
+    [u32 length] [b"KG"] [u8 version] [u8 kind] [body]
+
+where ``length`` counts everything after the 4 length bytes.  The body
+is a fixed-width field layout chosen to match the paper's communication
+accounting: node indices are 2 bytes (:data:`INDEX_BYTES`), session
+identifiers 8, views 2, taus 4, digests 32, and scalars/group elements
+occupy exactly ``group.scalar_bytes`` / ``group.element_bytes``.  With
+those widths, :func:`encoded_size` is value-independent, so stamping
+``Payload.byte_size()`` from the codec gives the *true* serialized
+length (the E1/E3 communication measurements) while staying
+deterministic across runs.
+
+Commitment compression (Cachin et al., the paper's §3 efficiency note)
+is a first-class wire feature: ``echo``/``ready`` frames may carry the
+32-byte commitment digest instead of the full matrix
+(``commitments="digest"``); decoding such a frame needs a ``resolve``
+callable mapping digests to previously seen commitments — exactly the
+cache a receiver builds from the dealer's ``send``.
+
+Covered payloads: everything in :mod:`repro.vss.messages`,
+:mod:`repro.dkg.messages` and :mod:`repro.proactive.messages`,
+including operator in/out records so hosts can checkpoint them.  (The
+group-modification layer of §6 keeps its simulator-only cost models and
+is not framed here.)
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from functools import lru_cache
+from typing import Any, Callable
+
+from repro.crypto.feldman import FeldmanCommitment, FeldmanVector
+from repro.crypto.groups import GROUP_REGISTRY, SchnorrGroup, group_by_name
+from repro.crypto.hashing import commitment_digest
+from repro.crypto.pedersen import PedersenCommitment
+from repro.crypto.polynomials import Polynomial
+from repro.crypto.schnorr import Signature
+from repro.proactive.messages import ClockTickMsg, RenewedOutput, RenewInput
+from repro.vss import messages as _vss_messages
+from repro.vss.messages import (
+    EchoMsg,
+    HelpMsg,
+    ReadyMsg,
+    ReadyWitness,
+    ReconstructInput,
+    ReconstructedOutput,
+    RecoverInput,
+    SendMsg,
+    SessionId,
+    SharedOutput,
+    ShareInput,
+    SharePointMsg,
+)
+from repro.dkg.messages import (
+    DIGEST_BYTES,
+    INDEX_BYTES,
+    TAU_BYTES,
+    VIEW_BYTES,
+    DkgCompletedOutput,
+    DkgEchoMsg,
+    DkgHelpMsg,
+    DkgReadyMsg,
+    DkgReconstructedOutput,
+    DkgReconstructInput,
+    DkgRecoverInput,
+    DkgSendMsg,
+    DkgSharePointMsg,
+    DkgStartInput,
+    LeadChMsg,
+    LeadChWitness,
+    MTypeProof,
+    ReadyCert,
+    RTypeProof,
+    SetVote,
+)
+
+MAGIC = b"KG"
+VERSION = 1
+HEADER_BYTES = 4 + len(MAGIC) + 1 + 1  # length + magic + version + kind
+# Fixed-size messages bake this framing cost into byte_size() directly.
+assert HEADER_BYTES == _vss_messages.WIRE_FRAME_OVERHEAD
+
+PHASE_BYTES = 4
+
+
+class WireError(ValueError):
+    """Raised for truncated, garbled, oversized or unknown frames."""
+
+
+class UnresolvedDigest(WireError):
+    """A digest-compressed frame referenced a commitment the resolver
+    does not (yet) know.  Receivers buffer such frames until the
+    dealer's ``send`` supplies the matrix (Cachin-style compression)."""
+
+    def __init__(self, digest: bytes):
+        super().__init__("digest-compressed frame with no matching commitment")
+        self.digest = digest
+
+
+@lru_cache(maxsize=64)
+def _group_from_name(name: str) -> SchnorrGroup | None:
+    """Resolve a group's self-reported name ("toy-3", "rfc5114-1024-160")
+    back to parameters, or None for unregistered/custom names."""
+    try:
+        return group_by_name(name)
+    except KeyError:
+        pass
+    base, sep, seed = name.rpartition("-")
+    if sep and base in GROUP_REGISTRY and seed.isdigit():
+        return GROUP_REGISTRY[base](int(seed))
+    return None
+
+
+# -- primitive writers ---------------------------------------------------------
+
+
+def _uvarint(n: int) -> bytes:
+    """Unsigned LEB128."""
+    if n < 0:
+        raise WireError("uvarint cannot encode negative values")
+    out = bytearray()
+    while True:
+        byte = n & 0x7F
+        n >>= 7
+        if n:
+            out.append(byte | 0x80)
+        else:
+            out.append(byte)
+            return bytes(out)
+
+
+def _fixed(n: int, width: int) -> bytes:
+    try:
+        return n.to_bytes(width, "big")
+    except (OverflowError, ValueError) as exc:
+        raise WireError(f"value {n} does not fit in {width} bytes") from exc
+
+
+def _scalar_width(group: SchnorrGroup | None, *values: int) -> int:
+    """Field width for scalars: the group's if known, else minimal."""
+    if group is not None:
+        width = group.scalar_bytes
+    else:
+        width = 1
+    for v in values:
+        width = max(width, (v.bit_length() + 7) // 8 or 1)
+    return width
+
+
+class _Writer:
+    def __init__(self, group: SchnorrGroup | None = None):
+        self.buf = bytearray()
+        self.group = group  # width context for signatures/loose scalars
+
+    def u8(self, n: int) -> None:
+        self.buf += _fixed(n, 1)
+
+    def uvarint(self, n: int) -> None:
+        self.buf += _uvarint(n)
+
+    def fixed(self, n: int, width: int) -> None:
+        self.buf += _fixed(n, width)
+
+    def index(self, n: int) -> None:
+        self.fixed(n, INDEX_BYTES)
+
+    def raw(self, data: bytes) -> None:
+        self.buf += data
+
+    def lbytes(self, data: bytes) -> None:
+        self.uvarint(len(data))
+        self.buf += data
+
+    def session(self, sid: SessionId) -> None:
+        self.raw(sid.as_bytes())  # 4-byte dealer + 4-byte tau
+
+    def scalar(self, n: int) -> None:
+        """A loose scalar: width prefix + fixed-width value."""
+        width = _scalar_width(self.group, n)
+        self.uvarint(width)
+        self.fixed(n, width)
+
+    def signature(self, sig: Signature | None) -> None:
+        """Optional signature: uvarint width (0 = absent) + two scalars."""
+        if sig is None:
+            self.uvarint(0)
+            return
+        width = _scalar_width(self.group, sig.challenge, sig.response)
+        self.uvarint(width)
+        self.fixed(sig.challenge, width)
+        self.fixed(sig.response, width)
+
+    def group_params(self, group: SchnorrGroup) -> None:
+        """Named registry reference when possible, inline (p, q, g) else."""
+        if group.name != "custom" and _group_from_name(group.name) == group:
+            self.u8(0)
+            self.lbytes(group.name.encode())
+            return
+        self.u8(1)
+        self.lbytes(_fixed(group.p, (group.p.bit_length() + 7) // 8))
+        self.lbytes(_fixed(group.q, (group.q.bit_length() + 7) // 8))
+        self.lbytes(_fixed(group.g, (group.g.bit_length() + 7) // 8))
+
+    def feldman_matrix(self, c: FeldmanCommitment) -> None:
+        self.group_params(c.group)
+        self.uvarint(c.degree + 1)
+        width = c.group.element_bytes
+        for row in c.matrix:
+            for entry in row:
+                self.fixed(entry, width)
+
+    def feldman_vector(self, v: FeldmanVector) -> None:
+        self.group_params(v.group)
+        self.uvarint(len(v.entries))
+        width = v.group.element_bytes
+        for entry in v.entries:
+            self.fixed(entry, width)
+
+    def pedersen(self, c: PedersenCommitment) -> None:
+        self.group_params(c.group)
+        width = c.group.element_bytes
+        self.fixed(c.h, width)
+        self.uvarint(len(c.entries))
+        for entry in c.entries:
+            self.fixed(entry, width)
+
+    def polynomial(self, poly: Polynomial) -> None:
+        width = (poly.q.bit_length() + 7) // 8
+        self.lbytes(_fixed(poly.q, width))
+        self.uvarint(len(poly.coeffs))
+        for coeff in poly.coeffs:
+            self.fixed(coeff, width)
+
+
+# -- primitive readers ---------------------------------------------------------
+
+
+class _Reader:
+    def __init__(self, data: bytes):
+        self.data = data
+        self.pos = 0
+        self.group: SchnorrGroup | None = None
+
+    def take(self, n: int) -> bytes:
+        if n < 0 or self.pos + n > len(self.data):
+            raise WireError("truncated frame")
+        chunk = self.data[self.pos : self.pos + n]
+        self.pos += n
+        return chunk
+
+    def u8(self) -> int:
+        return self.take(1)[0]
+
+    def uvarint(self) -> int:
+        shift = 0
+        value = 0
+        while True:
+            byte = self.u8()
+            value |= (byte & 0x7F) << shift
+            if not byte & 0x80:
+                return value
+            shift += 7
+            if shift > 63:
+                raise WireError("uvarint too long")
+
+    def fixed(self, width: int) -> int:
+        return int.from_bytes(self.take(width), "big")
+
+    def index(self) -> int:
+        return self.fixed(INDEX_BYTES)
+
+    def lbytes(self) -> bytes:
+        return self.take(self.uvarint())
+
+    def session(self) -> SessionId:
+        dealer = self.fixed(4)
+        tau = self.fixed(4)
+        return SessionId(dealer, tau)
+
+    def scalar(self) -> int:
+        return self.fixed(self.uvarint())
+
+    def signature(self) -> Signature | None:
+        width = self.uvarint()
+        if width == 0:
+            return None
+        return Signature(self.fixed(width), self.fixed(width))
+
+    def require_signature(self) -> Signature:
+        sig = self.signature()
+        if sig is None:
+            raise WireError("missing required signature")
+        return sig
+
+    def expect_end(self) -> None:
+        if self.pos != len(self.data):
+            raise WireError(
+                f"{len(self.data) - self.pos} trailing bytes after payload"
+            )
+
+    def group_params(self) -> SchnorrGroup:
+        tag = self.u8()
+        if tag == 0:
+            try:
+                name = self.lbytes().decode()
+            except UnicodeDecodeError as exc:
+                raise WireError("garbled group name") from exc
+            group = _group_from_name(name)
+            if group is None:
+                raise WireError(f"unknown group name {name!r}")
+            return group
+        if tag == 1:
+            p = int.from_bytes(self.lbytes(), "big")
+            q = int.from_bytes(self.lbytes(), "big")
+            g = int.from_bytes(self.lbytes(), "big")
+            return SchnorrGroup(p, q, g)
+        raise WireError(f"bad group tag {tag}")
+
+    def feldman_matrix(self) -> FeldmanCommitment:
+        group = self.group_params()
+        side = self.uvarint()
+        if not 1 <= side <= 1024:
+            raise WireError(f"implausible commitment side {side}")
+        width = group.element_bytes
+        matrix = tuple(
+            tuple(self.fixed(width) for _ in range(side)) for _ in range(side)
+        )
+        return FeldmanCommitment(matrix, group)
+
+    def feldman_vector(self) -> FeldmanVector:
+        group = self.group_params()
+        count = self.uvarint()
+        if not 1 <= count <= 1024:
+            raise WireError(f"implausible vector length {count}")
+        width = group.element_bytes
+        return FeldmanVector(tuple(self.fixed(width) for _ in range(count)), group)
+
+    def pedersen(self) -> PedersenCommitment:
+        group = self.group_params()
+        width = group.element_bytes
+        h = self.fixed(width)
+        count = self.uvarint()
+        if not 1 <= count <= 1024:
+            raise WireError(f"implausible vector length {count}")
+        return PedersenCommitment(
+            tuple(self.fixed(width) for _ in range(count)), group, h
+        )
+
+    def polynomial(self) -> Polynomial:
+        q_bytes = self.lbytes()
+        q = int.from_bytes(q_bytes, "big")
+        if q < 2:
+            raise WireError("bad polynomial modulus")
+        width = len(q_bytes)
+        count = self.uvarint()
+        if not 1 <= count <= 4096:
+            raise WireError(f"implausible coefficient count {count}")
+        return Polynomial(tuple(self.fixed(width) for _ in range(count)), q)
+
+
+# -- commitment field: inline matrix or digest reference -----------------------
+
+Resolver = Callable[[bytes], FeldmanCommitment | None]
+
+
+def _write_commitment_field(
+    w: _Writer, commitment: FeldmanCommitment, mode: str
+) -> None:
+    if mode == "digest":
+        w.u8(1)
+        w.raw(commitment_digest(commitment))
+    else:
+        w.u8(0)
+        w.feldman_matrix(commitment)
+
+
+def _read_commitment_field(r: _Reader, resolve: Resolver | None) -> FeldmanCommitment:
+    tag = r.u8()
+    if tag == 0:
+        return r.feldman_matrix()
+    if tag == 1:
+        digest = bytes(r.take(DIGEST_BYTES))
+        commitment = resolve(digest) if resolve is not None else None
+        if commitment is None:
+            raise UnresolvedDigest(digest)
+        return commitment
+    raise WireError(f"bad commitment tag {tag}")
+
+
+# -- evidence structures (§4) --------------------------------------------------
+
+
+def _write_witness(w: _Writer, witness: ReadyWitness) -> None:
+    w.index(witness.signer)
+    w.signature(witness.signature)
+
+
+def _read_witness(r: _Reader) -> ReadyWitness:
+    return ReadyWitness(r.index(), r.require_signature())
+
+
+def _write_cert(w: _Writer, cert: ReadyCert) -> None:
+    w.index(cert.dealer)
+    if len(cert.digest) != DIGEST_BYTES:
+        raise WireError("ReadyCert digest must be 32 bytes")
+    w.raw(cert.digest)
+    w.uvarint(len(cert.witnesses))
+    for witness in cert.witnesses:
+        _write_witness(w, witness)
+
+
+def _read_cert(r: _Reader) -> ReadyCert:
+    dealer = r.index()
+    digest = bytes(r.take(DIGEST_BYTES))
+    count = r.uvarint()
+    witnesses = tuple(_read_witness(r) for _ in range(count))
+    return ReadyCert(dealer, digest, witnesses)
+
+
+_VOTE_KINDS = ("echo", "ready")
+
+
+def _write_set_vote(w: _Writer, vote: SetVote) -> None:
+    w.index(vote.voter)
+    try:
+        w.u8(_VOTE_KINDS.index(vote.vote_kind))
+    except ValueError as exc:
+        raise WireError(f"unknown vote kind {vote.vote_kind!r}") from exc
+    w.signature(vote.signature)
+
+
+def _read_set_vote(r: _Reader) -> SetVote:
+    voter = r.index()
+    kind = r.u8()
+    if kind >= len(_VOTE_KINDS):
+        raise WireError(f"bad vote kind byte {kind}")
+    return SetVote(voter, _VOTE_KINDS[kind], r.require_signature())
+
+
+def _write_q(w: _Writer, q: tuple[int, ...]) -> None:
+    w.uvarint(len(q))
+    for idx in q:
+        w.index(idx)
+
+
+def _read_q(r: _Reader) -> tuple[int, ...]:
+    return tuple(r.index() for _ in range(r.uvarint()))
+
+
+def _write_proof(w: _Writer, proof: RTypeProof | MTypeProof | None) -> None:
+    if proof is None:
+        w.u8(0)
+    elif isinstance(proof, RTypeProof):
+        w.u8(1)
+        w.uvarint(len(proof.certs))
+        for cert in proof.certs:
+            _write_cert(w, cert)
+    elif isinstance(proof, MTypeProof):
+        w.u8(2)
+        _write_q(w, proof.q)
+        w.uvarint(len(proof.votes))
+        for vote in proof.votes:
+            _write_set_vote(w, vote)
+    else:
+        raise WireError(f"unknown proof type {proof!r}")
+
+
+def _read_proof(r: _Reader) -> RTypeProof | MTypeProof | None:
+    tag = r.u8()
+    if tag == 0:
+        return None
+    if tag == 1:
+        return RTypeProof(tuple(_read_cert(r) for _ in range(r.uvarint())))
+    if tag == 2:
+        q = _read_q(r)
+        votes = tuple(_read_set_vote(r) for _ in range(r.uvarint()))
+        return MTypeProof(q, votes)
+    raise WireError(f"bad proof tag {tag}")
+
+
+def _write_lead_ch_witness(w: _Writer, witness: LeadChWitness) -> None:
+    w.index(witness.voter)
+    w.fixed(witness.view, VIEW_BYTES)
+    w.signature(witness.signature)
+
+
+def _read_lead_ch_witness(r: _Reader) -> LeadChWitness:
+    return LeadChWitness(r.index(), r.fixed(VIEW_BYTES), r.require_signature())
+
+
+# -- per-message body codecs ---------------------------------------------------
+#
+# Each entry: kind id -> (type, encode_body, decode_body).  Encoders
+# receive (_Writer, msg, commitment_mode); decoders (_Reader, resolve).
+
+
+def _enc_vss_send(w: _Writer, m: SendMsg, mode: str) -> None:
+    w.session(m.session)
+    w.feldman_matrix(m.commitment)  # send always carries the matrix
+    if m.poly is None:
+        w.u8(0)
+    else:
+        w.u8(1)
+        w.polynomial(m.poly)
+
+
+def _dec_vss_send(r: _Reader, resolve: Resolver | None) -> SendMsg:
+    session = r.session()
+    commitment = r.feldman_matrix()
+    poly = r.polynomial() if r.u8() else None
+    return SendMsg(session, commitment, poly)
+
+
+def _enc_vss_echo(w: _Writer, m: EchoMsg, mode: str) -> None:
+    w.session(m.session)
+    _write_commitment_field(w, m.commitment, mode)
+    w.fixed(m.point, m.commitment.group.scalar_bytes)
+
+
+def _dec_vss_echo(r: _Reader, resolve: Resolver | None) -> EchoMsg:
+    session = r.session()
+    commitment = _read_commitment_field(r, resolve)
+    point = r.fixed(commitment.group.scalar_bytes)
+    return EchoMsg(session, commitment, point)
+
+
+def _enc_vss_ready(w: _Writer, m: ReadyMsg, mode: str) -> None:
+    w.session(m.session)
+    _write_commitment_field(w, m.commitment, mode)
+    w.fixed(m.point, m.commitment.group.scalar_bytes)
+    w.group = m.commitment.group
+    w.signature(m.signature)
+
+
+def _dec_vss_ready(r: _Reader, resolve: Resolver | None) -> ReadyMsg:
+    session = r.session()
+    commitment = _read_commitment_field(r, resolve)
+    point = r.fixed(commitment.group.scalar_bytes)
+    return ReadyMsg(session, commitment, point, r.signature())
+
+
+def _enc_vss_help(w: _Writer, m: HelpMsg, mode: str) -> None:
+    w.session(m.session)
+
+
+def _dec_vss_help(r: _Reader, resolve: Resolver | None) -> HelpMsg:
+    return HelpMsg(r.session())
+
+
+def _enc_vss_rec_share(w: _Writer, m: SharePointMsg, mode: str) -> None:
+    w.session(m.session)
+    w.scalar(m.point)
+
+
+def _dec_vss_rec_share(r: _Reader, resolve: Resolver | None) -> SharePointMsg:
+    return SharePointMsg(r.session(), r.scalar())
+
+
+def _enc_vss_in_share(w: _Writer, m: ShareInput, mode: str) -> None:
+    w.session(m.session)
+    w.scalar(m.secret)
+
+
+def _dec_vss_in_share(r: _Reader, resolve: Resolver | None) -> ShareInput:
+    return ShareInput(r.session(), r.scalar())
+
+
+def _enc_vss_in_reconstruct(w: _Writer, m: ReconstructInput, mode: str) -> None:
+    w.session(m.session)
+
+
+def _dec_vss_in_reconstruct(r: _Reader, resolve: Resolver | None) -> ReconstructInput:
+    return ReconstructInput(r.session())
+
+
+def _enc_vss_in_recover(w: _Writer, m: RecoverInput, mode: str) -> None:
+    w.session(m.session)
+
+
+def _dec_vss_in_recover(r: _Reader, resolve: Resolver | None) -> RecoverInput:
+    return RecoverInput(r.session())
+
+
+def _enc_vss_out_shared(w: _Writer, m: SharedOutput, mode: str) -> None:
+    w.session(m.session)
+    w.feldman_matrix(m.commitment)
+    w.group = m.commitment.group
+    w.scalar(m.share)
+    w.uvarint(len(m.ready_proof))
+    for witness in m.ready_proof:
+        _write_witness(w, witness)
+
+
+def _dec_vss_out_shared(r: _Reader, resolve: Resolver | None) -> SharedOutput:
+    session = r.session()
+    commitment = r.feldman_matrix()
+    share = r.scalar()
+    proof = tuple(_read_witness(r) for _ in range(r.uvarint()))
+    return SharedOutput(session, commitment, share, proof)
+
+
+def _enc_vss_out_reconstructed(w: _Writer, m: ReconstructedOutput, mode: str) -> None:
+    w.session(m.session)
+    w.scalar(m.value)
+
+
+def _dec_vss_out_reconstructed(
+    r: _Reader, resolve: Resolver | None
+) -> ReconstructedOutput:
+    return ReconstructedOutput(r.session(), r.scalar())
+
+
+def _enc_dkg_send(w: _Writer, m: DkgSendMsg, mode: str) -> None:
+    w.fixed(m.tau, TAU_BYTES)
+    w.fixed(m.view, VIEW_BYTES)
+    _write_proof(w, m.proof)
+    w.uvarint(len(m.election))
+    for witness in m.election:
+        _write_lead_ch_witness(w, witness)
+
+
+def _dec_dkg_send(r: _Reader, resolve: Resolver | None) -> DkgSendMsg:
+    tau = r.fixed(TAU_BYTES)
+    view = r.fixed(VIEW_BYTES)
+    proof = _read_proof(r)
+    if proof is None:
+        raise WireError("dkg send must carry a proof")
+    election = tuple(_read_lead_ch_witness(r) for _ in range(r.uvarint()))
+    return DkgSendMsg(tau, view, proof, election)
+
+
+def _enc_dkg_vote(w: _Writer, m: DkgEchoMsg | DkgReadyMsg, mode: str) -> None:
+    w.fixed(m.tau, TAU_BYTES)
+    w.fixed(m.view, VIEW_BYTES)
+    _write_q(w, m.q)
+    w.signature(m.signature)
+
+
+def _dec_dkg_echo(r: _Reader, resolve: Resolver | None) -> DkgEchoMsg:
+    return DkgEchoMsg(
+        r.fixed(TAU_BYTES), r.fixed(VIEW_BYTES), _read_q(r), r.require_signature()
+    )
+
+
+def _dec_dkg_ready(r: _Reader, resolve: Resolver | None) -> DkgReadyMsg:
+    return DkgReadyMsg(
+        r.fixed(TAU_BYTES), r.fixed(VIEW_BYTES), _read_q(r), r.require_signature()
+    )
+
+
+def _enc_dkg_lead_ch(w: _Writer, m: LeadChMsg, mode: str) -> None:
+    w.fixed(m.tau, TAU_BYTES)
+    w.fixed(m.view, VIEW_BYTES)
+    _write_proof(w, m.proof)
+    w.signature(m.signature)
+
+
+def _dec_dkg_lead_ch(r: _Reader, resolve: Resolver | None) -> LeadChMsg:
+    tau = r.fixed(TAU_BYTES)
+    view = r.fixed(VIEW_BYTES)
+    proof = _read_proof(r)
+    return LeadChMsg(tau, view, proof, r.require_signature())
+
+
+def _enc_dkg_rec_share(w: _Writer, m: DkgSharePointMsg, mode: str) -> None:
+    w.fixed(m.tau, TAU_BYTES)
+    w.scalar(m.point)
+
+
+def _dec_dkg_rec_share(r: _Reader, resolve: Resolver | None) -> DkgSharePointMsg:
+    return DkgSharePointMsg(r.fixed(TAU_BYTES), r.scalar())
+
+
+def _enc_dkg_help(w: _Writer, m: DkgHelpMsg, mode: str) -> None:
+    w.fixed(m.tau, TAU_BYTES)
+
+
+def _dec_dkg_help(r: _Reader, resolve: Resolver | None) -> DkgHelpMsg:
+    return DkgHelpMsg(r.fixed(TAU_BYTES))
+
+
+def _enc_dkg_in_start(w: _Writer, m: DkgStartInput, mode: str) -> None:
+    w.fixed(m.tau, TAU_BYTES)
+
+
+def _dec_dkg_in_start(r: _Reader, resolve: Resolver | None) -> DkgStartInput:
+    return DkgStartInput(r.fixed(TAU_BYTES))
+
+
+def _enc_dkg_in_recover(w: _Writer, m: DkgRecoverInput, mode: str) -> None:
+    w.fixed(m.tau, TAU_BYTES)
+
+
+def _dec_dkg_in_recover(r: _Reader, resolve: Resolver | None) -> DkgRecoverInput:
+    return DkgRecoverInput(r.fixed(TAU_BYTES))
+
+
+def _enc_dkg_in_reconstruct(w: _Writer, m: DkgReconstructInput, mode: str) -> None:
+    w.fixed(m.tau, TAU_BYTES)
+
+
+def _dec_dkg_in_reconstruct(
+    r: _Reader, resolve: Resolver | None
+) -> DkgReconstructInput:
+    return DkgReconstructInput(r.fixed(TAU_BYTES))
+
+
+def _enc_dkg_out_reconstructed(
+    w: _Writer, m: DkgReconstructedOutput, mode: str
+) -> None:
+    w.fixed(m.tau, TAU_BYTES)
+    w.scalar(m.value)
+
+
+def _dec_dkg_out_reconstructed(
+    r: _Reader, resolve: Resolver | None
+) -> DkgReconstructedOutput:
+    return DkgReconstructedOutput(r.fixed(TAU_BYTES), r.scalar())
+
+
+def _enc_dkg_out_completed(w: _Writer, m: DkgCompletedOutput, mode: str) -> None:
+    w.fixed(m.tau, TAU_BYTES)
+    w.fixed(m.view, VIEW_BYTES)
+    _write_q(w, m.q_set)
+    if isinstance(m.commitment, FeldmanCommitment):
+        w.u8(0)
+        w.feldman_matrix(m.commitment)
+        w.group = m.commitment.group
+    elif isinstance(m.commitment, FeldmanVector):
+        w.u8(1)
+        w.feldman_vector(m.commitment)
+        w.group = m.commitment.group
+    elif isinstance(m.commitment, PedersenCommitment):
+        # Pedersen-hardened variants (Gennaro et al. baseline, E9
+        # ablation) publish an unconditionally hiding commitment.
+        w.u8(2)
+        w.pedersen(m.commitment)
+        w.group = m.commitment.group
+    else:
+        raise WireError(f"unencodable commitment {type(m.commitment).__name__}")
+    w.scalar(m.share)
+    width = w.group.element_bytes if w.group else None
+    if width is not None:
+        w.uvarint(width)
+        w.fixed(m.public_key, width)
+    else:  # pragma: no cover - both branches above set a group
+        w.scalar(m.public_key)
+
+
+def _dec_dkg_out_completed(r: _Reader, resolve: Resolver | None) -> DkgCompletedOutput:
+    tau = r.fixed(TAU_BYTES)
+    view = r.fixed(VIEW_BYTES)
+    q_set = _read_q(r)
+    shape = r.u8()
+    if shape == 0:
+        commitment: Any = r.feldman_matrix()
+    elif shape == 1:
+        commitment = r.feldman_vector()
+    elif shape == 2:
+        commitment = r.pedersen()
+    else:
+        raise WireError(f"bad commitment shape {shape}")
+    share = r.scalar()
+    public_key = r.fixed(r.uvarint())
+    return DkgCompletedOutput(tau, view, q_set, commitment, share, public_key)
+
+
+def _enc_proactive_tick(w: _Writer, m: ClockTickMsg, mode: str) -> None:
+    w.fixed(m.phase, PHASE_BYTES)
+
+
+def _dec_proactive_tick(r: _Reader, resolve: Resolver | None) -> ClockTickMsg:
+    return ClockTickMsg(r.fixed(PHASE_BYTES))
+
+
+def _enc_proactive_in_renew(w: _Writer, m: RenewInput, mode: str) -> None:
+    w.fixed(m.phase, PHASE_BYTES)
+
+
+def _dec_proactive_in_renew(r: _Reader, resolve: Resolver | None) -> RenewInput:
+    return RenewInput(r.fixed(PHASE_BYTES))
+
+
+def _enc_proactive_out_renewed(w: _Writer, m: RenewedOutput, mode: str) -> None:
+    w.fixed(m.phase, PHASE_BYTES)
+    w.feldman_vector(m.commitment)
+    w.group = m.commitment.group
+    w.scalar(m.share)
+    _write_q(w, m.q_set)
+
+
+def _dec_proactive_out_renewed(r: _Reader, resolve: Resolver | None) -> RenewedOutput:
+    phase = r.fixed(PHASE_BYTES)
+    commitment = r.feldman_vector()
+    share = r.scalar()
+    q_set = _read_q(r)
+    return RenewedOutput(phase, commitment, share, q_set)
+
+
+_CODECS: dict[int, tuple[type, Callable, Callable]] = {
+    0x01: (SendMsg, _enc_vss_send, _dec_vss_send),
+    0x02: (EchoMsg, _enc_vss_echo, _dec_vss_echo),
+    0x03: (ReadyMsg, _enc_vss_ready, _dec_vss_ready),
+    0x04: (HelpMsg, _enc_vss_help, _dec_vss_help),
+    0x05: (SharePointMsg, _enc_vss_rec_share, _dec_vss_rec_share),
+    0x06: (ShareInput, _enc_vss_in_share, _dec_vss_in_share),
+    0x07: (ReconstructInput, _enc_vss_in_reconstruct, _dec_vss_in_reconstruct),
+    0x08: (RecoverInput, _enc_vss_in_recover, _dec_vss_in_recover),
+    0x09: (SharedOutput, _enc_vss_out_shared, _dec_vss_out_shared),
+    0x0A: (ReconstructedOutput, _enc_vss_out_reconstructed, _dec_vss_out_reconstructed),
+    0x10: (DkgSendMsg, _enc_dkg_send, _dec_dkg_send),
+    0x11: (DkgEchoMsg, _enc_dkg_vote, _dec_dkg_echo),
+    0x12: (DkgReadyMsg, _enc_dkg_vote, _dec_dkg_ready),
+    0x13: (LeadChMsg, _enc_dkg_lead_ch, _dec_dkg_lead_ch),
+    0x14: (DkgSharePointMsg, _enc_dkg_rec_share, _dec_dkg_rec_share),
+    0x15: (DkgHelpMsg, _enc_dkg_help, _dec_dkg_help),
+    0x16: (DkgStartInput, _enc_dkg_in_start, _dec_dkg_in_start),
+    0x17: (DkgRecoverInput, _enc_dkg_in_recover, _dec_dkg_in_recover),
+    0x18: (DkgReconstructInput, _enc_dkg_in_reconstruct, _dec_dkg_in_reconstruct),
+    0x19: (DkgReconstructedOutput, _enc_dkg_out_reconstructed, _dec_dkg_out_reconstructed),
+    0x1A: (DkgCompletedOutput, _enc_dkg_out_completed, _dec_dkg_out_completed),
+    0x20: (ClockTickMsg, _enc_proactive_tick, _dec_proactive_tick),
+    0x21: (RenewInput, _enc_proactive_in_renew, _dec_proactive_in_renew),
+    0x22: (RenewedOutput, _enc_proactive_out_renewed, _dec_proactive_out_renewed),
+}
+
+_KIND_BY_TYPE: dict[type, int] = {typ: kind for kind, (typ, _, _) in _CODECS.items()}
+
+MAX_FRAME_BYTES = 1 << 24  # 16 MiB — far above any honest frame
+
+
+# -- public API ----------------------------------------------------------------
+
+
+def encode(
+    message: Any,
+    *,
+    group: SchnorrGroup | None = None,
+    commitments: str = "inline",
+) -> bytes:
+    """Serialize ``message`` into one length-prefixed frame.
+
+    ``group`` pins scalar field widths (signatures, loose scalars) so
+    frame sizes are value-independent; without it minimal widths are
+    used.  ``commitments="digest"`` emits the Cachin-style compressed
+    form for ``echo``/``ready`` frames (decoding then needs ``resolve``).
+    """
+    if commitments not in ("inline", "digest"):
+        raise WireError(f"unknown commitment mode {commitments!r}")
+    kind = _KIND_BY_TYPE.get(type(message))
+    if kind is None:
+        raise WireError(f"no wire codec for {type(message).__name__}")
+    w = _Writer(group)
+    _, enc, _ = _CODECS[kind]
+    enc(w, message, commitments)
+    frame = MAGIC + bytes([VERSION, kind]) + bytes(w.buf)
+    return len(frame).to_bytes(4, "big") + frame
+
+
+def decode(data: bytes, *, resolve: Resolver | None = None) -> Any:
+    """Parse exactly one frame produced by :func:`encode`.
+
+    The decoded message's ``size`` field (when the type has one) is
+    stamped with the frame length, so ``byte_size()`` reports the true
+    wire footprint on the receive path too.  Raises :class:`WireError`
+    on truncation, garbage, unknown kinds or trailing bytes.
+    """
+    if len(data) < HEADER_BYTES:
+        raise WireError("frame shorter than header")
+    length = int.from_bytes(data[:4], "big")
+    if length > MAX_FRAME_BYTES:
+        raise WireError(f"frame length {length} exceeds cap")
+    if length != len(data) - 4:
+        raise WireError("frame length mismatch")
+    if data[4:6] != MAGIC:
+        raise WireError("bad magic")
+    if data[6] != VERSION:
+        raise WireError(f"unsupported wire version {data[6]}")
+    kind = data[7]
+    entry = _CODECS.get(kind)
+    if entry is None:
+        raise WireError(f"unknown frame kind 0x{kind:02x}")
+    _, _, dec = entry
+    reader = _Reader(data[HEADER_BYTES:])
+    message = dec(reader, resolve)
+    reader.expect_end()
+    if "size" in getattr(type(message), "__dataclass_fields__", {}):
+        message = dataclasses.replace(message, size=len(data))
+    return message
+
+
+def commitment_mode(codec: Any, message: Any) -> str:
+    """Which commitment form ``message`` travels as under ``codec``.
+
+    The single source of truth shared by size stamping and the real
+    transport's encoder: under the hashed codec, ``echo``/``ready``
+    frames carry the 32-byte digest; everything else is inline.
+    """
+    if getattr(codec, "name", None) == "hashed-matrix" and getattr(
+        message, "kind", ""
+    ) in ("vss.echo", "vss.ready"):
+        return "digest"
+    return "inline"
+
+
+def encoded_size(message: Any, codec: Any = None, group: SchnorrGroup | None = None) -> int:
+    """True serialized length of ``message`` under the deployment codec.
+
+    With a :class:`~repro.crypto.hashing.HashedMatrixCodec`, ``echo``/
+    ``ready`` payloads are priced in their digest-compressed form — the
+    paper's O(kappa n^3) accounting; everything else (and the default
+    full-matrix codec) is priced as the self-contained inline frame.
+    """
+    return len(
+        encode(message, group=group, commitments=commitment_mode(codec, message))
+    )
+
+
+def stamp(message: Any, codec: Any = None, group: SchnorrGroup | None = None) -> Any:
+    """Return ``message`` with ``size`` set to its true wire length."""
+    return dataclasses.replace(
+        message, size=encoded_size(message, codec, group)
+    )

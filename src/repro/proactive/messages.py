@@ -5,6 +5,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.crypto.feldman import FeldmanVector
+from repro.vss.messages import WIRE_FRAME_OVERHEAD
 
 
 @dataclass(frozen=True)
@@ -20,7 +21,7 @@ class ClockTickMsg:
     kind = "proactive.tick"
 
     def byte_size(self) -> int:
-        return 4
+        return WIRE_FRAME_OVERHEAD + 4
 
 
 @dataclass(frozen=True)

@@ -98,7 +98,6 @@ class PartitionDelay(DelayModel):
     heal_time: float
     base: DelayModel = None  # type: ignore[assignment]
     post_heal_jitter: float = 1.0
-    _now_fn: object = None  # injected by the simulation layer if needed
 
     def __post_init__(self) -> None:
         if self.base is None:
@@ -106,8 +105,13 @@ class PartitionDelay(DelayModel):
         self._clock = 0.0
 
     def observe_time(self, now: float) -> None:
-        """The simulation tells the model the current time before each
-        sample (see Simulation.enqueue_message)."""
+        """Clock injection — the *only* way time reaches a delay model.
+
+        Every runtime that samples delays (the discrete-event
+        ``Simulation`` and the real-socket ``AsyncioTransport``) calls
+        this with its current time immediately before each
+        :meth:`sample`, so time-dependent models never hold their own
+        clock source."""
         self._clock = now
 
     def sample(self, rng: random.Random, sender: int, recipient: int) -> float:

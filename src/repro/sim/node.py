@@ -8,7 +8,12 @@ through which a node performs its only allowed effects: sending
 messages, setting/cancelling timers, and emitting operator outputs.
 
 Handlers never touch the event queue or other nodes directly, which is
-what makes single-node unit testing of each ``upon`` clause possible.
+what makes single-node unit testing of each ``upon`` clause possible —
+and, since the same :class:`Context` can sit on *any* backend that
+implements the :class:`~repro.net.transport.Transport` protocol, what
+lets the identical node logic run under the discrete-event simulator
+(:class:`~repro.sim.runner.Simulation`) or over real asyncio TCP
+(:class:`~repro.net.transport.AsyncioTransport`).
 """
 
 from __future__ import annotations
@@ -18,7 +23,7 @@ from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Any
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
-    from repro.sim.runner import Simulation
+    from repro.net.transport import Transport
 
 
 @dataclass
@@ -31,31 +36,37 @@ class OutputRecord:
 
 
 class Context:
-    """A node's window onto the simulation: effects and environment."""
+    """A node's window onto its runtime: effects and environment.
 
-    def __init__(self, sim: "Simulation", node_id: int):
-        self._sim = sim
+    ``transport`` is anything implementing the narrow
+    :class:`~repro.net.transport.Transport` protocol — the simulation
+    runner satisfies it structurally, so existing call sites passing a
+    :class:`~repro.sim.runner.Simulation` are unchanged.
+    """
+
+    def __init__(self, transport: "Transport", node_id: int):
+        self._transport = transport
         self.node_id = node_id
 
     @property
     def now(self) -> float:
-        return self._sim.queue.now
+        return self._transport.current_time()
 
     @property
     def rng(self) -> random.Random:
-        return self._sim.node_rng(self.node_id)
+        return self._transport.node_rng(self.node_id)
 
     @property
     def n(self) -> int:
-        return len(self._sim.nodes)
+        return len(self._transport.member_ids())
 
     @property
     def all_nodes(self) -> list[int]:
-        return sorted(self._sim.nodes)
+        return self._transport.member_ids()
 
     def send(self, recipient: int, payload: Any) -> None:
-        """Send a network message (metered, delivered per the delay model)."""
-        self._sim.enqueue_message(self.node_id, recipient, payload)
+        """Send a network message (metered, delivered per the transport)."""
+        self._transport.enqueue_message(self.node_id, recipient, payload)
 
     def broadcast(self, payload: Any, include_self: bool = True) -> None:
         """Send ``payload`` to every node (n point-to-point messages —
@@ -67,18 +78,18 @@ class Context:
 
     def set_timer(self, delay: float, tag: Any) -> int:
         """Start a timer; returns an id usable with :meth:`cancel_timer`."""
-        return self._sim.set_timer(self.node_id, delay, tag)
+        return self._transport.set_timer(self.node_id, delay, tag)
 
     def cancel_timer(self, timer_id: int) -> None:
-        self._sim.cancel_timer(self.node_id, timer_id)
+        self._transport.cancel_timer(self.node_id, timer_id)
 
     def output(self, payload: Any) -> None:
         """Emit an operator ``out`` message (protocol result)."""
-        self._sim.record_output(self.node_id, payload)
+        self._transport.record_output(self.node_id, payload)
 
     def record_leader_change(self) -> None:
         """Count one leader change in the run's metrics (DKG Fig. 3)."""
-        self._sim.metrics.record_leader_change()
+        self._transport.record_leader_change()
 
 
 @dataclass

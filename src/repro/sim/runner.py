@@ -70,6 +70,20 @@ class Simulation:
             )
         return self._node_rngs[node_id]
 
+    # -- Transport protocol surface (repro.net.transport.Transport) ----------
+
+    def current_time(self) -> float:
+        """Simulated clock reading (Transport protocol)."""
+        return self.queue.now
+
+    def member_ids(self) -> list[int]:
+        """Deployment membership (Transport protocol)."""
+        return sorted(self.nodes)
+
+    def record_leader_change(self) -> None:
+        """Meter one DKG leader change (Transport protocol)."""
+        self.metrics.record_leader_change()
+
     def _schedule_crash_plan(self) -> None:
         for time, node, up_duration in self.adversary.crash_plan:
             self.queue.push(time, CrashNode(node))

@@ -18,6 +18,11 @@ from repro.crypto.schnorr import Signature
 
 SESSION_ID_BYTES = 8  # dealer index + counter, packed
 INDEX_BYTES = 2
+# Fixed per-frame framing cost of the binary codec: 4-byte length
+# prefix + 2-byte magic + version + kind (repro.net.wire asserts the
+# two stay in sync).  Messages with a ``size`` field are stamped with
+# their full frame length; fixed-size messages add this themselves.
+WIRE_FRAME_OVERHEAD = 8
 
 
 @dataclass(frozen=True)
@@ -97,7 +102,7 @@ class HelpMsg:
     kind = "vss.help"
 
     def byte_size(self) -> int:
-        return SESSION_ID_BYTES
+        return WIRE_FRAME_OVERHEAD + SESSION_ID_BYTES
 
 
 @dataclass(frozen=True)

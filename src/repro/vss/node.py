@@ -133,11 +133,15 @@ def run_vss(
     reconstruct: bool = False,
     node_factory: dict[int, Any] | None = None,
     until: float | None = None,
+    observers: list[Any] | None = None,
 ) -> VssRunResult:
     """Simulate one full HybridVSS sharing (and optionally Rec).
 
     ``node_factory`` maps node indices to replacement ProtocolNode
     instances, which is how tests inject Byzantine dealers/participants.
+    ``observers`` are forwarded to the simulation (see
+    :mod:`repro.sim.tracing`); the wire-codec tests use one to check
+    that every delivered payload is stamped with its true frame length.
     """
     rng = random.Random(("run-vss", seed).__repr__())
     if secret is None:
@@ -147,6 +151,7 @@ def run_vss(
         delay_model=delay_model or UniformDelay(),
         adversary=adversary or Adversary.passive(config.t, config.f),
         seed=seed,
+        observers=observers,
     )
     nodes: dict[int, VssNode] = {}
     for i in config.indices:

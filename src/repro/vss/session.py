@@ -24,6 +24,7 @@ from repro.crypto.bivariate import BivariatePolynomial
 from repro.crypto.feldman import FeldmanCommitment, FeldmanVector
 from repro.crypto.hashing import commitment_digest
 from repro.crypto.polynomials import Polynomial, interpolate_polynomial
+from repro.crypto.schnorr import Signature
 from repro.crypto.shares import reconstruct_raw
 from repro.sim.node import Context
 from repro.sim.pki import CertificateAuthority, KeyStore
@@ -39,9 +40,13 @@ from repro.vss.messages import (
     SharedOutput,
     SharePointMsg,
     ready_signing_bytes,
-    INDEX_BYTES,
-    SESSION_ID_BYTES,
 )
+
+
+# Wire-size memo shared by all sessions: frame lengths are value-
+# independent given (kind, commitment shape, group, codec), so one
+# encode prices every message of that shape in the whole process.
+_SIZE_CACHE: dict[tuple, int] = {}
 
 
 @dataclass
@@ -129,28 +134,57 @@ class VssSession:
     def _scalar_bytes(self) -> int:
         return self.config.group.scalar_bytes
 
+    # Message sizes are the *true* wire length of the frame the codec
+    # would emit (repro.net.wire), not a hand-computed estimate.  The
+    # wire format is fixed-width given the group, so a zero-valued
+    # prototype prices every real instance of the same shape — and the
+    # result depends only on (kind, matrix dimensions, group), so one
+    # encode per shape is cached rather than re-run per broadcast.
+
+    def _wire_size(self, prototype: Any) -> int:
+        from repro.net import wire
+
+        return wire.encoded_size(
+            prototype, self.config.codec, group=self.config.group
+        )
+
+    def _sized(self, key: tuple, prototype_fn: Callable[[], Any]) -> int:
+        # The memo is module-level: frames are fixed-width, so the same
+        # (kind, shape, group, codec) prices every session alike —
+        # session ids are themselves fixed-width.
+        key = key + (self.config.codec.name, type(self).__name__)
+        cached = _SIZE_CACHE.get(key)
+        if cached is None:
+            cached = _SIZE_CACHE[key] = self._wire_size(prototype_fn())
+        return cached
+
     def _send_size(self, commitment: FeldmanCommitment, with_poly: bool) -> int:
-        poly_bytes = (self.config.t + 1) * self._scalar_bytes() if with_poly else 0
-        return (
-            SESSION_ID_BYTES
-            + self.config.codec.send_overhead(commitment)
-            + poly_bytes
+        return self._sized(
+            ("send", commitment.degree, commitment.group, self.config.t, with_poly),
+            lambda: SendMsg(
+                self.session,
+                commitment,
+                Polynomial((0,) * (self.config.t + 1), self.config.group.q)
+                if with_poly
+                else None,
+            ),
         )
 
     def _echo_size(self, commitment: FeldmanCommitment) -> int:
-        return (
-            SESSION_ID_BYTES
-            + self.config.codec.echo_overhead(commitment)
-            + self._scalar_bytes()
+        return self._sized(
+            ("echo", commitment.degree, commitment.group),
+            lambda: EchoMsg(self.session, commitment, 0),
         )
 
     def _ready_size(self, commitment: FeldmanCommitment) -> int:
-        sig_bytes = 2 * self._scalar_bytes() if self.sign_ready else 0
-        return (
-            SESSION_ID_BYTES
-            + self.config.codec.ready_overhead(commitment)
-            + self._scalar_bytes()
-            + sig_bytes
+        return self._sized(
+            ("ready", commitment.degree, commitment.group, self.sign_ready),
+            lambda: ReadyMsg(
+                self.session,
+                commitment,
+                0,
+                Signature(0, 0) if self.sign_ready else None,
+            ),
         )
 
     # -- operator inputs --------------------------------------------------------
@@ -171,12 +205,10 @@ class VssSession:
         )
         commitment = FeldmanCommitment.commit(poly, cfg.group)
         self.dealt_secret = secret % cfg.group.q
+        size = self._send_size(commitment, with_poly=True)
         for j in cfg.indices:
             msg = SendMsg(
-                self.session,
-                commitment,
-                poly.row_polynomial(j),
-                size=self._send_size(commitment, with_poly=True),
+                self.session, commitment, poly.row_polynomial(j), size=size
             )
             self._log_and_send(ctx, j, msg)
         return poly
@@ -193,10 +225,12 @@ class VssSession:
             return
         self._rec_started = True
         self._share_verifier = self.completed.commitment.column_vector(0)
-        msg = SharePointMsg(
-            self.session,
-            self.completed.share,
-            size=SESSION_ID_BYTES + self._scalar_bytes(),
+        from repro.net import wire
+
+        msg = wire.stamp(
+            SharePointMsg(self.session, self.completed.share),
+            self.config.codec,
+            group=self.config.group,
         )
         for j in self.config.indices:
             self._log_and_send(ctx, j, msg)
@@ -259,13 +293,9 @@ class VssSession:
         # if verify-poly(C, i, a) then send echo(C, a(j)) to each P_j
         if not commitment.verify_poly(self.me, msg.poly):
             return
+        size = self._echo_size(commitment)
         for j in self.config.indices:
-            echo = EchoMsg(
-                self.session,
-                commitment,
-                msg.poly(j),
-                size=self._echo_size(commitment),
-            )
+            echo = EchoMsg(self.session, commitment, msg.poly(j), size=size)
             self._log_and_send(ctx, j, echo)
 
     # upon a message (P_d, tau, echo, C, alpha) from P_m (first time):
@@ -339,13 +369,14 @@ class VssSession:
             assert self.keystore is not None
             payload = ready_signing_bytes(self.session, commitment_digest(commitment))
             signature = self.keystore.sign(payload, self.rng)
+        size = self._ready_size(commitment)
         for j in cfg.indices:
             ready = ReadyMsg(
                 self.session,
                 commitment,
                 state.row_poly(j),
                 signature=signature,
-                size=self._ready_size(commitment),
+                size=size,
             )
             self._log_and_send(ctx, j, ready)
 

@@ -178,9 +178,8 @@ class TestByzantineLeader:
                 proof_b = RTypeProof(tuple(self.q_hat[d] for d in set_b))
                 for j in self.vss_config.indices:
                     proof_x = proof_a if j <= self.config.n // 2 else proof_b
-                    msg = DkgSendMsg(
-                        self.tau, self.view, proof_x, (),
-                        size=self._send_msg_size(proof_x, ()),
+                    msg = self._stamp(
+                        DkgSendMsg(self.tau, self.view, proof_x, ())
                     )
                     ctx.send(j, msg)
 
@@ -217,10 +216,7 @@ class TestByzantineLeader:
                     for c in list(self.q_hat.values())[: self.config.t + 1]
                 )
                 proof = RTypeProof(certs)
-                msg = DkgSendMsg(
-                    self.tau, self.view, proof, (),
-                    size=self._send_msg_size(proof, ()),
-                )
+                msg = self._stamp(DkgSendMsg(self.tau, self.view, proof, ()))
                 for j in self.vss_config.indices:
                     ctx.send(j, msg)
 

@@ -1,0 +1,202 @@
+"""End-to-end: full DKG sessions over real asyncio TCP on localhost.
+
+These are the acceptance tests for the network runtime: the *same*
+``DkgNode`` state machines the simulator drives complete a DKG across
+kernel sockets, all honest nodes agree on one group public key, and the
+transport-level fault scenarios (crash, added latency, loss, partition)
+behave like their simulated counterparts.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.crypto.groups import toy_group
+from repro.crypto.shares import Share, reconstruct_secret
+from repro.dkg import DkgConfig
+from repro.net import DropRetryLink, LocalCluster, run_local_cluster
+from repro.sim.network import PartitionDelay, UniformDelay
+
+G = toy_group()
+
+# Fast wall clocks for CI: 10 ms per protocol time unit.
+SCALE = 0.01
+
+
+def _config(n: int = 4, t: int = 1, f: int = 0) -> DkgConfig:
+    return DkgConfig(n=n, t=t, f=f, group=G)
+
+
+class TestRealSocketDkg:
+    def test_dkg_completes_with_agreement(self) -> None:
+        result = run_local_cluster(_config(), seed=7, time_scale=SCALE)
+        assert result.errors == []
+        assert result.succeeded
+        assert result.completed_nodes == [1, 2, 3, 4]
+        # Single public key and Q set across all nodes (Definition 4.1).
+        assert result.public_key
+        assert len(result.q_set) == 2  # t + 1 dealers
+
+    def test_shares_reconstruct_the_group_secret(self) -> None:
+        result = run_local_cluster(_config(), seed=11, time_scale=SCALE)
+        assert result.succeeded
+        commitment = next(iter(result.completions.values())).commitment
+        shares = [
+            Share(i, value, commitment)
+            for i, value in result.shares.items()
+        ]
+        secret = reconstruct_secret(shares, 1, G.q)
+        assert G.commit(secret) == result.public_key
+
+    def test_real_bytes_are_metered(self) -> None:
+        result = run_local_cluster(_config(), seed=1, time_scale=SCALE)
+        assert result.metrics.messages_total > 0
+        assert result.metrics.bytes_total > result.metrics.messages_total
+
+    def test_crash_fault_scenario(self) -> None:
+        """n=6, t=1, f=1: node 6 crashes mid-run; every other node must
+        still complete and agree — the paper's crash-resilience clause."""
+        result = run_local_cluster(
+            _config(n=6, t=1, f=1),
+            seed=3,
+            time_scale=SCALE,
+            crash_plan=[(6, 2.0, None)],
+        )
+        assert result.errors == []
+        assert 6 in result.crashed
+        assert result.succeeded
+        assert set(result.completed_nodes) >= {1, 2, 3, 4, 5}
+        assert result.public_key
+
+    def test_added_latency_slows_but_completes(self) -> None:
+        fast = run_local_cluster(_config(), seed=5, time_scale=SCALE)
+        slow = run_local_cluster(
+            _config(),
+            seed=5,
+            time_scale=SCALE,
+            delay_model=UniformDelay(1.0, 2.0),
+        )
+        assert fast.succeeded and slow.succeeded
+        assert slow.wall_seconds > fast.wall_seconds
+
+    def test_message_loss_with_retry(self) -> None:
+        result = run_local_cluster(
+            _config(),
+            seed=9,
+            time_scale=SCALE,
+            delay_model=DropRetryLink(drop_probability=0.15, retry_delay=0.5),
+        )
+        assert result.succeeded
+
+    def test_partition_heals_and_dkg_finishes(self) -> None:
+        """{1,2} vs {3,4} cannot reach quorum; completion must wait for
+        the heal — mirroring the simulator's E11 partition scenario."""
+        result = run_local_cluster(
+            _config(),
+            seed=2,
+            time_scale=SCALE,
+            delay_model=PartitionDelay(
+                group_a=frozenset({1, 2}),
+                heal_time=5.0,
+                base=UniformDelay(0.05, 0.2),
+            ),
+        )
+        assert result.succeeded
+        # No quorum without cross-partition traffic: completion is after
+        # the heal, in protocol units.
+        assert result.wall_seconds / SCALE >= 5.0
+
+
+class TestClusterOrchestration:
+    def test_async_context_manager_lifecycle(self) -> None:
+        async def scenario():
+            async with LocalCluster(
+                _config(), seed=4, time_scale=SCALE
+            ) as cluster:
+                assert len(cluster.registry) == 4
+                result = await cluster.run_dkg(timeout=30.0)
+            return result
+
+        result = asyncio.run(scenario())
+        assert result.succeeded
+
+    def test_ports_are_ephemeral_and_distinct(self) -> None:
+        async def scenario():
+            async with LocalCluster(
+                _config(), seed=4, time_scale=SCALE
+            ) as cluster:
+                return [
+                    cluster.registry.address_of(i).port
+                    for i in cluster.registry
+                ]
+
+        ports = asyncio.run(scenario())
+        assert len(set(ports)) == 4
+
+    def test_crash_of_unknown_node_rejected(self) -> None:
+        cluster = LocalCluster(_config(), seed=0)
+        with pytest.raises(KeyError):
+            cluster.crash(99, at=1.0)
+
+    def test_finally_up_excludes_unrecovered_crashes(self) -> None:
+        cluster = LocalCluster(_config(n=6, t=1, f=1), seed=0)
+        cluster.crash(6, at=1.0)
+        cluster.crash(5, at=1.0, up_after=3.0)
+        assert cluster.finally_up() == {1, 2, 3, 4, 5}
+
+    def test_crash_registered_after_start_still_fires(self) -> None:
+        async def scenario():
+            cluster = LocalCluster(
+                _config(n=6, t=1, f=1), seed=3, time_scale=SCALE
+            )
+            try:
+                await cluster.start()
+                cluster.crash(6, at=2.0)  # after start(): must schedule
+                result = await cluster.run_dkg(timeout=30.0)
+            finally:
+                await cluster.stop()
+            return result
+
+        result = asyncio.run(scenario())
+        assert 6 in result.crashed
+        assert result.succeeded
+
+    def test_hashed_codec_compresses_real_wire_traffic(self) -> None:
+        """With the Cachin hash-compressed codec, echo/ready frames on
+        the real wire carry digests; total bytes shrink and the run
+        still completes (receivers buffer votes until the matrix)."""
+        from repro.crypto.hashing import HashedMatrixCodec
+
+        full = run_local_cluster(_config(), seed=8, time_scale=SCALE)
+        hashed = run_local_cluster(
+            DkgConfig(n=4, t=1, group=G, codec=HashedMatrixCodec()),
+            seed=8,
+            time_scale=SCALE,
+        )
+        assert full.succeeded and hashed.succeeded
+        assert hashed.metrics.bytes_total < full.metrics.bytes_total
+        assert hashed.public_key
+
+    def test_timeout_yields_failed_result(self) -> None:
+        # An impossible deadline: the run returns (rather than hangs)
+        # with succeeded=False.
+        result = run_local_cluster(
+            _config(), seed=6, time_scale=SCALE, timeout=0.001
+        )
+        assert not result.succeeded
+
+    def test_sim_and_cluster_build_identical_nodes(self) -> None:
+        """Both execution layers share build_dkg_deployment: same PKI
+        derivation, same per-node secrets."""
+        from repro.dkg.runner import build_dkg_deployment
+
+        _, sim_nodes = build_dkg_deployment(_config(), seed=7)
+        cluster = LocalCluster(_config(), seed=7)
+        for i, node in cluster.nodes.items():
+            assert node.secret == sim_nodes[i].secret
+            assert (
+                node.keystore.signing_key.secret
+                == sim_nodes[i].keystore.signing_key.secret
+            )

@@ -2,14 +2,23 @@
 
 from __future__ import annotations
 
+import os
 import pathlib
 import subprocess
 import sys
 
 import pytest
 
-EXAMPLES = sorted(
-    (pathlib.Path(__file__).parent.parent / "examples").glob("*.py")
+REPO = pathlib.Path(__file__).parent.parent
+EXAMPLES = sorted((REPO / "examples").glob("*.py"))
+
+# The examples import repro from the src/ layout; make that work even
+# when pytest itself found the package via the pyproject pythonpath
+# setting rather than an exported PYTHONPATH.
+_ENV = dict(os.environ)
+_ENV["PYTHONPATH"] = os.pathsep.join(
+    [str(REPO / "src")]
+    + ([_ENV["PYTHONPATH"]] if _ENV.get("PYTHONPATH") else [])
 )
 
 
@@ -20,6 +29,7 @@ def test_example_runs(script: pathlib.Path) -> None:
         capture_output=True,
         text=True,
         timeout=300,
+        env=_ENV,
     )
     assert result.returncode == 0, result.stderr
     assert result.stdout  # examples narrate what they do

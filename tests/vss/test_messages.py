@@ -62,8 +62,11 @@ class TestMessageSizes:
         sid = SessionId(1, 0)
         assert EchoMsg(sid, c, 5, size=10) == EchoMsg(sid, c, 5, size=99)
 
-    def test_help_msg_size_fixed(self) -> None:
-        assert HelpMsg(SessionId(1, 0)).byte_size() == 8
+    def test_help_msg_size_is_true_frame_length(self) -> None:
+        from repro.net import wire
+
+        msg = HelpMsg(SessionId(1, 0))
+        assert msg.byte_size() == len(wire.encode(msg)) == 16
 
 
 class TestReadySigningBytes:
