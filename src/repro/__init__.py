@@ -21,7 +21,10 @@ The package implements, from scratch:
   :mod:`repro.apps`;
 * a real network runtime — wire codec, transport abstraction, and a
   localhost asyncio cluster running the same node state machines over
-  actual TCP sockets — :mod:`repro.net`.
+  actual TCP sockets — :mod:`repro.net`;
+* a client-facing serving layer — request frames, an asyncio gateway
+  with backpressure and batching, a presignature pool and a load
+  generator — :mod:`repro.service`.
 
 Quickstart::
 
@@ -34,6 +37,46 @@ Same session over real sockets::
 
     from repro.net import run_local_cluster
     result = run_local_cluster(DkgConfig(n=7, t=2, f=0), seed=1)
+
+Serve threshold-crypto requests from the DKG'd cluster (or from a
+shell: ``repro serve`` / ``repro loadgen``)::
+
+    from repro import ServiceConfig, ServiceFrontend, ThresholdService
+
+The service entry points are re-exported lazily at package top level so
+``import repro`` stays light.
 """
 
-__version__ = "1.0.0"
+from __future__ import annotations
+
+__version__ = "1.1.0"
+
+# Service-layer entry points, resolved on first use (PEP 562).
+_SERVICE_EXPORTS = (
+    "LoadGenerator",
+    "LoadReport",
+    "PresigPool",
+    "Presignature",
+    "ServiceClient",
+    "ServiceConfig",
+    "ServiceFrontend",
+    "SignerWorker",
+    "ThresholdService",
+    "run_loadgen",
+)
+
+__all__ = sorted((*_SERVICE_EXPORTS, "__version__"))
+
+
+def __getattr__(name: str):
+    if name in _SERVICE_EXPORTS:
+        import importlib
+
+        value = getattr(importlib.import_module("repro.service"), name)
+        globals()[name] = value
+        return value
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
+def __dir__() -> list[str]:
+    return sorted(set(globals()) | set(__all__))

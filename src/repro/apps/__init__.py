@@ -1,6 +1,13 @@
 """Threshold applications built on DKG output (§1 motivation):
 threshold ElGamal encryption, threshold Schnorr signatures, and a
-DDH-based distributed PRF / common coin."""
+DDH-based distributed PRF / common coin.
+
+This namespace is the one stable surface the serving layer
+(:mod:`repro.service`) imports: the application *modules* for their
+functional APIs (several share function names like ``verify_partial``
+and ``combine``, so they are not flattened) plus the unambiguous
+classes, exceptions and uniquely-named helpers.
+"""
 
 from repro.apps import beacon, dprf, kdc, threshold_elgamal, threshold_schnorr
 from repro.apps.beacon import Beacon, BeaconRound
@@ -12,7 +19,11 @@ from repro.apps.threshold_elgamal import (
     HybridCiphertext,
     PartialDecryption,
 )
-from repro.apps.threshold_schnorr import PartialSignature, SigningError
+from repro.apps.threshold_schnorr import (
+    PartialSignature,
+    SigningError,
+    batch_verify,
+)
 
 __all__ = [
     "AccessDenied",
@@ -22,12 +33,14 @@ __all__ = [
     "DecryptionError",
     "EvaluationError",
     "HybridCiphertext",
+    "KdcClient",
+    "KdcServer",
     "PartialDecryption",
     "PartialEval",
     "PartialSignature",
     "SigningError",
-    "KdcClient",
-    "KdcServer",
+    "batch_verify",
+    "beacon",
     "build_kdc",
     "coin_flip",
     "dprf",

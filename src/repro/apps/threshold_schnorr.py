@@ -18,6 +18,7 @@ evaluations.
 
 from __future__ import annotations
 
+import random
 from dataclasses import dataclass
 
 from repro.crypto.feldman import FeldmanCommitment, FeldmanVector
@@ -85,6 +86,93 @@ def verify_partial(
     return lhs == rhs
 
 
+def _coeff_entries(
+    commitment: FeldmanCommitment | FeldmanVector,
+) -> tuple[int, ...]:
+    """The univariate coefficient commitments g^{a_j} for f(., 0)."""
+    if isinstance(commitment, FeldmanCommitment):
+        return tuple(row[0] for row in commitment.matrix)
+    return commitment.entries
+
+
+def batch_verify(
+    group: SchnorrGroup,
+    message: bytes,
+    partials: list[PartialSignature],
+    key_commitment: FeldmanCommitment | FeldmanVector,
+    nonce_commitment: FeldmanCommitment | FeldmanVector,
+    rng: random.Random,
+) -> tuple[list[PartialSignature], list[int]]:
+    """Verify many partials at once; returns ``(valid, bad_indices)``.
+
+    The batch check is a random linear combination of the per-partial
+    equations ``g^{z_i} == R_i * X_i^c``: with fresh random weights
+    gamma_i,
+
+        g^{sum gamma_i z_i} == prod_i (R_i * X_i^c)^{gamma_i}
+
+    which a cheating partial survives with probability 1/q.  Because
+    ``R_i`` and ``X_i`` are themselves commitment-polynomial
+    evaluations ``prod_j C_j^{i^j}``, the right side collapses through
+    the coefficient commitments:
+
+        prod_i (R_i * X_i^c)^{gamma_i}
+            = prod_j N_j^{a_j} * (prod_j K_j^{a_j})^c,
+        a_j = sum_i gamma_i * i^j  (scalar arithmetic only),
+
+    so the whole batch costs O(t) exponentiations instead of the
+    O(n*t) of one-by-one verification — the serving layer's combine
+    hot path.  On mismatch it falls back to per-partial
+    :func:`verify_partial` to *identify* the bad signers rather than
+    just reject the batch.  Duplicate indices keep only the first
+    occurrence (a duplicate with a different response would otherwise
+    let one signer spoil the combination).
+    """
+    unique: dict[int, PartialSignature] = {}
+    for partial in partials:
+        unique.setdefault(partial.index, partial)
+    batch = list(unique.values())
+    if not batch:
+        return [], []
+    c = challenge(
+        group, key_commitment.public_key(), nonce_commitment.public_key(), message
+    )
+    weights = [group.random_nonzero_scalar(rng) for _ in batch]
+    nonce_entries = _coeff_entries(nonce_commitment)
+    key_entries = _coeff_entries(key_commitment)
+    degree = max(len(nonce_entries), len(key_entries))
+    lhs_exponent = 0
+    aggregated = [0] * degree  # a_j = sum_i gamma_i * i^j
+    for gamma, partial in zip(weights, batch):
+        lhs_exponent = group.scalar_add(
+            lhs_exponent, group.scalar_mul(gamma, partial.response)
+        )
+        i_pow = 1
+        for j in range(degree):
+            aggregated[j] = group.scalar_add(
+                aggregated[j], group.scalar_mul(gamma, i_pow)
+            )
+            i_pow = group.scalar_mul(i_pow, partial.index)
+    rhs = group.identity
+    key_side = group.identity
+    for j, a_j in enumerate(aggregated):
+        if j < len(nonce_entries):
+            rhs = group.mul(rhs, group.power(nonce_entries[j], a_j))
+        if j < len(key_entries):
+            key_side = group.mul(key_side, group.power(key_entries[j], a_j))
+    rhs = group.mul(rhs, group.power(key_side, c))
+    if group.commit(lhs_exponent) == rhs:
+        return batch, []
+    valid: list[PartialSignature] = []
+    bad: list[int] = []
+    for partial in batch:
+        if verify_partial(group, message, partial, key_commitment, nonce_commitment):
+            valid.append(partial)
+        else:
+            bad.append(partial.index)
+    return valid, bad
+
+
 def combine(
     group: SchnorrGroup,
     message: bytes,
@@ -92,18 +180,29 @@ def combine(
     key_commitment: FeldmanCommitment | FeldmanVector,
     nonce_commitment: FeldmanCommitment | FeldmanVector,
     t: int,
+    rng: random.Random | None = None,
 ) -> Signature:
     """Interpolate >= t+1 verified partials into a standard signature.
 
-    Byzantine partials are filtered by :func:`verify_partial`; raises
-    :class:`SigningError` when fewer than ``t + 1`` valid ones remain.
+    Byzantine partials are filtered by :func:`verify_partial` — or, when
+    ``rng`` is supplied, by one :func:`batch_verify` pass (the serving
+    hot path); raises :class:`SigningError` when fewer than ``t + 1``
+    valid ones remain.
     """
     valid: dict[int, int] = {}
-    for partial in partials:
-        if partial.index in valid:
-            continue
-        if verify_partial(group, message, partial, key_commitment, nonce_commitment):
+    if rng is not None:
+        for partial in batch_verify(
+            group, message, partials, key_commitment, nonce_commitment, rng
+        )[0]:
             valid[partial.index] = partial.response
+    else:
+        for partial in partials:
+            if partial.index in valid:
+                continue
+            if verify_partial(
+                group, message, partial, key_commitment, nonce_commitment
+            ):
+                valid[partial.index] = partial.response
     if len(valid) < t + 1:
         raise SigningError(
             f"need {t + 1} valid partial signatures, have {len(valid)}"

@@ -8,6 +8,8 @@ Examples::
     python -m repro resilience --t 2 --f 1
     python -m repro cluster --n 7 --t 2 --seed 7        # real asyncio TCP
     python -m repro cluster --n 7 --t 2 --f 1 --crash 7@2
+    python -m repro serve --n 7 --t 2 --port 7710       # threshold service
+    python -m repro loadgen --port 7710 --clients 32 --requests 4
 """
 
 from __future__ import annotations
@@ -212,6 +214,87 @@ def cmd_resilience(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    """Run the client-facing threshold service on a TCP port."""
+    import asyncio
+
+    from repro.service import ServiceConfig, ServiceFrontend, ThresholdService
+
+    config = ServiceConfig(
+        n=args.n,
+        t=args.t,
+        f=args.f,
+        group=group_by_name(args.group),
+        seed=args.seed,
+        pool_target=args.pool,
+        pool_low_watermark=args.low_watermark,
+    )
+
+    async def _main() -> dict:
+        service = ThresholdService(config)
+        await service.start()
+        frontend = ServiceFrontend(
+            service, host=args.host, port=args.port, max_queue=args.max_queue
+        )
+        await frontend.start()
+        loop = asyncio.get_running_loop()
+        started = loop.time()
+        for node, at, up_after in args.crash:
+            loop.call_later(at, service.crash_node, node)
+            if up_after is not None:
+                loop.call_later(at + up_after, service.recover_node, node)
+        print(
+            f"serving n={args.n} t={args.t} pool={args.pool} "
+            f"on {frontend.host}:{frontend.port}",
+            flush=True,
+        )
+        try:
+            if args.duration > 0:
+                await asyncio.sleep(args.duration)
+            else:
+                await asyncio.Event().wait()
+        finally:
+            await frontend.stop()
+            await service.stop()
+        return {
+            "address": f"{frontend.host}:{frontend.port}",
+            "uptime_seconds": round(loop.time() - started, 2),
+            "served": service.served,
+            "failed": service.failed,
+            "busy_rejections": frontend.rejected_busy,
+            "connections": frontend.connections_total,
+            "presigs_forged": service.pool.forged,
+            "presigs_invalidated": service.pool.invalidated,
+            "beacon_height": service.beacon.height,
+            "public_key": hex(service.public_key),
+        }
+
+    try:
+        summary = asyncio.run(_main())
+    except KeyboardInterrupt:  # pragma: no cover - interactive teardown
+        return 0
+    _emit(args, summary)
+    return 0
+
+
+def cmd_loadgen(args: argparse.Namespace) -> int:
+    """Drive a running service with concurrent closed-loop clients."""
+    from repro.service import run_loadgen
+
+    report = run_loadgen(
+        args.host,
+        args.port,
+        clients=args.clients,
+        requests_per_client=args.requests,
+        op=args.op,
+        payload_bytes=args.payload_bytes,
+    )
+    _emit(args, report.as_dict())
+    if report.invalid_signatures:
+        return 2
+    return 0 if report.completed > 0 else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -268,6 +351,59 @@ def build_parser() -> argparse.ArgumentParser:
         help="wall-clock seconds to wait for completion",
     )
     p_cluster.set_defaults(func=cmd_cluster)
+
+    p_serve = sub.add_parser(
+        "serve", help="run the client-facing threshold service over TCP"
+    )
+    _common_args(p_serve)
+    p_serve.add_argument("--host", default="127.0.0.1")
+    p_serve.add_argument(
+        "--port", type=int, default=7710, help="listen port (0 = ephemeral)"
+    )
+    p_serve.add_argument(
+        "--pool", type=int, default=16,
+        help="presignature pool target (0 disables the pool)",
+    )
+    p_serve.add_argument(
+        "--low-watermark", type=int, default=None,
+        help="refill trigger level (default: half the pool target)",
+    )
+    p_serve.add_argument(
+        "--max-queue", type=int, default=256,
+        help="bounded request queue size (backpressure beyond it)",
+    )
+    p_serve.add_argument(
+        "--duration", type=float, default=0.0,
+        help="seconds to serve before exiting (0 = until interrupted)",
+    )
+    p_serve.add_argument(
+        "--crash", type=_parse_crash, action="append", default=[],
+        metavar="NODE@AT[+UP]",
+        help="crash NODE after AT seconds (recover UP later); repeatable",
+    )
+    p_serve.set_defaults(func=cmd_serve)
+
+    p_loadgen = sub.add_parser(
+        "loadgen", help="generate client load against a running service"
+    )
+    p_loadgen.add_argument("--host", default="127.0.0.1")
+    p_loadgen.add_argument("--port", type=int, default=7710)
+    p_loadgen.add_argument(
+        "--clients", type=int, default=8, help="concurrent connections"
+    )
+    p_loadgen.add_argument(
+        "--requests", type=int, default=10, help="requests per client"
+    )
+    p_loadgen.add_argument(
+        "--op", default="sign",
+        choices=("sign", "beacon", "dprf", "status", "mix"),
+        help="operation mix to issue",
+    )
+    p_loadgen.add_argument("--payload-bytes", type=int, default=16)
+    p_loadgen.add_argument(
+        "--json", action="store_true", help="emit machine-readable JSON"
+    )
+    p_loadgen.set_defaults(func=cmd_loadgen)
 
     return parser
 

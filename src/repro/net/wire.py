@@ -26,6 +26,14 @@ Covered payloads: everything in :mod:`repro.vss.messages`,
 including operator in/out records so hosts can checkpoint them.  (The
 group-modification layer of §6 keeps its simulator-only cost models and
 is not framed here.)
+
+Codec **version 2** adds the client-facing service frames of
+:mod:`repro.service.protocol` (kinds ``0x30+``): SIGN, BEACON_NEXT,
+BEACON_GET, DPRF_EVAL, DECRYPT, STATUS and their responses.  Frames
+are stamped with the minimum version able to decode them — protocol
+kinds stay byte-identical to v1, so mixed-version clusters keep
+interoperating; service kinds claiming version 1 are rejected — they
+did not exist.
 """
 
 from __future__ import annotations
@@ -56,6 +64,21 @@ from repro.vss.messages import (
     ShareInput,
     SharePointMsg,
 )
+from repro.service.protocol import (
+    ERROR_NAMES,
+    BeaconGetRequest,
+    BeaconNextRequest,
+    BeaconResponse,
+    DecryptRequest,
+    DecryptResponse,
+    DprfEvalRequest,
+    DprfResponse,
+    ErrorResponse,
+    SignRequest,
+    SignResponse,
+    StatusRequest,
+    StatusResponse,
+)
 from repro.dkg.messages import (
     DIGEST_BYTES,
     INDEX_BYTES,
@@ -80,12 +103,16 @@ from repro.dkg.messages import (
 )
 
 MAGIC = b"KG"
-VERSION = 1
+VERSION = 2  # v2: service frames (kinds >= SERVICE_KIND_MIN)
+SUPPORTED_VERSIONS = (1, 2)
+SERVICE_KIND_MIN = 0x30
 HEADER_BYTES = 4 + len(MAGIC) + 1 + 1  # length + magic + version + kind
 # Fixed-size messages bake this framing cost into byte_size() directly.
 assert HEADER_BYTES == _vss_messages.WIRE_FRAME_OVERHEAD
 
 PHASE_BYTES = 4
+REQUEST_ID_BYTES = 8  # client-chosen correlation id (service frames)
+ROUND_BYTES = 8  # beacon round numbers
 
 
 class WireError(ValueError):
@@ -802,6 +829,174 @@ def _dec_proactive_out_renewed(r: _Reader, resolve: Resolver | None) -> RenewedO
     return RenewedOutput(phase, commitment, share, q_set)
 
 
+# -- service frames (codec v2): client <-> gateway -----------------------------
+
+
+def _enc_svc_sign_req(w: _Writer, m: SignRequest, mode: str) -> None:
+    w.fixed(m.request_id, REQUEST_ID_BYTES)
+    w.lbytes(m.message)
+
+
+def _dec_svc_sign_req(r: _Reader, resolve: Resolver | None) -> SignRequest:
+    return SignRequest(r.fixed(REQUEST_ID_BYTES), r.lbytes())
+
+
+def _enc_svc_sign_resp(w: _Writer, m: SignResponse, mode: str) -> None:
+    w.fixed(m.request_id, REQUEST_ID_BYTES)
+    w.scalar(m.challenge)
+    w.scalar(m.response)
+    w.u8(1 if m.presig_used else 0)
+
+
+def _dec_svc_sign_resp(r: _Reader, resolve: Resolver | None) -> SignResponse:
+    request_id = r.fixed(REQUEST_ID_BYTES)
+    challenge = r.scalar()
+    response = r.scalar()
+    flag = r.u8()
+    if flag > 1:
+        raise WireError(f"bad presig flag {flag}")
+    return SignResponse(request_id, challenge, response, bool(flag))
+
+
+def _enc_svc_beacon_next(w: _Writer, m: BeaconNextRequest, mode: str) -> None:
+    w.fixed(m.request_id, REQUEST_ID_BYTES)
+
+
+def _dec_svc_beacon_next(r: _Reader, resolve: Resolver | None) -> BeaconNextRequest:
+    return BeaconNextRequest(r.fixed(REQUEST_ID_BYTES))
+
+
+def _enc_svc_beacon_get(w: _Writer, m: BeaconGetRequest, mode: str) -> None:
+    w.fixed(m.request_id, REQUEST_ID_BYTES)
+    w.fixed(m.round_number, ROUND_BYTES)
+
+
+def _dec_svc_beacon_get(r: _Reader, resolve: Resolver | None) -> BeaconGetRequest:
+    return BeaconGetRequest(r.fixed(REQUEST_ID_BYTES), r.fixed(ROUND_BYTES))
+
+
+def _enc_svc_beacon_resp(w: _Writer, m: BeaconResponse, mode: str) -> None:
+    w.fixed(m.request_id, REQUEST_ID_BYTES)
+    w.fixed(m.round_number, ROUND_BYTES)
+    w.lbytes(m.output)
+    w.scalar(m.value)
+
+
+def _dec_svc_beacon_resp(r: _Reader, resolve: Resolver | None) -> BeaconResponse:
+    return BeaconResponse(
+        r.fixed(REQUEST_ID_BYTES), r.fixed(ROUND_BYTES), r.lbytes(), r.scalar()
+    )
+
+
+def _enc_svc_dprf_req(w: _Writer, m: DprfEvalRequest, mode: str) -> None:
+    w.fixed(m.request_id, REQUEST_ID_BYTES)
+    w.lbytes(m.tag)
+
+
+def _dec_svc_dprf_req(r: _Reader, resolve: Resolver | None) -> DprfEvalRequest:
+    return DprfEvalRequest(r.fixed(REQUEST_ID_BYTES), r.lbytes())
+
+
+def _enc_svc_dprf_resp(w: _Writer, m: DprfResponse, mode: str) -> None:
+    w.fixed(m.request_id, REQUEST_ID_BYTES)
+    w.lbytes(m.output)
+
+
+def _dec_svc_dprf_resp(r: _Reader, resolve: Resolver | None) -> DprfResponse:
+    return DprfResponse(r.fixed(REQUEST_ID_BYTES), r.lbytes())
+
+
+def _enc_svc_decrypt_req(w: _Writer, m: DecryptRequest, mode: str) -> None:
+    w.fixed(m.request_id, REQUEST_ID_BYTES)
+    w.scalar(m.c1)
+    w.lbytes(m.pad)
+
+
+def _dec_svc_decrypt_req(r: _Reader, resolve: Resolver | None) -> DecryptRequest:
+    return DecryptRequest(r.fixed(REQUEST_ID_BYTES), r.scalar(), r.lbytes())
+
+
+def _enc_svc_decrypt_resp(w: _Writer, m: DecryptResponse, mode: str) -> None:
+    w.fixed(m.request_id, REQUEST_ID_BYTES)
+    w.lbytes(m.plaintext)
+
+
+def _dec_svc_decrypt_resp(r: _Reader, resolve: Resolver | None) -> DecryptResponse:
+    return DecryptResponse(r.fixed(REQUEST_ID_BYTES), r.lbytes())
+
+
+def _enc_svc_status_req(w: _Writer, m: StatusRequest, mode: str) -> None:
+    w.fixed(m.request_id, REQUEST_ID_BYTES)
+
+
+def _dec_svc_status_req(r: _Reader, resolve: Resolver | None) -> StatusRequest:
+    return StatusRequest(r.fixed(REQUEST_ID_BYTES))
+
+
+def _enc_svc_status_resp(w: _Writer, m: StatusResponse, mode: str) -> None:
+    w.fixed(m.request_id, REQUEST_ID_BYTES)
+    w.index(m.n)
+    w.index(m.t)
+    w.index(m.alive)
+    w.uvarint(m.pool_ready)
+    w.uvarint(m.pool_target)
+    w.uvarint(m.served)
+    w.uvarint(m.failed)
+    w.uvarint(m.beacon_height)
+    w.scalar(m.public_key)
+    w.lbytes(m.group_name.encode())
+
+
+def _dec_svc_status_resp(r: _Reader, resolve: Resolver | None) -> StatusResponse:
+    request_id = r.fixed(REQUEST_ID_BYTES)
+    n = r.index()
+    t = r.index()
+    alive = r.index()
+    pool_ready = r.uvarint()
+    pool_target = r.uvarint()
+    served = r.uvarint()
+    failed = r.uvarint()
+    beacon_height = r.uvarint()
+    public_key = r.scalar()
+    try:
+        group_name = r.lbytes().decode()
+    except UnicodeDecodeError as exc:
+        raise WireError("garbled group name") from exc
+    return StatusResponse(
+        request_id,
+        n,
+        t,
+        alive,
+        pool_ready,
+        pool_target,
+        served,
+        failed,
+        beacon_height,
+        public_key,
+        group_name,
+    )
+
+
+def _enc_svc_error(w: _Writer, m: ErrorResponse, mode: str) -> None:
+    if m.code not in ERROR_NAMES:
+        raise WireError(f"unknown service error code {m.code}")
+    w.fixed(m.request_id, REQUEST_ID_BYTES)
+    w.u8(m.code)
+    w.lbytes(m.detail.encode())
+
+
+def _dec_svc_error(r: _Reader, resolve: Resolver | None) -> ErrorResponse:
+    request_id = r.fixed(REQUEST_ID_BYTES)
+    code = r.u8()
+    if code not in ERROR_NAMES:
+        raise WireError(f"unknown service error code {code}")
+    try:
+        detail = r.lbytes().decode()
+    except UnicodeDecodeError as exc:
+        raise WireError("garbled error detail") from exc
+    return ErrorResponse(request_id, code, detail)
+
+
 _CODECS: dict[int, tuple[type, Callable, Callable]] = {
     0x01: (SendMsg, _enc_vss_send, _dec_vss_send),
     0x02: (EchoMsg, _enc_vss_echo, _dec_vss_echo),
@@ -827,6 +1022,19 @@ _CODECS: dict[int, tuple[type, Callable, Callable]] = {
     0x20: (ClockTickMsg, _enc_proactive_tick, _dec_proactive_tick),
     0x21: (RenewInput, _enc_proactive_in_renew, _dec_proactive_in_renew),
     0x22: (RenewedOutput, _enc_proactive_out_renewed, _dec_proactive_out_renewed),
+    # service frames: v2 only (SERVICE_KIND_MIN marks the boundary)
+    0x30: (SignRequest, _enc_svc_sign_req, _dec_svc_sign_req),
+    0x31: (SignResponse, _enc_svc_sign_resp, _dec_svc_sign_resp),
+    0x32: (BeaconNextRequest, _enc_svc_beacon_next, _dec_svc_beacon_next),
+    0x33: (BeaconGetRequest, _enc_svc_beacon_get, _dec_svc_beacon_get),
+    0x34: (BeaconResponse, _enc_svc_beacon_resp, _dec_svc_beacon_resp),
+    0x35: (DprfEvalRequest, _enc_svc_dprf_req, _dec_svc_dprf_req),
+    0x36: (DprfResponse, _enc_svc_dprf_resp, _dec_svc_dprf_resp),
+    0x37: (DecryptRequest, _enc_svc_decrypt_req, _dec_svc_decrypt_req),
+    0x38: (DecryptResponse, _enc_svc_decrypt_resp, _dec_svc_decrypt_resp),
+    0x39: (StatusRequest, _enc_svc_status_req, _dec_svc_status_req),
+    0x3A: (StatusResponse, _enc_svc_status_resp, _dec_svc_status_resp),
+    0x3B: (ErrorResponse, _enc_svc_error, _dec_svc_error),
 }
 
 _KIND_BY_TYPE: dict[type, int] = {typ: kind for kind, (typ, _, _) in _CODECS.items()}
@@ -858,7 +1066,11 @@ def encode(
     w = _Writer(group)
     _, enc, _ = _CODECS[kind]
     enc(w, message, commitments)
-    frame = MAGIC + bytes([VERSION, kind]) + bytes(w.buf)
+    # Stamp the *minimum* version able to decode the frame: protocol
+    # kinds are byte-identical to v1 (rolling upgrades keep working);
+    # service kinds did not exist before v2.
+    version = VERSION if kind >= SERVICE_KIND_MIN else 1
+    frame = MAGIC + bytes([version, kind]) + bytes(w.buf)
     return len(frame).to_bytes(4, "big") + frame
 
 
@@ -879,9 +1091,13 @@ def decode(data: bytes, *, resolve: Resolver | None = None) -> Any:
         raise WireError("frame length mismatch")
     if data[4:6] != MAGIC:
         raise WireError("bad magic")
-    if data[6] != VERSION:
+    if data[6] not in SUPPORTED_VERSIONS:
         raise WireError(f"unsupported wire version {data[6]}")
     kind = data[7]
+    if kind >= SERVICE_KIND_MIN and data[6] < 2:
+        raise WireError(
+            f"service frame kind 0x{kind:02x} requires codec version >= 2"
+        )
     entry = _CODECS.get(kind)
     if entry is None:
         raise WireError(f"unknown frame kind 0x{kind:02x}")

@@ -1,0 +1,205 @@
+"""Client-facing request/response frames for the serving layer.
+
+These are the messages that cross the *northbound* wire: an external
+client speaks them to the :class:`~repro.service.frontend.ServiceFrontend`
+gateway over the same length-prefixed binary framing as the protocol
+traffic (:mod:`repro.net.wire`, codec version 2).  Each operation maps
+to one of the threshold applications the paper motivates DKG with
+(§1): SIGN to threshold Schnorr, BEACON_* to the chained randomness
+beacon, DPRF_EVAL to the DDH distributed PRF, DECRYPT to threshold
+(hashed) ElGamal, STATUS to service introspection.
+
+Every request carries a client-chosen ``request_id`` echoed in the
+response, so a client may pipeline many requests on one connection and
+correlate out-of-order completions.  The gateway answers every request
+with exactly one frame: the matching ``*Response`` on success, or an
+:class:`ErrorResponse` carrying one of the ``ERR_*`` codes (``ERR_BUSY``
+is the backpressure signal — the bounded queue or the per-client
+in-flight cap was hit).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+# Error codes carried by ErrorResponse.
+ERR_BUSY = 1  # backpressure: request queue or per-client cap full
+ERR_BAD_REQUEST = 2  # malformed/unsupported operation parameters
+ERR_UNAVAILABLE = 3  # too few live signers to reach the threshold
+ERR_FAILED = 4  # operation ran but could not produce a valid result
+
+ERROR_NAMES = {
+    ERR_BUSY: "busy",
+    ERR_BAD_REQUEST: "bad-request",
+    ERR_UNAVAILABLE: "unavailable",
+    ERR_FAILED: "failed",
+}
+
+
+# -- requests ------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class SignRequest:
+    """Produce a threshold Schnorr signature over ``message``."""
+
+    request_id: int
+    message: bytes
+
+    kind = "svc.sign"
+
+
+@dataclass(frozen=True)
+class BeaconNextRequest:
+    """Advance the randomness beacon and return the new round."""
+
+    request_id: int
+
+    kind = "svc.beacon-next"
+
+
+@dataclass(frozen=True)
+class BeaconGetRequest:
+    """Fetch an already-published beacon round by number."""
+
+    request_id: int
+    round_number: int
+
+    kind = "svc.beacon-get"
+
+
+@dataclass(frozen=True)
+class DprfEvalRequest:
+    """Evaluate the distributed PRF f_s(tag) = H1(tag)^s."""
+
+    request_id: int
+    tag: bytes
+
+    kind = "svc.dprf-eval"
+
+
+@dataclass(frozen=True)
+class DecryptRequest:
+    """Threshold-decrypt a hashed-ElGamal ciphertext (c1, pad)."""
+
+    request_id: int
+    c1: int
+    pad: bytes
+
+    kind = "svc.decrypt"
+
+
+@dataclass(frozen=True)
+class StatusRequest:
+    """Service introspection: thresholds, pool level, counters."""
+
+    request_id: int
+
+    kind = "svc.status"
+
+
+# -- responses -----------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class SignResponse:
+    """A standard Schnorr signature (c, z) under the group key.
+
+    ``presig_used`` reports whether the nonce came from the
+    presignature pool (amortized) or an on-demand nonce DKG.
+    """
+
+    request_id: int
+    challenge: int
+    response: int
+    presig_used: bool
+
+    kind = "svc.sign.ok"
+
+
+@dataclass(frozen=True)
+class BeaconResponse:
+    """One beacon round: chained output bytes + the group element."""
+
+    request_id: int
+    round_number: int
+    output: bytes
+    value: int
+
+    kind = "svc.beacon.ok"
+
+
+@dataclass(frozen=True)
+class DprfResponse:
+    """The PRF output string H2(H1(tag)^s)."""
+
+    request_id: int
+    output: bytes
+
+    kind = "svc.dprf.ok"
+
+
+@dataclass(frozen=True)
+class DecryptResponse:
+    """The recovered plaintext bytes."""
+
+    request_id: int
+    plaintext: bytes
+
+    kind = "svc.decrypt.ok"
+
+
+@dataclass(frozen=True)
+class StatusResponse:
+    """Service health snapshot.
+
+    ``public_key`` is the DKG group key, letting clients verify
+    signatures locally with plain :func:`repro.crypto.schnorr.verify`
+    (threshold signatures are indistinguishable from single-signer
+    ones); ``group_name`` resolves the parameters via
+    :func:`repro.crypto.groups.group_by_name`.
+    """
+
+    request_id: int
+    n: int
+    t: int
+    alive: int
+    pool_ready: int
+    pool_target: int
+    served: int
+    failed: int
+    beacon_height: int
+    public_key: int
+    group_name: str
+
+    kind = "svc.status.ok"
+
+
+@dataclass(frozen=True)
+class ErrorResponse:
+    """Request-level failure; ``code`` is one of the ``ERR_*`` values."""
+
+    request_id: int
+    code: int
+    detail: str
+
+    kind = "svc.err"
+
+
+REQUEST_TYPES = (
+    SignRequest,
+    BeaconNextRequest,
+    BeaconGetRequest,
+    DprfEvalRequest,
+    DecryptRequest,
+    StatusRequest,
+)
+
+RESPONSE_TYPES = (
+    SignResponse,
+    BeaconResponse,
+    DprfResponse,
+    DecryptResponse,
+    StatusResponse,
+    ErrorResponse,
+)

@@ -3,6 +3,8 @@
 
 from __future__ import annotations
 
+import random
+
 import pytest
 
 from repro.apps import threshold_schnorr as ts
@@ -113,6 +115,63 @@ class TestThresholdSchnorr:
         dz = (s1.response - s2.response) % G.q
         recovered = (dz * pow(dc, -1, G.q)) % G.q
         assert G.commit(recovered) == key_dkg.public_key  # key recovered!
+
+    def test_batch_verify_accepts_all_honest(self, key_dkg, nonce_dkg) -> None:
+        message = b"batch"
+        partials = _partials(key_dkg, nonce_dkg, message, range(1, 8))
+        valid, bad = ts.batch_verify(
+            G, message, partials, key_dkg.commitment, nonce_dkg.commitment,
+            random.Random(1),
+        )
+        assert bad == []
+        assert valid == partials
+
+    def test_batch_verify_identifies_bad_signers(self, key_dkg, nonce_dkg) -> None:
+        message = b"batch-audit"
+        partials = _partials(key_dkg, nonce_dkg, message, (1, 2, 4, 5))
+        forged = ts.PartialSignature(3, (partials[0].response + 7) % G.q)
+        also_forged = ts.PartialSignature(6, 12345)
+        valid, bad = ts.batch_verify(
+            G, message, partials + [forged, also_forged],
+            key_dkg.commitment, nonce_dkg.commitment, random.Random(2),
+        )
+        assert sorted(bad) == [3, 6]
+        assert valid == partials
+
+    def test_batch_verify_keeps_first_duplicate(self, key_dkg, nonce_dkg) -> None:
+        # A second submission for an index must not be able to spoil
+        # (or sneak past) the batch: only the first one counts.
+        message = b"dup"
+        partials = _partials(key_dkg, nonce_dkg, message, (1, 2, 3))
+        spoiler = ts.PartialSignature(1, (partials[0].response + 1) % G.q)
+        valid, bad = ts.batch_verify(
+            G, message, partials + [spoiler],
+            key_dkg.commitment, nonce_dkg.commitment, random.Random(3),
+        )
+        assert bad == []
+        assert valid == partials
+
+    def test_batch_verify_empty(self, key_dkg, nonce_dkg) -> None:
+        assert ts.batch_verify(
+            G, b"m", [], key_dkg.commitment, nonce_dkg.commitment,
+            random.Random(4),
+        ) == ([], [])
+
+    def test_combine_batch_path_matches_sequential(self, key_dkg, nonce_dkg) -> None:
+        message = b"same signature either way"
+        partials = _partials(key_dkg, nonce_dkg, message, (2, 4, 6, 7))
+        forged = ts.PartialSignature(5, 99)
+        sequential = ts.combine(
+            G, message, partials + [forged],
+            key_dkg.commitment, nonce_dkg.commitment, t=2,
+        )
+        batched = ts.combine(
+            G, message, partials + [forged],
+            key_dkg.commitment, nonce_dkg.commitment, t=2,
+            rng=random.Random(5),
+        )
+        assert batched == sequential
+        assert schnorr.verify(G, key_dkg.public_key, message, batched)
 
     def test_fresh_nonce_prevents_key_recovery(self, key_dkg, nonce_dkg) -> None:
         nonce2 = run_dkg(DkgConfig(n=7, t=2, f=0, group=G), seed=300)

@@ -23,6 +23,21 @@ from repro.crypto.polynomials import Polynomial
 from repro.crypto.schnorr import Signature, SigningKey
 from repro.net import wire
 from repro.proactive.messages import ClockTickMsg, RenewedOutput, RenewInput
+from repro.service.protocol import (
+    ERR_UNAVAILABLE,
+    BeaconGetRequest,
+    BeaconNextRequest,
+    BeaconResponse,
+    DecryptRequest,
+    DecryptResponse,
+    DprfEvalRequest,
+    DprfResponse,
+    ErrorResponse,
+    SignRequest,
+    SignResponse,
+    StatusRequest,
+    StatusResponse,
+)
 from repro.vss.messages import (
     EchoMsg,
     HelpMsg,
@@ -114,6 +129,19 @@ MESSAGES = [
     ClockTickMsg(3),
     RenewInput(2),
     RenewedOutput(1, VEC, 9, (1, 2)),
+    # service frames (codec v2)
+    SignRequest(7, b"pay carol"),
+    SignResponse(7, 123, 456, True),
+    BeaconNextRequest(8),
+    BeaconGetRequest(9, 4),
+    BeaconResponse(9, 4, b"\xaa" * 32, 5),
+    DprfEvalRequest(10, b"tag"),
+    DprfResponse(10, b"\xbb" * 32),
+    DecryptRequest(11, 4, b"\x01\x02"),
+    DecryptResponse(11, b"plaintext"),
+    StatusRequest(12),
+    StatusResponse(12, 7, 2, 6, 5, 16, 100, 2, 3, 9, "toy-0"),
+    ErrorResponse(13, ERR_UNAVAILABLE, "too few signers"),
 ]
 
 _IDS = [f"{type(m).__name__}-{i}" for i, m in enumerate(MESSAGES)]

@@ -1,0 +1,355 @@
+"""Presignature pool behavior: exhaustion, watermark refill, and
+crash-safe invalidation.
+
+The pool mechanics are tested against a cheap stub forge (pool logic is
+independent of how nonces are made); the crash-invalidation semantics
+are additionally exercised end-to-end against a real
+:class:`~repro.service.workers.ThresholdService`, whose forge runs
+actual nonce DKGs and installs real shares into the workers.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.crypto import schnorr
+from repro.service.presig import PresigPool, Presignature
+from repro.service.workers import ServiceConfig, ThresholdService
+
+
+def _stub_forge(contributors=(1, 2, 3)):
+    """A forge that mints structurally valid presigs instantly."""
+
+    def forge(presig_id: int):
+        presig = Presignature(
+            presig_id=presig_id,
+            commitment=None,  # pool never inspects the commitment
+            nonce_point=presig_id + 1,
+            contributors=tuple(contributors),
+        )
+        return presig, {i: presig_id * 100 + i for i in contributors}
+
+    return forge
+
+
+def _make_pool(target=6, low_watermark=None, contributors=(1, 2, 3), installs=None):
+    installed = installs if installs is not None else []
+    return PresigPool(
+        _stub_forge(contributors),
+        lambda presig, shares: installed.append((presig.presig_id, shares)),
+        target=target,
+        low_watermark=low_watermark,
+    )
+
+
+class TestPoolMechanics:
+    def test_prefill_reaches_target_and_installs_shares(self) -> None:
+        async def scenario():
+            installs: list = []
+            pool = _make_pool(target=6, installs=installs)
+            await pool.start()
+            try:
+                return pool.level, pool.forged, list(installs)
+            finally:
+                await pool.stop()
+
+        level, forged, installs = asyncio.run(scenario())
+        assert level == 6
+        assert forged == 6
+        assert len(installs) == 6
+        assert all(set(shares) == {1, 2, 3} for _, shares in installs)
+
+    def test_burst_exhaustion_returns_none(self) -> None:
+        async def scenario():
+            pool = _make_pool(target=4)
+            await pool.start()
+            try:
+                taken = [pool.take() for _ in range(7)]
+            finally:
+                await pool.stop()
+            return taken
+
+        taken = asyncio.run(scenario())
+        assert all(p is not None for p in taken[:4])
+        assert taken[4:] == [None, None, None]
+        # Entries come out oldest-first and are unique.
+        ids = [p.presig_id for p in taken[:4]]
+        assert ids == sorted(set(ids))
+
+    def test_low_watermark_triggers_background_refill(self) -> None:
+        async def scenario():
+            pool = _make_pool(target=8, low_watermark=4)
+            await pool.start()
+            try:
+                # Drain to one above the watermark: no refill expected.
+                for _ in range(3):
+                    assert pool.take() is not None
+                await asyncio.sleep(0.05)
+                level_above = pool.level
+                forged_above = pool.forged
+                # Drop below the watermark: the refill task tops back up.
+                assert pool.take() is not None
+                assert pool.take() is not None
+                for _ in range(100):
+                    await asyncio.sleep(0.01)
+                    if pool.level == pool.target:
+                        break
+                return level_above, forged_above, pool.level
+            finally:
+                await pool.stop()
+
+        level_above, forged_above, final_level = asyncio.run(scenario())
+        assert level_above == 5
+        assert forged_above == 8  # untouched since prefill
+        assert final_level == 8
+
+    def test_forge_now_bypasses_the_pool(self) -> None:
+        async def scenario():
+            pool = _make_pool(target=2)
+            await pool.start()
+            try:
+                before = pool.level
+                presig = await pool.forge_now()
+                return before, pool.level, presig
+            finally:
+                await pool.stop()
+
+        before, after, presig = asyncio.run(scenario())
+        assert before == after == 2
+        assert presig.presig_id == 2  # ids continue past the prefill
+
+    def test_disabled_pool_never_forges_in_background(self) -> None:
+        async def scenario():
+            pool = _make_pool(target=0)
+            await pool.start()
+            try:
+                return pool.take(), pool.level, pool.forged
+            finally:
+                await pool.stop()
+
+        taken, level, forged = asyncio.run(scenario())
+        assert taken is None and level == 0 and forged == 0
+
+    def test_invalid_watermark_rejected(self) -> None:
+        with pytest.raises(ValueError):
+            _make_pool(target=2, low_watermark=5)
+
+    def test_refill_loop_survives_forge_failures(self) -> None:
+        """A failed nonce DKG (e.g. too few live nodes) must not kill
+        the refill task — it retries once conditions may have changed —
+        and stop() must not re-raise the stored exception."""
+
+        async def scenario():
+            calls = {"count": 0}
+
+            def flaky_forge(presig_id: int):
+                calls["count"] += 1
+                if calls["count"] <= 2:
+                    raise RuntimeError("nonce DKG failed")
+                return _stub_forge()(presig_id)
+
+            pool = PresigPool(
+                flaky_forge, lambda p, s: None, target=2, low_watermark=2
+            )
+            await pool.start(prefill=False)
+            pool.take()  # empty + below watermark: wakes the refill task
+            for _ in range(400):
+                await asyncio.sleep(0.01)
+                if pool.level == pool.target:
+                    break
+            stats = pool.refill_failures, pool.level
+            await pool.stop()  # must not raise
+            return stats
+
+        failures, level = asyncio.run(scenario())
+        assert failures >= 1
+        assert level == 2
+
+
+class TestInvalidation:
+    def test_invalidate_drops_only_contributed_entries(self) -> None:
+        async def scenario():
+            pool = _make_pool(target=4, contributors=(1, 2, 3))
+            await pool.start()
+            await pool.stop()  # freeze the refill loop; pool holds 4
+            dropped_outsider = pool.invalidate(7)
+            dropped_contributor = pool.invalidate(2)
+            return dropped_outsider, dropped_contributor, pool.level
+
+        outsider, contributor, level = asyncio.run(scenario())
+        assert outsider == 0
+        assert contributor == 4
+        assert level == 0
+
+    def test_quarantine_screens_refills_until_absolved(self) -> None:
+        async def scenario():
+            installs: list = []
+            pool = _make_pool(
+                target=3, low_watermark=3, contributors=(1, 2, 3),
+                installs=installs,
+            )
+            pool.invalidate(1)  # quarantined before anything is forged
+            await pool.refill()
+            screened = pool.level, pool.forged, pool.invalidated, len(installs)
+            pool.absolve(1)
+            await pool.refill()
+            return screened, pool.level
+
+        (level, forged, invalidated, installed), healed = asyncio.run(scenario())
+        assert level == 0  # every forge was screened out...
+        assert forged == invalidated == 4  # ...counted, then it gave up
+        assert installed == 0  # screening happens before share install
+        assert healed == 3
+
+    def test_invalidate_discards_installed_shares(self) -> None:
+        async def scenario():
+            discarded: list[int] = []
+            pool = PresigPool(
+                _stub_forge((1, 2, 3)),
+                lambda p, s: None,
+                target=3,
+                discard=discarded.append,
+            )
+            await pool.start()
+            await pool.stop()
+            pool.invalidate(2)
+            return discarded
+
+        # Workers are told to erase their shares of every dropped entry.
+        assert asyncio.run(scenario()) == [0, 1, 2]
+
+
+class TestServiceIntegration:
+    """The pool wired to real nonce DKGs and real workers (n=4, t=1)."""
+
+    def test_crash_wipes_contributed_presigs_and_worker_shares(self) -> None:
+        async def scenario():
+            service = ThresholdService(
+                ServiceConfig(n=4, t=1, seed=5, pool_target=4)
+            )
+            await service.start()
+            try:
+                contributors = {
+                    c for p in service.pool._ready for c in p.contributors
+                }
+                victim = min(contributors)
+                survivor = next(
+                    i for i in sorted(service.workers) if i != victim
+                )
+                nonce_count_before = service.workers[victim].nonce_count
+                dropped = service.crash_node(victim)
+                return (
+                    dropped,
+                    nonce_count_before,
+                    service.workers[victim].nonce_count,
+                    service.workers[survivor].nonce_count,
+                    service.pool.level,
+                )
+            finally:
+                await service.stop()
+
+        dropped, before, after, survivor_count, level = asyncio.run(scenario())
+        assert before > 0
+        assert after == 0  # crash wipes ephemeral nonce shares
+        assert dropped > 0
+        assert level <= 4 - dropped
+        # Survivors erased their shares of the invalidated entries too.
+        assert survivor_count == level
+
+    def test_signing_survives_exhaustion_and_crash(self) -> None:
+        async def scenario():
+            service = ThresholdService(
+                ServiceConfig(n=4, t=1, seed=6, pool_target=2)
+            )
+            await service.start()
+            try:
+                # Burst past the pool: 4 signs against 2 presigs.
+                results = await asyncio.gather(
+                    *(service.sign(b"burst %d" % i) for i in range(4))
+                )
+                from_pool = [used for _, used in results]
+                # Crash a node; signing must continue from the survivors.
+                service.crash_node(1)
+                signature, _ = await service.sign(b"after crash")
+                ok = schnorr.verify(
+                    service.group, service.public_key, b"after crash", signature
+                )
+                all_verify = all(
+                    schnorr.verify(
+                        service.group, service.public_key, b"burst %d" % i, sig
+                    )
+                    for i, (sig, _) in enumerate(results)
+                )
+                return from_pool, ok, all_verify
+            finally:
+                await service.stop()
+
+        from_pool, ok, all_verify = asyncio.run(scenario())
+        assert ok and all_verify
+        assert from_pool.count(True) == 2  # the pool served exactly its level
+        assert from_pool.count(False) == 2  # the rest forged on demand
+
+    def test_recovered_node_contributes_to_new_presigs_only(self) -> None:
+        async def scenario():
+            service = ThresholdService(
+                ServiceConfig(n=4, t=1, seed=7, pool_target=3)
+            )
+            await service.start()
+            try:
+                # Park the background refill so the only new presig is
+                # the explicit forge below (no install race).
+                await service.pool.stop()
+                victim = sorted(service.workers)[0]
+                service.crash_node(victim)
+                service.recover_node(victim)
+                presig = await service.pool.forge_now()
+                # The recovered node holds a share of the *new* nonce.
+                return (
+                    presig.presig_id in service.workers[victim]._nonce_shares,
+                    service.workers[victim].nonce_count,
+                )
+            finally:
+                await service.stop()
+
+        holds_new, count = asyncio.run(scenario())
+        assert holds_new
+        assert count == 1  # old shares stayed lost
+
+    def test_dry_pool_refills_after_burst(self) -> None:
+        async def scenario():
+            service = ThresholdService(
+                ServiceConfig(n=4, t=1, seed=8, pool_target=2, pool_low_watermark=2)
+            )
+            await service.start()
+            try:
+                while service.pool.take() is not None:
+                    pass
+                for _ in range(600):
+                    await asyncio.sleep(0.01)
+                    if service.pool.level == service.pool.target:
+                        break
+                return service.pool.level
+            finally:
+                await service.stop()
+
+        assert asyncio.run(scenario()) == 2
+
+    def test_too_many_crashes_turn_into_unavailable(self) -> None:
+        from repro.service.workers import ServiceUnavailable
+
+        async def scenario():
+            service = ThresholdService(
+                ServiceConfig(n=4, t=1, seed=9, pool_target=0)
+            )
+            await service.start()
+            try:
+                service.crash_node(1)
+                service.crash_node(2)  # 2 live < 2t+1 = 3
+                with pytest.raises((ServiceUnavailable, RuntimeError)):
+                    await service.sign(b"nope")
+            finally:
+                await service.stop()
+
+        asyncio.run(scenario())

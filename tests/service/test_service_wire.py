@@ -1,0 +1,133 @@
+"""Wire-level tests for the service frames (codec version 2).
+
+Mirrors the :mod:`tests.net.test_wire` acceptance bar for the new
+kinds: every service message round-trips, truncated/garbled frames are
+rejected with :class:`~repro.net.wire.WireError`, and the version
+gating holds — v1 frames still decode for the protocol kinds but are
+rejected for service kinds, which did not exist in v1.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.net import wire
+from repro.service.protocol import (
+    ERR_BUSY,
+    ERROR_NAMES,
+    BeaconGetRequest,
+    BeaconNextRequest,
+    BeaconResponse,
+    DecryptRequest,
+    DecryptResponse,
+    DprfEvalRequest,
+    DprfResponse,
+    ErrorResponse,
+    SignRequest,
+    SignResponse,
+    StatusRequest,
+    StatusResponse,
+)
+from repro.vss.messages import HelpMsg, SessionId
+
+MESSAGES = [
+    SignRequest(1, b""),
+    SignRequest(2**64 - 1, b"x" * 300),
+    SignResponse(1, 0, 0, False),
+    SignResponse(2, 10**30, 10**30, True),
+    BeaconNextRequest(3),
+    BeaconGetRequest(4, 2**63),
+    BeaconResponse(4, 0, b"\x00" * 32, 1),
+    DprfEvalRequest(5, b"lottery|2026"),
+    DprfResponse(5, b"\xff" * 64),
+    DecryptRequest(6, 2, b"\x80" * 48),
+    DecryptResponse(6, b""),
+    StatusRequest(7),
+    StatusResponse(7, 7, 2, 7, 0, 0, 0, 0, 0, 123456, "rfc5114-1024-160"),
+    ErrorResponse(8, ERR_BUSY, "service saturated"),
+    ErrorResponse(9, ERR_BUSY, ""),
+]
+
+_IDS = [f"{type(m).__name__}-{i}" for i, m in enumerate(MESSAGES)]
+
+
+class TestServiceRoundTrip:
+    @pytest.mark.parametrize("message", MESSAGES, ids=_IDS)
+    def test_decode_encode_identity(self, message) -> None:
+        assert wire.decode(wire.encode(message)) == message
+
+    def test_frames_carry_codec_version_2(self) -> None:
+        frame = wire.encode(SignRequest(1, b"m"))
+        assert frame[6] == wire.VERSION == 2
+
+    def test_service_kinds_start_at_boundary(self) -> None:
+        service_types = {type(m) for m in MESSAGES}
+        for kind, (typ, _, _) in wire._CODECS.items():
+            if typ in service_types:
+                assert kind >= wire.SERVICE_KIND_MIN
+
+
+class TestVersionGating:
+    def test_service_frame_claiming_v1_rejected(self) -> None:
+        frame = bytearray(wire.encode(StatusRequest(1)))
+        frame[6] = 1
+        with pytest.raises(wire.WireError, match="version"):
+            wire.decode(bytes(frame))
+
+    def test_legacy_kinds_stay_byte_identical_to_v1(self) -> None:
+        # Rolling upgrades: protocol frames from an upgraded node must
+        # still be accepted by a v1 peer, so they are stamped v1.
+        message = HelpMsg(SessionId(1, 2))
+        frame = wire.encode(message)
+        assert frame[6] == 1
+        assert wire.decode(frame) == message
+
+    def test_unknown_version_still_rejected(self) -> None:
+        frame = bytearray(wire.encode(StatusRequest(1)))
+        frame[6] = 3
+        with pytest.raises(wire.WireError):
+            wire.decode(bytes(frame))
+
+
+class TestServiceRejection:
+    def _frame(self) -> bytes:
+        return wire.encode(SignResponse(5, 123, 456, True))
+
+    def test_truncation_every_prefix_rejected(self) -> None:
+        data = self._frame()
+        for cut in range(len(data)):
+            with pytest.raises(wire.WireError):
+                wire.decode(data[:cut])
+
+    def test_trailing_garbage_rejected(self) -> None:
+        with pytest.raises(wire.WireError):
+            wire.decode(self._frame() + b"\x00")
+
+    def test_bad_presig_flag_rejected(self) -> None:
+        data = bytearray(self._frame())
+        data[-1] = 2  # the presig_used byte is the final field
+        with pytest.raises(wire.WireError):
+            wire.decode(bytes(data))
+
+    def test_unknown_error_code_rejected_both_ways(self) -> None:
+        bogus = max(ERROR_NAMES) + 17
+        with pytest.raises(wire.WireError):
+            wire.encode(ErrorResponse(1, bogus, "x"))
+        data = bytearray(wire.encode(ErrorResponse(1, ERR_BUSY, "x")))
+        data[8 + 8] = bogus  # header + request id -> the code byte
+        with pytest.raises(wire.WireError):
+            wire.decode(bytes(data))
+
+    def test_garbled_detail_utf8_rejected(self) -> None:
+        clean = wire.encode(ErrorResponse(1, ERR_BUSY, "ok"))
+        data = bytearray(clean)
+        data[-2:] = b"\xff\xfe"  # invalid UTF-8 in the detail bytes
+        with pytest.raises(wire.WireError):
+            wire.decode(bytes(data))
+
+    def test_status_garbled_group_name_rejected(self) -> None:
+        status = StatusResponse(1, 4, 1, 4, 0, 0, 0, 0, 0, 5, "ab")
+        data = bytearray(wire.encode(status))
+        data[-2:] = b"\xff\xff"
+        with pytest.raises(wire.WireError):
+            wire.decode(bytes(data))

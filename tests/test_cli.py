@@ -65,6 +65,53 @@ class TestCli:
         assert payload["success_by_n"]["4"] is True
         assert payload["success_by_n"]["3"] is False
 
+    def test_serve_and_loadgen_round_trip(self, capsys) -> None:
+        import os
+        import pathlib
+        import socket
+        import subprocess
+        import sys
+
+        probe = socket.socket()
+        probe.bind(("127.0.0.1", 0))
+        port = probe.getsockname()[1]
+        probe.close()
+        env = dict(os.environ)
+        src = str(pathlib.Path(__file__).parent.parent / "src")
+        env["PYTHONPATH"] = os.pathsep.join(
+            [src] + ([env["PYTHONPATH"]] if env.get("PYTHONPATH") else [])
+        )
+        server = subprocess.Popen(
+            [sys.executable, "-m", "repro", "serve", "--n", "4", "--t", "1",
+             "--seed", "3", "--port", str(port), "--pool", "4",
+             "--duration", "60"],
+            env=env,
+            stdout=subprocess.DEVNULL,
+            stderr=subprocess.DEVNULL,
+        )
+        try:
+            code = main(
+                ["loadgen", "--port", str(port), "--clients", "2",
+                 "--requests", "2", "--json"]
+            )
+        finally:
+            server.terminate()
+            server.wait(timeout=10)
+        payload = json.loads(capsys.readouterr().out)
+        assert code == 0
+        assert payload["completed"] == 4
+        assert payload["errors"] == 0
+        assert payload["invalid_signatures"] == 0
+
+    def test_serve_loadgen_parser_defaults(self) -> None:
+        parser = build_parser()
+        serve = parser.parse_args(["serve"])
+        assert (serve.pool, serve.port, serve.duration) == (16, 7710, 0.0)
+        loadgen = parser.parse_args(["loadgen", "--op", "mix"])
+        assert (loadgen.clients, loadgen.requests, loadgen.op) == (8, 10, "mix")
+        with pytest.raises(SystemExit):
+            parser.parse_args(["loadgen", "--op", "nope"])
+
     def test_parser_requires_command(self) -> None:
         with pytest.raises(SystemExit):
             build_parser().parse_args([])
