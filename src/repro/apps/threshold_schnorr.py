@@ -23,6 +23,7 @@ from dataclasses import dataclass
 
 from repro.crypto.feldman import FeldmanCommitment, FeldmanVector
 from repro.crypto.groups import SchnorrGroup
+from repro.crypto.multiexp import multiexp
 from repro.crypto.polynomials import lagrange_coefficients
 from repro.crypto.schnorr import Signature, _challenge
 
@@ -153,14 +154,15 @@ def batch_verify(
                 aggregated[j], group.scalar_mul(gamma, i_pow)
             )
             i_pow = group.scalar_mul(i_pow, partial.index)
-    rhs = group.identity
-    key_side = group.identity
-    for j, a_j in enumerate(aggregated):
-        if j < len(nonce_entries):
-            rhs = group.mul(rhs, group.power(nonce_entries[j], a_j))
-        if j < len(key_entries):
-            key_side = group.mul(key_side, group.power(key_entries[j], a_j))
-    rhs = group.mul(rhs, group.power(key_side, c))
+    # prod_j N_j^{a_j} * (prod_j K_j^{a_j})^c folded into ONE interleaved
+    # multiexp by scaling the key-side exponents by c in the scalar field.
+    pairs = [
+        (entry, a_j) for entry, a_j in zip(nonce_entries, aggregated)
+    ] + [
+        (entry, group.scalar_mul(c, a_j))
+        for entry, a_j in zip(key_entries, aggregated)
+    ]
+    rhs = multiexp(pairs, group.p, group.q)
     if group.commit(lhs_exponent) == rhs:
         return batch, []
     valid: list[PartialSignature] = []

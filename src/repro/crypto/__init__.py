@@ -7,7 +7,14 @@ deterministic given a seeded ``random.Random``.
 
 from repro.crypto.bivariate import BivariatePolynomial
 from repro.crypto.dleq import DleqProof
-from repro.crypto.feldman import FeldmanCommitment, FeldmanVector
+from repro.crypto.feldman import FeldmanCommitment, FeldmanVector, share_verifier
+from repro.crypto.multiexp import (
+    BatchVerifier,
+    FixedBaseTable,
+    SharedBases,
+    fixed_base_table,
+    multiexp,
+)
 from repro.crypto.groups import (
     RFC5114_1024_160,
     SchnorrGroup,
@@ -28,10 +35,16 @@ from repro.crypto.schnorr import Signature, SigningKey
 from repro.crypto.shares import ReconstructionError, Share, reconstruct_secret
 
 __all__ = [
+    "BatchVerifier",
     "BivariatePolynomial",
     "DleqProof",
     "FeldmanCommitment",
     "FeldmanVector",
+    "FixedBaseTable",
+    "SharedBases",
+    "fixed_base_table",
+    "multiexp",
+    "share_verifier",
     "PedersenCommitment",
     "PedersenShare",
     "Polynomial",

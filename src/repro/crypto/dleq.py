@@ -18,6 +18,7 @@ import random
 from dataclasses import dataclass
 
 from repro.crypto.groups import SchnorrGroup
+from repro.crypto.multiexp import multiexp
 
 
 def _challenge(
@@ -72,13 +73,14 @@ def verify(
     """Check a DLEQ proof: recompute commitments and the challenge."""
     if not all(group.is_element(e) for e in (g1, h1, g2, h2)):
         return False
-    # commit1 = g1^z * h1^{-c};  commit2 = g2^z * h2^{-c}
-    commit1 = group.mul(
-        group.power(g1, proof.response),
-        group.power(group.inv(h1), proof.challenge),
+    # commit1 = g1^z * h1^{-c};  commit2 = g2^z * h2^{-c}.  Each is a
+    # two-term multiexp sharing one squaring chain; h^{-c} = h^{q-c}
+    # because membership in the order-q subgroup was just checked.
+    neg_c = (-proof.challenge) % group.q
+    commit1 = multiexp(
+        ((g1, proof.response), (h1, neg_c)), group.p, group.q
     )
-    commit2 = group.mul(
-        group.power(g2, proof.response),
-        group.power(group.inv(h2), proof.challenge),
+    commit2 = multiexp(
+        ((g2, proof.response), (h2, neg_c)), group.p, group.q
     )
     return _challenge(group, g1, h1, g2, h2, commit1, commit2) == proof.challenge

@@ -11,6 +11,18 @@ from Fig. 1 are implemented verbatim:
   ``P_m`` equals ``f(m, i)``:
   ``g^alpha == prod_{j,l} (C_jl)^{m^j i^l}``.
 
+Both predicates are O(t^2) exponentiations when evaluated from the raw
+matrix, and they run on every echo/ready/send of every session — the
+protocol's verification hot path.  This implementation therefore
+collapses the matrix *once per node index* (the cached row verifier
+``W_l(i) = prod_j (C_jl)^{i^j}``, shared between ``verify_poly``,
+``verify_point``, ``share_commitment`` and ``column_vector`` because
+the dealt matrices are symmetric) and evaluates everything downstream
+of the collapse with :mod:`repro.crypto.multiexp` — so repeated
+``verify_point(m, i, alpha)`` calls cost O(t) multiplications, and
+many buffered points against one commitment batch into a single
+randomized-linear-combination check via :meth:`FeldmanVector.batch_verify`.
+
 A univariate variant (:class:`FeldmanVector`) commits to a degree-t
 polynomial by its coefficient exponentiations; it is used by the Rec
 protocol to validate shares, by share renewal (the ``V_l`` values of
@@ -19,10 +31,17 @@ protocol to validate shares, by share renewal (the ``V_l`` values of
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import random
+from dataclasses import dataclass, field
 
 from repro.crypto.bivariate import BivariatePolynomial
 from repro.crypto.groups import SchnorrGroup
+from repro.crypto.multiexp import (
+    BatchVerifier,
+    SharedBases,
+    fixed_base_table,
+    multiexp,
+)
 from repro.crypto.polynomials import Polynomial
 
 
@@ -32,6 +51,12 @@ class FeldmanCommitment:
 
     matrix: tuple[tuple[int, ...], ...]
     group: SchnorrGroup
+    # Per-instance memo for collapsed rows, share commitments and
+    # symmetry; excluded from equality/hashing so two commitments to the
+    # same matrix stay interchangeable as dict keys.
+    _cache: dict = field(
+        default_factory=dict, init=False, repr=False, compare=False
+    )
 
     def __post_init__(self) -> None:
         if any(len(row) != len(self.matrix) for row in self.matrix):
@@ -53,60 +78,112 @@ class FeldmanCommitment:
         )
         return cls(matrix, group)
 
+    # -- the per-node collapse cache -----------------------------------------
+
+    def _is_symmetric(self) -> bool:
+        sym = self._cache.get("sym")
+        if sym is None:
+            m = self.matrix
+            n = len(m)
+            sym = all(
+                m[j][ell] == m[ell][j]
+                for j in range(n)
+                for ell in range(j + 1, n)
+            )
+            self._cache["sym"] = sym
+        return sym
+
+    def _collapse(self, index: int, axis: int) -> "FeldmanVector":
+        """Fold the matrix with powers of ``index`` along ``axis``.
+
+        ``axis=0`` gives the *row verifier* ``W_l = prod_j C_jl^{i^j}``
+        (verify-poly right-hand sides; ``W_0`` is the share
+        commitment); ``axis=1`` gives ``V_j = prod_l C_jl^{i^l}`` (the
+        point verifier for receiver ``i``).  For the symmetric matrices
+        HybridVSS deals the two coincide and share one cache slot, so a
+        node pays for the O(t^2) collapse exactly once per commitment.
+        """
+        g = self.group
+        i = index % g.q
+        key = ("collapse", i, 0 if self._is_symmetric() else axis)
+        cached = self._cache.get(key)
+        if cached is None:
+            n = len(self.matrix)
+            i_pows = []
+            ip = 1
+            for _ in range(n):
+                i_pows.append(ip)
+                ip = ip * i % g.q
+            entries = []
+            for ell in range(n):
+                if axis == 0:
+                    pairs = [(self.matrix[j][ell], i_pows[j]) for j in range(n)]
+                else:
+                    pairs = [(self.matrix[ell][j], i_pows[j]) for j in range(n)]
+                entries.append(multiexp(pairs, g.p, g.q))
+            cached = FeldmanVector(tuple(entries), g)
+            self._cache[key] = cached
+        return cached
+
+    def row_verifier(self, i: int) -> "FeldmanVector":
+        """The matrix collapsed once for node ``i``: entries
+        ``W_l = prod_j C_jl^{i^j}``, against which both the node's row
+        polynomial and its share commitment check in O(t)."""
+        return self._collapse(i, axis=0)
+
+    # -- Fig. 1 predicates ----------------------------------------------------
+
     def verify_poly(self, i: int, a: Polynomial) -> bool:
         """Fig. 1 predicate verify-poly(C, i, a).
 
-        True iff ``a`` is the correct row polynomial f(i, .) under C.
+        True iff ``a`` is the correct row polynomial f(i, .) under C:
+        each coefficient commitment ``g^{a_l}`` (fixed-base table) must
+        equal the cached collapsed entry ``W_l(i)``.
         """
         t = self.degree
         if a.degree != t or a.q != self.group.q:
             return False
         g = self.group
-        i_pows = [pow(i, j, g.q) for j in range(t + 1)]
-        for ell in range(t + 1):
-            expected = 1
-            for j in range(t + 1):
-                expected = g.mul(expected, g.power(self.matrix[j][ell], i_pows[j]))
-            if g.commit(a.coeffs[ell]) != expected:
-                return False
-        return True
+        table = fixed_base_table(g.p, g.q, g.g)
+        return all(
+            table.pow(c) == w
+            for c, w in zip(a.coeffs, self.row_verifier(i).entries)
+        )
 
     def verify_point(self, i: int, m: int, alpha: int) -> bool:
         """Fig. 1 predicate verify-point(C, i, m, alpha).
 
-        True iff alpha = f(m, i) under the committed f.
+        True iff alpha = f(m, i) under the committed f.  The receiver-
+        side collapse is cached, so repeated calls for one ``i`` cost
+        O(t) multiplications each.
         """
-        g = self.group
-        t = self.degree
-        m_pows = [pow(m, j, g.q) for j in range(t + 1)]
-        i_pows = [pow(i, ell, g.q) for ell in range(t + 1)]
-        expected = 1
-        for j in range(t + 1):
-            for ell in range(t + 1):
-                e = (m_pows[j] * i_pows[ell]) % g.q
-                expected = g.mul(expected, g.power(self.matrix[j][ell], e))
-        return g.commit(alpha) == expected
+        return self._collapse(i, axis=1).verify_share(m, alpha)
 
     def verify_share(self, i: int, share: int) -> bool:
         """True iff ``share`` = f(i, 0): the final VSS share of node i.
 
         Used by Rec to filter bad shares before interpolation.
         """
-        return self.verify_point(0, i, share)
+        return self.column_vector(0).verify_share(i, share)
 
     def public_key(self) -> int:
         """g^{f_00} = g^s: the public counterpart of the shared secret."""
         return self.matrix[0][0]
 
     def share_commitment(self, i: int) -> int:
-        """g^{f(i,0)}: the public verification value for node i's share."""
-        g = self.group
-        t = self.degree
-        acc = 1
-        i_pows = [pow(i, j, g.q) for j in range(t + 1)]
-        for j in range(t + 1):
-            acc = g.mul(acc, g.power(self.matrix[j][0], i_pows[j]))
-        return acc
+        """g^{f(i,0)}: the public verification value for node i's share.
+
+        Evaluated through the column-0 vector's shared Straus tables
+        (one table build serves every node index) and memoized per
+        index — the threshold-signature partial-verification hot path.
+        """
+        key = ("sharec", i % self.group.q)
+        cached = self._cache.get(key)
+        if cached is None:
+            cached = self._cache[key] = self.column_vector(
+                0
+            ).evaluate_in_exponent(i)
+        return cached
 
     def combine(self, other: "FeldmanCommitment") -> "FeldmanCommitment":
         """Entry-wise product: commitment to the sum of the two committed
@@ -123,16 +200,18 @@ class FeldmanCommitment:
     def column_vector(self, index: int = 0) -> "FeldmanVector":
         """The univariate commitment to f(., index); ``index=0`` commits to
         the polynomial whose evaluations are the nodes' final shares."""
-        g = self.group
-        t = self.degree
-        idx_pows = [pow(index, ell, g.q) for ell in range(t + 1)]
-        entries = []
-        for j in range(t + 1):
-            acc = 1
-            for ell in range(t + 1):
-                acc = g.mul(acc, g.power(self.matrix[j][ell], idx_pows[ell]))
-            entries.append(acc)
-        return FeldmanVector(tuple(entries), g)
+        return self._collapse(index, axis=1)
+
+    def batch_verify_points(
+        self,
+        i: int,
+        items: list[tuple[int, int]],
+        rng: random.Random | None = None,
+    ) -> tuple[list[tuple[int, int]], list[int]]:
+        """Batch verify-point: many ``(m, alpha)`` claims for receiver
+        ``i`` in one randomized-linear-combination multiexp, with
+        per-item fallback identifying the bad senders."""
+        return self._collapse(i, axis=1).batch_verify(items, rng=rng)
 
     @property
     def num_entries(self) -> int:
@@ -149,6 +228,9 @@ class FeldmanVector:
 
     entries: tuple[int, ...]
     group: SchnorrGroup
+    _cache: dict = field(
+        default_factory=dict, init=False, repr=False, compare=False
+    )
 
     @property
     def degree(self) -> int:
@@ -160,21 +242,42 @@ class FeldmanVector:
             raise ValueError("polynomial field does not match group order")
         return cls(tuple(group.commit(c) for c in poly.coeffs), group)
 
+    def _batcher(self) -> BatchVerifier:
+        """The cached batch verifier; its shared Straus tables also back
+        every single-share check against this vector."""
+        batcher = self._cache.get("batch")
+        if batcher is None:
+            g = self.group
+            batcher = BatchVerifier(self.entries, g.p, g.q, g.g)
+            self._cache["batch"] = batcher
+        return batcher
+
+    def _shared_bases(self) -> SharedBases:
+        return self._batcher()._shared_bases()
+
     def verify_share(self, i: int, share: int) -> bool:
         """True iff g^share == prod_l entries[l]^{i^l}."""
-        g = self.group
-        expected = 1
-        for ell, entry in enumerate(self.entries):
-            expected = g.mul(expected, g.power(entry, pow(i, ell, g.q)))
-        return g.commit(share) == expected
+        return self._batcher().check_one(i, share)
+
+    def batch_verify(
+        self,
+        items: list[tuple[int, int]],
+        rng: random.Random | None = None,
+    ) -> tuple[list[tuple[int, int]], list[int]]:
+        """Verify many ``(i, share)`` claims in one randomized-linear-
+        combination check; returns ``(good, bad_indices)`` with the bad
+        senders pinpointed by per-item fallback on mismatch."""
+        return self._batcher().verify(items, rng=rng)
 
     def evaluate_in_exponent(self, i: int) -> int:
-        """g^{a(i)} computed from the commitment alone."""
-        g = self.group
-        acc = 1
-        for ell, entry in enumerate(self.entries):
-            acc = g.mul(acc, g.power(entry, pow(i, ell, g.q)))
-        return acc
+        """g^{a(i)} computed from the commitment alone (memoized; the
+        service layer evaluates the same key commitment at the same
+        signer indices for every request)."""
+        key = ("eval", i % self.group.q)
+        cached = self._cache.get(key)
+        if cached is None:
+            cached = self._cache[key] = self._shared_bases().power_row(i)
+        return cached
 
     def public_key(self) -> int:
         """g^{a_0}."""
@@ -190,3 +293,13 @@ class FeldmanVector:
 
     def byte_size(self) -> int:
         return len(self.entries) * self.group.element_bytes
+
+
+def share_verifier(
+    commitment: FeldmanCommitment | FeldmanVector,
+) -> FeldmanVector:
+    """The univariate vector validating final shares, from either
+    commitment shape (matrix for VSS/DKG, vector for renewal)."""
+    if isinstance(commitment, FeldmanCommitment):
+        return commitment.column_vector(0)
+    return commitment

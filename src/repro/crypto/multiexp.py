@@ -1,0 +1,369 @@
+"""Simultaneous multi-exponentiation: the crypto hot-path engine.
+
+Every Fig. 1 predicate (verify-poly, verify-point, verify-share) and
+every proof check in this package reduces to products of powers
+``prod_i b_i^{e_i} mod p``.  Evaluated naively that is one ``pow`` per
+term — each paying its own ~|q| squarings.  This module shares that
+work three ways:
+
+* :func:`multiexp` — Straus' interleaved-window algorithm (all terms
+  share one squaring chain) for small products, switching to
+  Pippenger's bucket method above :data:`PIPPENGER_CUTOFF` terms,
+  where grouping terms by window digit amortizes the multiplications
+  too;
+* :class:`FixedBaseTable` — windowed precomputation for a base that is
+  exponentiated over and over (the group generator ``g``, the Pedersen
+  ``h``, long-lived public keys): after a one-time table build, an
+  exponentiation costs ~|q|/w multiplications and *zero* squarings;
+* :class:`SharedBases` — Straus tables for a fixed base *vector*
+  exponentiated with many different scalar vectors (one collapsed
+  commitment row checked against many senders);
+* :class:`BatchVerifier` — folds many claims
+  ``g^{v_i} == prod_l E_l^{i^l}`` against one commitment vector into a
+  single randomized-linear-combination multiexp (sound up to a 1/q
+  guessing chance per item), with a per-item fallback that pinpoints
+  which senders cheated when the combined check fails.
+
+Everything here is plain-int arithmetic — no dependency on the group
+or protocol layers — so :mod:`repro.crypto.groups` can build on it.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+from collections.abc import Iterable, Sequence
+from functools import lru_cache
+
+# Below this many terms Straus wins (its precomputation is linear in
+# the term count); above it Pippenger's digit buckets amortize better.
+# With |q| ~ 160-256 bits the crossover sits in the hundreds of terms.
+PIPPENGER_CUTOFF = 300
+
+
+def _straus_window(bits: int, count: int) -> int:
+    """Window width minimizing count*(2^w - 2) + count*ceil(bits/w)."""
+    best_w, best_cost = 1, None
+    for w in range(1, 9):
+        cost = count * ((1 << w) - 2) + count * -(-bits // w)
+        if best_cost is None or cost < best_cost:
+            best_w, best_cost = w, cost
+    return best_w
+
+
+def _pippenger_window(bits: int, count: int) -> int:
+    """Window width minimizing ceil(bits/w) * (count + 2^(w+1))."""
+    best_w, best_cost = 1, None
+    for w in range(1, 17):
+        cost = -(-bits // w) * (count + (2 << w))
+        if best_cost is None or cost < best_cost:
+            best_w, best_cost = w, cost
+    return best_w
+
+
+def _straus(bases: Sequence[int], exps: Sequence[int], p: int) -> int:
+    """Interleaved windows: one shared squaring chain for all terms."""
+    bits = max(e.bit_length() for e in exps)
+    w = _straus_window(bits, len(bases))
+    mask = (1 << w) - 1
+    # tables[i][d] = bases[i]^d for d in 0..2^w-1
+    tables = []
+    for b in bases:
+        row = [1, b % p]
+        for _ in range(mask - 1):
+            row.append(row[-1] * b % p)
+        tables.append(row)
+    acc = 1
+    for shift in range(((bits + w - 1) // w) * w - w, -1, -w):
+        if acc != 1:
+            for _ in range(w):
+                acc = acc * acc % p
+        for table, e in zip(tables, exps):
+            d = (e >> shift) & mask
+            if d:
+                acc = acc * table[d] % p
+    return acc
+
+
+def _pippenger(bases: Sequence[int], exps: Sequence[int], p: int) -> int:
+    """Bucket method: per window, group bases by digit, then fold the
+    buckets with the running-product trick (sum_d d*B_d in two passes)."""
+    bits = max(e.bit_length() for e in exps)
+    w = _pippenger_window(bits, len(bases))
+    mask = (1 << w) - 1
+    acc = 1
+    for shift in range(((bits + w - 1) // w) * w - w, -1, -w):
+        if acc != 1:
+            for _ in range(w):
+                acc = acc * acc % p
+        buckets: dict[int, int] = {}
+        for b, e in zip(bases, exps):
+            d = (e >> shift) & mask
+            if d:
+                cur = buckets.get(d)
+                buckets[d] = b if cur is None else cur * b % p
+        # sum_d d * B_d via the running-product trick: walking digits
+        # from the top, `running` accumulates B_mask..B_d and is folded
+        # into the window product once per digit.
+        running, window_acc = 1, 1
+        for d in range(mask, 0, -1):
+            bucket = buckets.get(d)
+            if bucket is not None:
+                running = running * bucket % p
+            if running != 1:
+                window_acc = window_acc * running % p
+        acc = acc * window_acc % p
+    return acc
+
+
+def multiexp(
+    pairs: Iterable[tuple[int, int]], p: int, q: int | None = None
+) -> int:
+    """``prod_i base_i^{exp_i} mod p``; exponents reduced mod ``q``.
+
+    Dispatches by term count: 0/1 terms short-circuit to ``pow``, small
+    products run Straus, large ones Pippenger.
+    """
+    bases: list[int] = []
+    exps: list[int] = []
+    for base, exp in pairs:
+        if q is not None:
+            exp %= q
+        if exp < 0:
+            raise ValueError("negative exponent (pass q to reduce)")
+        if exp == 0 or base == 1:
+            continue
+        bases.append(base)
+        exps.append(exp)
+    if not bases:
+        return 1
+    if len(bases) == 1:
+        return pow(bases[0], exps[0], p)
+    if len(bases) >= PIPPENGER_CUTOFF:
+        return _pippenger(bases, exps, p)
+    return _straus(bases, exps, p)
+
+
+class FixedBaseTable:
+    """Windowed fixed-base exponentiation: ``base^e mod p`` in
+    ~``|q|/window`` multiplications and no squarings.
+
+    ``table[k][d] = base^(d << (window*k))`` for every window position
+    ``k`` and digit ``d``; an exponentiation is one table lookup and
+    multiply per nonzero digit.  Build cost is one multiplication per
+    table entry, repaid after a handful of uses.
+    """
+
+    __slots__ = ("p", "q", "base", "window", "_table")
+
+    def __init__(self, p: int, q: int, base: int, window: int = 5):
+        self.p = p
+        self.q = q
+        self.base = base % p
+        self.window = window
+        windows = -(-q.bit_length() // window)
+        table = []
+        unit = self.base
+        for _ in range(windows):
+            row = [1, unit]
+            for _ in range((1 << window) - 2):
+                row.append(row[-1] * unit % p)
+            table.append(row)
+            unit = row[-1] * unit % p  # base^(2^(w*(k+1)))
+        self._table = table
+
+    def pow(self, exponent: int) -> int:
+        """``base^exponent mod p`` (exponent reduced mod q)."""
+        e = exponent % self.q
+        acc = 1
+        mask = (1 << self.window) - 1
+        for row in self._table:
+            if e == 0:
+                break
+            d = e & mask
+            if d:
+                acc = acc * row[d] % self.p
+            e >>= self.window
+        return acc
+
+
+@lru_cache(maxsize=256)
+def fixed_base_table(p: int, q: int, base: int, window: int = 5) -> FixedBaseTable:
+    """Process-wide table cache keyed by the raw parameters, so every
+    group object with the same ``(p, q)`` shares tables for ``g``,
+    ``h`` and recurring public keys."""
+    return FixedBaseTable(p, q, base, window)
+
+
+class SharedBases:
+    """Straus with the per-base digit tables built once and reused for
+    many exponent vectors — a collapsed commitment row evaluated
+    against every sender, or share commitments for every node index."""
+
+    __slots__ = ("p", "q", "window", "_tables", "_mask", "count")
+
+    def __init__(self, bases: Sequence[int], p: int, q: int, window: int = 4):
+        self.p = p
+        self.q = q
+        self.window = window
+        self._mask = (1 << window) - 1
+        self.count = len(bases)
+        tables = []
+        for b in bases:
+            b %= p
+            row = [1, b]
+            for _ in range(self._mask - 1):
+                row.append(row[-1] * b % p)
+            tables.append(row)
+        self._tables = tables
+
+    def multiexp(self, exps: Sequence[int]) -> int:
+        """``prod_i bases[i]^{exps[i]} mod p`` using the shared tables."""
+        if len(exps) != self.count:
+            raise ValueError("exponent vector length mismatch")
+        p, w, mask = self.p, self.window, self._mask
+        exps = [e % self.q for e in exps]
+        bits = max((e.bit_length() for e in exps), default=0)
+        if bits == 0:
+            return 1
+        acc = 1
+        for shift in range(((bits + w - 1) // w) * w - w, -1, -w):
+            if acc != 1:
+                for _ in range(w):
+                    acc = acc * acc % p
+            for table, e in zip(self._tables, exps):
+                d = (e >> shift) & mask
+                if d:
+                    acc = acc * table[d] % p
+        return acc
+
+    def power_row(self, x: int) -> int:
+        """``prod_i bases[i]^{x^i}``: evaluate the committed polynomial
+        in the exponent at ``x`` (the verify-share right-hand side)."""
+        q = self.q
+        exps = []
+        xp = 1
+        for _ in range(self.count):
+            exps.append(xp)
+            xp = xp * x % q
+        return self.multiexp(exps)
+
+
+class BatchVerifier:
+    """Randomized-linear-combination verification of many claims
+    ``g^{v_i} == prod_l E_l^{i^l}`` against one entry vector ``E``.
+
+    With nonzero weights ``gamma_i`` the combined check
+
+        g^{sum_i gamma_i v_i} == prod_l E_l^{a_l},
+        a_l = sum_i gamma_i i^l  (scalar arithmetic only)
+
+    costs one fixed-base exponentiation plus one ``len(E)``-term
+    multiexp *regardless of the batch size*.  The weights are derived
+    Fiat--Shamir style — by hashing the entry vector and the claims
+    themselves, salted from the caller's RNG — so a cheating batch
+    survives with probability ~1/q even against an adversary who can
+    predict the protocol RNG (the weights are a function of the very
+    errors it would need to cancel), while seeded simulations stay
+    bit-for-bit deterministic.  When the combined check fails,
+    :meth:`verify` falls back to per-item checks (sharing the Straus
+    tables across items) to identify the bad indices.
+    """
+
+    def __init__(
+        self,
+        entries: Sequence[int],
+        p: int,
+        q: int,
+        g: int,
+        rng: random.Random | None = None,
+    ):
+        self.entries = tuple(e % p for e in entries)
+        self.p = p
+        self.q = q
+        self.g = g
+        self.rng = rng or random.Random()
+        self._shared: SharedBases | None = None
+
+    def _shared_bases(self) -> SharedBases:
+        if self._shared is None:
+            self._shared = SharedBases(self.entries, self.p, self.q)
+        return self._shared
+
+    def check_one(self, index: int, value: int) -> bool:
+        """Single-claim check via the shared tables (the fallback path)."""
+        lhs = fixed_base_table(self.p, self.q, self.g).pow(value)
+        return lhs == self._shared_bases().power_row(index)
+
+    def _weights(self, batch: list[tuple[int, int]], salt: int) -> list[int]:
+        """Fiat--Shamir weights: nonzero scalars binding each claim.
+
+        Hashing the claims into the weights means corrupting any
+        ``(index, value)`` re-randomizes every gamma, so errors cannot
+        be chosen to cancel in the linear combination — soundness does
+        not rest on the salt being unpredictable.
+        """
+        q = self.q
+        qbytes = (q.bit_length() + 7) // 8
+        h = hashlib.sha256()
+        h.update(b"rlc-weights|" + salt.to_bytes(16, "big"))
+        for entry in self.entries:
+            h.update(entry.to_bytes((self.p.bit_length() + 7) // 8, "big"))
+        for index, value in batch:
+            h.update((index % q).to_bytes(qbytes, "big"))
+            h.update((value % q).to_bytes(qbytes, "big"))
+        seed = h.digest()
+        weights = []
+        for i in range(len(batch)):
+            digest = hashlib.sha256(seed + i.to_bytes(4, "big")).digest()
+            # 256 hash bits against |q| <= 256: modulo bias is negligible.
+            weights.append(int.from_bytes(digest, "big") % (q - 1) + 1)
+        return weights
+
+    def verify(
+        self,
+        items: Sequence[tuple[int, int]],
+        rng: random.Random | None = None,
+    ) -> tuple[list[tuple[int, int]], list[int]]:
+        """Verify ``(index, value)`` claims; returns ``(good, bad_indices)``.
+
+        ``rng`` overrides the verifier's weight source for this call
+        (protocol nodes pass their deterministic seeded RNG).  Duplicate
+        indices keep only the first occurrence (a second claim with a
+        different value could otherwise spoil the batch for the honest
+        one).
+        """
+        rng = rng if rng is not None else self.rng
+        unique: dict[int, int] = {}
+        for index, value in items:
+            unique.setdefault(index, value)
+        batch = list(unique.items())
+        if not batch:
+            return [], []
+        if len(batch) == 1:
+            index, value = batch[0]
+            if self.check_one(index, value):
+                return batch, []
+            return [], [index]
+        p, q = self.p, self.q
+        lhs_exp = 0
+        agg = [0] * len(self.entries)
+        weights = self._weights(batch, salt=rng.getrandbits(128))
+        for gamma, (index, value) in zip(weights, batch):
+            lhs_exp = (lhs_exp + gamma * value) % q
+            ip = gamma % q
+            for ell in range(len(self.entries)):
+                agg[ell] = (agg[ell] + ip) % q
+                ip = ip * index % q
+        lhs = fixed_base_table(p, q, self.g).pow(lhs_exp)
+        rhs = multiexp(zip(self.entries, agg), p, q)
+        if lhs == rhs:
+            return batch, []
+        good: list[tuple[int, int]] = []
+        bad: list[int] = []
+        for index, value in batch:
+            if self.check_one(index, value):
+                good.append((index, value))
+            else:
+                bad.append(index)
+        return good, bad

@@ -20,11 +20,14 @@ from __future__ import annotations
 import hashlib
 import random
 from dataclasses import dataclass
+from functools import lru_cache
 
 from repro.crypto.groups import SchnorrGroup
+from repro.crypto.multiexp import fixed_base_table, multiexp
 from repro.crypto.polynomials import Polynomial
 
 
+@lru_cache(maxsize=128)
 def derive_second_generator(group: SchnorrGroup, label: bytes = b"pedersen-h") -> int:
     """Derive a second generator h with unknown dlog w.r.t. g.
 
@@ -32,6 +35,11 @@ def derive_second_generator(group: SchnorrGroup, label: bytes = b"pedersen-h") -
     scalar... which would reveal the dlog — so instead we hash-to-element:
     repeatedly hash a counter into Z_p and raise to the cofactor, which
     lands in the order-q subgroup with no known dlog relation to g.
+
+    The derivation (a hash loop plus a cofactor exponentiation) is
+    deterministic per ``(group, label)``, so it is cached process-wide:
+    before, every ``PedersenCommitment.commit()`` that omitted ``h``
+    re-derived it from scratch.
     """
     cofactor = (group.p - 1) // group.q
     counter = 0
@@ -69,8 +77,9 @@ class PedersenCommitment:
         if value_poly.degree != blind_poly.degree:
             raise ValueError("value and blinding polynomials must match in degree")
         h = h if h is not None else derive_second_generator(group)
+        h_table = fixed_base_table(group.p, group.q, h)
         entries = tuple(
-            group.mul(group.commit(a), group.power(h, b))
+            group.mul(group.commit(a), h_table.pow(b))
             for a, b in zip(value_poly.coeffs, blind_poly.coeffs)
         )
         return cls(entries, group, h)
@@ -78,10 +87,15 @@ class PedersenCommitment:
     def verify_share(self, i: int, share: int, blind: int) -> bool:
         """True iff g^share h^blind == prod_l E_l^{i^l}."""
         g = self.group
-        expected = 1
-        for ell, entry in enumerate(self.entries):
-            expected = g.mul(expected, g.power(entry, pow(i, ell, g.q)))
-        actual = g.mul(g.commit(share), g.power(self.h, blind))
+        i_pows = []
+        ip = 1
+        for _ in self.entries:
+            i_pows.append(ip)
+            ip = ip * i % g.q
+        expected = multiexp(zip(self.entries, i_pows), g.p, g.q)
+        actual = g.mul(
+            g.commit(share), fixed_base_table(g.p, g.q, self.h).pow(blind)
+        )
         return actual == expected
 
     def combine(self, other: "PedersenCommitment") -> "PedersenCommitment":

@@ -12,6 +12,7 @@ from __future__ import annotations
 import random
 from collections.abc import Iterable, Sequence
 from dataclasses import dataclass
+from functools import lru_cache
 
 
 @dataclass(frozen=True)
@@ -84,19 +85,10 @@ class Polynomial:
         return cls(tuple(coeffs), q)
 
 
-def lagrange_coefficients(
-    indices: Sequence[int], x: int, q: int
-) -> list[int]:
-    """Lagrange coefficients lambda_j for interpolating at point ``x``
-    from the evaluation points in ``indices``.
-
-    Given values v_j = a(i_j) for distinct points i_j, the interpolated
-    value is ``a(x) = sum lambda_j * v_j`` where::
-
-        lambda_j = prod_{m != j} (x - i_m) / (i_j - i_m)   (mod q)
-
-    Raises ValueError on duplicate indices (interpolation undefined).
-    """
+@lru_cache(maxsize=4096)
+def _lagrange_cached(
+    indices: tuple[int, ...], x: int, q: int
+) -> tuple[int, ...]:
     if len(set(i % q for i in indices)) != len(indices):
         raise ValueError("duplicate interpolation indices")
     coeffs = []
@@ -108,7 +100,28 @@ def lagrange_coefficients(
             num = (num * (x - i_m)) % q
             den = (den * (i_j - i_m)) % q
         coeffs.append((num * pow(den, -1, q)) % q)
-    return coeffs
+    return tuple(coeffs)
+
+
+def lagrange_coefficients(
+    indices: Sequence[int], x: int, q: int
+) -> list[int]:
+    """Lagrange coefficients lambda_j for interpolating at point ``x``
+    from the evaluation points in ``indices``.
+
+    Given values v_j = a(i_j) for distinct points i_j, the interpolated
+    value is ``a(x) = sum lambda_j * v_j`` where::
+
+        lambda_j = prod_{m != j} (x - i_m) / (i_j - i_m)   (mod q)
+
+    Memoized per ``(indices, x, q)``: the same stable signer subsets
+    recur on every signature the serving layer combines and on every
+    ``reconstruct_secret``, and each entry otherwise costs O(k) modular
+    inversions and O(k^2) multiplications.
+
+    Raises ValueError on duplicate indices (interpolation undefined).
+    """
+    return list(_lagrange_cached(tuple(indices), x, q))
 
 
 def interpolate_at(

@@ -17,8 +17,10 @@ from __future__ import annotations
 import hashlib
 import random
 from dataclasses import dataclass
+from functools import lru_cache
 
 from repro.crypto.groups import SchnorrGroup
+from repro.crypto.multiexp import SharedBases
 
 
 def _challenge(group: SchnorrGroup, public_key: int, nonce_point: int, message: bytes) -> int:
@@ -72,6 +74,14 @@ class SigningKey:
         return Signature(c, z)
 
 
+@lru_cache(maxsize=512)
+def _verifier_bases(p: int, q: int, g: int, public_key: int) -> SharedBases:
+    """Straus tables for (g, X), cached per public key: a long-lived
+    signer (every CA-certified protocol node) is verified thousands of
+    times against the same key."""
+    return SharedBases((g, public_key), p, q)
+
+
 def verify(
     group: SchnorrGroup, public_key: int, message: bytes, sig: Signature
 ) -> bool:
@@ -80,9 +90,9 @@ def verify(
         return False
     if not (0 <= sig.challenge < group.q and 0 <= sig.response < group.q):
         return False
-    # R = g^z * X^{-c}
-    r = group.mul(
-        group.commit(sig.response),
-        group.power(group.inv(public_key), sig.challenge),
+    # R = g^z * X^{-c}, one interleaved two-term multiexp; X^{-c} =
+    # X^{q-c} since X is in the order-q subgroup (checked above).
+    r = _verifier_bases(group.p, group.q, group.g, public_key).multiexp(
+        (sig.response, (-sig.challenge) % group.q)
     )
     return _challenge(group, public_key, r, message) == sig.challenge

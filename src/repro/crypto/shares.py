@@ -10,10 +10,15 @@ interpolate at 0.
 
 from __future__ import annotations
 
+import random
 from collections.abc import Iterable
 from dataclasses import dataclass
 
-from repro.crypto.feldman import FeldmanCommitment, FeldmanVector
+from repro.crypto.feldman import (
+    FeldmanCommitment,
+    FeldmanVector,
+    share_verifier,
+)
 from repro.crypto.polynomials import interpolate_at
 
 
@@ -43,26 +48,102 @@ def reconstruct_secret(
     shares: Iterable[Share],
     threshold: int,
     q: int,
+    rng: random.Random | None = None,
 ) -> int:
     """Reconstruct the secret from at least ``threshold + 1`` valid shares.
 
     Shares failing their commitment check are discarded (Byzantine nodes
-    may submit garbage during Rec); duplicates by index are collapsed.
-    Raises :class:`ReconstructionError` if fewer than ``threshold + 1``
+    may submit garbage during Rec); the first *valid* share per index
+    wins, so a garbage duplicate cannot shadow a later honest one.
+    Claims under one commitment are filtered in randomized-linear-
+    combination batch checks (per-share fallback identifies the bad
+    ones); only indices whose current candidate failed retry with their
+    next candidate, so the honest path is a single batch.  ``rng`` salts
+    the batch weights for deterministic runs.  Raises
+    :class:`ReconstructionError` if fewer than ``threshold + 1``
     distinct valid shares remain.
     """
-    seen: dict[int, int] = {}
+    candidates: dict[int, list[Share]] = {}
+    order: list[int] = []  # first-seen index order
     for share in shares:
-        if share.index in seen:
-            continue
-        if share.verify():
-            seen[share.index] = share.value
+        if share.index not in candidates:
+            candidates[share.index] = []
+            order.append(share.index)
+        candidates[share.index].append(share)
+    seen: dict[int, int] = {}
+    cursor = {i: 0 for i in order}
+    while True:
+        round_items: dict[
+            FeldmanCommitment | FeldmanVector, list[tuple[int, int]]
+        ] = {}
+        for i in order:
+            if i in seen or cursor[i] >= len(candidates[i]):
+                continue
+            share = candidates[i][cursor[i]]
+            cursor[i] += 1
+            round_items.setdefault(share.commitment, []).append(
+                (share.index, share.value)
+            )
+        if not round_items:
+            break
+        for commitment, items in round_items.items():
+            good, _bad = share_verifier(commitment).batch_verify(
+                items, rng=rng
+            )
+            seen.update(good)
     if len(seen) < threshold + 1:
         raise ReconstructionError(
             f"need {threshold + 1} valid shares, have {len(seen)}"
         )
-    points = list(seen.items())[: threshold + 1]
+    points = [(i, seen[i]) for i in order if i in seen][: threshold + 1]
     return interpolate_at(points, 0, q)
+
+
+class PointCollector:
+    """Buffer ``(sender, point)`` claims for the Rec protocol and batch-
+    verify them when the interpolation threshold is reachable.
+
+    Shared by :class:`repro.vss.session.VssSession` and
+    :class:`repro.dkg.node.DkgNode`: both collect ``t + 1`` share
+    points verified against a :class:`FeldmanVector` before
+    interpolating at 0.
+    """
+
+    def __init__(self, verifier: FeldmanVector, needed: int):
+        self.verifier = verifier
+        self.needed = needed
+        self.points: dict[int, int] = {}
+        self._pending: dict[int, int] = {}
+        self._rejected: set[int] = set()
+
+    def seen(self, sender: int) -> bool:
+        return (
+            sender in self.points
+            or sender in self._pending
+            or sender in self._rejected
+        )
+
+    def add(
+        self, sender: int, point: int, rng: random.Random | None = None
+    ) -> bool:
+        """Buffer one claim; returns True once ``needed`` points are
+        verified.  Verification runs in one batch per threshold
+        crossing; bad points are dropped and their senders rejected
+        for good (one point per sender, as in the seed's first-time
+        dispatch)."""
+        self._pending[sender] = point
+        if len(self.points) + len(self._pending) < self.needed:
+            return False
+        items = list(self._pending.items())
+        self._pending.clear()
+        good, bad = self.verifier.batch_verify(items, rng=rng)
+        self.points.update(good)
+        self._rejected.update(bad)
+        return len(self.points) >= self.needed
+
+    def first_points(self) -> list[tuple[int, int]]:
+        """The first ``needed`` verified points, for interpolation."""
+        return list(self.points.items())[: self.needed]
 
 
 def reconstruct_raw(

@@ -64,11 +64,9 @@ _VSS_MESSAGE_TYPES = (SendMsg, EchoMsg, ReadyMsg, HelpMsg, SharePointMsg)
 def _share_verifier_for(commitment):
     """A FeldmanVector validating shares of the combined secret, from
     either commitment shape (matrix for DKG, vector for renewal)."""
-    from repro.crypto.feldman import FeldmanCommitment
+    from repro.crypto.feldman import share_verifier
 
-    if isinstance(commitment, FeldmanCommitment):
-        return commitment.column_vector(0)
-    return commitment
+    return share_verifier(commitment)
 
 
 class DkgNode(ProtocolNode):
@@ -124,8 +122,7 @@ class DkgNode(ProtocolNode):
         self.started = False
         # Rec protocol state (Definition 4.1 consistency)
         self._rec_started = False
-        self._rec_points: dict[int, int] = {}
-        self._share_verifier = None
+        self._rec = None
         self.reconstructed: DkgReconstructedOutput | None = None
         # DKG-level B log + help budgets (VSS sessions keep their own)
         self._b_log: dict[int, list[Any]] = {i: [] for i in self.vss_config.indices}
@@ -496,7 +493,11 @@ class DkgNode(ProtocolNode):
         if self._rec_started:
             return
         self._rec_started = True
-        self._share_verifier = _share_verifier_for(self.completed.commitment)
+        from repro.crypto.shares import PointCollector
+
+        self._rec = PointCollector(
+            _share_verifier_for(self.completed.commitment), self.config.t + 1
+        )
         msg = self._stamp(DkgSharePointMsg(self.tau, self.completed.share))
         self._log_and_broadcast(ctx, msg)
 
@@ -507,18 +508,17 @@ class DkgNode(ProtocolNode):
             self.reconstructed is not None
             or not self._rec_started
             or msg.tau != self.tau
-            or sender in self._rec_points
         ):
             return
-        assert self._share_verifier is not None
-        if not self._share_verifier.verify_share(sender, msg.point):
+        assert self._rec is not None
+        # Buffer unverified; one batched check when t+1 points are in.
+        if self._rec.seen(sender):
             return
-        self._rec_points[sender] = msg.point
-        if len(self._rec_points) == self.config.t + 1:
+        if self._rec.add(sender, msg.point, rng=self.rng):
             from repro.crypto.shares import reconstruct_raw
 
             value = reconstruct_raw(
-                self._rec_points.items(), self.config.group.q
+                self._rec.first_points(), self.config.group.q
             )
             self.reconstructed = DkgReconstructedOutput(self.tau, value)
             ctx.output(self.reconstructed)

@@ -30,6 +30,7 @@ from __future__ import annotations
 from typing import Any
 
 from repro.crypto.feldman import FeldmanCommitment, FeldmanVector
+from repro.crypto.multiexp import multiexp
 from repro.crypto.polynomials import lagrange_coefficients
 from repro.sim.node import Context
 from repro.sim.pki import CertificateAuthority, KeyStore
@@ -42,7 +43,13 @@ from repro.proactive.messages import ClockTickMsg, RenewInput, RenewedOutput
 def share_commitment_at(
     commitment: FeldmanCommitment | FeldmanVector, index: int
 ) -> int:
-    """g^{share of node `index`} from either commitment shape."""
+    """g^{share of node `index`} from either commitment shape.
+
+    Both shapes evaluate through per-commitment Straus tables shared
+    across indices, so deriving all n dealers' expected resharing
+    targets costs one table build plus n O(t) evaluations instead of
+    n O(t^2) exponentiation loops.
+    """
     if isinstance(commitment, FeldmanCommitment):
         return commitment.share_commitment(index)
     return commitment.evaluate_in_exponent(index)
@@ -151,15 +158,19 @@ class RenewalNode(DkgNode):
             sum(lam * out.share for lam, (_, out) in zip(lambdas, outputs))
             % group.q
         )
-        # V_l = prod_{P_d in Q} ((C_d)_{l0})^{lambda_d^{Q,0}}
-        entries = []
-        for ell in range(self.config.t + 1):
-            acc = 1
-            for lam, (_, out) in zip(lambdas, outputs):
-                acc = group.mul(
-                    acc, group.power(out.commitment.matrix[ell][0], lam)
-                )
-            entries.append(acc)
+        # V_l = prod_{P_d in Q} ((C_d)_{l0})^{lambda_d^{Q,0}} — each
+        # entry is one interleaved multiexp over the t+1 dealers in Q.
+        entries = [
+            multiexp(
+                (
+                    (out.commitment.matrix[ell][0], lam)
+                    for lam, (_, out) in zip(lambdas, outputs)
+                ),
+                group.p,
+                group.q,
+            )
+            for ell in range(self.config.t + 1)
+        ]
         vector = FeldmanVector(tuple(entries), group)
         self._stop_timer(ctx)
         self.renewed = RenewedOutput(self.phase, vector, share, self.decided_q)

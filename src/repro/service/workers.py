@@ -35,7 +35,11 @@ from repro.apps import (
     threshold_schnorr,
 )
 from repro.crypto import schnorr
-from repro.crypto.feldman import FeldmanCommitment, FeldmanVector
+from repro.crypto.feldman import (
+    FeldmanCommitment,
+    FeldmanVector,
+    share_verifier,
+)
 from repro.crypto.groups import SchnorrGroup, toy_group
 from repro.dkg import DkgConfig, run_dkg
 from repro.service import protocol
@@ -314,6 +318,19 @@ class ThresholdService:
         return presig, result.shares
 
     def _install_nonce(self, presig: Presignature, shares: dict[int, int]) -> None:
+        # Refill-time defense in depth: check every nonce share against
+        # the presignature commitment in ONE randomized-linear-
+        # combination batch before any worker takes custody.  A share
+        # that would later produce an unusable partial is caught here,
+        # off the request path, with the culprit identified.
+        _good, bad = share_verifier(presig.commitment).batch_verify(
+            list(shares.items()), rng=self._combine_rng
+        )
+        if bad:
+            raise RuntimeError(
+                f"presignature {presig.presig_id}: nonce shares failed "
+                f"commitment verification for nodes {sorted(bad)}"
+            )
         for index, share in shares.items():
             worker = self.workers.get(index)
             if worker is not None and not worker.crashed:

@@ -25,7 +25,7 @@ from repro.crypto.feldman import FeldmanCommitment, FeldmanVector
 from repro.crypto.hashing import commitment_digest
 from repro.crypto.polynomials import Polynomial, interpolate_polynomial
 from repro.crypto.schnorr import Signature
-from repro.crypto.shares import reconstruct_raw
+from repro.crypto.shares import PointCollector, reconstruct_raw
 from repro.sim.node import Context
 from repro.sim.pki import CertificateAuthority, KeyStore
 from repro.vss.config import VssConfig
@@ -51,16 +51,29 @@ _SIZE_CACHE: dict[tuple, int] = {}
 
 @dataclass
 class _PerCommitmentState:
-    """Counters and point set A_C for one candidate commitment C."""
+    """Counters and point set A_C for one candidate commitment C.
+
+    Incoming echo/ready points are *buffered* unverified and checked in
+    one randomized-linear-combination batch when the buffered total
+    would cross a Fig. 1 decision threshold — a whole wave of points
+    against one commitment costs one multiexp instead of one O(t)
+    verification per message.  ``echo_count``/``ready_count`` only ever
+    count *verified* points (as in Fig. 1); bad points are pinpointed
+    by the batch fallback and dropped, so a Byzantine sender degrades
+    the batch back to per-item checks but cannot stall progress.
+    """
 
     points: dict[int, int] = field(default_factory=dict)  # m -> alpha = f(m, i)
+    pending_echo: dict[int, int] = field(default_factory=dict)
+    pending_ready: dict[int, int] = field(default_factory=dict)
+    pending_witness: dict[int, ReadyWitness] = field(default_factory=dict)
     echo_count: int = 0
     ready_count: int = 0
     echo_seen: set[int] = field(default_factory=set)
     ready_seen: set[int] = field(default_factory=set)
     row_poly: Polynomial | None = None
     sent_ready: bool = False
-    ready_witnesses: list[ReadyWitness] = field(default_factory=list)
+    ready_witnesses: dict[int, ReadyWitness] = field(default_factory=dict)
     point_verifier: FeldmanVector | None = None
 
 
@@ -112,8 +125,7 @@ class VssSession:
         self.dealt_secret: int | None = None
         # Rec state
         self._rec_started = False
-        self._rec_points: dict[int, int] = {}
-        self._share_verifier: FeldmanVector | None = None
+        self._rec: PointCollector | None = None
         self.reconstructed: ReconstructedOutput | None = None
 
     # -- helpers -------------------------------------------------------------
@@ -122,9 +134,41 @@ class VssSession:
         state = self._per_c.get(commitment)
         if state is None:
             state = _PerCommitmentState()
-            state.point_verifier = commitment.column_vector(self.me)
+            # The O(t^2) matrix collapse is deferred to the first batch
+            # flush: a garbage commitment that never gathers a quorum
+            # costs nothing beyond its buffer.
             self._per_c[commitment] = state
         return state
+
+    def _flush_pending(
+        self,
+        commitment: FeldmanCommitment,
+        state: _PerCommitmentState,
+        pending: dict[int, int],
+        promote_witnesses: bool = False,
+    ) -> int:
+        """Batch-verify buffered points against C; admit good ones to A_C.
+
+        Returns the number of points accepted.  In a *ready* flush
+        (``promote_witnesses``), verified points also promote their
+        buffered witness signatures into the R_d proof set — an echo
+        flush must not, since a sender's verified echo says nothing
+        about its (separately buffered) ready point.
+        """
+        if not pending:
+            return 0
+        if state.point_verifier is None:
+            state.point_verifier = commitment.column_vector(self.me)
+        items = list(pending.items())
+        pending.clear()
+        good, _bad = state.point_verifier.batch_verify(items, rng=self.rng)
+        for m, alpha in good:
+            state.points[m] = alpha
+            if promote_witnesses:
+                witness = state.pending_witness.pop(m, None)
+                if witness is not None:
+                    state.ready_witnesses[m] = witness
+        return len(good)
 
     def _log_and_send(self, ctx: Context, recipient: int, msg: Any) -> None:
         """send + record in B for later help-driven retransmission."""
@@ -224,7 +268,9 @@ class VssSession:
         if self._rec_started:
             return
         self._rec_started = True
-        self._share_verifier = self.completed.commitment.column_vector(0)
+        self._rec = PointCollector(
+            self.completed.commitment.column_vector(0), self.config.t + 1
+        )
         from repro.net import wire
 
         msg = wire.stamp(
@@ -304,18 +350,22 @@ class VssSession:
         if sender in state.echo_seen:
             return
         state.echo_seen.add(sender)
-        # if verify-point(C, i, m, alpha) then A_C += {(m, alpha)}; e_C += 1
-        assert state.point_verifier is not None
-        if not state.point_verifier.verify_share(sender, msg.point):
-            return
-        state.points[sender] = msg.point
-        state.echo_count += 1
+        # Buffer the point; verification happens in batch at the
+        # threshold (if verify-point(C, i, m, alpha) then A_C += ...).
+        state.pending_echo[sender] = msg.point
         cfg = self.config
+        # The echo branch of Fig. 1 only drives the ready send (guarded
+        # by r_C < t+1, which the amplify path makes equivalent to "not
+        # sent yet"); once that happened, buffered echoes can rest.
+        if state.sent_ready or state.ready_count >= cfg.ready_threshold:
+            return
         # if e_C = ceil((n+t+1)/2) and r_C < t+1: interpolate; send ready
-        if (
-            state.echo_count == cfg.echo_threshold
-            and state.ready_count < cfg.ready_threshold
-        ):
+        if state.echo_count + len(state.pending_echo) < cfg.echo_threshold:
+            return
+        state.echo_count += self._flush_pending(
+            msg.commitment, state, state.pending_echo
+        )
+        if state.echo_count >= cfg.echo_threshold:
             self._interpolate_and_send_ready(msg.commitment, state, ctx)
 
     # upon a message (P_d, tau, ready, C, alpha) from P_m (first time):
@@ -324,12 +374,11 @@ class VssSession:
         if sender in state.ready_seen:
             return
         state.ready_seen.add(sender)
-        assert state.point_verifier is not None
-        if not state.point_verifier.verify_share(sender, msg.point):
-            return
         if self.sign_ready:
             # Extended mode: only count readies carrying a valid signature,
-            # and retain them as the R_d proof set.
+            # and retain them as the R_d proof set.  Signatures bind to
+            # the sender individually, so they are checked on arrival;
+            # only the point check batches.
             if msg.signature is None or self.ca is None:
                 return
             payload = ready_signing_bytes(
@@ -337,17 +386,24 @@ class VssSession:
             )
             if not self.ca.verify(sender, payload, msg.signature):
                 return
-            state.ready_witnesses.append(ReadyWitness(sender, msg.signature))
-        state.points[sender] = msg.point
-        state.ready_count += 1
+            state.pending_witness[sender] = ReadyWitness(sender, msg.signature)
+        state.pending_ready[sender] = msg.point
         cfg = self.config
+        buffered = state.ready_count + len(state.pending_ready)
+        amplify_due = not state.sent_ready and buffered >= cfg.ready_threshold
+        complete_due = self.completed is None and buffered >= cfg.output_threshold
+        if not (amplify_due or complete_due):
+            return
+        state.ready_count += self._flush_pending(
+            msg.commitment, state, state.pending_ready, promote_witnesses=True
+        )
         if (
-            state.ready_count == cfg.ready_threshold
+            state.ready_count >= cfg.ready_threshold
             and state.echo_count < cfg.echo_threshold
         ):
             # if r_C = t+1 and e_C < ceil((n+t+1)/2): interpolate; send ready
             self._interpolate_and_send_ready(msg.commitment, state, ctx)
-        elif state.ready_count == cfg.output_threshold:
+        if state.ready_count >= cfg.output_threshold:
             # else if r_C = n-t-f: s_i <- a(0); output shared
             self._complete(msg.commitment, state, ctx)
 
@@ -394,7 +450,9 @@ class VssSession:
             points = sorted(state.points.items())[: self.config.t + 1]
             state.row_poly = interpolate_polynomial(points, self.config.group.q)
         share = state.row_poly(0)  # s_i = a(0) = f(0, i)
-        proof = tuple(state.ready_witnesses[: self.config.output_threshold])
+        proof = tuple(
+            list(state.ready_witnesses.values())[: self.config.output_threshold]
+        )
         self.completed = SharedOutput(self.session, commitment, share, proof)
         ctx.output(self.completed)
         self.on_shared(self.completed)
@@ -414,17 +472,17 @@ class VssSession:
         for msg in self._b_log[sender]:
             ctx.send(sender, msg)
 
-    # Rec protocol: collect verified share points and interpolate.
+    # Rec protocol: collect share points, batch-verify at the t+1
+    # threshold, and interpolate the survivors.
     def _on_rec_share(self, sender: int, msg: SharePointMsg, ctx: Context) -> None:
         if self.reconstructed is not None or not self._rec_started:
             return
-        if self._share_verifier is None or sender in self._rec_points:
+        if self._rec is None or self._rec.seen(sender):
             return
-        if not self._share_verifier.verify_share(sender, msg.point):
-            return
-        self._rec_points[sender] = msg.point
-        if len(self._rec_points) == self.config.t + 1:
-            value = reconstruct_raw(self._rec_points.items(), self.config.group.q)
+        if self._rec.add(sender, msg.point, rng=self.rng):
+            value = reconstruct_raw(
+                self._rec.first_points(), self.config.group.q
+            )
             self.reconstructed = ReconstructedOutput(self.session, value)
             ctx.output(self.reconstructed)
             self.on_reconstructed(self.reconstructed)

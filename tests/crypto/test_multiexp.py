@@ -1,0 +1,285 @@
+"""Randomized equivalence of the multiexp engine vs naive pow loops.
+
+Every fast path (Straus, Pippenger, fixed-base tables, shared-base
+Straus, the batch verifier, and the cached Feldman row verifiers) must
+agree bit-for-bit with the textbook per-exponent implementation, on
+honest inputs and — for the batch verifier — on adversarial inputs
+where the randomized-linear-combination fallback must pinpoint exactly
+the corrupted items.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.crypto.bivariate import BivariatePolynomial
+from repro.crypto.feldman import FeldmanCommitment, FeldmanVector
+from repro.crypto.groups import (
+    RFC5114_1024_160,
+    SchnorrGroup,
+    small_group,
+    toy_group,
+)
+from repro.crypto.multiexp import (
+    BatchVerifier,
+    FixedBaseTable,
+    SharedBases,
+    _pippenger,
+    _straus,
+    fixed_base_table,
+    multiexp,
+)
+from repro.crypto.polynomials import Polynomial
+
+GROUPS = [toy_group(), small_group(), RFC5114_1024_160]
+GROUP_IDS = [g.name for g in GROUPS]
+
+
+def _naive(pairs: list[tuple[int, int]], p: int) -> int:
+    acc = 1
+    for base, exp in pairs:
+        acc = acc * pow(base, exp, p) % p
+    return acc
+
+
+def _random_element(group: SchnorrGroup, rng: random.Random) -> int:
+    return pow(group.g, rng.randrange(1, group.q), group.p)
+
+
+@pytest.mark.parametrize("group", GROUPS, ids=GROUP_IDS)
+@pytest.mark.parametrize("count", [0, 1, 2, 3, 7, 33])
+def test_multiexp_matches_naive(group: SchnorrGroup, count: int) -> None:
+    rng = random.Random(("multiexp", group.name, count).__repr__())
+    pairs = [
+        (_random_element(group, rng), rng.randrange(group.q))
+        for _ in range(count)
+    ]
+    assert multiexp(pairs, group.p, group.q) == _naive(pairs, group.p)
+
+
+@pytest.mark.parametrize("group", GROUPS, ids=GROUP_IDS)
+def test_multiexp_edge_exponents(group: SchnorrGroup) -> None:
+    rng = random.Random(("edges", group.name).__repr__())
+    b = _random_element(group, rng)
+    pairs = [(b, 0), (b, 1), (b, group.q - 1), (b, group.q), (1, 5)]
+    assert multiexp(pairs, group.p, group.q) == _naive(
+        [(base, e % group.q) for base, e in pairs], group.p
+    )
+    assert multiexp([], group.p, group.q) == 1
+    with pytest.raises(ValueError):
+        multiexp([(b, -1)], group.p)
+
+
+def test_straus_and_pippenger_agree_at_any_size() -> None:
+    """Both cores are exercised directly, below and above the cutoff."""
+    group = toy_group()
+    rng = random.Random(0xE14)
+    for count in (2, 5, 64, 320):
+        bases = [_random_element(group, rng) for _ in range(count)]
+        exps = [rng.randrange(1, group.q) for _ in range(count)]
+        expected = _naive(list(zip(bases, exps)), group.p)
+        assert _straus(bases, exps, group.p) == expected
+        assert _pippenger(bases, exps, group.p) == expected
+
+
+@pytest.mark.parametrize("group", GROUPS, ids=GROUP_IDS)
+def test_fixed_base_table_matches_pow(group: SchnorrGroup) -> None:
+    rng = random.Random(("fixed", group.name).__repr__())
+    table = FixedBaseTable(group.p, group.q, group.g)
+    for exponent in [0, 1, 2, group.q - 1, group.q, group.q + 3] + [
+        rng.randrange(group.q) for _ in range(10)
+    ]:
+        assert table.pow(exponent) == pow(group.g, exponent % group.q, group.p)
+    # The process-wide cache hands back one table per parameter set.
+    assert fixed_base_table(group.p, group.q, group.g) is fixed_base_table(
+        group.p, group.q, group.g
+    )
+
+
+@pytest.mark.parametrize("group", GROUPS, ids=GROUP_IDS)
+def test_shared_bases_matches_naive(group: SchnorrGroup) -> None:
+    rng = random.Random(("shared", group.name).__repr__())
+    bases = [_random_element(group, rng) for _ in range(5)]
+    shared = SharedBases(bases, group.p, group.q)
+    for _ in range(3):
+        exps = [rng.randrange(group.q) for _ in bases]
+        assert shared.multiexp(exps) == _naive(list(zip(bases, exps)), group.p)
+    x = rng.randrange(2, 1000)
+    expected = _naive(
+        [(b, pow(x, i, group.q)) for i, b in enumerate(bases)], group.p
+    )
+    assert shared.power_row(x) == expected
+    assert shared.multiexp([0] * len(bases)) == 1
+    with pytest.raises(ValueError):
+        shared.multiexp([1])
+
+
+@pytest.mark.parametrize("group", GROUPS, ids=GROUP_IDS)
+def test_batch_verifier_accepts_honest_batches(group: SchnorrGroup) -> None:
+    rng = random.Random(("batch", group.name).__repr__())
+    poly = Polynomial.random(4, group.q, rng)
+    entries = tuple(group.commit(c) for c in poly.coeffs)
+    verifier = BatchVerifier(entries, group.p, group.q, group.g)
+    items = [(i, poly(i)) for i in range(1, 12)]
+    good, bad = verifier.verify(items, rng=rng)
+    assert good == items and bad == []
+    # Single-item batches use the direct path.
+    good, bad = verifier.verify(items[:1], rng=rng)
+    assert good == items[:1] and bad == []
+    assert verifier.verify([], rng=rng) == ([], [])
+
+
+@pytest.mark.parametrize("group", GROUPS, ids=GROUP_IDS)
+def test_batch_verifier_pinpoints_adversarial_items(
+    group: SchnorrGroup,
+) -> None:
+    """The fallback must identify exactly the corrupted senders."""
+    rng = random.Random(("adversarial", group.name).__repr__())
+    poly = Polynomial.random(3, group.q, rng)
+    entries = tuple(group.commit(c) for c in poly.coeffs)
+    verifier = BatchVerifier(entries, group.p, group.q, group.g)
+    for bad_indices in ([4], [2, 7], [1, 5, 9]):
+        items = []
+        for i in range(1, 10):
+            value = poly(i)
+            if i in bad_indices:
+                value = (value + rng.randrange(1, group.q)) % group.q
+            items.append((i, value))
+        good, bad = verifier.verify(items, rng=rng)
+        assert sorted(bad) == bad_indices
+        assert [i for i, _ in good] == [
+            i for i in range(1, 10) if i not in bad_indices
+        ]
+        assert all(value == poly(i) for i, value in good)
+
+
+def test_batch_verifier_keeps_first_duplicate() -> None:
+    group = toy_group()
+    rng = random.Random(17)
+    poly = Polynomial.random(2, group.q, rng)
+    entries = tuple(group.commit(c) for c in poly.coeffs)
+    verifier = BatchVerifier(entries, group.p, group.q, group.g)
+    good, bad = verifier.verify([(3, poly(3)), (3, poly(3) + 1)], rng=rng)
+    assert good == [(3, poly(3))] and bad == []
+
+
+# -- cached row verifiers vs the textbook double loops ----------------------
+
+
+def _naive_verify_point(
+    commitment: FeldmanCommitment, i: int, m: int, alpha: int
+) -> bool:
+    """Fig. 1 verify-point computed directly from the raw matrix."""
+    g = commitment.group
+    t = commitment.degree
+    m_pows = [pow(m, j, g.q) for j in range(t + 1)]
+    i_pows = [pow(i, ell, g.q) for ell in range(t + 1)]
+    expected = 1
+    for j in range(t + 1):
+        for ell in range(t + 1):
+            e = (m_pows[j] * i_pows[ell]) % g.q
+            expected = g.mul(expected, pow(commitment.matrix[j][ell], e, g.p))
+    return pow(g.g, alpha % g.q, g.p) == expected
+
+
+def _naive_share_commitment(commitment: FeldmanCommitment, i: int) -> int:
+    g = commitment.group
+    acc = 1
+    for j, row in enumerate(commitment.matrix):
+        acc = g.mul(acc, pow(row[0], pow(i, j, g.q), g.p))
+    return acc
+
+
+@pytest.mark.parametrize("group", [toy_group(), small_group()], ids=["toy", "small"])
+def test_row_verifier_matches_naive_predicates(group: SchnorrGroup) -> None:
+    rng = random.Random(("rowver", group.name).__repr__())
+    t = 3
+    poly = BivariatePolynomial.random_symmetric(t, group.q, rng, secret=5)
+    commitment = FeldmanCommitment.commit(poly, group)
+    for i in (1, 2, 7):
+        row = poly.row_polynomial(i)
+        assert commitment.verify_poly(i, row)
+        bad = Polynomial(
+            (row.coeffs[0] + 1,) + row.coeffs[1:], group.q
+        )
+        assert not commitment.verify_poly(i, bad)
+        assert commitment.share_commitment(i) == _naive_share_commitment(
+            commitment, i
+        )
+        for m in (1, 4, 9):
+            alpha = poly.evaluate(m, i)
+            assert commitment.verify_point(i, m, alpha)
+            assert _naive_verify_point(commitment, i, m, alpha)
+            assert not commitment.verify_point(i, m, alpha + 1)
+        # Batched point verification with one corrupted sender.
+        items = [(m, poly.evaluate(m, i)) for m in range(1, 8)]
+        items[3] = (items[3][0], (items[3][1] + 1) % group.q)
+        good, bad_senders = commitment.batch_verify_points(i, items, rng=rng)
+        assert bad_senders == [items[3][0]]
+        assert len(good) == len(items) - 1
+
+
+def test_row_verifier_handles_asymmetric_matrices() -> None:
+    """The symmetry shortcut must not mis-collapse a general matrix."""
+    group = toy_group()
+    rng = random.Random(99)
+    t = 2
+    # A deliberately non-symmetric coefficient matrix f_jl.
+    coeffs = [
+        [rng.randrange(group.q) for _ in range(t + 1)] for _ in range(t + 1)
+    ]
+    matrix = tuple(
+        tuple(group.commit(c) for c in row) for row in coeffs
+    )
+    commitment = FeldmanCommitment(matrix, group)
+
+    def f(x: int, y: int) -> int:
+        return (
+            sum(
+                coeffs[j][ell] * pow(x, j, group.q) * pow(y, ell, group.q)
+                for j in range(t + 1)
+                for ell in range(t + 1)
+            )
+            % group.q
+        )
+
+    for i in (1, 3):
+        # verify-point(C, i, m, alpha) checks alpha = f(m, i).
+        for m in (2, 5):
+            assert commitment.verify_point(i, m, f(m, i))
+            assert not commitment.verify_point(i, m, f(m, i) + 1)
+            assert commitment.verify_point(i, m, f(m, i)) == _naive_verify_point(
+                commitment, i, m, f(m, i)
+            )
+        # verify-poly(C, i, a) checks a(y) = f(i, y).
+        row = Polynomial(
+            tuple(
+                sum(
+                    coeffs[j][ell] * pow(i, j, group.q)
+                    for j in range(t + 1)
+                )
+                % group.q
+                for ell in range(t + 1)
+            ),
+            group.q,
+        )
+        assert commitment.verify_poly(i, row)
+    assert not commitment._is_symmetric()
+
+
+@pytest.mark.parametrize("group", [toy_group(), small_group()], ids=["toy", "small"])
+def test_feldman_vector_batch_matches_single(group: SchnorrGroup) -> None:
+    rng = random.Random(("vector", group.name).__repr__())
+    poly = Polynomial.random(4, group.q, rng)
+    vector = FeldmanVector.commit(poly, group)
+    items = [(i, poly(i)) for i in range(1, 9)]
+    good, bad = vector.batch_verify(items, rng=rng)
+    assert good == items and bad == []
+    for i, value in items:
+        assert vector.verify_share(i, value)
+        assert not vector.verify_share(i, value + 1)
+    assert vector.evaluate_in_exponent(6) == pow(
+        group.g, poly(6), group.p
+    )

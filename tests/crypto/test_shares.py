@@ -87,3 +87,26 @@ class TestReconstructSecret:
         poly = Polynomial.random(3, Q, rng, constant_term=77)
         pts = [(i, poly(i)) for i in (2, 4, 6, 8)]
         assert reconstruct_raw(pts, Q) == 77
+
+
+class TestBatchedFiltering:
+    def test_garbage_duplicate_cannot_shadow_honest_share(self) -> None:
+        """The first *valid* share per index wins: a Byzantine node
+        racing a garbage share in front of the honest one must not
+        knock that index out of the reconstruction."""
+        _, c, shares = _deal(2, 99, 4)
+        garbage = Share(shares[0].index, (shares[0].value + 7) % Q, c)
+        mixed = [garbage, shares[0], shares[1], shares[2]]
+        assert reconstruct_secret(mixed, 2, Q) == 99
+
+    def test_batch_filter_drops_only_bad_shares(self) -> None:
+        _, c, shares = _deal(2, 31, 5)
+        bad = [
+            Share(s.index, (s.value + 1) % Q, c) for s in shares[3:5]
+        ]
+        assert (
+            reconstruct_secret(shares[:3] + bad, 2, Q, rng=random.Random(1))
+            == 31
+        )
+        with pytest.raises(ReconstructionError):
+            reconstruct_secret(shares[:2] + bad, 2, Q)
