@@ -85,7 +85,6 @@ def test_e2_help_budget_caps_malicious_help_requests(benchmark, save_table) -> N
     helper and (t+1) d(kappa) total — the d-uniform bound in action."""
     from repro.sim.node import Context, ProtocolNode
     from repro.vss.messages import HelpMsg, SessionId
-    from repro.vss.node import VssNode
     from dataclasses import dataclass
     from typing import Any
 

@@ -10,7 +10,7 @@ from __future__ import annotations
 
 from conftest import once
 
-from repro.analysis import Table, dkg_messages_optimistic, fit_exponent
+from repro.analysis import Table, fit_exponent
 from repro.crypto.groups import toy_group
 from repro.crypto.polynomials import interpolate_at
 from repro.dkg import DkgConfig

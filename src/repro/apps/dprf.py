@@ -24,9 +24,8 @@ import random
 from dataclasses import dataclass
 
 from repro.crypto import dleq
+from repro.crypto.backend import AbstractGroup
 from repro.crypto.feldman import FeldmanCommitment, FeldmanVector
-from repro.crypto.groups import SchnorrGroup
-from repro.crypto.hashing import hash_to_element
 from repro.crypto.polynomials import lagrange_coefficients
 
 
@@ -35,7 +34,7 @@ class PartialEval:
     """One node's PRF evaluation share H1(x)^{s_i} with DLEQ proof."""
 
     index: int
-    value: int
+    value: object  # a group element
     proof: dleq.DleqProof
 
 
@@ -43,13 +42,13 @@ class EvaluationError(Exception):
     """Too few valid partial evaluations."""
 
 
-def input_point(group: SchnorrGroup, tag: bytes) -> int:
-    """H1: hash the PRF input into the group."""
-    return hash_to_element(group.p, group.q, b"dprf-input", tag)
+def input_point(group: AbstractGroup, tag: bytes):
+    """H1: hash the PRF input into the group (backend hash-to-element)."""
+    return group.hash_to_element(b"dprf-input", tag)
 
 
 def partial_eval(
-    group: SchnorrGroup,
+    group: AbstractGroup,
     tag: bytes,
     index: int,
     share: int,
@@ -62,7 +61,7 @@ def partial_eval(
 
 
 def verify_partial(
-    group: SchnorrGroup,
+    group: AbstractGroup,
     tag: bytes,
     commitment: FeldmanCommitment | FeldmanVector,
     partial: PartialEval,
@@ -76,12 +75,12 @@ def verify_partial(
 
 
 def combine(
-    group: SchnorrGroup,
+    group: AbstractGroup,
     tag: bytes,
     commitment: FeldmanCommitment | FeldmanVector,
     partials: list[PartialEval],
     t: int,
-) -> int:
+):
     """Interpolate >= t+1 verified partials to the PRF value H1(tag)^s."""
     valid: dict[int, int] = {}
     for partial in partials:
@@ -95,13 +94,12 @@ def combine(
         )
     chosen = sorted(valid.items())[: t + 1]
     lambdas = lagrange_coefficients([i for i, _ in chosen], 0, group.q)
-    value = 1
-    for lam, (_, v) in zip(lambdas, chosen):
-        value = group.mul(value, group.power(v, lam))
-    return value
+    return group.multiexp(
+        (v, lam) for lam, (_, v) in zip(lambdas, chosen)
+    )
 
 
-def prf_bytes(group: SchnorrGroup, value: int, length: int = 32) -> bytes:
+def prf_bytes(group: AbstractGroup, value, length: int = 32) -> bytes:
     """H2: hash the group element to the PRF output string."""
     out = b""
     counter = 0
@@ -114,7 +112,7 @@ def prf_bytes(group: SchnorrGroup, value: int, length: int = 32) -> bytes:
 
 
 def coin_flip(
-    group: SchnorrGroup,
+    group: AbstractGroup,
     tag: bytes,
     commitment: FeldmanCommitment | FeldmanVector,
     partials: list[PartialEval],

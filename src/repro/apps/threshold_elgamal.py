@@ -19,8 +19,8 @@ import random
 from dataclasses import dataclass
 
 from repro.crypto import dleq
+from repro.crypto.backend import AbstractGroup
 from repro.crypto.feldman import FeldmanCommitment, FeldmanVector
-from repro.crypto.groups import SchnorrGroup
 from repro.crypto.polynomials import lagrange_coefficients
 
 
@@ -28,8 +28,8 @@ from repro.crypto.polynomials import lagrange_coefficients
 class Ciphertext:
     """An ElGamal ciphertext (c1, c2) = (g^k, m * pk^k)."""
 
-    c1: int
-    c2: int
+    c1: object  # g^k
+    c2: object  # m * pk^k
 
 
 @dataclass(frozen=True)
@@ -37,7 +37,7 @@ class PartialDecryption:
     """One node's decryption share with its correctness proof."""
 
     index: int
-    value: int  # c1^{s_i}
+    value: object  # c1^{s_i}
     proof: dleq.DleqProof
 
 
@@ -46,7 +46,7 @@ class DecryptionError(Exception):
 
 
 def encrypt(
-    group: SchnorrGroup, public_key: int, message: int, rng: random.Random
+    group: AbstractGroup, public_key, message, rng: random.Random
 ) -> Ciphertext:
     """Encrypt a group element to the DKG public key."""
     if not group.is_element(message):
@@ -56,7 +56,7 @@ def encrypt(
 
 
 def partial_decrypt(
-    group: SchnorrGroup,
+    group: AbstractGroup,
     ciphertext: Ciphertext,
     index: int,
     share: int,
@@ -69,7 +69,7 @@ def partial_decrypt(
 
 
 def verify_partial(
-    group: SchnorrGroup,
+    group: AbstractGroup,
     ciphertext: Ciphertext,
     commitment: FeldmanCommitment | FeldmanVector,
     partial: PartialDecryption,
@@ -85,7 +85,7 @@ def verify_partial(
 
 
 def combine(
-    group: SchnorrGroup,
+    group: AbstractGroup,
     ciphertext: Ciphertext,
     commitment: FeldmanCommitment | FeldmanVector,
     partials: list[PartialDecryption],
@@ -110,9 +110,9 @@ def combine(
     chosen = sorted(valid.items())[: t + 1]
     lambdas = lagrange_coefficients([i for i, _ in chosen], 0, group.q)
     # c1^s = prod c1^{s_i * lambda_i}  (interpolation in the exponent)
-    c1_s = 1
-    for lam, (_, value) in zip(lambdas, chosen):
-        c1_s = group.mul(c1_s, group.power(value, lam))
+    c1_s = group.multiexp(
+        (value, lam) for lam, (_, value) in zip(lambdas, chosen)
+    )
     return group.mul(ciphertext.c2, group.inv(c1_s))
 
 
@@ -123,11 +123,11 @@ def combine(
 class HybridCiphertext:
     """Hashed-ElGamal: ephemeral point + XOR-padded payload."""
 
-    c1: int
+    c1: object  # the ephemeral point g^k
     pad: bytes
 
 
-def _kdf(group: SchnorrGroup, shared_point: int, length: int) -> bytes:
+def _kdf(group: AbstractGroup, shared_point, length: int) -> bytes:
     out = b""
     counter = 0
     while len(out) < length:
@@ -139,7 +139,7 @@ def _kdf(group: SchnorrGroup, shared_point: int, length: int) -> bytes:
 
 
 def encrypt_bytes(
-    group: SchnorrGroup, public_key: int, plaintext: bytes, rng: random.Random
+    group: AbstractGroup, public_key, plaintext: bytes, rng: random.Random
 ) -> HybridCiphertext:
     k = group.random_nonzero_scalar(rng)
     shared = group.power(public_key, k)
@@ -150,7 +150,7 @@ def encrypt_bytes(
 
 
 def partial_decrypt_hybrid(
-    group: SchnorrGroup,
+    group: AbstractGroup,
     ciphertext: HybridCiphertext,
     index: int,
     share: int,
@@ -161,14 +161,14 @@ def partial_decrypt_hybrid(
 
 
 def decrypt_bytes_combine(
-    group: SchnorrGroup,
+    group: AbstractGroup,
     ciphertext: HybridCiphertext,
     commitment: FeldmanCommitment | FeldmanVector,
     partials: list[PartialDecryption],
     t: int,
 ) -> bytes:
     """Combine partials and strip the KDF pad."""
-    as_elgamal = Ciphertext(ciphertext.c1, 1)
+    as_elgamal = Ciphertext(ciphertext.c1, group.identity)
     valid: dict[int, int] = {}
     for partial in partials:
         if partial.index in valid:
@@ -181,9 +181,9 @@ def decrypt_bytes_combine(
         )
     chosen = sorted(valid.items())[: t + 1]
     lambdas = lagrange_coefficients([i for i, _ in chosen], 0, group.q)
-    shared = 1
-    for lam, (_, value) in zip(lambdas, chosen):
-        shared = group.mul(shared, group.power(value, lam))
+    shared = group.multiexp(
+        (value, lam) for lam, (_, value) in zip(lambdas, chosen)
+    )
     return bytes(
         a ^ b
         for a, b in zip(ciphertext.pad, _kdf(group, shared, len(ciphertext.pad)))

@@ -21,9 +21,8 @@ from __future__ import annotations
 import random
 from dataclasses import dataclass
 
+from repro.crypto.backend import AbstractGroup
 from repro.crypto.feldman import FeldmanCommitment, FeldmanVector
-from repro.crypto.groups import SchnorrGroup
-from repro.crypto.multiexp import multiexp
 from repro.crypto.polynomials import lagrange_coefficients
 from repro.crypto.schnorr import Signature, _challenge
 
@@ -40,14 +39,14 @@ class SigningError(Exception):
     """Too few valid partial signatures."""
 
 
-def _share_pk(commitment: FeldmanCommitment | FeldmanVector, index: int) -> int:
+def _share_pk(commitment: FeldmanCommitment | FeldmanVector, index: int):
     if isinstance(commitment, FeldmanCommitment):
         return commitment.share_commitment(index)
     return commitment.evaluate_in_exponent(index)
 
 
 def challenge(
-    group: SchnorrGroup, public_key: int, nonce_point: int, message: bytes
+    group: AbstractGroup, public_key, nonce_point, message: bytes
 ) -> int:
     """The Fiat-Shamir challenge c = H(X || R || m) — identical to the
     single-signer scheme, so threshold signatures verify with the plain
@@ -56,12 +55,12 @@ def challenge(
 
 
 def partial_sign(
-    group: SchnorrGroup,
+    group: AbstractGroup,
     message: bytes,
     key_share: int,
     nonce_share: int,
-    public_key: int,
-    nonce_point: int,
+    public_key,
+    nonce_point,
 ) -> int:
     """z_i = k_i + c * s_i mod q."""
     c = challenge(group, public_key, nonce_point, message)
@@ -69,7 +68,7 @@ def partial_sign(
 
 
 def verify_partial(
-    group: SchnorrGroup,
+    group: AbstractGroup,
     message: bytes,
     partial: PartialSignature,
     key_commitment: FeldmanCommitment | FeldmanVector,
@@ -89,7 +88,7 @@ def verify_partial(
 
 def _coeff_entries(
     commitment: FeldmanCommitment | FeldmanVector,
-) -> tuple[int, ...]:
+) -> tuple:
     """The univariate coefficient commitments g^{a_j} for f(., 0)."""
     if isinstance(commitment, FeldmanCommitment):
         return tuple(row[0] for row in commitment.matrix)
@@ -97,7 +96,7 @@ def _coeff_entries(
 
 
 def batch_verify(
-    group: SchnorrGroup,
+    group: AbstractGroup,
     message: bytes,
     partials: list[PartialSignature],
     key_commitment: FeldmanCommitment | FeldmanVector,
@@ -162,7 +161,7 @@ def batch_verify(
         (entry, group.scalar_mul(c, a_j))
         for entry, a_j in zip(key_entries, aggregated)
     ]
-    rhs = multiexp(pairs, group.p, group.q)
+    rhs = group.multiexp(pairs)
     if group.commit(lhs_exponent) == rhs:
         return batch, []
     valid: list[PartialSignature] = []
@@ -176,7 +175,7 @@ def batch_verify(
 
 
 def combine(
-    group: SchnorrGroup,
+    group: AbstractGroup,
     message: bytes,
     partials: list[PartialSignature],
     key_commitment: FeldmanCommitment | FeldmanVector,

@@ -125,7 +125,7 @@ class JointFeldmanNode:
         self.qual = tuple(qual)
         q = self.group.q
         self.share = sum(self._deals[d].share for d in qual) % q
-        pk = 1
+        pk = self.group.identity
         for d in qual:
             pk = self.group.mul(pk, self._deals[d].commitment.public_key())
         self.public_key = pk

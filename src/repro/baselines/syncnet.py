@@ -18,7 +18,7 @@ asynchronous metrics.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Protocol
 
 from repro.sim.metrics import Metrics

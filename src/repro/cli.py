@@ -18,7 +18,8 @@ import argparse
 import json
 import sys
 
-from repro.crypto.groups import group_by_name
+from repro.crypto.backend import element_hex
+from repro.crypto.groups import BACKENDS, group_by_name
 from repro.crypto.hashing import FullMatrixCodec, HashedMatrixCodec
 from repro.dkg import DkgConfig, run_dkg
 from repro.proactive import ProactiveSystem
@@ -33,7 +34,12 @@ def _common_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--seed", type=int, default=0, help="simulation seed")
     parser.add_argument(
         "--group", default="toy",
-        help="group parameters: toy/small/medium/large/rfc5114-1024-160",
+        help="modp parameters: toy/small/medium/large/rfc5114-1024-160",
+    )
+    parser.add_argument(
+        "--backend", default="modp", choices=BACKENDS,
+        help="group backend: modp Schnorr subgroups (sized by --group) "
+             "or the secp256k1 elliptic curve",
     )
     parser.add_argument(
         "--hashed-codec", action="store_true",
@@ -48,6 +54,14 @@ def _codec(args: argparse.Namespace):
     return HashedMatrixCodec() if args.hashed_codec else FullMatrixCodec()
 
 
+def _group(args: argparse.Namespace):
+    """Resolve --backend/--group: the curve backend has one fixed
+    parameter set, the modp backend is sized by --group."""
+    if args.backend == "secp256k1":
+        return group_by_name("secp256k1")
+    return group_by_name(args.group)
+
+
 def _emit(args: argparse.Namespace, payload: dict) -> None:
     if args.json:
         print(json.dumps(payload, indent=2, default=str))
@@ -59,13 +73,13 @@ def _emit(args: argparse.Namespace, payload: dict) -> None:
 def cmd_dkg(args: argparse.Namespace) -> int:
     config = DkgConfig(
         n=args.n, t=args.t, f=args.f,
-        group=group_by_name(args.group), codec=_codec(args),
+        group=_group(args), codec=_codec(args),
     )
     result = run_dkg(config, seed=args.seed, reconstruct=args.reconstruct)
     payload = {
         "succeeded": result.succeeded,
         "q_set": list(result.q_set),
-        "public_key": hex(result.public_key),
+        "public_key": element_hex(config.group, result.public_key),
         "completed_nodes": result.completed_nodes,
         "completion_time": result.last_completion_time,
         "leader_changes": result.metrics.leader_changes,
@@ -83,7 +97,7 @@ def cmd_dkg(args: argparse.Namespace) -> int:
 def cmd_vss(args: argparse.Namespace) -> int:
     config = VssConfig(
         n=args.n, t=args.t, f=args.f,
-        group=group_by_name(args.group), codec=_codec(args),
+        group=_group(args), codec=_codec(args),
     )
     result = run_vss(
         config, secret=args.secret, seed=args.seed, reconstruct=args.reconstruct
@@ -92,7 +106,9 @@ def cmd_vss(args: argparse.Namespace) -> int:
         "completed_nodes": result.completed_nodes,
         "messages": result.metrics.messages_total,
         "bytes": result.metrics.bytes_total,
-        "public_key": hex(result.agreed_commitment().public_key())
+        "public_key": element_hex(
+            config.group, result.agreed_commitment().public_key()
+        )
         if result.shares else None,
     }
     if args.reconstruct:
@@ -106,7 +122,7 @@ def cmd_vss(args: argparse.Namespace) -> int:
 def cmd_renew(args: argparse.Namespace) -> int:
     config = DkgConfig(
         n=args.n, t=args.t, f=args.f,
-        group=group_by_name(args.group), codec=_codec(args),
+        group=_group(args), codec=_codec(args),
     )
     system = ProactiveSystem(config, seed=args.seed)
     system.bootstrap()
@@ -124,7 +140,7 @@ def cmd_renew(args: argparse.Namespace) -> int:
     _emit(
         args,
         {
-            "public_key": hex(system.public_key),
+            "public_key": element_hex(config.group, system.public_key),
             "phases": phases,
             "secret_invariant": system.reconstruct() == secret_before,
         },
@@ -154,7 +170,7 @@ def cmd_cluster(args: argparse.Namespace) -> int:
 
     config = DkgConfig(
         n=args.n, t=args.t, f=args.f,
-        group=group_by_name(args.group), codec=_codec(args),
+        group=_group(args), codec=_codec(args),
     )
     delay_model = None
     if args.latency > 0:
@@ -182,7 +198,7 @@ def cmd_cluster(args: argparse.Namespace) -> int:
     }
     if result.completions:
         payload["q_set"] = list(result.q_set)
-        payload["public_key"] = hex(result.public_key)
+        payload["public_key"] = element_hex(config.group, result.public_key)
     _emit(args, payload)
     return 0 if result.succeeded else 1
 
@@ -196,7 +212,7 @@ def cmd_resilience(args: argparse.Namespace) -> int:
             continue
         config = DkgConfig(
             n=n, t=args.t, f=args.f,
-            group=group_by_name(args.group),
+            group=_group(args),
             enforce_resilience=False,
         )
         byz = frozenset(range(n - args.t + 1, n + 1)) if args.t else frozenset()
@@ -224,7 +240,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
         n=args.n,
         t=args.t,
         f=args.f,
-        group=group_by_name(args.group),
+        group=_group(args),
         seed=args.seed,
         pool_target=args.pool,
         pool_low_watermark=args.low_watermark,
@@ -266,7 +282,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
             "presigs_forged": service.pool.forged,
             "presigs_invalidated": service.pool.invalidated,
             "beacon_height": service.beacon.height,
-            "public_key": hex(service.public_key),
+            "public_key": element_hex(config.group, service.public_key),
         }
 
     try:
@@ -288,6 +304,7 @@ def cmd_loadgen(args: argparse.Namespace) -> int:
         requests_per_client=args.requests,
         op=args.op,
         payload_bytes=args.payload_bytes,
+        expect_backend=args.backend,
     )
     _emit(args, report.as_dict())
     if report.invalid_signatures:
@@ -400,6 +417,10 @@ def build_parser() -> argparse.ArgumentParser:
         help="operation mix to issue",
     )
     p_loadgen.add_argument("--payload-bytes", type=int, default=16)
+    p_loadgen.add_argument(
+        "--backend", default=None, choices=BACKENDS,
+        help="fail unless the service runs this group backend",
+    )
     p_loadgen.add_argument(
         "--json", action="store_true", help="emit machine-readable JSON"
     )

@@ -2,20 +2,29 @@
 signatures and zero-knowledge proofs.
 
 Everything in this subpackage is pure (no simulator dependencies) and
-deterministic given a seeded ``random.Random``.
+deterministic given a seeded ``random.Random``.  Group arithmetic is
+pluggable: protocol code speaks the :class:`~repro.crypto.backend.AbstractGroup`
+interface, realized by the modp :class:`~repro.crypto.groups.SchnorrGroup`
+and the secp256k1 :class:`~repro.crypto.ec.EcGroup` backends.
 """
 
+from repro.crypto.backend import (
+    AbstractGroup,
+    BatchedClaimVerifier,
+    element_hex,
+)
 from repro.crypto.bivariate import BivariatePolynomial
 from repro.crypto.dleq import DleqProof
 from repro.crypto.feldman import FeldmanCommitment, FeldmanVector, share_verifier
 from repro.crypto.multiexp import (
-    BatchVerifier,
     FixedBaseTable,
     SharedBases,
     fixed_base_table,
     multiexp,
 )
+from repro.crypto.ec import EcGroup, EcPoint, secp256k1_group
 from repro.crypto.groups import (
+    BACKENDS,
     RFC5114_1024_160,
     SchnorrGroup,
     group_by_name,
@@ -35,7 +44,13 @@ from repro.crypto.schnorr import Signature, SigningKey
 from repro.crypto.shares import ReconstructionError, Share, reconstruct_secret
 
 __all__ = [
-    "BatchVerifier",
+    "AbstractGroup",
+    "BACKENDS",
+    "BatchedClaimVerifier",
+    "EcGroup",
+    "EcPoint",
+    "element_hex",
+    "secp256k1_group",
     "BivariatePolynomial",
     "DleqProof",
     "FeldmanCommitment",

@@ -10,6 +10,12 @@ from node ``m`` against the public commitment.
 The paper notes that using a symmetric rather than a general bivariate
 polynomial yields a constant-factor complexity reduction; we implement
 both so the ablation benchmark (E9) can measure that factor.
+
+Like :mod:`repro.crypto.polynomials`, everything here lives in the
+scalar field Z_q and is therefore shared verbatim by every group
+backend; only the *commitments* to these polynomials
+(:mod:`repro.crypto.feldman`, :mod:`repro.crypto.pedersen`) touch
+group elements.
 """
 
 from __future__ import annotations

@@ -17,14 +17,13 @@ import hashlib
 import random
 from dataclasses import dataclass
 
-from repro.crypto.groups import SchnorrGroup
-from repro.crypto.multiexp import multiexp
+from repro.crypto.backend import AbstractGroup
 
 
 def _challenge(
-    group: SchnorrGroup,
-    g1: int, h1: int, g2: int, h2: int,
-    commit1: int, commit2: int,
+    group: AbstractGroup,
+    g1, h1, g2, h2,
+    commit1, commit2,
 ) -> int:
     h = hashlib.sha256()
     h.update(b"dleq|")
@@ -40,17 +39,17 @@ class DleqProof:
     challenge: int
     response: int
 
-    def byte_size(self, group: SchnorrGroup) -> int:
+    def byte_size(self, group: AbstractGroup) -> int:
         return 2 * group.scalar_bytes
 
 
 def prove(
-    group: SchnorrGroup,
+    group: AbstractGroup,
     secret: int,
-    g1: int,
-    g2: int,
+    g1,
+    g2,
     rng: random.Random,
-) -> tuple[int, int, DleqProof]:
+) -> tuple:
     """Produce (h1, h2, proof) with h1 = g1^secret, h2 = g2^secret."""
     h1 = group.power(g1, secret)
     h2 = group.power(g2, secret)
@@ -63,11 +62,11 @@ def prove(
 
 
 def verify(
-    group: SchnorrGroup,
-    g1: int,
-    h1: int,
-    g2: int,
-    h2: int,
+    group: AbstractGroup,
+    g1,
+    h1,
+    g2,
+    h2,
     proof: DleqProof,
 ) -> bool:
     """Check a DLEQ proof: recompute commitments and the challenge."""
@@ -77,10 +76,6 @@ def verify(
     # two-term multiexp sharing one squaring chain; h^{-c} = h^{q-c}
     # because membership in the order-q subgroup was just checked.
     neg_c = (-proof.challenge) % group.q
-    commit1 = multiexp(
-        ((g1, proof.response), (h1, neg_c)), group.p, group.q
-    )
-    commit2 = multiexp(
-        ((g2, proof.response), (h2, neg_c)), group.p, group.q
-    )
+    commit1 = group.multiexp(((g1, proof.response), (h1, neg_c)))
+    commit2 = group.multiexp(((g2, proof.response), (h2, neg_c)))
     return _challenge(group, g1, h1, g2, h2, commit1, commit2) == proof.challenge

@@ -34,14 +34,8 @@ from __future__ import annotations
 import random
 from dataclasses import dataclass, field
 
+from repro.crypto.backend import AbstractGroup
 from repro.crypto.bivariate import BivariatePolynomial
-from repro.crypto.groups import SchnorrGroup
-from repro.crypto.multiexp import (
-    BatchVerifier,
-    SharedBases,
-    fixed_base_table,
-    multiexp,
-)
 from repro.crypto.polynomials import Polynomial
 
 
@@ -49,8 +43,8 @@ from repro.crypto.polynomials import Polynomial
 class FeldmanCommitment:
     """Commitment matrix C with C[j][l] = g^{f_jl} for a bivariate f."""
 
-    matrix: tuple[tuple[int, ...], ...]
-    group: SchnorrGroup
+    matrix: tuple[tuple, ...]
+    group: AbstractGroup
     # Per-instance memo for collapsed rows, share commitments and
     # symmetry; excluded from equality/hashing so two commitments to the
     # same matrix stay interchangeable as dict keys.
@@ -68,7 +62,7 @@ class FeldmanCommitment:
 
     @classmethod
     def commit(
-        cls, poly: BivariatePolynomial, group: SchnorrGroup
+        cls, poly: BivariatePolynomial, group: AbstractGroup
     ) -> "FeldmanCommitment":
         """Compute C_jl = g^{f_jl} for every coefficient of ``poly``."""
         if poly.q != group.q:
@@ -120,7 +114,7 @@ class FeldmanCommitment:
                     pairs = [(self.matrix[j][ell], i_pows[j]) for j in range(n)]
                 else:
                     pairs = [(self.matrix[ell][j], i_pows[j]) for j in range(n)]
-                entries.append(multiexp(pairs, g.p, g.q))
+                entries.append(g.multiexp(pairs))
             cached = FeldmanVector(tuple(entries), g)
             self._cache[key] = cached
         return cached
@@ -144,7 +138,7 @@ class FeldmanCommitment:
         if a.degree != t or a.q != self.group.q:
             return False
         g = self.group
-        table = fixed_base_table(g.p, g.q, g.g)
+        table = g.fixed_base(g.g)
         return all(
             table.pow(c) == w
             for c, w in zip(a.coeffs, self.row_verifier(i).entries)
@@ -226,8 +220,8 @@ class FeldmanCommitment:
 class FeldmanVector:
     """Univariate Feldman commitment: entries[l] = g^{a_l}."""
 
-    entries: tuple[int, ...]
-    group: SchnorrGroup
+    entries: tuple
+    group: AbstractGroup
     _cache: dict = field(
         default_factory=dict, init=False, repr=False, compare=False
     )
@@ -237,22 +231,21 @@ class FeldmanVector:
         return len(self.entries) - 1
 
     @classmethod
-    def commit(cls, poly: Polynomial, group: SchnorrGroup) -> "FeldmanVector":
+    def commit(cls, poly: Polynomial, group: AbstractGroup) -> "FeldmanVector":
         if poly.q != group.q:
             raise ValueError("polynomial field does not match group order")
         return cls(tuple(group.commit(c) for c in poly.coeffs), group)
 
-    def _batcher(self) -> BatchVerifier:
+    def _batcher(self):
         """The cached batch verifier; its shared Straus tables also back
         every single-share check against this vector."""
         batcher = self._cache.get("batch")
         if batcher is None:
-            g = self.group
-            batcher = BatchVerifier(self.entries, g.p, g.q, g.g)
+            batcher = self.group.batch_verifier(self.entries)
             self._cache["batch"] = batcher
         return batcher
 
-    def _shared_bases(self) -> SharedBases:
+    def _shared_bases(self):
         return self._batcher()._shared_bases()
 
     def verify_share(self, i: int, share: int) -> bool:

@@ -1,29 +1,36 @@
-"""Schnorr groups: the discrete-log setting of the paper (§2.3).
+"""Schnorr groups: the modp backend of the paper's discrete-log setting
+(§2.3).
 
 A :class:`SchnorrGroup` wraps parameters ``(p, q, g)`` — a prime-order-q
 multiplicative subgroup of ``Z_p^*`` — and provides the group and scalar
 arithmetic the protocols need: exponentiation, scalar field operations
 mod q, random scalars, and (de)serialization with stable byte sizes so
-the metrics layer can meter communication complexity.
+the metrics layer can meter communication complexity.  It implements the
+backend interface of :class:`repro.crypto.backend.AbstractGroup`; the
+elliptic-curve sibling is :class:`repro.crypto.ec.EcGroup`, reachable
+from the same :func:`group_by_name` registry under ``"secp256k1"``.
 
-Two kinds of parameter sets are exposed:
+Three kinds of parameter sets are exposed:
 
 * :func:`toy_group`, :func:`small_group`, :func:`medium_group` —
   deterministically generated small parameters used by tests and
   benchmarks, where protocol logic rather than bignum arithmetic should
   dominate the runtime;
-* :data:`RFC5114_1024_160` and :data:`RFC5114_2048_256` — standardized
-  MODP Diffie-Hellman groups with prime-order subgroups, for
-  realistic-size runs.
+* :data:`RFC5114_1024_160` and :func:`large_group` — standardized /
+  generated MODP groups with prime-order subgroups, for realistic-size
+  runs;
+* ``group_by_name("secp256k1")`` — the elliptic-curve backend at
+  matched ~128-bit security against 2048-bit modp groups.
 """
 
 from __future__ import annotations
 
+import hashlib
 import random
 from dataclasses import dataclass, field
 from functools import lru_cache
 
-from repro.crypto.multiexp import fixed_base_table
+from repro.crypto.multiexp import SharedBases, fixed_base_table, multiexp
 from repro.crypto.primes import SchnorrParams, generate_schnorr_params
 
 
@@ -99,7 +106,27 @@ class SchnorrGroup:
 
     def is_element(self, a: int) -> bool:
         """Membership test: a in [1, p) and a^q == 1 (prime-order subgroup)."""
-        return 0 < a < self.p and pow(a, self.q, self.p) == 1
+        return (
+            isinstance(a, int) and 0 < a < self.p
+            and pow(a, self.q, self.p) == 1
+        )
+
+    # -- multiexp engines (the backend-generic entry points) -----------------
+
+    def multiexp(self, pairs) -> int:
+        """``prod_i base_i^{exp_i}`` via the shared-squaring-chain engine."""
+        return multiexp(pairs, self.p, self.q)
+
+    def fixed_base(self, base: int):
+        return fixed_base_table(self.p, self.q, base)
+
+    def shared_bases(self, bases) -> SharedBases:
+        return SharedBases(tuple(bases), self.p, self.q)
+
+    def batch_verifier(self, entries, base: int | None = None):
+        from repro.crypto.backend import BatchedClaimVerifier
+
+        return BatchedClaimVerifier(self, entries, base)
 
     # -- sizes (for communication metering) ---------------------------------
 
@@ -129,17 +156,62 @@ class SchnorrGroup:
             raise ValueError("bytes do not encode a group element")
         return a
 
+    def element_decode(self, raw: bytes) -> int:
+        """Wire-grade structural decode: cheap range parse, no subgroup
+        check (verification rejects non-elements downstream, exactly as
+        the pre-backend codec behaved)."""
+        return int.from_bytes(raw, "big")
+
     def scalar_to_bytes(self, x: int) -> bytes:
         return (x % self.q).to_bytes(self.scalar_bytes, "big")
 
     def scalar_from_bytes(self, raw: bytes) -> int:
         return int.from_bytes(raw, "big") % self.q
 
+    # -- hashing into the group ----------------------------------------------
+
+    def hash_to_scalar(self, *parts: bytes) -> int:
+        # Lazy import: repro.crypto.hashing imports feldman, which
+        # imports this module.
+        from repro.crypto.hashing import hash_to_scalar
+
+        return hash_to_scalar(self.q, *parts)
+
+    def hash_to_element(self, *parts: bytes) -> int:
+        """Hash into the order-q subgroup (cofactor exponentiation,
+        delegating to :func:`repro.crypto.hashing.hash_to_element`)."""
+        from repro.crypto.hashing import hash_to_element
+
+        return hash_to_element(self.p, self.q, *parts)
+
+    def second_generator(self, label: bytes = b"pedersen-h") -> int:
+        """A generator ``h`` with unknown discrete log w.r.t. ``g``
+        (hash-to-element, so no dlog relation is ever computed)."""
+        return _modp_second_generator(self.p, self.q, self.g, label)
+
     def validate(self) -> None:
         SchnorrParams(self.p, self.q, self.g).validate()
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"SchnorrGroup({self.name}, |q|={self.q.bit_length()} bits)"
+
+
+@lru_cache(maxsize=128)
+def _modp_second_generator(p: int, q: int, g: int, label: bytes) -> int:
+    """Hash-to-element derivation of the Pedersen ``h`` (moved here from
+    :mod:`repro.crypto.pedersen`; the derivation bytes are unchanged, so
+    cached test vectors and seeded runs see the same ``h``)."""
+    cofactor = (p - 1) // q
+    counter = 0
+    while True:
+        digest = hashlib.sha256(
+            label + b"|" + str(p).encode() + b"|" + str(counter).encode()
+        ).digest()
+        candidate = int.from_bytes(digest, "big") % p
+        h = pow(candidate, cofactor, p)
+        if h != 1 and h != g:
+            return h
+        counter += 1
 
 
 @lru_cache(maxsize=None)
@@ -197,11 +269,23 @@ GROUP_REGISTRY = {
     "large": large_group,
 }
 
+BACKENDS = ("modp", "secp256k1")
 
-def group_by_name(name: str, seed: int = 0) -> SchnorrGroup:
-    """Look up a named parameter set (toy/small/medium/large/rfc5114-1024-160)."""
+
+def group_by_name(name: str, seed: int = 0):
+    """Look up a named parameter set.
+
+    modp sets: toy/small/medium/large (seeded) and rfc5114-1024-160;
+    ``"secp256k1"`` resolves to the elliptic-curve backend
+    (:class:`repro.crypto.ec.EcGroup`) at matched ~128-bit security
+    against 2048-bit modp groups.
+    """
     if name in GROUP_REGISTRY:
         return GROUP_REGISTRY[name](seed)
     if name == "rfc5114-1024-160":
         return RFC5114_1024_160
+    if name == "secp256k1":
+        from repro.crypto.ec import secp256k1_group
+
+        return secp256k1_group()
     raise KeyError(f"unknown group {name!r}")

@@ -27,13 +27,17 @@ DIGEST_BYTES = 32
 
 
 def commitment_digest(commitment: FeldmanCommitment) -> bytes:
-    """Collision-resistant digest of a commitment matrix."""
+    """Collision-resistant digest of a commitment matrix.
+
+    Entries are hashed in the group's canonical serialization, so the
+    digest is well defined for every backend (fixed-width residues for
+    modp, compressed points for secp256k1) and unchanged for modp."""
     h = hashlib.sha256()
     h.update(b"feldman-matrix|")
-    size = commitment.group.element_bytes
+    to_bytes = commitment.group.element_to_bytes
     for row in commitment.matrix:
         for entry in row:
-            h.update(entry.to_bytes(size, "big"))
+            h.update(to_bytes(entry))
     return h.digest()
 
 

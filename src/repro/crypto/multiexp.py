@@ -18,20 +18,26 @@ work three ways:
 * :class:`SharedBases` — Straus tables for a fixed base *vector*
   exponentiated with many different scalar vectors (one collapsed
   commitment row checked against many senders);
-* :class:`BatchVerifier` — folds many claims
-  ``g^{v_i} == prod_l E_l^{i^l}`` against one commitment vector into a
-  single randomized-linear-combination multiexp (sound up to a 1/q
-  guessing chance per item), with a per-item fallback that pinpoints
-  which senders cheated when the combined check fails.
+The randomized-linear-combination batch verifier that used to live
+here is now the backend-generic
+:class:`repro.crypto.backend.BatchedClaimVerifier`, reached through
+``group.batch_verifier(entries)``; over a
+:class:`~repro.crypto.groups.SchnorrGroup` it produces bit-identical
+Fiat--Shamir weights and verdicts.
 
 Everything here is plain-int arithmetic — no dependency on the group
 or protocol layers — so :mod:`repro.crypto.groups` can build on it.
+Since the backend refactor this module is the *modp engine*: protocol
+code reaches it through ``group.multiexp`` / ``group.fixed_base`` /
+``group.shared_bases`` / ``group.batch_verifier`` on
+:class:`~repro.crypto.groups.SchnorrGroup` (the secp256k1 mirror lives
+in :mod:`repro.crypto.ec`, the backend-generic batch verifier in
+:mod:`repro.crypto.backend`), but the int-typed entry points below stay
+public and byte-for-byte compatible.
 """
 
 from __future__ import annotations
 
-import hashlib
-import random
 from collections.abc import Iterable, Sequence
 from functools import lru_cache
 
@@ -247,123 +253,3 @@ class SharedBases:
             exps.append(xp)
             xp = xp * x % q
         return self.multiexp(exps)
-
-
-class BatchVerifier:
-    """Randomized-linear-combination verification of many claims
-    ``g^{v_i} == prod_l E_l^{i^l}`` against one entry vector ``E``.
-
-    With nonzero weights ``gamma_i`` the combined check
-
-        g^{sum_i gamma_i v_i} == prod_l E_l^{a_l},
-        a_l = sum_i gamma_i i^l  (scalar arithmetic only)
-
-    costs one fixed-base exponentiation plus one ``len(E)``-term
-    multiexp *regardless of the batch size*.  The weights are derived
-    Fiat--Shamir style — by hashing the entry vector and the claims
-    themselves, salted from the caller's RNG — so a cheating batch
-    survives with probability ~1/q even against an adversary who can
-    predict the protocol RNG (the weights are a function of the very
-    errors it would need to cancel), while seeded simulations stay
-    bit-for-bit deterministic.  When the combined check fails,
-    :meth:`verify` falls back to per-item checks (sharing the Straus
-    tables across items) to identify the bad indices.
-    """
-
-    def __init__(
-        self,
-        entries: Sequence[int],
-        p: int,
-        q: int,
-        g: int,
-        rng: random.Random | None = None,
-    ):
-        self.entries = tuple(e % p for e in entries)
-        self.p = p
-        self.q = q
-        self.g = g
-        self.rng = rng or random.Random()
-        self._shared: SharedBases | None = None
-
-    def _shared_bases(self) -> SharedBases:
-        if self._shared is None:
-            self._shared = SharedBases(self.entries, self.p, self.q)
-        return self._shared
-
-    def check_one(self, index: int, value: int) -> bool:
-        """Single-claim check via the shared tables (the fallback path)."""
-        lhs = fixed_base_table(self.p, self.q, self.g).pow(value)
-        return lhs == self._shared_bases().power_row(index)
-
-    def _weights(self, batch: list[tuple[int, int]], salt: int) -> list[int]:
-        """Fiat--Shamir weights: nonzero scalars binding each claim.
-
-        Hashing the claims into the weights means corrupting any
-        ``(index, value)`` re-randomizes every gamma, so errors cannot
-        be chosen to cancel in the linear combination — soundness does
-        not rest on the salt being unpredictable.
-        """
-        q = self.q
-        qbytes = (q.bit_length() + 7) // 8
-        h = hashlib.sha256()
-        h.update(b"rlc-weights|" + salt.to_bytes(16, "big"))
-        for entry in self.entries:
-            h.update(entry.to_bytes((self.p.bit_length() + 7) // 8, "big"))
-        for index, value in batch:
-            h.update((index % q).to_bytes(qbytes, "big"))
-            h.update((value % q).to_bytes(qbytes, "big"))
-        seed = h.digest()
-        weights = []
-        for i in range(len(batch)):
-            digest = hashlib.sha256(seed + i.to_bytes(4, "big")).digest()
-            # 256 hash bits against |q| <= 256: modulo bias is negligible.
-            weights.append(int.from_bytes(digest, "big") % (q - 1) + 1)
-        return weights
-
-    def verify(
-        self,
-        items: Sequence[tuple[int, int]],
-        rng: random.Random | None = None,
-    ) -> tuple[list[tuple[int, int]], list[int]]:
-        """Verify ``(index, value)`` claims; returns ``(good, bad_indices)``.
-
-        ``rng`` overrides the verifier's weight source for this call
-        (protocol nodes pass their deterministic seeded RNG).  Duplicate
-        indices keep only the first occurrence (a second claim with a
-        different value could otherwise spoil the batch for the honest
-        one).
-        """
-        rng = rng if rng is not None else self.rng
-        unique: dict[int, int] = {}
-        for index, value in items:
-            unique.setdefault(index, value)
-        batch = list(unique.items())
-        if not batch:
-            return [], []
-        if len(batch) == 1:
-            index, value = batch[0]
-            if self.check_one(index, value):
-                return batch, []
-            return [], [index]
-        p, q = self.p, self.q
-        lhs_exp = 0
-        agg = [0] * len(self.entries)
-        weights = self._weights(batch, salt=rng.getrandbits(128))
-        for gamma, (index, value) in zip(weights, batch):
-            lhs_exp = (lhs_exp + gamma * value) % q
-            ip = gamma % q
-            for ell in range(len(self.entries)):
-                agg[ell] = (agg[ell] + ip) % q
-                ip = ip * index % q
-        lhs = fixed_base_table(p, q, self.g).pow(lhs_exp)
-        rhs = multiexp(zip(self.entries, agg), p, q)
-        if lhs == rhs:
-            return batch, []
-        good: list[tuple[int, int]] = []
-        bad: list[int] = []
-        for index, value in batch:
-            if self.check_one(index, value):
-                good.append((index, value))
-            else:
-                bad.append(index)
-        return good, bad

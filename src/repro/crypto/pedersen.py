@@ -17,50 +17,34 @@ unknown discrete log relative to ``g``.
 
 from __future__ import annotations
 
-import hashlib
 import random
 from dataclasses import dataclass
 from functools import lru_cache
 
-from repro.crypto.groups import SchnorrGroup
-from repro.crypto.multiexp import fixed_base_table, multiexp
+from repro.crypto.backend import AbstractGroup
 from repro.crypto.polynomials import Polynomial
 
 
 @lru_cache(maxsize=128)
-def derive_second_generator(group: SchnorrGroup, label: bytes = b"pedersen-h") -> int:
+def derive_second_generator(group: AbstractGroup, label: bytes = b"pedersen-h"):
     """Derive a second generator h with unknown dlog w.r.t. g.
 
-    Hashes the label into the group by exponentiating g by a hash-derived
-    scalar... which would reveal the dlog — so instead we hash-to-element:
-    repeatedly hash a counter into Z_p and raise to the cofactor, which
-    lands in the order-q subgroup with no known dlog relation to g.
-
-    The derivation (a hash loop plus a cofactor exponentiation) is
-    deterministic per ``(group, label)``, so it is cached process-wide:
-    before, every ``PedersenCommitment.commit()`` that omitted ``h``
-    re-derived it from scratch.
+    Exponentiating g by a hash-derived scalar would reveal the dlog, so
+    each backend hashes *into the group* instead (cofactor
+    exponentiation for modp, try-and-increment for the curve) — no dlog
+    relation to g is ever computed.  Deterministic per ``(group,
+    label)`` and cached process-wide on top of the backend's own cache.
     """
-    cofactor = (group.p - 1) // group.q
-    counter = 0
-    while True:
-        digest = hashlib.sha256(
-            label + b"|" + str(group.p).encode() + b"|" + str(counter).encode()
-        ).digest()
-        candidate = int.from_bytes(digest, "big") % group.p
-        h = pow(candidate, cofactor, group.p)
-        if h != 1 and h != group.g:
-            return h
-        counter += 1
+    return group.second_generator(label)
 
 
 @dataclass(frozen=True)
 class PedersenCommitment:
     """Commitment vector E with E[l] = g^{a_l} h^{b_l}."""
 
-    entries: tuple[int, ...]
-    group: SchnorrGroup
-    h: int
+    entries: tuple
+    group: AbstractGroup
+    h: object
 
     @property
     def degree(self) -> int:
@@ -71,13 +55,13 @@ class PedersenCommitment:
         cls,
         value_poly: Polynomial,
         blind_poly: Polynomial,
-        group: SchnorrGroup,
-        h: int | None = None,
+        group: AbstractGroup,
+        h=None,
     ) -> "PedersenCommitment":
         if value_poly.degree != blind_poly.degree:
             raise ValueError("value and blinding polynomials must match in degree")
         h = h if h is not None else derive_second_generator(group)
-        h_table = fixed_base_table(group.p, group.q, h)
+        h_table = group.fixed_base(h)
         entries = tuple(
             group.mul(group.commit(a), h_table.pow(b))
             for a, b in zip(value_poly.coeffs, blind_poly.coeffs)
@@ -92,10 +76,8 @@ class PedersenCommitment:
         for _ in self.entries:
             i_pows.append(ip)
             ip = ip * i % g.q
-        expected = multiexp(zip(self.entries, i_pows), g.p, g.q)
-        actual = g.mul(
-            g.commit(share), fixed_base_table(g.p, g.q, self.h).pow(blind)
-        )
+        expected = g.multiexp(zip(self.entries, i_pows))
+        actual = g.mul(g.commit(share), g.fixed_base(self.h).pow(blind))
         return actual == expected
 
     def combine(self, other: "PedersenCommitment") -> "PedersenCommitment":
@@ -129,9 +111,9 @@ def deal_pedersen(
     secret: int,
     degree: int,
     indices: list[int],
-    group: SchnorrGroup,
+    group: AbstractGroup,
     rng: random.Random,
-    h: int | None = None,
+    h=None,
 ) -> tuple[PedersenCommitment, list[PedersenShare]]:
     """One-shot Pedersen VSS dealing: commitment plus one share per index."""
     value_poly = Polynomial.random(degree, group.q, rng, constant_term=secret)

@@ -1,8 +1,11 @@
 """Univariate polynomials over Z_q and Lagrange interpolation.
 
 Shamir secret sharing (and everything built on it in this package)
-works with degree-``t`` polynomials over the scalar field of a Schnorr
-group.  Polynomials are represented by coefficient lists
+works with degree-``t`` polynomials over the scalar field Z_q of
+whichever group backend is in play — the modulus is the subgroup order
+for modp and the curve order for secp256k1, so this module is
+backend-independent by construction (scalars are plain ints either
+way).  Polynomials are represented by coefficient lists
 ``[a_0, a_1, ..., a_t]`` so that ``a(y) = sum a_l * y**l``; all
 arithmetic is mod ``q``.
 """

@@ -19,11 +19,10 @@ import random
 from dataclasses import dataclass
 from functools import lru_cache
 
-from repro.crypto.groups import SchnorrGroup
-from repro.crypto.multiexp import SharedBases
+from repro.crypto.backend import AbstractGroup
 
 
-def _challenge(group: SchnorrGroup, public_key: int, nonce_point: int, message: bytes) -> int:
+def _challenge(group: AbstractGroup, public_key, nonce_point, message: bytes) -> int:
     digest = hashlib.sha256(
         b"schnorr-sig|"
         + group.element_to_bytes(public_key)
@@ -40,7 +39,7 @@ class Signature:
     challenge: int
     response: int
 
-    def byte_size(self, group: SchnorrGroup) -> int:
+    def byte_size(self, group: AbstractGroup) -> int:
         return 2 * group.scalar_bytes
 
 
@@ -49,14 +48,14 @@ class SigningKey:
     """A Schnorr signing key; ``public_key`` is g^x."""
 
     secret: int
-    group: SchnorrGroup
+    group: AbstractGroup
 
     @property
-    def public_key(self) -> int:
+    def public_key(self):
         return self.group.commit(self.secret)
 
     @classmethod
-    def generate(cls, group: SchnorrGroup, rng: random.Random) -> "SigningKey":
+    def generate(cls, group: AbstractGroup, rng: random.Random) -> "SigningKey":
         return cls(group.random_nonzero_scalar(rng), group)
 
     def sign(self, message: bytes, rng: random.Random) -> Signature:
@@ -75,15 +74,15 @@ class SigningKey:
 
 
 @lru_cache(maxsize=512)
-def _verifier_bases(p: int, q: int, g: int, public_key: int) -> SharedBases:
+def _verifier_bases(group: AbstractGroup, public_key):
     """Straus tables for (g, X), cached per public key: a long-lived
     signer (every CA-certified protocol node) is verified thousands of
     times against the same key."""
-    return SharedBases((g, public_key), p, q)
+    return group.shared_bases((group.g, public_key))
 
 
 def verify(
-    group: SchnorrGroup, public_key: int, message: bytes, sig: Signature
+    group: AbstractGroup, public_key, message: bytes, sig: Signature
 ) -> bool:
     """Verify a Schnorr signature against ``public_key``."""
     if not group.is_element(public_key):
@@ -92,7 +91,7 @@ def verify(
         return False
     # R = g^z * X^{-c}, one interleaved two-term multiexp; X^{-c} =
     # X^{q-c} since X is in the order-q subgroup (checked above).
-    r = _verifier_bases(group.p, group.q, group.g, public_key).multiexp(
+    r = _verifier_bases(group, public_key).multiexp(
         (sig.response, (-sig.challenge) % group.q)
     )
     return _challenge(group, public_key, r, message) == sig.challenge

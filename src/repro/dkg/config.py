@@ -4,7 +4,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.crypto.groups import SchnorrGroup, toy_group
+from repro.crypto.backend import AbstractGroup
+from repro.crypto.groups import toy_group
 from repro.crypto.hashing import FullMatrixCodec, HashedMatrixCodec
 from repro.sim.clock import TimeoutPolicy
 from repro.vss.config import VssConfig
@@ -24,7 +25,7 @@ class DkgConfig:
     n: int
     t: int
     f: int = 0
-    group: SchnorrGroup = field(default_factory=toy_group)
+    group: AbstractGroup = field(default_factory=toy_group)
     codec: FullMatrixCodec | HashedMatrixCodec = field(
         default_factory=FullMatrixCodec
     )

@@ -10,7 +10,7 @@ and the run's metrics.
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Callable
 
 from repro.crypto.feldman import FeldmanCommitment

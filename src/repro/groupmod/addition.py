@@ -142,14 +142,13 @@ class AdditionNode(DkgNode):
                 sum(lam * out.share for lam, (_, out) in zip(lambdas, outputs))
                 % group.q
             )
-            entries = []
-            for ell in range(self.config.t + 1):
-                acc = 1
-                for lam, (_, out) in zip(lambdas, outputs):
-                    acc = group.mul(
-                        acc, group.power(out.commitment.matrix[ell][0], lam)
-                    )
-                entries.append(acc)
+            entries = [
+                group.multiexp(
+                    (out.commitment.matrix[ell][0], lam)
+                    for lam, (_, out) in zip(lambdas, outputs)
+                )
+                for ell in range(self.config.t + 1)
+            ]
             vector = FeldmanVector(tuple(entries), group)
             size = 6 + vector.byte_size() + group.scalar_bytes
             ctx.send(new, SubshareMsg(self.tau, vector, subshare, size))

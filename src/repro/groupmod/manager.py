@@ -14,7 +14,7 @@ from __future__ import annotations
 
 import dataclasses
 import random
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.crypto.feldman import FeldmanCommitment, FeldmanVector
 from repro.crypto.shares import Share, reconstruct_secret

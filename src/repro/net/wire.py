@@ -34,6 +34,18 @@ are stamped with the minimum version able to decode them — protocol
 kinds stay byte-identical to v1, so mixed-version clusters keep
 interoperating; service kinds claiming version 1 are rejected — they
 did not exist.
+
+Codec **version 3** makes element fields backend-typed: group elements
+travel in the owning group's canonical serialization (fixed-width
+residues for modp — byte-identical to v2 — or 33-byte compressed
+points for secp256k1), groups resolve by registry name for every
+backend, and ``STATUS`` responses carry the group name *before* the
+public key so the element decodes without out-of-band context
+(``STATUS`` is therefore the one kind whose layout changed; v2 status
+frames are rejected by version gate).  Frames whose payload contains
+loose elements decode against the ``group`` argument of
+:func:`decode` when provided; without it, element fields fall back to
+raw big-endian ints (the legacy modp reading).
 """
 
 from __future__ import annotations
@@ -103,9 +115,10 @@ from repro.dkg.messages import (
 )
 
 MAGIC = b"KG"
-VERSION = 2  # v2: service frames (kinds >= SERVICE_KIND_MIN)
-SUPPORTED_VERSIONS = (1, 2)
+VERSION = 3  # v3: backend-typed elements (v2 added the service frames)
+SUPPORTED_VERSIONS = (1, 2, 3)
 SERVICE_KIND_MIN = 0x30
+STATUS_RESPONSE_KIND = 0x3A  # layout changed in v3 (name precedes key)
 HEADER_BYTES = 4 + len(MAGIC) + 1 + 1  # length + magic + version + kind
 # Fixed-size messages bake this framing cost into byte_size() directly.
 assert HEADER_BYTES == _vss_messages.WIRE_FRAME_OVERHEAD
@@ -130,9 +143,10 @@ class UnresolvedDigest(WireError):
 
 
 @lru_cache(maxsize=64)
-def _group_from_name(name: str) -> SchnorrGroup | None:
-    """Resolve a group's self-reported name ("toy-3", "rfc5114-1024-160")
-    back to parameters, or None for unregistered/custom names."""
+def _group_from_name(name: str):
+    """Resolve a group's self-reported name ("toy-3", "rfc5114-1024-160",
+    "secp256k1") back to a group object of the right backend, or None
+    for unregistered/custom names."""
     try:
         return group_by_name(name)
     except KeyError:
@@ -168,7 +182,7 @@ def _fixed(n: int, width: int) -> bytes:
         raise WireError(f"value {n} does not fit in {width} bytes") from exc
 
 
-def _scalar_width(group: SchnorrGroup | None, *values: int) -> int:
+def _scalar_width(group, *values: int) -> int:
     """Field width for scalars: the group's if known, else minimal."""
     if group is not None:
         width = group.scalar_bytes
@@ -180,9 +194,12 @@ def _scalar_width(group: SchnorrGroup | None, *values: int) -> int:
 
 
 class _Writer:
-    def __init__(self, group: SchnorrGroup | None = None):
+    def __init__(self, group=None):
         self.buf = bytearray()
         self.group = group  # width context for signatures/loose scalars
+        # Set when a non-modp group shapes any field: such frames are
+        # not decodable pre-v3 and must be stamped accordingly.
+        self.needs_v3 = False
 
     def u8(self, n: int) -> None:
         self.buf += _fixed(n, 1)
@@ -212,6 +229,22 @@ class _Writer:
         self.uvarint(width)
         self.fixed(n, width)
 
+    def element(self, e) -> None:
+        """A loose group element: length prefix + the owning backend's
+        canonical bytes.  With no group context, plain ints write in
+        their minimal big-endian form (byte-identical to the legacy
+        ``scalar`` encoding of modp elements)."""
+        if self.group is not None:
+            if not isinstance(self.group, SchnorrGroup):
+                self.needs_v3 = True
+            self.lbytes(self.group.element_to_bytes(e))
+        elif isinstance(e, int):
+            self.lbytes(_fixed(e, (e.bit_length() + 7) // 8 or 1))
+        else:
+            raise WireError(
+                f"cannot encode element {type(e).__name__} without a group"
+            )
+
     def signature(self, sig: Signature | None) -> None:
         """Optional signature: uvarint width (0 = absent) + two scalars."""
         if sig is None:
@@ -222,12 +255,20 @@ class _Writer:
         self.fixed(sig.challenge, width)
         self.fixed(sig.response, width)
 
-    def group_params(self, group: SchnorrGroup) -> None:
-        """Named registry reference when possible, inline (p, q, g) else."""
+    def group_params(self, group) -> None:
+        """Named registry reference when possible, inline (p, q, g) for
+        custom modp groups.  Non-modp backends are always registry-named
+        (the curve is fixed), so the inline form stays modp-only."""
+        if not isinstance(group, SchnorrGroup):
+            self.needs_v3 = True
         if group.name != "custom" and _group_from_name(group.name) == group:
             self.u8(0)
             self.lbytes(group.name.encode())
             return
+        if not isinstance(group, SchnorrGroup):
+            raise WireError(
+                f"group {group.name!r} is not registry-resolvable"
+            )
         self.u8(1)
         self.lbytes(_fixed(group.p, (group.p.bit_length() + 7) // 8))
         self.lbytes(_fixed(group.q, (group.q.bit_length() + 7) // 8))
@@ -236,25 +277,25 @@ class _Writer:
     def feldman_matrix(self, c: FeldmanCommitment) -> None:
         self.group_params(c.group)
         self.uvarint(c.degree + 1)
-        width = c.group.element_bytes
+        to_bytes = c.group.element_to_bytes
         for row in c.matrix:
             for entry in row:
-                self.fixed(entry, width)
+                self.raw(to_bytes(entry))
 
     def feldman_vector(self, v: FeldmanVector) -> None:
         self.group_params(v.group)
         self.uvarint(len(v.entries))
-        width = v.group.element_bytes
+        to_bytes = v.group.element_to_bytes
         for entry in v.entries:
-            self.fixed(entry, width)
+            self.raw(to_bytes(entry))
 
     def pedersen(self, c: PedersenCommitment) -> None:
         self.group_params(c.group)
-        width = c.group.element_bytes
-        self.fixed(c.h, width)
+        self.raw(c.group.element_to_bytes(c.h))
         self.uvarint(len(c.entries))
+        to_bytes = c.group.element_to_bytes
         for entry in c.entries:
-            self.fixed(entry, width)
+            self.raw(to_bytes(entry))
 
     def polynomial(self, poly: Polynomial) -> None:
         width = (poly.q.bit_length() + 7) // 8
@@ -268,10 +309,10 @@ class _Writer:
 
 
 class _Reader:
-    def __init__(self, data: bytes):
+    def __init__(self, data: bytes, group=None):
         self.data = data
         self.pos = 0
-        self.group: SchnorrGroup | None = None
+        self.group = group
 
     def take(self, n: int) -> bytes:
         if n < 0 or self.pos + n > len(self.data):
@@ -312,6 +353,26 @@ class _Reader:
     def scalar(self) -> int:
         return self.fixed(self.uvarint())
 
+    def element(self):
+        """A loose group element (see ``_Writer.element``): decoded by
+        the group in context, or as a raw big-endian int without one."""
+        raw = self.take(self.uvarint())
+        if self.group is None:
+            return int.from_bytes(raw, "big")
+        try:
+            return self.group.element_decode(bytes(raw))
+        except ValueError as exc:
+            raise WireError(f"garbled group element: {exc}") from exc
+
+    def sized_element(self, group):
+        """A fixed-width element (commitment entries): exactly
+        ``group.element_bytes`` bytes of the backend's canonical form."""
+        raw = self.take(group.element_bytes)
+        try:
+            return group.element_decode(bytes(raw))
+        except ValueError as exc:
+            raise WireError(f"garbled group element: {exc}") from exc
+
     def signature(self) -> Signature | None:
         width = self.uvarint()
         if width == 0:
@@ -330,7 +391,7 @@ class _Reader:
                 f"{len(self.data) - self.pos} trailing bytes after payload"
             )
 
-    def group_params(self) -> SchnorrGroup:
+    def group_params(self):
         tag = self.u8()
         if tag == 0:
             try:
@@ -353,9 +414,9 @@ class _Reader:
         side = self.uvarint()
         if not 1 <= side <= 1024:
             raise WireError(f"implausible commitment side {side}")
-        width = group.element_bytes
         matrix = tuple(
-            tuple(self.fixed(width) for _ in range(side)) for _ in range(side)
+            tuple(self.sized_element(group) for _ in range(side))
+            for _ in range(side)
         )
         return FeldmanCommitment(matrix, group)
 
@@ -364,18 +425,18 @@ class _Reader:
         count = self.uvarint()
         if not 1 <= count <= 1024:
             raise WireError(f"implausible vector length {count}")
-        width = group.element_bytes
-        return FeldmanVector(tuple(self.fixed(width) for _ in range(count)), group)
+        return FeldmanVector(
+            tuple(self.sized_element(group) for _ in range(count)), group
+        )
 
     def pedersen(self) -> PedersenCommitment:
         group = self.group_params()
-        width = group.element_bytes
-        h = self.fixed(width)
+        h = self.sized_element(group)
         count = self.uvarint()
         if not 1 <= count <= 1024:
             raise WireError(f"implausible vector length {count}")
         return PedersenCommitment(
-            tuple(self.fixed(width) for _ in range(count)), group, h
+            tuple(self.sized_element(group) for _ in range(count)), group, h
         )
 
     def polynomial(self) -> Polynomial:
@@ -771,12 +832,7 @@ def _enc_dkg_out_completed(w: _Writer, m: DkgCompletedOutput, mode: str) -> None
     else:
         raise WireError(f"unencodable commitment {type(m.commitment).__name__}")
     w.scalar(m.share)
-    width = w.group.element_bytes if w.group else None
-    if width is not None:
-        w.uvarint(width)
-        w.fixed(m.public_key, width)
-    else:  # pragma: no cover - both branches above set a group
-        w.scalar(m.public_key)
+    w.element(m.public_key)  # w.group was set by the commitment branch
 
 
 def _dec_dkg_out_completed(r: _Reader, resolve: Resolver | None) -> DkgCompletedOutput:
@@ -793,7 +849,8 @@ def _dec_dkg_out_completed(r: _Reader, resolve: Resolver | None) -> DkgCompleted
     else:
         raise WireError(f"bad commitment shape {shape}")
     share = r.scalar()
-    public_key = r.fixed(r.uvarint())
+    r.group = commitment.group
+    public_key = r.element()
     return DkgCompletedOutput(tau, view, q_set, commitment, share, public_key)
 
 
@@ -879,12 +936,12 @@ def _enc_svc_beacon_resp(w: _Writer, m: BeaconResponse, mode: str) -> None:
     w.fixed(m.request_id, REQUEST_ID_BYTES)
     w.fixed(m.round_number, ROUND_BYTES)
     w.lbytes(m.output)
-    w.scalar(m.value)
+    w.element(m.value)
 
 
 def _dec_svc_beacon_resp(r: _Reader, resolve: Resolver | None) -> BeaconResponse:
     return BeaconResponse(
-        r.fixed(REQUEST_ID_BYTES), r.fixed(ROUND_BYTES), r.lbytes(), r.scalar()
+        r.fixed(REQUEST_ID_BYTES), r.fixed(ROUND_BYTES), r.lbytes(), r.element()
     )
 
 
@@ -908,12 +965,12 @@ def _dec_svc_dprf_resp(r: _Reader, resolve: Resolver | None) -> DprfResponse:
 
 def _enc_svc_decrypt_req(w: _Writer, m: DecryptRequest, mode: str) -> None:
     w.fixed(m.request_id, REQUEST_ID_BYTES)
-    w.scalar(m.c1)
+    w.element(m.c1)
     w.lbytes(m.pad)
 
 
 def _dec_svc_decrypt_req(r: _Reader, resolve: Resolver | None) -> DecryptRequest:
-    return DecryptRequest(r.fixed(REQUEST_ID_BYTES), r.scalar(), r.lbytes())
+    return DecryptRequest(r.fixed(REQUEST_ID_BYTES), r.element(), r.lbytes())
 
 
 def _enc_svc_decrypt_resp(w: _Writer, m: DecryptResponse, mode: str) -> None:
@@ -943,8 +1000,11 @@ def _enc_svc_status_resp(w: _Writer, m: StatusResponse, mode: str) -> None:
     w.uvarint(m.served)
     w.uvarint(m.failed)
     w.uvarint(m.beacon_height)
-    w.scalar(m.public_key)
+    # v3: the name travels first so the key decodes with no context.
     w.lbytes(m.group_name.encode())
+    if w.group is None:
+        w.group = _group_from_name(m.group_name)
+    w.element(m.public_key)
 
 
 def _dec_svc_status_resp(r: _Reader, resolve: Resolver | None) -> StatusResponse:
@@ -957,11 +1017,13 @@ def _dec_svc_status_resp(r: _Reader, resolve: Resolver | None) -> StatusResponse
     served = r.uvarint()
     failed = r.uvarint()
     beacon_height = r.uvarint()
-    public_key = r.scalar()
     try:
         group_name = r.lbytes().decode()
     except UnicodeDecodeError as exc:
         raise WireError("garbled group name") from exc
+    if r.group is None:
+        r.group = _group_from_name(group_name)
+    public_key = r.element()
     return StatusResponse(
         request_id,
         n,
@@ -1048,7 +1110,7 @@ MAX_FRAME_BYTES = 1 << 24  # 16 MiB — far above any honest frame
 def encode(
     message: Any,
     *,
-    group: SchnorrGroup | None = None,
+    group=None,
     commitments: str = "inline",
 ) -> bytes:
     """Serialize ``message`` into one length-prefixed frame.
@@ -1066,21 +1128,34 @@ def encode(
     w = _Writer(group)
     _, enc, _ = _CODECS[kind]
     enc(w, message, commitments)
-    # Stamp the *minimum* version able to decode the frame: protocol
-    # kinds are byte-identical to v1 (rolling upgrades keep working);
-    # service kinds did not exist before v2.
-    version = VERSION if kind >= SERVICE_KIND_MIN else 1
+    # Stamp the *minimum* version able to decode the frame: modp
+    # protocol kinds are byte-identical to v1 (rolling upgrades keep
+    # working) and unchanged service kinds to v2; STATUS changed layout
+    # in v3, and any frame shaped by a non-modp group (EC commitments,
+    # compressed-point elements) is only decodable by v3 peers.
+    if kind == STATUS_RESPONSE_KIND or w.needs_v3:
+        version = 3
+    elif kind >= SERVICE_KIND_MIN:
+        version = 2
+    else:
+        version = 1
     frame = MAGIC + bytes([version, kind]) + bytes(w.buf)
     return len(frame).to_bytes(4, "big") + frame
 
 
-def decode(data: bytes, *, resolve: Resolver | None = None) -> Any:
+def decode(
+    data: bytes, *, resolve: Resolver | None = None, group=None
+) -> Any:
     """Parse exactly one frame produced by :func:`encode`.
 
-    The decoded message's ``size`` field (when the type has one) is
-    stamped with the frame length, so ``byte_size()`` reports the true
-    wire footprint on the receive path too.  Raises :class:`WireError`
-    on truncation, garbage, unknown kinds or trailing bytes.
+    ``group`` supplies the element-decoding context for frames whose
+    payload carries loose elements with no embedded group reference
+    (service frames); without it such fields fall back to raw ints —
+    correct for modp, opaque for EC backends.  The decoded message's
+    ``size`` field (when the type has one) is stamped with the frame
+    length, so ``byte_size()`` reports the true wire footprint on the
+    receive path too.  Raises :class:`WireError` on truncation,
+    garbage, unknown kinds or trailing bytes.
     """
     if len(data) < HEADER_BYTES:
         raise WireError("frame shorter than header")
@@ -1098,11 +1173,15 @@ def decode(data: bytes, *, resolve: Resolver | None = None) -> Any:
         raise WireError(
             f"service frame kind 0x{kind:02x} requires codec version >= 2"
         )
+    if kind == STATUS_RESPONSE_KIND and data[6] < 3:
+        raise WireError(
+            "status frame predates codec version 3 (layout changed)"
+        )
     entry = _CODECS.get(kind)
     if entry is None:
         raise WireError(f"unknown frame kind 0x{kind:02x}")
     _, _, dec = entry
-    reader = _Reader(data[HEADER_BYTES:])
+    reader = _Reader(data[HEADER_BYTES:], group)
     message = dec(reader, resolve)
     reader.expect_end()
     if "size" in getattr(type(message), "__dataclass_fields__", {}):
@@ -1124,7 +1203,7 @@ def commitment_mode(codec: Any, message: Any) -> str:
     return "inline"
 
 
-def encoded_size(message: Any, codec: Any = None, group: SchnorrGroup | None = None) -> int:
+def encoded_size(message: Any, codec: Any = None, group=None) -> int:
     """True serialized length of ``message`` under the deployment codec.
 
     With a :class:`~repro.crypto.hashing.HashedMatrixCodec`, ``echo``/
@@ -1137,7 +1216,7 @@ def encoded_size(message: Any, codec: Any = None, group: SchnorrGroup | None = N
     )
 
 
-def stamp(message: Any, codec: Any = None, group: SchnorrGroup | None = None) -> Any:
+def stamp(message: Any, codec: Any = None, group=None) -> Any:
     """Return ``message`` with ``size`` set to its true wire length."""
     return dataclasses.replace(
         message, size=encoded_size(message, codec, group)

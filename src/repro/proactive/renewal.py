@@ -30,7 +30,6 @@ from __future__ import annotations
 from typing import Any
 
 from repro.crypto.feldman import FeldmanCommitment, FeldmanVector
-from repro.crypto.multiexp import multiexp
 from repro.crypto.polynomials import lagrange_coefficients
 from repro.sim.node import Context
 from repro.sim.pki import CertificateAuthority, KeyStore
@@ -42,7 +41,7 @@ from repro.proactive.messages import ClockTickMsg, RenewInput, RenewedOutput
 
 def share_commitment_at(
     commitment: FeldmanCommitment | FeldmanVector, index: int
-) -> int:
+):
     """g^{share of node `index`} from either commitment shape.
 
     Both shapes evaluate through per-commitment Straus tables shared
@@ -161,13 +160,9 @@ class RenewalNode(DkgNode):
         # V_l = prod_{P_d in Q} ((C_d)_{l0})^{lambda_d^{Q,0}} — each
         # entry is one interleaved multiexp over the t+1 dealers in Q.
         entries = [
-            multiexp(
-                (
-                    (out.commitment.matrix[ell][0], lam)
-                    for lam, (_, out) in zip(lambdas, outputs)
-                ),
-                group.p,
-                group.q,
+            group.multiexp(
+                (out.commitment.matrix[ell][0], lam)
+                for lam, (_, out) in zip(lambdas, outputs)
             )
             for ell in range(self.config.t + 1)
         ]

@@ -139,7 +139,9 @@ class ServiceFrontend:
                     break  # garbled stream: close rather than resync
                 body = await reader.readexactly(length)
                 try:
-                    request = wire.decode(header + body)
+                    request = wire.decode(
+                        header + body, group=self.service.group
+                    )
                 except wire.WireError:
                     break
                 if not isinstance(request, protocol.REQUEST_TYPES):

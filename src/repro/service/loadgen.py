@@ -23,7 +23,6 @@ from dataclasses import dataclass, field
 
 from repro.analysis import percentile
 from repro.crypto import schnorr
-from repro.crypto.groups import SchnorrGroup
 from repro.net import wire
 from repro.service import protocol
 
@@ -38,9 +37,18 @@ OPS = ("sign", "beacon", "dprf", "decrypt", "status", "mix")
 class ServiceClient:
     """One pipelined client connection to a service frontend."""
 
-    def __init__(self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter):
+    def __init__(
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+        group=None,
+    ):
         self._reader = reader
         self._writer = writer
+        # Element-decoding context for responses (and element-bearing
+        # requests); STATUS responses are self-describing, so the first
+        # status round-trip can bootstrap this from None.
+        self.group = group
         self._ids = itertools.count(1)
         self._pending: dict[int, asyncio.Future] = {}
         self._reader_task = asyncio.create_task(self._read_loop())
@@ -51,6 +59,7 @@ class ServiceClient:
         host: str,
         port: int,
         *,
+        group=None,
         attempts: int = _CONNECT_ATTEMPTS,
         backoff: float = _CONNECT_BACKOFF_S,
     ) -> "ServiceClient":
@@ -59,7 +68,7 @@ class ServiceClient:
         for attempt in range(attempts):
             try:
                 reader, writer = await asyncio.open_connection(host, port)
-                return cls(reader, writer)
+                return cls(reader, writer, group=group)
             except (ConnectionError, OSError) as exc:
                 last = exc
                 await asyncio.sleep(backoff * min(attempt + 1, 4))
@@ -80,7 +89,7 @@ class ServiceClient:
                 body = await self._reader.readexactly(
                     int.from_bytes(header, "big")
                 )
-                response = wire.decode(header + body)
+                response = wire.decode(header + body, group=self.group)
                 future = self._pending.pop(response.request_id, None)
                 if future is not None and not future.done():
                     future.set_result(response)
@@ -102,7 +111,7 @@ class ServiceClient:
         request_id = next(self._ids)
         future: asyncio.Future = asyncio.get_running_loop().create_future()
         self._pending[request_id] = future
-        self._writer.write(wire.encode(build(request_id)))
+        self._writer.write(wire.encode(build(request_id), group=self.group))
         await self._writer.drain()
         return await future
 
@@ -122,7 +131,7 @@ class ServiceClient:
     async def dprf_eval(self, tag: bytes) -> object:
         return await self.request(lambda rid: protocol.DprfEvalRequest(rid, tag))
 
-    async def decrypt(self, c1: int, pad: bytes) -> object:
+    async def decrypt(self, c1, pad: bytes) -> object:
         return await self.request(
             lambda rid: protocol.DecryptRequest(rid, c1, pad)
         )
@@ -193,6 +202,7 @@ class LoadGenerator:
         requests_per_client: int = 10,
         op: str = "sign",
         payload_bytes: int = 16,
+        expect_backend: str | None = None,
     ):
         if op not in OPS:
             raise ValueError(f"unknown op {op!r} (choose from {OPS})")
@@ -202,7 +212,8 @@ class LoadGenerator:
         self.requests_per_client = requests_per_client
         self.op = op
         self.payload_bytes = payload_bytes
-        self._group: SchnorrGroup | None = None
+        self.expect_backend = expect_backend
+        self._group = None
         self._public_key = 0
 
     async def run(self) -> LoadReport:
@@ -214,9 +225,18 @@ class LoadGenerator:
             self._group = wire._group_from_name(status.group_name)
         finally:
             await probe.close()
+        if self.expect_backend is not None:
+            actual = (
+                "secp256k1" if status.group_name == "secp256k1" else "modp"
+            )
+            if actual != self.expect_backend:
+                raise RuntimeError(
+                    f"service runs the {actual} backend "
+                    f"({status.group_name!r}), expected {self.expect_backend}"
+                )
         connections = await asyncio.gather(
             *(
-                ServiceClient.connect(self.host, self.port)
+                ServiceClient.connect(self.host, self.port, group=self._group)
                 for _ in range(self.clients)
             )
         )
@@ -330,6 +350,7 @@ def run_loadgen(
     requests_per_client: int = 10,
     op: str = "sign",
     payload_bytes: int = 16,
+    expect_backend: str | None = None,
 ) -> LoadReport:
     """Synchronous convenience wrapper around :class:`LoadGenerator`."""
     generator = LoadGenerator(
@@ -339,5 +360,6 @@ def run_loadgen(
         requests_per_client=requests_per_client,
         op=op,
         payload_bytes=payload_bytes,
+        expect_backend=expect_backend,
     )
     return asyncio.run(generator.run())

@@ -40,7 +40,8 @@ from repro.crypto.feldman import (
     FeldmanVector,
     share_verifier,
 )
-from repro.crypto.groups import SchnorrGroup, toy_group
+from repro.crypto.backend import AbstractGroup
+from repro.crypto.groups import toy_group
 from repro.dkg import DkgConfig, run_dkg
 from repro.service import protocol
 from repro.service.presig import PresigPool, Presignature
@@ -63,7 +64,7 @@ class SignerWorker:
     def __init__(
         self,
         index: int,
-        group: SchnorrGroup,
+        group: AbstractGroup,
         key_share: int,
         key_commitment: Commitment,
         seed: int = 0,
@@ -152,7 +153,7 @@ class SignerWorker:
         self.handled += 1
         return threshold_elgamal.partial_decrypt(
             self.group,
-            threshold_elgamal.Ciphertext(c1, 1),
+            threshold_elgamal.Ciphertext(c1, self.group.identity),
             self.index,
             self._key_share,
             self._rng,
@@ -196,7 +197,7 @@ class ServiceConfig:
     n: int = 7
     t: int = 2
     f: int = 0
-    group: SchnorrGroup = field(default_factory=toy_group)
+    group: AbstractGroup = field(default_factory=toy_group)
     seed: int = 0
     pool_target: int = 16  # 0 disables the pool (every sign forges on demand)
     pool_low_watermark: int | None = None  # default: half the target

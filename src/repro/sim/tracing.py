@@ -12,7 +12,6 @@ to debug protocol runs.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any
 
 from repro.sim.events import (
     CrashNode,

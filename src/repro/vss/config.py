@@ -18,7 +18,8 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass, field
 
-from repro.crypto.groups import SchnorrGroup, toy_group
+from repro.crypto.backend import AbstractGroup
+from repro.crypto.groups import toy_group
 from repro.crypto.hashing import FullMatrixCodec, HashedMatrixCodec
 
 
@@ -39,7 +40,7 @@ class VssConfig:
     n: int
     t: int
     f: int = 0
-    group: SchnorrGroup = field(default_factory=toy_group)
+    group: AbstractGroup = field(default_factory=toy_group)
     codec: FullMatrixCodec | HashedMatrixCodec = field(
         default_factory=FullMatrixCodec
     )

@@ -8,21 +8,22 @@ from hypothesis import strategies as st
 
 from repro.analysis import complexity as cx
 
+from tests.helpers import default_test_group
+
+
 
 class TestClosedForms:
     def test_vss_exact_count_matches_simulation(self) -> None:
         # Cross-validate the closed form against an actual run.
-        from repro.crypto.groups import toy_group
         from repro.vss import VssConfig, run_vss
 
-        res = run_vss(VssConfig(n=7, t=2, group=toy_group()), secret=1, seed=0)
+        res = run_vss(VssConfig(n=7, t=2, group=default_test_group()), secret=1, seed=0)
         assert res.metrics.messages_total == cx.vss_messages_crash_free(7)
 
     def test_dkg_exact_count_matches_simulation(self) -> None:
-        from repro.crypto.groups import toy_group
         from repro.dkg import DkgConfig, run_dkg
 
-        res = run_dkg(DkgConfig(n=7, t=2, group=toy_group()), seed=0)
+        res = run_dkg(DkgConfig(n=7, t=2, group=default_test_group()), seed=0)
         assert res.metrics.messages_total == cx.dkg_messages_optimistic(7)
 
     def test_hashed_codec_bound_below_full(self) -> None:

@@ -13,6 +13,8 @@ from repro.analysis.latency import (
     summarize,
 )
 
+from tests.helpers import default_test_group
+
 
 class TestPercentile:
     def test_known_values(self) -> None:
@@ -65,10 +67,9 @@ class TestSummarize:
 
 class TestCompletionLatencies:
     def test_extracts_from_real_run(self) -> None:
-        from repro.crypto.groups import toy_group
         from repro.dkg import DkgConfig, run_dkg
 
-        res = run_dkg(DkgConfig(n=4, t=1, group=toy_group()), seed=1)
+        res = run_dkg(DkgConfig(n=4, t=1, group=default_test_group()), seed=1)
         times = completion_latencies(res.simulation, "dkg.out.completed")
         assert len(times) == 4
         summary = summarize(times)

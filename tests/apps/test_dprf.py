@@ -7,10 +7,11 @@ import random
 import pytest
 
 from repro.apps import dprf
-from repro.crypto.groups import toy_group
 from repro.dkg import DkgConfig, run_dkg
 
-G = toy_group()
+from tests.helpers import default_test_group
+
+G = default_test_group()
 
 
 @pytest.fixture(scope="module")

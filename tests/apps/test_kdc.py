@@ -7,10 +7,11 @@ import random
 import pytest
 
 from repro.apps.kdc import AccessDenied, KdcClient, KdcServer, build_kdc
-from repro.crypto.groups import toy_group
 from repro.dkg import DkgConfig, run_dkg
 
-G = toy_group()
+from tests.helpers import default_test_group
+
+G = default_test_group()
 CID_TEAM = b"conv:team-alpha"
 CID_OPEN = b"conv:town-square"
 

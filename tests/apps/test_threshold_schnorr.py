@@ -9,10 +9,11 @@ import pytest
 
 from repro.apps import threshold_schnorr as ts
 from repro.crypto import schnorr
-from repro.crypto.groups import toy_group
 from repro.dkg import DkgConfig, run_dkg
 
-G = toy_group()
+from tests.helpers import default_test_group
+
+G = default_test_group()
 
 
 @pytest.fixture(scope="module")

@@ -3,11 +3,12 @@
 from __future__ import annotations
 
 from repro.baselines import run_general_avss
-from repro.crypto.groups import toy_group
 from repro.vss.config import VssConfig
 from repro.vss.node import run_vss
 
-G = toy_group()
+from tests.helpers import default_test_group
+
+G = default_test_group()
 
 
 class TestGeneralAvssCostModel:

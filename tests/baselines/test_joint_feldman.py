@@ -3,10 +3,11 @@
 from __future__ import annotations
 
 from repro.baselines import run_joint_feldman
-from repro.crypto.groups import toy_group
 from repro.crypto.polynomials import interpolate_at
 
-G = toy_group()
+from tests.helpers import default_test_group
+
+G = default_test_group()
 
 
 class TestJointFeldman:

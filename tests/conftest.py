@@ -1,4 +1,14 @@
-"""Shared fixtures: a cached toy group and deterministic RNGs."""
+"""Shared fixtures: the protocol-default group and deterministic RNGs.
+
+``REPRO_TEST_BACKEND`` selects the group backend the suite-wide
+``group`` fixture hands to protocol tests:
+
+* ``modp`` (default) — the 64-bit-q toy Schnorr group, where protocol
+  logic rather than bignum arithmetic dominates the runtime;
+* ``secp256k1`` — the elliptic-curve backend, running every
+  fixture-driven protocol test over real curve arithmetic (the CI
+  backend-matrix lane).
+"""
 
 from __future__ import annotations
 
@@ -6,18 +16,26 @@ import random
 
 import pytest
 
-from repro.crypto.groups import SchnorrGroup, small_group, toy_group
+from repro.crypto.groups import SchnorrGroup, small_group
+
+from tests.helpers import TEST_BACKEND, default_test_group
 
 
 @pytest.fixture(scope="session")
-def group() -> SchnorrGroup:
-    """The default 64-bit-q toy group (fast, protocol logic dominates)."""
-    return toy_group()
+def backend() -> str:
+    """The backend name the suite is running under."""
+    return TEST_BACKEND
+
+
+@pytest.fixture(scope="session")
+def group():
+    """The protocol-default group for the selected backend."""
+    return default_test_group()
 
 
 @pytest.fixture(scope="session")
 def group160() -> SchnorrGroup:
-    """A DSA-shaped 160-bit-q group for crypto-layer tests."""
+    """A DSA-shaped 160-bit-q modp group for modp-specific crypto tests."""
     return small_group()
 
 

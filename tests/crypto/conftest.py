@@ -1,0 +1,30 @@
+"""Crypto-layer fixtures: the backend matrix.
+
+``bgroup`` parameterizes backend-generic crypto property tests over
+both group backends — the modp toy group (64-bit q: fast, protocol
+logic dominates) and secp256k1 (the real curve; there is no toy-sized
+elliptic backend, and point arithmetic is cheap enough to property-test
+directly).  Hypothesis strategies in these tests draw scalars from
+``[0, 2**63)``, valid in either scalar field.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.crypto.groups import group_by_name, toy_group
+
+_BACKEND_GROUPS = {
+    "modp": toy_group,
+    "secp256k1": lambda: group_by_name("secp256k1"),
+}
+
+
+@pytest.fixture(
+    scope="session",
+    params=tuple(_BACKEND_GROUPS),
+    ids=tuple(_BACKEND_GROUPS),
+)
+def bgroup(request):
+    """One group per backend, for backend-generic crypto properties."""
+    return _BACKEND_GROUPS[request.param]()

@@ -1,4 +1,7 @@
-"""Tests for Chaum-Pedersen DLEQ proofs (threshold application layer)."""
+"""Tests for Chaum-Pedersen DLEQ proofs (threshold application layer).
+
+Parameterized over both group backends via the ``bgroup`` fixture.
+"""
 
 from __future__ import annotations
 
@@ -8,49 +11,51 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.crypto import dleq
-from repro.crypto.groups import toy_group
-from repro.crypto.hashing import hash_to_element
 
-G = toy_group()
+# Valid in both scalar fields (toy q is 64-bit, secp256k1 n is 256-bit).
+secrets = st.integers(1, 2**63)
 
 
 class TestDleq:
-    @given(st.integers(1, G.q - 1), st.integers(0, 2**32))
+    @given(secrets, st.integers(0, 2**32))
     @settings(max_examples=40)
-    def test_roundtrip(self, secret: int, seed: int) -> None:
+    def test_roundtrip(self, bgroup, secret: int, seed: int) -> None:
         rng = random.Random(seed)
-        g2 = hash_to_element(G.p, G.q, b"base", str(seed).encode())
-        h1, h2, proof = dleq.prove(G, secret, G.g, g2, rng)
-        assert h1 == G.commit(secret)
-        assert h2 == G.power(g2, secret)
-        assert dleq.verify(G, G.g, h1, g2, h2, proof)
+        g2 = bgroup.hash_to_element(b"base", str(seed).encode())
+        h1, h2, proof = dleq.prove(bgroup, secret, bgroup.g, g2, rng)
+        assert h1 == bgroup.commit(secret)
+        assert h2 == bgroup.power(g2, secret)
+        assert dleq.verify(bgroup, bgroup.g, h1, g2, h2, proof)
 
-    @given(st.integers(1, G.q - 1), st.integers(0, 2**32))
+    @given(secrets, st.integers(0, 2**32))
     @settings(max_examples=30)
-    def test_rejects_mismatched_exponents(self, secret: int, seed: int) -> None:
+    def test_rejects_mismatched_exponents(self, bgroup, secret: int, seed: int) -> None:
         rng = random.Random(seed)
-        g2 = hash_to_element(G.p, G.q, b"base2")
-        h1, _, proof = dleq.prove(G, secret, G.g, g2, rng)
-        wrong_h2 = G.power(g2, (secret + 1) % G.q)
-        assert not dleq.verify(G, G.g, h1, g2, wrong_h2, proof)
+        g2 = bgroup.hash_to_element(b"base2")
+        h1, _, proof = dleq.prove(bgroup, secret, bgroup.g, g2, rng)
+        wrong_h2 = bgroup.power(g2, (secret + 1) % bgroup.q)
+        assert not dleq.verify(bgroup, bgroup.g, h1, g2, wrong_h2, proof)
 
-    def test_rejects_tampered_proof(self) -> None:
+    def test_rejects_tampered_proof(self, bgroup) -> None:
         rng = random.Random(7)
-        g2 = hash_to_element(G.p, G.q, b"base3")
-        h1, h2, proof = dleq.prove(G, 42, G.g, g2, rng)
-        bad = dleq.DleqProof((proof.challenge + 1) % G.q, proof.response)
-        assert not dleq.verify(G, G.g, h1, g2, h2, bad)
-        bad2 = dleq.DleqProof(proof.challenge, (proof.response + 1) % G.q)
-        assert not dleq.verify(G, G.g, h1, g2, h2, bad2)
+        q = bgroup.q
+        g2 = bgroup.hash_to_element(b"base3")
+        h1, h2, proof = dleq.prove(bgroup, 42, bgroup.g, g2, rng)
+        bad = dleq.DleqProof((proof.challenge + 1) % q, proof.response)
+        assert not dleq.verify(bgroup, bgroup.g, h1, g2, h2, bad)
+        bad2 = dleq.DleqProof(proof.challenge, (proof.response + 1) % q)
+        assert not dleq.verify(bgroup, bgroup.g, h1, g2, h2, bad2)
 
-    def test_rejects_non_group_elements(self) -> None:
+    def test_rejects_non_group_elements(self, bgroup) -> None:
         rng = random.Random(8)
-        g2 = hash_to_element(G.p, G.q, b"base4")
-        h1, h2, proof = dleq.prove(G, 9, G.g, g2, rng)
-        assert not dleq.verify(G, G.g, 0, g2, h2, proof)
-        assert not dleq.verify(G, G.g, h1, g2, G.p, proof)
+        g2 = bgroup.hash_to_element(b"base4")
+        h1, h2, proof = dleq.prove(bgroup, 9, bgroup.g, g2, rng)
+        # 0 and -1 are elements of neither backend (out of range for
+        # modp residues, not points at all for the curve).
+        assert not dleq.verify(bgroup, bgroup.g, 0, g2, h2, proof)
+        assert not dleq.verify(bgroup, bgroup.g, h1, g2, -1, proof)
 
-    def test_proof_size(self) -> None:
+    def test_proof_size(self, bgroup) -> None:
         rng = random.Random(9)
-        _, _, proof = dleq.prove(G, 5, G.g, G.commit(3), rng)
-        assert proof.byte_size(G) == 2 * G.scalar_bytes
+        _, _, proof = dleq.prove(bgroup, 5, bgroup.g, bgroup.commit(3), rng)
+        assert proof.byte_size(bgroup) == 2 * bgroup.scalar_bytes

@@ -1,0 +1,207 @@
+"""Unit tests for the secp256k1 backend's arithmetic core.
+
+Backend-generic behavior is covered by the ``bgroup``-parameterized
+crypto tests and the protocol suites; this module cross-checks the EC
+engine itself — wNAF against textbook double-and-add, the multiexp
+engines against per-point evaluation, the point codec, and the
+identity/negation edge cases the affine group law must get right.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.backend import AbstractGroup
+from repro.crypto.ec import (
+    GENERATOR,
+    INFINITY,
+    N,
+    P,
+    EcPoint,
+    EcSharedBases,
+    ec_fixed_base,
+    ec_multiexp,
+    is_on_curve,
+    point_add,
+    point_neg,
+    scalar_mul,
+    scalar_mul_naive,
+    secp256k1_group,
+)
+from repro.crypto.groups import toy_group
+
+G = secp256k1_group()
+
+scalars = st.integers(min_value=0, max_value=N + 2**64)  # exercises mod-n wrap
+seeds = st.integers(min_value=0, max_value=2**32)
+
+
+def _rand_point(seed: int) -> EcPoint:
+    return scalar_mul(GENERATOR, random.Random(seed).randrange(1, N))
+
+
+class TestScalarMul:
+    @given(scalars)
+    @settings(max_examples=60)
+    def test_wnaf_matches_naive(self, k: int) -> None:
+        assert scalar_mul(GENERATOR, k) == scalar_mul_naive(GENERATOR, k)
+
+    @given(seeds, scalars)
+    @settings(max_examples=30)
+    def test_wnaf_matches_naive_on_random_points(self, seed: int, k: int) -> None:
+        point = _rand_point(seed)
+        assert scalar_mul(point, k) == scalar_mul_naive(point, k)
+
+    @given(scalars)
+    @settings(max_examples=30)
+    def test_fixed_base_matches_variable_base(self, k: int) -> None:
+        assert ec_fixed_base(GENERATOR).pow(k) == scalar_mul(GENERATOR, k)
+
+    def test_order_annihilates(self) -> None:
+        assert scalar_mul(GENERATOR, N) == INFINITY
+        assert scalar_mul(GENERATOR, 0) == INFINITY
+        assert scalar_mul(INFINITY, 12345) == INFINITY
+
+    def test_n_minus_one_is_negation(self) -> None:
+        assert scalar_mul(GENERATOR, N - 1) == point_neg(GENERATOR)
+
+
+class TestGroupLaw:
+    def test_identity_edges(self) -> None:
+        point = _rand_point(1)
+        assert point_add(point, INFINITY) == point
+        assert point_add(INFINITY, point) == point
+        assert point_add(INFINITY, INFINITY) == INFINITY
+        assert point_neg(INFINITY) == INFINITY
+        assert G.mul(point, G.identity) == point
+        assert G.inv(G.identity) == G.identity
+
+    def test_negation_cancels(self) -> None:
+        point = _rand_point(2)
+        assert point_add(point, point_neg(point)) == INFINITY
+        assert is_on_curve(point_neg(point))
+
+    def test_doubling_via_affine_add(self) -> None:
+        point = _rand_point(3)
+        assert point_add(point, point) == scalar_mul(point, 2)
+
+    @given(seeds, seeds)
+    @settings(max_examples=20)
+    def test_commutative(self, s1: int, s2: int) -> None:
+        a, b = _rand_point(s1), _rand_point(s2 + 2**33)
+        assert point_add(a, b) == point_add(b, a)
+
+
+class TestPointCodec:
+    @given(seeds)
+    @settings(max_examples=40)
+    def test_roundtrip(self, seed: int) -> None:
+        point = _rand_point(seed)
+        raw = G.element_to_bytes(point)
+        assert len(raw) == G.element_bytes == 33
+        assert raw[0] in (2, 3)
+        assert G.element_from_bytes(raw) == point
+
+    def test_infinity_roundtrip(self) -> None:
+        raw = G.element_to_bytes(INFINITY)
+        assert raw == bytes(33)
+        assert G.element_from_bytes(raw) == INFINITY
+
+    def test_rejects_bad_length(self) -> None:
+        with pytest.raises(ValueError):
+            G.element_from_bytes(b"\x02" + bytes(30))
+
+    def test_rejects_bad_prefix(self) -> None:
+        raw = G.element_to_bytes(GENERATOR)
+        with pytest.raises(ValueError):
+            G.element_from_bytes(b"\x05" + raw[1:])
+
+    def test_rejects_off_curve_x(self) -> None:
+        # x = 5 has no square root of x^3 + 7 on secp256k1.
+        with pytest.raises(ValueError):
+            G.element_from_bytes(b"\x02" + (5).to_bytes(32, "big"))
+
+    def test_rejects_oversized_x(self) -> None:
+        with pytest.raises(ValueError):
+            G.element_from_bytes(b"\x02" + (P + 1).to_bytes(32, "big"))
+
+    def test_parity_prefix_selects_y(self) -> None:
+        point = _rand_point(9)
+        raw = bytearray(G.element_to_bytes(point))
+        raw[0] = 2 if raw[0] == 3 else 3  # flip the parity bit
+        assert G.element_from_bytes(bytes(raw)) == point_neg(point)
+
+
+class TestMultiexp:
+    @given(seeds, st.integers(2, 12))
+    @settings(max_examples=20, deadline=None)
+    def test_matches_per_point_evaluation(self, seed: int, count: int) -> None:
+        rng = random.Random(seed)
+        points = [_rand_point(rng.randrange(2**32)) for _ in range(count)]
+        exps = [rng.randrange(N) for _ in range(count)]
+        expected = INFINITY
+        for point, e in zip(points, exps):
+            expected = point_add(expected, scalar_mul_naive(point, e))
+        assert ec_multiexp(zip(points, exps)) == expected
+
+    def test_empty_and_degenerate(self) -> None:
+        assert ec_multiexp([]) == INFINITY
+        assert ec_multiexp([(GENERATOR, 0)]) == INFINITY
+        assert ec_multiexp([(INFINITY, 7)]) == INFINITY
+        assert ec_multiexp([(GENERATOR, 3)]) == scalar_mul(GENERATOR, 3)
+
+    def test_shared_bases_match_multiexp(self) -> None:
+        rng = random.Random(4)
+        points = [_rand_point(i) for i in range(5)]
+        shared = EcSharedBases(points)
+        for _ in range(3):
+            exps = [rng.randrange(N) for _ in points]
+            assert shared.multiexp(exps) == ec_multiexp(zip(points, exps))
+        x = rng.randrange(1, 50)
+        assert shared.power_row(x) == ec_multiexp(
+            (pt, pow(x, i, N)) for i, pt in enumerate(points)
+        )
+
+    def test_shared_bases_tolerate_identity_base(self) -> None:
+        points = [GENERATOR, INFINITY, _rand_point(5)]
+        shared = EcSharedBases(points)
+        exps = [3, 9, 11]
+        assert shared.multiexp(exps) == ec_multiexp(zip(points, exps))
+
+
+class TestEcGroupSurface:
+    def test_satisfies_backend_protocol(self) -> None:
+        assert isinstance(G, AbstractGroup)
+        assert isinstance(toy_group(), AbstractGroup)
+
+    def test_validate(self) -> None:
+        G.validate()
+
+    def test_is_element(self) -> None:
+        assert G.is_element(GENERATOR)
+        assert G.is_element(G.identity)
+        assert not G.is_element(EcPoint(1, 2))
+        assert not G.is_element(12345)  # modp residues are not points
+
+    def test_sizes_at_matched_security(self) -> None:
+        assert G.security_bits == 256
+        assert G.scalar_bytes == 32
+        # 8x smaller than a 2048-bit modp residue (256 bytes), within
+        # the one-byte compression prefix.
+        assert G.element_bytes * 8 == 264
+
+    def test_hash_to_element_lands_on_curve(self) -> None:
+        for tag in (b"", b"a", b"dprf-input"):
+            point = G.hash_to_element(tag)
+            assert G.is_element(point) and point != INFINITY
+        assert G.hash_to_element(b"x") != G.hash_to_element(b"y")
+
+    def test_second_generator_differs_from_g(self) -> None:
+        h = G.second_generator()
+        assert G.is_element(h)
+        assert h not in (G.g, INFINITY)
+        assert h != G.second_generator(b"another-label")

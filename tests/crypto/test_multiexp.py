@@ -23,7 +23,6 @@ from repro.crypto.groups import (
     toy_group,
 )
 from repro.crypto.multiexp import (
-    BatchVerifier,
     FixedBaseTable,
     SharedBases,
     _pippenger,
@@ -121,7 +120,7 @@ def test_batch_verifier_accepts_honest_batches(group: SchnorrGroup) -> None:
     rng = random.Random(("batch", group.name).__repr__())
     poly = Polynomial.random(4, group.q, rng)
     entries = tuple(group.commit(c) for c in poly.coeffs)
-    verifier = BatchVerifier(entries, group.p, group.q, group.g)
+    verifier = group.batch_verifier(entries)
     items = [(i, poly(i)) for i in range(1, 12)]
     good, bad = verifier.verify(items, rng=rng)
     assert good == items and bad == []
@@ -139,7 +138,7 @@ def test_batch_verifier_pinpoints_adversarial_items(
     rng = random.Random(("adversarial", group.name).__repr__())
     poly = Polynomial.random(3, group.q, rng)
     entries = tuple(group.commit(c) for c in poly.coeffs)
-    verifier = BatchVerifier(entries, group.p, group.q, group.g)
+    verifier = group.batch_verifier(entries)
     for bad_indices in ([4], [2, 7], [1, 5, 9]):
         items = []
         for i in range(1, 10):
@@ -160,7 +159,7 @@ def test_batch_verifier_keeps_first_duplicate() -> None:
     rng = random.Random(17)
     poly = Polynomial.random(2, group.q, rng)
     entries = tuple(group.commit(c) for c in poly.coeffs)
-    verifier = BatchVerifier(entries, group.p, group.q, group.g)
+    verifier = group.batch_verifier(entries)
     good, bad = verifier.verify([(3, poly(3)), (3, poly(3) + 1)], rng=rng)
     assert good == [(3, poly(3))] and bad == []
 

@@ -1,4 +1,7 @@
-"""Tests for Pedersen commitments (the §1 alternative to Feldman)."""
+"""Tests for Pedersen commitments (the §1 alternative to Feldman).
+
+Parameterized over both group backends via the ``bgroup`` fixture.
+"""
 
 from __future__ import annotations
 
@@ -8,7 +11,6 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.crypto.groups import toy_group
 from repro.crypto.pedersen import (
     PedersenCommitment,
     deal_pedersen,
@@ -16,87 +18,97 @@ from repro.crypto.pedersen import (
 )
 from repro.crypto.polynomials import Polynomial, interpolate_at
 
-G = toy_group()
-Q = G.q
+# Valid in both scalar fields (toy q is 64-bit, secp256k1 n is 256-bit).
+secrets = st.integers(0, 2**63)
 
 
 class TestSecondGenerator:
-    def test_h_is_group_element(self) -> None:
-        h = derive_second_generator(G)
-        assert G.is_element(h)
-        assert h not in (1, G.g)
+    def test_h_is_group_element(self, bgroup) -> None:
+        h = derive_second_generator(bgroup)
+        assert bgroup.is_element(h)
+        assert h not in (bgroup.identity, bgroup.g)
 
-    def test_h_is_deterministic_per_label(self) -> None:
-        assert derive_second_generator(G) == derive_second_generator(G)
-        assert derive_second_generator(G) != derive_second_generator(G, b"other")
+    def test_h_is_deterministic_per_label(self, bgroup) -> None:
+        assert derive_second_generator(bgroup) == derive_second_generator(bgroup)
+        assert derive_second_generator(bgroup) != derive_second_generator(
+            bgroup, b"other"
+        )
 
 
 class TestPedersenCommitment:
-    @given(st.integers(0, Q - 1), st.integers(1, 4), st.integers(0, 2**32))
+    @given(secrets, st.integers(1, 4), st.integers(0, 2**32))
     @settings(max_examples=30)
-    def test_shares_verify(self, secret: int, t: int, seed: int) -> None:
+    def test_shares_verify(self, bgroup, secret: int, t: int, seed: int) -> None:
         rng = random.Random(seed)
-        commitment, shares = deal_pedersen(secret, t, list(range(1, 2 * t + 2)), G, rng)
+        commitment, shares = deal_pedersen(
+            secret, t, list(range(1, 2 * t + 2)), bgroup, rng
+        )
         for share in shares:
             assert commitment.verify_share(share.index, share.value, share.blind)
 
-    @given(st.integers(0, Q - 1), st.integers(0, 2**32))
+    @given(secrets, st.integers(0, 2**32))
     @settings(max_examples=30)
-    def test_tampered_share_rejected(self, secret: int, seed: int) -> None:
+    def test_tampered_share_rejected(self, bgroup, secret: int, seed: int) -> None:
         rng = random.Random(seed)
-        commitment, shares = deal_pedersen(secret, 2, [1, 2, 3, 4, 5], G, rng)
+        q = bgroup.q
+        commitment, shares = deal_pedersen(secret, 2, [1, 2, 3, 4, 5], bgroup, rng)
         s = shares[0]
-        assert not commitment.verify_share(s.index, (s.value + 1) % Q, s.blind)
-        assert not commitment.verify_share(s.index, s.value, (s.blind + 1) % Q)
+        assert not commitment.verify_share(s.index, (s.value + 1) % q, s.blind)
+        assert not commitment.verify_share(s.index, s.value, (s.blind + 1) % q)
 
-    @given(st.integers(0, Q - 1), st.integers(1, 3), st.integers(0, 2**32))
+    @given(secrets, st.integers(1, 3), st.integers(0, 2**32))
     @settings(max_examples=30)
-    def test_shares_reconstruct_secret(self, secret: int, t: int, seed: int) -> None:
+    def test_shares_reconstruct_secret(
+        self, bgroup, secret: int, t: int, seed: int
+    ) -> None:
         rng = random.Random(seed)
-        _, shares = deal_pedersen(secret, t, list(range(1, t + 2)), G, rng)
+        _, shares = deal_pedersen(secret, t, list(range(1, t + 2)), bgroup, rng)
         points = [(s.index, s.value) for s in shares]
-        assert interpolate_at(points, 0, Q) == secret
+        assert interpolate_at(points, 0, bgroup.q) == secret % bgroup.q
 
-    def test_commit_requires_matching_degrees(self) -> None:
+    def test_commit_requires_matching_degrees(self, bgroup) -> None:
         rng = random.Random(0)
-        a = Polynomial.random(2, Q, rng)
-        b = Polynomial.random(3, Q, rng)
+        a = Polynomial.random(2, bgroup.q, rng)
+        b = Polynomial.random(3, bgroup.q, rng)
         with pytest.raises(ValueError):
-            PedersenCommitment.commit(a, b, G)
+            PedersenCommitment.commit(a, b, bgroup)
 
-    def test_combine(self) -> None:
+    def test_combine(self, bgroup) -> None:
         rng = random.Random(1)
-        h = derive_second_generator(G)
-        c1, s1 = deal_pedersen(10, 2, [1, 2, 3], G, rng, h=h)
-        c2, s2 = deal_pedersen(20, 2, [1, 2, 3], G, rng, h=h)
+        q = bgroup.q
+        h = derive_second_generator(bgroup)
+        c1, s1 = deal_pedersen(10, 2, [1, 2, 3], bgroup, rng, h=h)
+        c2, s2 = deal_pedersen(20, 2, [1, 2, 3], bgroup, rng, h=h)
         combined = c1.combine(c2)
         for a, b in zip(s1, s2):
             assert combined.verify_share(
-                a.index, (a.value + b.value) % Q, (a.blind + b.blind) % Q
+                a.index, (a.value + b.value) % q, (a.blind + b.blind) % q
             )
 
-    def test_combine_rejects_mismatched_h(self) -> None:
+    def test_combine_rejects_mismatched_h(self, bgroup) -> None:
         rng = random.Random(2)
-        c1, _ = deal_pedersen(1, 1, [1], G, rng, h=derive_second_generator(G))
-        c2, _ = deal_pedersen(1, 1, [1], G, rng, h=derive_second_generator(G, b"x"))
+        c1, _ = deal_pedersen(1, 1, [1], bgroup, rng, h=derive_second_generator(bgroup))
+        c2, _ = deal_pedersen(
+            1, 1, [1], bgroup, rng, h=derive_second_generator(bgroup, b"x")
+        )
         with pytest.raises(ValueError):
             c1.combine(c2)
 
-    def test_byte_size(self) -> None:
+    def test_byte_size(self, bgroup) -> None:
         rng = random.Random(3)
-        c, _ = deal_pedersen(5, 3, [1], G, rng)
-        assert c.byte_size() == 4 * G.element_bytes
+        c, _ = deal_pedersen(5, 3, [1], bgroup, rng)
+        assert c.byte_size() == 4 * bgroup.element_bytes
 
-    def test_hiding_blinds_differ_from_feldman(self) -> None:
+    def test_hiding_blinds_differ_from_feldman(self, bgroup) -> None:
         # Same value polynomial, different blinding polynomials give
         # different commitments — the unconditional-hiding property's
         # mechanical prerequisite.
         rng = random.Random(4)
-        value = Polynomial.random(2, Q, rng, constant_term=7)
-        b1 = Polynomial.random(2, Q, rng)
-        b2 = Polynomial.random(2, Q, rng)
-        h = derive_second_generator(G)
+        value = Polynomial.random(2, bgroup.q, rng, constant_term=7)
+        b1 = Polynomial.random(2, bgroup.q, rng)
+        b2 = Polynomial.random(2, bgroup.q, rng)
+        h = derive_second_generator(bgroup)
         assert (
-            PedersenCommitment.commit(value, b1, G, h).entries
-            != PedersenCommitment.commit(value, b2, G, h).entries
+            PedersenCommitment.commit(value, b1, bgroup, h).entries
+            != PedersenCommitment.commit(value, b2, bgroup, h).entries
         )

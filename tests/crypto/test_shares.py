@@ -1,4 +1,7 @@
-"""Tests for Share containers and client-side reconstruction."""
+"""Tests for Share containers and client-side reconstruction.
+
+Parameterized over both group backends via the ``bgroup`` fixture.
+"""
 
 from __future__ import annotations
 
@@ -10,7 +13,6 @@ from hypothesis import strategies as st
 
 from repro.crypto.bivariate import BivariatePolynomial
 from repro.crypto.feldman import FeldmanCommitment, FeldmanVector
-from repro.crypto.groups import toy_group
 from repro.crypto.polynomials import Polynomial
 from repro.crypto.shares import (
     ReconstructionError,
@@ -19,94 +21,102 @@ from repro.crypto.shares import (
     reconstruct_secret,
 )
 
-G = toy_group()
-Q = G.q
+# Valid in both scalar fields (toy q is 64-bit, secp256k1 n is 256-bit).
+secrets = st.integers(0, 2**63)
 
 
-def _deal(t: int, secret: int, seed: int):
-    f = BivariatePolynomial.random_symmetric(t, Q, random.Random(seed), secret=secret)
-    c = FeldmanCommitment.commit(f, G)
+def _deal(group, t: int, secret: int, seed: int):
+    f = BivariatePolynomial.random_symmetric(
+        t, group.q, random.Random(seed), secret=secret
+    )
+    c = FeldmanCommitment.commit(f, group)
     shares = [Share(i, f.evaluate(i, 0), c) for i in range(1, 3 * t + 2)]
     return f, c, shares
 
 
 class TestShare:
-    def test_verify(self) -> None:
-        _, c, shares = _deal(2, 55, 0)
+    def test_verify(self, bgroup) -> None:
+        _, c, shares = _deal(bgroup, 2, 55, 0)
         assert all(s.verify() for s in shares)
-        bad = Share(1, (shares[0].value + 1) % Q, c)
+        bad = Share(1, (shares[0].value + 1) % bgroup.q, c)
         assert not bad.verify()
 
-    def test_public_key(self) -> None:
-        _, _, shares = _deal(2, 55, 1)
-        assert shares[0].public_key == G.commit(55)
+    def test_public_key(self, bgroup) -> None:
+        _, _, shares = _deal(bgroup, 2, 55, 1)
+        assert shares[0].public_key == bgroup.commit(55)
 
-    def test_vector_commitment_share(self) -> None:
+    def test_vector_commitment_share(self, bgroup) -> None:
         rng = random.Random(2)
-        poly = Polynomial.random(2, Q, rng, constant_term=9)
-        vec = FeldmanVector.commit(poly, G)
+        poly = Polynomial.random(2, bgroup.q, rng, constant_term=9)
+        vec = FeldmanVector.commit(poly, bgroup)
         assert Share(3, poly(3), vec).verify()
 
 
 class TestReconstructSecret:
-    @given(st.integers(0, Q - 1), st.integers(1, 3), st.integers(0, 2**32))
+    @given(secrets, st.integers(1, 3), st.integers(0, 2**32))
     @settings(max_examples=30)
     def test_reconstructs_from_exactly_t_plus_one(
-        self, secret: int, t: int, seed: int
+        self, bgroup, secret: int, t: int, seed: int
     ) -> None:
-        _, _, shares = _deal(t, secret, seed)
-        assert reconstruct_secret(shares[: t + 1], t, Q) == secret
+        _, _, shares = _deal(bgroup, t, secret, seed)
+        assert reconstruct_secret(shares[: t + 1], t, bgroup.q) == secret % bgroup.q
 
-    @given(st.integers(0, Q - 1), st.integers(1, 3), st.integers(0, 2**32))
+    @given(secrets, st.integers(1, 3), st.integers(0, 2**32))
     @settings(max_examples=30)
     def test_reconstructs_from_surplus_shares(
-        self, secret: int, t: int, seed: int
+        self, bgroup, secret: int, t: int, seed: int
     ) -> None:
-        _, _, shares = _deal(t, secret, seed)
-        assert reconstruct_secret(shares, t, Q) == secret
+        _, _, shares = _deal(bgroup, t, secret, seed)
+        assert reconstruct_secret(shares, t, bgroup.q) == secret % bgroup.q
 
-    def test_bad_shares_are_filtered_out(self) -> None:
-        _, c, shares = _deal(2, 1000, 5)
-        corrupted = [Share(s.index, (s.value + 3) % Q, c) for s in shares[:2]]
+    def test_bad_shares_are_filtered_out(self, bgroup) -> None:
+        _, c, shares = _deal(bgroup, 2, 1000, 5)
+        corrupted = [
+            Share(s.index, (s.value + 3) % bgroup.q, c) for s in shares[:2]
+        ]
         mixed = corrupted + shares[2:]
-        assert reconstruct_secret(mixed, 2, Q) == 1000
+        assert reconstruct_secret(mixed, 2, bgroup.q) == 1000
 
-    def test_too_few_valid_shares_raises(self) -> None:
-        _, c, shares = _deal(2, 7, 6)
-        corrupted = [Share(s.index, (s.value + 3) % Q, c) for s in shares]
+    def test_too_few_valid_shares_raises(self, bgroup) -> None:
+        _, c, shares = _deal(bgroup, 2, 7, 6)
+        corrupted = [
+            Share(s.index, (s.value + 3) % bgroup.q, c) for s in shares
+        ]
         with pytest.raises(ReconstructionError):
-            reconstruct_secret(corrupted[:2] + shares[:2], 2, Q)
+            reconstruct_secret(corrupted[:2] + shares[:2], 2, bgroup.q)
 
-    def test_duplicate_indices_collapsed(self) -> None:
-        _, _, shares = _deal(2, 31, 7)
+    def test_duplicate_indices_collapsed(self, bgroup) -> None:
+        _, _, shares = _deal(bgroup, 2, 31, 7)
         duplicated = [shares[0], shares[0], shares[1], shares[2]]
-        assert reconstruct_secret(duplicated, 2, Q) == 31
+        assert reconstruct_secret(duplicated, 2, bgroup.q) == 31
 
-    def test_reconstruct_raw(self) -> None:
+    def test_reconstruct_raw(self, bgroup) -> None:
         rng = random.Random(8)
-        poly = Polynomial.random(3, Q, rng, constant_term=77)
+        poly = Polynomial.random(3, bgroup.q, rng, constant_term=77)
         pts = [(i, poly(i)) for i in (2, 4, 6, 8)]
-        assert reconstruct_raw(pts, Q) == 77
+        assert reconstruct_raw(pts, bgroup.q) == 77
 
 
 class TestBatchedFiltering:
-    def test_garbage_duplicate_cannot_shadow_honest_share(self) -> None:
+    def test_garbage_duplicate_cannot_shadow_honest_share(self, bgroup) -> None:
         """The first *valid* share per index wins: a Byzantine node
         racing a garbage share in front of the honest one must not
         knock that index out of the reconstruction."""
-        _, c, shares = _deal(2, 99, 4)
-        garbage = Share(shares[0].index, (shares[0].value + 7) % Q, c)
+        _, c, shares = _deal(bgroup, 2, 99, 4)
+        garbage = Share(shares[0].index, (shares[0].value + 7) % bgroup.q, c)
         mixed = [garbage, shares[0], shares[1], shares[2]]
-        assert reconstruct_secret(mixed, 2, Q) == 99
+        assert reconstruct_secret(mixed, 2, bgroup.q) == 99
 
-    def test_batch_filter_drops_only_bad_shares(self) -> None:
-        _, c, shares = _deal(2, 31, 5)
+    def test_batch_filter_drops_only_bad_shares(self, bgroup) -> None:
+        _, c, shares = _deal(bgroup, 2, 31, 5)
         bad = [
-            Share(s.index, (s.value + 1) % Q, c) for s in shares[3:5]
+            Share(s.index, (s.value + 1) % bgroup.q, c) for s in shares[3:5]
         ]
         assert (
-            reconstruct_secret(shares[:3] + bad, 2, Q, rng=random.Random(1))
+            reconstruct_secret(
+                shares[:3] + bad, 2, bgroup.q, rng=random.Random(1)
+            )
             == 31
         )
         with pytest.raises(ReconstructionError):
-            reconstruct_secret(shares[:2] + bad, 2, Q)
+            reconstruct_secret(shares[:2] + bad, 2, bgroup.q)

@@ -6,10 +6,11 @@ import pytest
 from hypothesis import given
 from hypothesis import strategies as st
 
-from repro.crypto.groups import toy_group
 from repro.dkg.config import DkgConfig
 
-G = toy_group()
+from tests.helpers import default_test_group
+
+G = default_test_group()
 
 
 class TestLeaderRotation:

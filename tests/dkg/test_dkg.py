@@ -3,16 +3,14 @@ under honest runs, crash faults, and Byzantine leaders/participants."""
 
 from __future__ import annotations
 
-import random
 from dataclasses import dataclass
 from typing import Any
 
 import pytest
 
-from repro.crypto.groups import toy_group
 from repro.sim.adversary import Adversary
 from repro.sim.clock import TimeoutPolicy
-from repro.sim.network import ConstantDelay, ExponentialDelay, UniformDelay
+from repro.sim.network import ExponentialDelay
 from repro.sim.node import Context, ProtocolNode
 from repro.dkg import (
     DkgConfig,
@@ -23,7 +21,9 @@ from repro.dkg import (
     run_dkg,
 )
 
-G = toy_group()
+from tests.helpers import default_test_group
+
+G = default_test_group()
 
 
 def _config(n: int = 7, t: int = 2, f: int = 0, **kw: Any) -> DkgConfig:

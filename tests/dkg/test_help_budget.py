@@ -6,15 +6,14 @@ import random
 
 import pytest
 
-from repro.crypto.groups import toy_group
 from repro.sim.pki import CertificateAuthority, KeyStore
 from repro.dkg.config import DkgConfig
 from repro.dkg.messages import DkgHelpMsg
 from repro.dkg.node import DkgNode
 
-from tests.helpers import StubContext
+from tests.helpers import StubContext, default_test_group
 
-G = toy_group()
+G = default_test_group()
 
 
 @pytest.fixture()

@@ -7,7 +7,6 @@ import random
 
 import pytest
 
-from repro.crypto.groups import toy_group
 from repro.crypto.hashing import commitment_digest
 from repro.sim.clock import TimeoutPolicy
 from repro.sim.pki import CertificateAuthority, KeyStore
@@ -25,9 +24,9 @@ from repro.dkg.messages import (
 )
 from repro.dkg.node import DkgNode
 
-from tests.helpers import StubContext
+from tests.helpers import StubContext, default_test_group
 
-G = toy_group()
+G = default_test_group()
 N, T = 7, 2
 
 

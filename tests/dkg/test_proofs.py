@@ -7,7 +7,6 @@ import random
 
 import pytest
 
-from repro.crypto.groups import toy_group
 from repro.crypto.hashing import commitment_digest
 from repro.crypto.bivariate import BivariatePolynomial
 from repro.crypto.feldman import FeldmanCommitment
@@ -32,7 +31,9 @@ from repro.dkg.proofs import (
     verify_ready_cert,
 )
 
-G = toy_group()
+from tests.helpers import default_test_group
+
+G = default_test_group()
 TAU = 0
 
 

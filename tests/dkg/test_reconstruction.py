@@ -6,12 +6,13 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any
 
-from repro.crypto.groups import toy_group
 from repro.sim.adversary import Adversary
 from repro.sim.node import Context, ProtocolNode
 from repro.dkg import DkgConfig, DkgSharePointMsg, run_dkg
 
-G = toy_group()
+from tests.helpers import default_test_group
+
+G = default_test_group()
 
 
 class TestDkgRec:
@@ -67,7 +68,7 @@ class TestDkgRec:
         from repro.dkg.node import DkgNode
         import random
 
-        from tests.helpers import StubContext
+        from tests.helpers import StubContext, default_test_group
 
         rng = random.Random(0)
         ca = CertificateAuthority(G)

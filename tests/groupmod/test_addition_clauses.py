@@ -8,16 +8,15 @@ import random
 import pytest
 
 from repro.crypto.feldman import FeldmanVector
-from repro.crypto.groups import toy_group
 from repro.crypto.polynomials import Polynomial
 from repro.dkg import DkgConfig
 from repro.groupmod import run_node_additions
 from repro.groupmod.addition import JoiningNode
 from repro.groupmod.messages import SubshareMsg
 
-from tests.helpers import StubContext
+from tests.helpers import StubContext, default_test_group
 
-G = toy_group()
+G = default_test_group()
 
 
 def _sharing(t: int = 2, secret: int = 99, seed: int = 0):

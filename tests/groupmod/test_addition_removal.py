@@ -5,12 +5,13 @@ from __future__ import annotations
 
 import pytest
 
-from repro.crypto.groups import toy_group
 from repro.crypto.polynomials import interpolate_at
 from repro.dkg import DkgConfig
 from repro.groupmod import GroupManager, ModProposal, run_node_addition
 
-G = toy_group()
+from tests.helpers import default_test_group
+
+G = default_test_group()
 
 
 def _manager(n: int = 7, t: int = 2, f: int = 0, seed: int = 1) -> GroupManager:

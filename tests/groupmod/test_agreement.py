@@ -4,7 +4,6 @@ from __future__ import annotations
 
 import pytest
 
-from repro.crypto.groups import toy_group
 from repro.sim.adversary import Adversary
 from repro.sim.node import ProtocolNode
 from repro.sim.runner import Simulation
@@ -16,7 +15,9 @@ from repro.groupmod.agreement import (
 )
 from repro.groupmod.messages import ModProposal, ProposeInput
 
-G = toy_group()
+from tests.helpers import default_test_group
+
+G = default_test_group()
 
 
 def _run(proposals: dict[int, ModProposal], n: int = 7, t: int = 2, f: int = 0,

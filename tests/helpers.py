@@ -1,12 +1,30 @@
-"""Test helpers: a stub Context for driving protocol state machines
-message-by-message, mirroring the pseudocode's `upon` clauses without a
-full simulation."""
+"""Test helpers: the backend-aware default group and a stub Context for
+driving protocol state machines message-by-message, mirroring the
+pseudocode's `upon` clauses without a full simulation."""
 
 from __future__ import annotations
 
+import os
 import random
 from dataclasses import dataclass, field
 from typing import Any
+
+from repro.crypto.groups import group_by_name, toy_group
+
+TEST_BACKEND = os.environ.get("REPRO_TEST_BACKEND", "modp")
+if TEST_BACKEND not in ("modp", "secp256k1"):
+    raise RuntimeError(
+        f"REPRO_TEST_BACKEND={TEST_BACKEND!r} (want 'modp' or 'secp256k1')"
+    )
+
+
+def default_test_group():
+    """The group protocol tests run over, honouring the CI backend
+    matrix: the 64-bit-q toy modp group by default, secp256k1 when
+    ``REPRO_TEST_BACKEND=secp256k1``."""
+    if TEST_BACKEND == "secp256k1":
+        return group_by_name("secp256k1")
+    return toy_group()
 
 
 @dataclass

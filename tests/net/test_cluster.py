@@ -13,13 +13,14 @@ import asyncio
 
 import pytest
 
-from repro.crypto.groups import toy_group
 from repro.crypto.shares import Share, reconstruct_secret
 from repro.dkg import DkgConfig
 from repro.net import DropRetryLink, LocalCluster, run_local_cluster
 from repro.sim.network import PartitionDelay, UniformDelay
 
-G = toy_group()
+from tests.helpers import default_test_group
+
+G = default_test_group()
 
 # Fast wall clocks for CI: 10 ms per protocol time unit.
 SCALE = 0.01

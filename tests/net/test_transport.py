@@ -7,7 +7,6 @@ import random
 
 import pytest
 
-from repro.crypto.groups import toy_group
 from repro.net.peers import PeerRegistry
 from repro.net.transport import (
     AsyncioTransport,
@@ -16,11 +15,13 @@ from repro.net.transport import (
     Transport,
 )
 from repro.net.host import NodeHost
-from repro.sim.network import ConstantDelay, RawPayload, UniformDelay
+from repro.sim.network import ConstantDelay, RawPayload
 from repro.sim.node import Context, RecordingNode
 from repro.sim.runner import Simulation
 
-G = toy_group()
+from tests.helpers import default_test_group
+
+G = default_test_group()
 
 
 class TestPeerRegistry:

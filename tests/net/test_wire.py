@@ -16,11 +16,11 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.crypto.bivariate import BivariatePolynomial
-from repro.crypto.feldman import FeldmanCommitment, FeldmanVector
+from repro.crypto.feldman import FeldmanCommitment
 from repro.crypto.groups import SchnorrGroup, small_group, toy_group
 from repro.crypto.hashing import FullMatrixCodec, HashedMatrixCodec, commitment_digest
 from repro.crypto.polynomials import Polynomial
-from repro.crypto.schnorr import Signature, SigningKey
+from repro.crypto.schnorr import SigningKey
 from repro.net import wire
 from repro.proactive.messages import ClockTickMsg, RenewedOutput, RenewInput
 from repro.service.protocol import (

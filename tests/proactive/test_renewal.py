@@ -4,14 +4,14 @@ from __future__ import annotations
 
 import pytest
 
-from repro.crypto.groups import toy_group
 from repro.crypto.polynomials import interpolate_at
-from repro.crypto.shares import Share, reconstruct_secret
 from repro.sim.network import ExponentialDelay
-from repro.dkg import DkgConfig, run_dkg
+from repro.dkg import DkgConfig
 from repro.proactive import ProactiveSystem
 
-G = toy_group()
+from tests.helpers import default_test_group
+
+G = default_test_group()
 
 
 def _system(n: int = 7, t: int = 2, f: int = 0, seed: int = 1) -> ProactiveSystem:

@@ -14,7 +14,6 @@ from __future__ import annotations
 import asyncio
 import random
 
-import pytest
 
 from repro.apps import threshold_elgamal
 from repro.crypto import schnorr

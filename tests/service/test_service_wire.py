@@ -1,4 +1,4 @@
-"""Wire-level tests for the service frames (codec version 2).
+"""Wire-level tests for the service frames (codec versions 2/3).
 
 Mirrors the :mod:`tests.net.test_wire` acceptance bar for the new
 kinds: every service message round-trips, truncated/garbled frames are
@@ -56,9 +56,13 @@ class TestServiceRoundTrip:
     def test_decode_encode_identity(self, message) -> None:
         assert wire.decode(wire.encode(message)) == message
 
-    def test_frames_carry_codec_version_2(self) -> None:
-        frame = wire.encode(SignRequest(1, b"m"))
-        assert frame[6] == wire.VERSION == 2
+    def test_frames_carry_minimum_codec_version(self) -> None:
+        # Unchanged service kinds stay at their v2 introduction stamp;
+        # STATUS responses changed layout in v3 (name precedes key).
+        assert wire.VERSION == 3
+        assert wire.encode(SignRequest(1, b"m"))[6] == 2
+        status = StatusResponse(7, 7, 2, 7, 0, 0, 0, 0, 0, 1, "toy-0")
+        assert wire.encode(status)[6] == 3
 
     def test_service_kinds_start_at_boundary(self) -> None:
         service_types = {type(m) for m in MESSAGES}
@@ -84,8 +88,33 @@ class TestVersionGating:
 
     def test_unknown_version_still_rejected(self) -> None:
         frame = bytearray(wire.encode(StatusRequest(1)))
-        frame[6] = 3
+        frame[6] = 4
         with pytest.raises(wire.WireError):
+            wire.decode(bytes(frame))
+
+    def test_ec_element_frames_stamped_v3(self) -> None:
+        # A frame whose fields a pre-v3 decoder would misread (compressed
+        # points instead of modp residues) must claim version 3, so old
+        # peers reject it at the version gate instead of decoding garbage.
+        from repro.crypto.groups import group_by_name
+
+        ec = group_by_name("secp256k1")
+        beacon = BeaconResponse(4, 0, b"\x00" * 32, ec.commit(5))
+        frame = wire.encode(beacon, group=ec)
+        assert frame[6] == 3
+        assert wire.decode(frame, group=ec) == beacon
+        decrypt = DecryptRequest(6, ec.commit(9), b"\x80" * 8)
+        frame = wire.encode(decrypt, group=ec)
+        assert frame[6] == 3
+        assert wire.decode(frame, group=ec) == decrypt
+
+    def test_v2_status_layout_rejected(self) -> None:
+        # The v3 layout moved the group name ahead of the public key; a
+        # frame still claiming v2 must not be parsed with v3 field order.
+        status = StatusResponse(7, 7, 2, 7, 0, 0, 0, 0, 0, 1, "toy-0")
+        frame = bytearray(wire.encode(status))
+        frame[6] = 2
+        with pytest.raises(wire.WireError, match="version 3"):
             wire.decode(bytes(frame))
 
 

@@ -4,13 +4,14 @@ from __future__ import annotations
 
 import random
 
-from repro.crypto.groups import toy_group
 from repro.sim.pki import CertificateAuthority, KeyStore
+
+from tests.helpers import default_test_group
 
 
 def _setup() -> tuple[CertificateAuthority, KeyStore, random.Random]:
     rng = random.Random(5)
-    ca = CertificateAuthority(toy_group())
+    ca = CertificateAuthority(default_test_group())
     ks = KeyStore.enroll(1, ca, rng)
     return ca, ks, rng
 
@@ -38,7 +39,7 @@ class TestCertificateAuthority:
     def test_reissue_bumps_serial_and_revokes_old(self) -> None:
         ca, ks, rng = _setup()
         first = ca._certs[1].serial
-        ca.issue(1, toy_group().commit(123))
+        ca.issue(1, default_test_group().commit(123))
         assert ca._certs[1].serial == first + 1
         assert len(ca.revocation_list) == 1
 

@@ -4,7 +4,6 @@ from __future__ import annotations
 
 import pytest
 
-from repro.crypto.groups import toy_group
 from repro.sim.scenarios import (
     crash_storm,
     fault_free,
@@ -14,7 +13,9 @@ from repro.sim.scenarios import (
 )
 from repro.dkg import DkgConfig, run_dkg
 
-G = toy_group()
+from tests.helpers import default_test_group
+
+G = default_test_group()
 
 
 class TestBuilders:

@@ -7,6 +7,9 @@ from repro.sim.node import RecordingNode
 from repro.sim.runner import Simulation
 from repro.sim.tracing import Tracer
 
+from tests.helpers import default_test_group
+
+
 
 def _traced_run() -> tuple[Tracer, Simulation]:
     tracer = Tracer()
@@ -64,11 +67,10 @@ class TestTracer:
         assert "dropped" in tracer.transcript()
 
     def test_tracing_full_vss_run(self) -> None:
-        from repro.crypto.groups import toy_group
         from repro.vss import SessionId, ShareInput, VssConfig, VssNode
 
         tracer = Tracer()
-        cfg = VssConfig(n=4, t=1, group=toy_group())
+        cfg = VssConfig(n=4, t=1, group=default_test_group())
         sim = Simulation(seed=3, observers=[tracer])
         sid = SessionId(1, 0)
         for i in cfg.indices:

@@ -6,14 +6,15 @@ from __future__ import annotations
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
-from repro.crypto.groups import toy_group
 from repro.sim.adversary import Adversary
 from repro.sim.clock import TimeoutPolicy
 from repro.sim.network import PartitionDelay, UniformDelay
 from repro.dkg import DkgConfig, run_dkg
 from repro.vss import VssConfig, run_vss
 
-G = toy_group()
+from tests.helpers import default_test_group
+
+G = default_test_group()
 
 COMMON = dict(
     max_examples=10,

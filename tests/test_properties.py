@@ -13,7 +13,6 @@ from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
 from repro.crypto import Share, reconstruct_secret
-from repro.crypto.groups import toy_group
 from repro.crypto.polynomials import interpolate_at
 from repro.sim.adversary import Adversary
 from repro.sim.network import ConstantDelay, ExponentialDelay, UniformDelay
@@ -21,7 +20,9 @@ from repro.dkg import DkgConfig, run_dkg
 from repro.proactive import ProactiveSystem
 from repro.vss import VssConfig, run_vss
 
-G = toy_group()
+from tests.helpers import default_test_group
+
+G = default_test_group()
 
 # (t, f, slack) drawn small enough to keep runs fast; n derived.
 deployments = st.tuples(

@@ -9,7 +9,6 @@ from __future__ import annotations
 
 import random
 
-import pytest
 
 from repro.crypto import Share, reconstruct_secret
 from repro.crypto.groups import RFC5114_1024_160, medium_group

@@ -9,16 +9,15 @@ import pytest
 
 from repro.crypto.bivariate import BivariatePolynomial
 from repro.crypto.feldman import FeldmanCommitment
-from repro.crypto.groups import toy_group
 from repro.crypto.hashing import commitment_digest
 from repro.sim.pki import CertificateAuthority, KeyStore
 from repro.vss.config import VssConfig
 from repro.vss.messages import ReadyMsg, SessionId, ready_signing_bytes
 from repro.vss.session import VssSession
 
-from tests.helpers import StubContext
+from tests.helpers import StubContext, default_test_group
 
-G = toy_group()
+G = default_test_group()
 CFG = VssConfig(n=7, t=2, f=0, group=G)
 SID = SessionId(1, 0)
 

@@ -15,16 +15,17 @@ from hypothesis import strategies as st
 from repro.crypto import Share, reconstruct_secret
 from repro.crypto.bivariate import BivariatePolynomial
 from repro.crypto.feldman import FeldmanCommitment
-from repro.crypto.groups import toy_group
 from repro.crypto.hashing import HashedMatrixCodec
 from repro.sim.adversary import Adversary
 from repro.sim.network import ConstantDelay, ExponentialDelay, UniformDelay
 from repro.sim.node import Context, ProtocolNode
 from repro.vss.config import VssConfig
-from repro.vss.messages import SendMsg, SessionId, ShareInput
+from repro.vss.messages import SendMsg, SessionId
 from repro.vss.node import VssNode, run_vss
 
-G = toy_group()
+from tests.helpers import default_test_group
+
+G = default_test_group()
 
 
 def _config(n: int = 7, t: int = 2, f: int = 0, **kw: Any) -> VssConfig:

@@ -9,8 +9,8 @@ from hypothesis import strategies as st
 
 from repro.crypto.bivariate import BivariatePolynomial
 from repro.crypto.feldman import FeldmanCommitment
-from repro.crypto.groups import toy_group
 from repro.vss.messages import (
+
     EchoMsg,
     HelpMsg,
     ReadyMsg,
@@ -20,7 +20,9 @@ from repro.vss.messages import (
     ready_signing_bytes,
 )
 
-G = toy_group()
+from tests.helpers import default_test_group
+
+G = default_test_group()
 
 
 def _commitment(seed: int = 0) -> FeldmanCommitment:

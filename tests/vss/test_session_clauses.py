@@ -9,7 +9,6 @@ import pytest
 
 from repro.crypto.bivariate import BivariatePolynomial
 from repro.crypto.feldman import FeldmanCommitment
-from repro.crypto.groups import toy_group
 from repro.vss.config import VssConfig
 from repro.vss.messages import (
     EchoMsg,
@@ -21,9 +20,9 @@ from repro.vss.messages import (
 )
 from repro.vss.session import VssSession
 
-from tests.helpers import StubContext
+from tests.helpers import StubContext, default_test_group
 
-G = toy_group()
+G = default_test_group()
 CFG = VssConfig(n=7, t=2, f=0, group=G)
 SID = SessionId(1, 0)
 
