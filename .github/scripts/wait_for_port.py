@@ -1,0 +1,32 @@
+"""Bounded TCP port polling: wait for a listener or fail loudly.
+
+Shared by the CI smoke jobs (service smoke, protocol smoke) instead of
+racing process start-up with a sleep: the DKG bootstrap behind a
+service can take tens of seconds before the port opens (2048-bit modp
+or curve arithmetic, cold caches).
+
+Usage: python .github/scripts/wait_for_port.py PORT [TIMEOUT_S] [HOST]
+"""
+
+import socket
+import sys
+import time
+
+
+def wait_for_port(port: int, timeout: float = 240.0, host: str = "127.0.0.1") -> bool:
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        try:
+            with socket.create_connection((host, port), timeout=1):
+                return True
+        except OSError:
+            time.sleep(0.5)
+    return False
+
+
+if __name__ == "__main__":
+    port = int(sys.argv[1])
+    timeout = float(sys.argv[2]) if len(sys.argv) > 2 else 240.0
+    host = sys.argv[3] if len(sys.argv) > 3 else "127.0.0.1"
+    if not wait_for_port(port, timeout, host):
+        sys.exit(f"nothing listening on {host}:{port} after {timeout:.0f}s")

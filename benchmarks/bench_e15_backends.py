@@ -14,11 +14,11 @@ arithmetic for:
 * **signing** — threshold-Schnorr partial generation + batched combine;
 * **wire** — serialized element sizes and the dealer's ``send`` frame.
 
-The modp reference is the deterministic 2048-bit/256-bit Schnorr group
-(``large_group(0)`` — the rfc5114-2048-256 *shape*; the RFC constants
-themselves are not vendored), secp256k1 is the curve backend.  Both
-have |q| = 256, so scalar work is identical and the delta is pure
-group-arithmetic cost.
+The modp reference is the standardized RFC 5114 §2.3 group
+(``group_by_name("rfc5114-2048-256")`` — the checked-in RFC constants,
+2048-bit field / 256-bit prime-order subgroup), secp256k1 is the curve
+backend.  Both have |q| = 256, so scalar work is identical and the
+delta is pure group-arithmetic cost.
 
 Run::
 
@@ -42,7 +42,7 @@ from repro.apps import threshold_schnorr
 from repro.crypto import schnorr
 from repro.crypto.bivariate import BivariatePolynomial
 from repro.crypto.feldman import FeldmanCommitment
-from repro.crypto.groups import group_by_name, large_group
+from repro.crypto.groups import group_by_name
 from repro.net import wire
 from repro.vss.messages import SendMsg, SessionId
 from repro.dkg import DkgConfig, run_dkg
@@ -171,7 +171,8 @@ def measure_wire(group, t: int = 4, seed: int = 15) -> dict:
 def run_bench(smoke: bool = False) -> dict:
     print("generating/fetching groups ...")
     backends = {
-        "modp-2048-256": large_group(0),
+        # RFC 5114 §2.3 constants (no parameter generation needed).
+        "modp-2048-256": group_by_name("rfc5114-2048-256"),
         "secp256k1": group_by_name("secp256k1"),
     }
     dkg_shapes = [(7, 2)] if smoke else [(7, 2), (13, 4)]

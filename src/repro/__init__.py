@@ -19,9 +19,14 @@ The package implements, from scratch:
 * threshold applications driven by DKG output (ElGamal, Schnorr
   signatures, DDH-based distributed PRF / coin flipping) —
   :mod:`repro.apps`;
+* the sans-I/O execution core — protocols as pure
+  ``step(event, env) -> [Effect]`` machines, a session-multiplexing
+  :class:`~repro.runtime.runtime.ProtocolRuntime`, and the one effect
+  interpreter every backend shares — :mod:`repro.runtime`;
 * a real network runtime — wire codec, transport abstraction, and a
-  localhost asyncio cluster running the same node state machines over
-  actual TCP sockets — :mod:`repro.net`;
+  localhost asyncio cluster running the same protocol machines (any
+  number of sessions per endpoint) over actual TCP sockets —
+  :mod:`repro.net`;
 * a client-facing serving layer — request frames, an asyncio gateway
   with backpressure and batching, a presignature pool and a load
   generator — :mod:`repro.service`.

@@ -5,6 +5,8 @@ Examples::
     python -m repro dkg --n 10 --t 3 --seed 7
     python -m repro vss --n 7 --t 2 --secret 42 --reconstruct
     python -m repro renew --n 7 --t 2 --phases 3
+    python -m repro renew --n 5 --t 1 --transport tcp --crash 3@2+25
+    python -m repro groupmod --n 5 --t 1 --transport tcp
     python -m repro resilience --t 2 --f 1
     python -m repro cluster --n 7 --t 2 --seed 7        # real asyncio TCP
     python -m repro cluster --n 7 --t 2 --f 1 --crash 7@2
@@ -34,7 +36,8 @@ def _common_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--seed", type=int, default=0, help="simulation seed")
     parser.add_argument(
         "--group", default="toy",
-        help="modp parameters: toy/small/medium/large/rfc5114-1024-160",
+        help="modp parameters: toy/small/medium/large, or the RFC 5114 "
+             "constants rfc5114-1024-160 / rfc5114-2048-256",
     )
     parser.add_argument(
         "--backend", default="modp", choices=BACKENDS,
@@ -119,11 +122,55 @@ def cmd_vss(args: argparse.Namespace) -> int:
     return 0 if len(result.completed_nodes) == args.n else 1
 
 
+def _tcp_delay_model(args: argparse.Namespace):
+    from repro.sim.network import UniformDelay
+
+    if getattr(args, "latency", 0.0) > 0:
+        return UniformDelay(0.5 * args.latency, 1.5 * args.latency)
+    return None
+
+
 def cmd_renew(args: argparse.Namespace) -> int:
     config = DkgConfig(
         n=args.n, t=args.t, f=args.f,
         group=_group(args), codec=_codec(args),
     )
+    if args.transport == "tcp":
+        from repro.net.proactive import run_renewal_cluster
+
+        result = run_renewal_cluster(
+            config,
+            seed=args.seed,
+            phases=args.phases,
+            delay_model=_tcp_delay_model(args),
+            time_scale=args.time_scale,
+            crash_plan=args.crash,
+            timeout=args.timeout,
+        )
+        _emit(
+            args,
+            {
+                "transport": "asyncio-tcp",
+                "succeeded": result.succeeded,
+                "public_key": element_hex(config.group, result.public_key),
+                "phases": [
+                    {
+                        "phase": p.phase,
+                        "session": p.session,
+                        "renewed_nodes": p.renewed_nodes,
+                        "public_key_stable": p.public_key_stable,
+                        "wall_seconds": round(p.wall_seconds, 4),
+                    }
+                    for p in result.phases
+                ],
+                "crashes": result.metrics.crashes,
+                "recoveries": result.metrics.recoveries,
+                "secret_invariant": result.secret_invariant,
+                "messages": result.metrics.messages_total,
+                "bytes": result.metrics.bytes_total,
+            },
+        )
+        return 0 if result.succeeded else 1
     system = ProactiveSystem(config, seed=args.seed)
     system.bootstrap()
     secret_before = system.reconstruct()
@@ -140,12 +187,76 @@ def cmd_renew(args: argparse.Namespace) -> int:
     _emit(
         args,
         {
+            "transport": "sim",
             "public_key": element_hex(config.group, system.public_key),
             "phases": phases,
             "secret_invariant": system.reconstruct() == secret_before,
         },
     )
     return 0
+
+
+def cmd_groupmod(args: argparse.Namespace) -> int:
+    """§6 lifecycle: agree on an add proposal, deliver the joiner its
+    share — simulated or over real asyncio TCP sockets."""
+    config = DkgConfig(
+        n=args.n, t=args.t, f=args.f,
+        group=_group(args), codec=_codec(args),
+    )
+    new_node = args.new_node if args.new_node is not None else args.n + 1
+    if args.transport == "tcp":
+        from repro.net.groupmod import run_groupmod_cluster
+
+        result = run_groupmod_cluster(
+            config,
+            seed=args.seed,
+            new_node=new_node,
+            delay_model=_tcp_delay_model(args),
+            time_scale=args.time_scale,
+            crash_plan=args.crash,
+            timeout=args.timeout,
+        )
+        _emit(
+            args,
+            {
+                "transport": "asyncio-tcp",
+                "succeeded": result.succeeded,
+                "new_node": result.new_node,
+                "agreement_nodes": result.agreement_nodes,
+                "share_verified": result.share_verified,
+                "secret_invariant": result.secret_invariant,
+                "crashes": result.metrics.crashes,
+                "recoveries": result.metrics.recoveries,
+                "public_key": element_hex(config.group, result.public_key),
+                "wall_seconds": round(result.wall_seconds, 4),
+                "messages": result.metrics.messages_total,
+                "bytes": result.metrics.bytes_total,
+            },
+        )
+        return 0 if result.succeeded else 1
+    from repro.groupmod import GroupManager
+    from repro.groupmod.messages import ModProposal
+
+    manager = GroupManager(config, seed=args.seed)
+    manager.bootstrap()
+    secret_before = manager.reconstruct()
+    report = manager.agree(
+        {min(manager.members): ModProposal("add", new_node)}
+    )
+    addition = manager.add_node(new_node)
+    _emit(
+        args,
+        {
+            "transport": "sim",
+            "new_node": new_node,
+            "agreed_proposals": len(report.common_queue()),
+            "members": list(manager.members),
+            "share_delivered": addition.share is not None,
+            "secret_invariant": manager.reconstruct() == secret_before,
+            "public_key": element_hex(config.group, manager.public_key),
+        },
+    )
+    return 0 if addition.share is not None else 1
 
 
 def _parse_crash(spec: str) -> tuple[int, float, float | None]:
@@ -166,15 +277,12 @@ def _parse_crash(spec: str) -> tuple[int, float, float | None]:
 def cmd_cluster(args: argparse.Namespace) -> int:
     """Run one DKG over real asyncio TCP sockets on localhost."""
     from repro.net import DropRetryLink, run_local_cluster
-    from repro.sim.network import UniformDelay
 
     config = DkgConfig(
         n=args.n, t=args.t, f=args.f,
         group=_group(args), codec=_codec(args),
     )
-    delay_model = None
-    if args.latency > 0:
-        delay_model = UniformDelay(0.5 * args.latency, 1.5 * args.latency)
+    delay_model = _tcp_delay_model(args)
     if args.drop > 0:
         delay_model = DropRetryLink(
             base=delay_model, drop_probability=args.drop
@@ -331,10 +439,49 @@ def build_parser() -> argparse.ArgumentParser:
     p_vss.add_argument("--reconstruct", action="store_true")
     p_vss.set_defaults(func=cmd_vss)
 
+    def _transport_args(parser: argparse.ArgumentParser) -> None:
+        parser.add_argument(
+            "--transport", default="sim", choices=("sim", "tcp"),
+            help="execution backend: deterministic simulation or real "
+                 "asyncio TCP sockets on localhost",
+        )
+        parser.add_argument(
+            "--time-scale", type=float, default=0.02,
+            help="[tcp] wall seconds per protocol time unit",
+        )
+        parser.add_argument(
+            "--latency", type=float, default=0.0,
+            help="[tcp] mean injected link latency in time units",
+        )
+        parser.add_argument(
+            "--crash", type=_parse_crash, action="append", default=[],
+            metavar="NODE@AT[+UP]",
+            help="[tcp] crash NODE at time AT into the phase (recover UP "
+                 "units later); repeatable",
+        )
+        parser.add_argument(
+            "--timeout", type=float, default=60.0,
+            help="[tcp] wall-clock seconds to wait per protocol stage",
+        )
+
     p_renew = sub.add_parser("renew", help="bootstrap + proactive renewal")
     _common_args(p_renew)
     p_renew.add_argument("--phases", type=int, default=2)
+    _transport_args(p_renew)
     p_renew.set_defaults(func=cmd_renew)
+
+    p_gm = sub.add_parser(
+        "groupmod",
+        help="§6 group modification: agree on an add proposal and "
+             "deliver the joiner its share",
+    )
+    _common_args(p_gm)
+    p_gm.add_argument(
+        "--new-node", type=int, default=None,
+        help="index of the joining node (default: n + 1)",
+    )
+    _transport_args(p_gm)
+    p_gm.set_defaults(func=cmd_groupmod)
 
     p_res = sub.add_parser(
         "resilience", help="probe the 3t+2f+1 boundary for given t, f"

@@ -26,6 +26,7 @@ from repro.crypto.ec import EcGroup, EcPoint, secp256k1_group
 from repro.crypto.groups import (
     BACKENDS,
     RFC5114_1024_160,
+    RFC5114_2048_256,
     SchnorrGroup,
     group_by_name,
     large_group,
@@ -65,6 +66,7 @@ __all__ = [
     "Polynomial",
     "ReconstructionError",
     "RFC5114_1024_160",
+    "RFC5114_2048_256",
     "SchnorrGroup",
     "Share",
     "Signature",

@@ -30,6 +30,7 @@ import random
 from dataclasses import dataclass, field
 from functools import lru_cache
 
+from repro.crypto.intops import invert, powmod
 from repro.crypto.multiexp import SharedBases, fixed_base_table, multiexp
 from repro.crypto.primes import SchnorrParams, generate_schnorr_params
 
@@ -69,7 +70,7 @@ class SchnorrGroup:
         """Multiplicative inverse in Z_q; raises ZeroDivisionError on 0."""
         if a % self.q == 0:
             raise ZeroDivisionError("0 has no inverse in Z_q")
-        return pow(a, -1, self.q)
+        return invert(a, self.q)
 
     def random_scalar(self, rng: random.Random) -> int:
         """Uniform scalar in [0, q)."""
@@ -87,7 +88,7 @@ class SchnorrGroup:
 
     def power(self, base: int, exponent: int) -> int:
         """base ** exponent mod p (exponent reduced mod q)."""
-        return pow(base, exponent % self.q, self.p)
+        return powmod(base, exponent % self.q, self.p)
 
     def commit(self, exponent: int) -> int:
         """g ** exponent mod p — the Feldman commitment of one scalar.
@@ -102,13 +103,13 @@ class SchnorrGroup:
         return (a * b) % self.p
 
     def inv(self, a: int) -> int:
-        return pow(a, -1, self.p)
+        return invert(a, self.p)
 
     def is_element(self, a: int) -> bool:
         """Membership test: a in [1, p) and a^q == 1 (prime-order subgroup)."""
         return (
             isinstance(a, int) and 0 < a < self.p
-            and pow(a, self.q, self.p) == 1
+            and powmod(a, self.q, self.p) == 1
         )
 
     # -- multiexp engines (the backend-generic entry points) -----------------
@@ -208,7 +209,7 @@ def _modp_second_generator(p: int, q: int, g: int, label: bytes) -> int:
             label + b"|" + str(p).encode() + b"|" + str(counter).encode()
         ).digest()
         candidate = int.from_bytes(digest, "big") % p
-        h = pow(candidate, cofactor, p)
+        h = powmod(candidate, cofactor, p)
         if h != 1 and h != g:
             return h
         counter += 1
@@ -255,6 +256,41 @@ RFC5114_1024_160 = SchnorrGroup(
     name="rfc5114-1024-160",
 )
 
+# RFC 5114 section 2.3: 2048-bit MODP group with 256-bit prime-order
+# subgroup — the standardized reference shape for the paper's
+# realistic-size runs (the deterministic ``large_group(0)`` generates
+# the same |p|/|q| shape when an independent parameter set is wanted).
+RFC5114_2048_256 = SchnorrGroup(
+    p=int(
+        "87A8E61DB4B6663CFFBBD19C651959998CEEF608660DD0F25D2CEED4435E3B00"
+        "E00DF8F1D61957D4FAF7DF4561B2AA3016C3D91134096FAA3BF4296D830E9A7C"
+        "209E0C6497517ABD5A8A9D306BCF67ED91F9E6725B4758C022E0B1EF4275BF7B"
+        "6C5BFC11D45F9088B941F54EB1E59BB8BC39A0BF12307F5C4FDB70C581B23F76"
+        "B63ACAE1CAA6B7902D52526735488A0EF13C6D9A51BFA4AB3AD8347796524D8E"
+        "F6A167B5A41825D967E144E5140564251CCACB83E6B486F6B3CA3F7971506026"
+        "C0B857F689962856DED4010ABD0BE621C3A3960A54E710C375F26375D7014103"
+        "A4B54330C198AF126116D2276E11715F693877FAD7EF09CADB094AE91E1A1597",
+        16,
+    ),
+    q=int(
+        "8CF83642A709A097B447997640129DA299B1A47D1EB3750BA308B0FE64F5FBD3",
+        16,
+    ),
+    g=int(
+        "3FB32C9B73134D0B2E77506660EDBD484CA7B18F21EF205407F4793A1A0BA125"
+        "10DBC15077BE463FFF4FED4AAC0BB555BE3A6C1B0C6B47B1BC3773BF7E8C6F62"
+        "901228F8C28CBB18A55AE31341000A650196F931C77A57F2DDF463E5E9EC144B"
+        "777DE62AAAB8A8628AC376D282D6ED3864E67982428EBC831D14348F6F2F9193"
+        "B5045AF2767164E1DFC967C1FB3F2E55A4BD1BFFE83B9C80D052B985D182EA0A"
+        "DB2A3B7313D3FE14C8484B1E052588B9B7D2BBD2DF016199ECD06E1557CD0915"
+        "B3353BBB64E0EC377FD028370DF92B52C7891428CDC67EB6184B523D1DB246C3"
+        "2F63078490F00EF8D647D148D47954515E2327CFEF98C582664B4C0F6CC41659",
+        16,
+    ),
+    name="rfc5114-2048-256",
+)
+
+
 @lru_cache(maxsize=None)
 def large_group(seed: int = 0) -> SchnorrGroup:
     """256-bit-q group in a 2048-bit field (slow to generate; lazy+cached)."""
@@ -284,6 +320,8 @@ def group_by_name(name: str, seed: int = 0):
         return GROUP_REGISTRY[name](seed)
     if name == "rfc5114-1024-160":
         return RFC5114_1024_160
+    if name == "rfc5114-2048-256":
+        return RFC5114_2048_256
     if name == "secp256k1":
         from repro.crypto.ec import secp256k1_group
 

@@ -1,0 +1,68 @@
+"""Accelerated big-integer modular arithmetic with a soft gmpy2 probe.
+
+The modp backend spends essentially all of its time in two operations:
+modular exponentiation (``powmod``) and modular inversion (``invert``).
+CPython's built-in ``pow`` is correct but an order of magnitude slower
+than GMP at 2048-bit operand sizes.  This module probes for `gmpy2` at
+import time and routes both operations through it when available —
+a *soft* dependency: the image policy forbids adding packages, so the
+pure-Python path must stay fully supported and bit-identical.
+
+Only the dispatch lives here; all callers go through :func:`powmod` /
+:func:`invert` so the acceleration is invisible behind the
+:class:`repro.crypto.backend.AbstractGroup` interface.  Results are
+asserted identical across both paths in ``tests/crypto/test_intops.py``
+(the accelerated path is additionally cross-checked against the
+builtin whenever the module is importable).
+"""
+
+from __future__ import annotations
+
+try:  # pragma: no cover - exercised only where gmpy2 is installed
+    from gmpy2 import invert as _gmpy2_invert
+    from gmpy2 import powmod as _gmpy2_powmod
+
+    HAVE_GMPY2 = True
+except ImportError:  # the common case: plain CPython arithmetic
+    _gmpy2_powmod = None
+    _gmpy2_invert = None
+    HAVE_GMPY2 = False
+
+
+def _powmod_python(base: int, exponent: int, modulus: int) -> int:
+    return pow(base, exponent, modulus)
+
+
+def _invert_python(value: int, modulus: int) -> int:
+    try:
+        return pow(value, -1, modulus)
+    except ValueError as exc:
+        # Align with gmpy2.invert, which raises ZeroDivisionError.
+        raise ZeroDivisionError(str(exc)) from exc
+
+
+def _powmod_gmpy2(base: int, exponent: int, modulus: int) -> int:
+    # pragma: no cover - exercised only where gmpy2 is installed
+    return int(_gmpy2_powmod(base, exponent, modulus))
+
+
+def _invert_gmpy2(value: int, modulus: int) -> int:
+    # pragma: no cover - exercised only where gmpy2 is installed
+    return int(_gmpy2_invert(value, modulus))
+
+
+# The active implementations.  Module-level indirection (rather than an
+# ``if`` inside the hot functions) keeps the per-call overhead at one
+# attribute load; tests swap these to validate the dispatch seam.
+_powmod_impl = _powmod_gmpy2 if HAVE_GMPY2 else _powmod_python
+_invert_impl = _invert_gmpy2 if HAVE_GMPY2 else _invert_python
+
+
+def powmod(base: int, exponent: int, modulus: int) -> int:
+    """``base ** exponent mod modulus`` (negative exponents invert)."""
+    return _powmod_impl(base, exponent, modulus)
+
+
+def invert(value: int, modulus: int) -> int:
+    """Modular inverse; raises ZeroDivisionError when none exists."""
+    return _invert_impl(value, modulus)

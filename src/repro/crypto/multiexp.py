@@ -41,6 +41,8 @@ from __future__ import annotations
 from collections.abc import Iterable, Sequence
 from functools import lru_cache
 
+from repro.crypto.intops import powmod
+
 # Below this many terms Straus wins (its precomputation is linear in
 # the term count); above it Pippenger's digit buckets amortize better.
 # With |q| ~ 160-256 bits the crossover sits in the hundreds of terms.
@@ -144,7 +146,7 @@ def multiexp(
     if not bases:
         return 1
     if len(bases) == 1:
-        return pow(bases[0], exps[0], p)
+        return powmod(bases[0], exps[0], p)
     if len(bases) >= PIPPENGER_CUTOFF:
         return _pippenger(bases, exps, p)
     return _straus(bases, exps, p)

@@ -5,6 +5,13 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.crypto.feldman import FeldmanVector
+from repro.vss.messages import WIRE_FRAME_OVERHEAD
+
+# Codec v4 proposal frame body: action u8 + 2-byte index + two biased
+# u8 deltas (repro.net.wire keeps these widths in sync).
+_PROPOSAL_BODY_BYTES = 5
+# Node-Add request body: 2-byte index + 4-byte tau.
+_ADD_REQUEST_BODY_BYTES = 6
 
 
 @dataclass(frozen=True)
@@ -34,9 +41,6 @@ class ModProposal:
             f"{self.action}|{self.node}|{self.t_delta}|{self.f_delta}".encode()
         )
 
-    def byte_size(self) -> int:
-        return len(self.as_bytes())
-
 
 @dataclass(frozen=True)
 class ProposeInput:
@@ -56,7 +60,7 @@ class ProposalMsg:
     kind = "groupmod.propose"
 
     def byte_size(self) -> int:
-        return self.proposal.byte_size()
+        return WIRE_FRAME_OVERHEAD + _PROPOSAL_BODY_BYTES
 
 
 @dataclass(frozen=True)
@@ -68,7 +72,7 @@ class ProposalEchoMsg:
     kind = "groupmod.echo"
 
     def byte_size(self) -> int:
-        return self.proposal.byte_size()
+        return WIRE_FRAME_OVERHEAD + _PROPOSAL_BODY_BYTES
 
 
 @dataclass(frozen=True)
@@ -80,7 +84,7 @@ class ProposalReadyMsg:
     kind = "groupmod.ready"
 
     def byte_size(self) -> int:
-        return self.proposal.byte_size()
+        return WIRE_FRAME_OVERHEAD + _PROPOSAL_BODY_BYTES
 
 
 @dataclass(frozen=True)
@@ -106,7 +110,7 @@ class NodeAddRequestMsg:
     kind = "groupmod.add-request"
 
     def byte_size(self) -> int:
-        return 6
+        return WIRE_FRAME_OVERHEAD + _ADD_REQUEST_BODY_BYTES
 
 
 @dataclass(frozen=True)

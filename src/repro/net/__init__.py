@@ -10,14 +10,27 @@ discrete-event simulator:
 * :mod:`repro.net.transport` — the :class:`Transport` protocol behind
   :class:`~repro.sim.node.Context`, with :class:`SimTransport`
   (discrete-event) and :class:`AsyncioTransport` (real TCP) backends;
-* :mod:`repro.net.host` — :class:`NodeHost`, one node on a transport;
-* :mod:`repro.net.cluster` — :class:`LocalCluster`, n asyncio hosts on
-  localhost running a full DKG, with transport-level fault injection.
+* :mod:`repro.net.host` — :class:`NodeHost`, one runtime endpoint
+  (any number of protocol sessions) on a transport;
+* :mod:`repro.net.cluster` — :class:`SessionCluster`, n asyncio
+  runtime endpoints multiplexing named protocol sessions, and
+  :class:`LocalCluster`, the one-DKG convenience on top of it, both
+  with transport-level fault injection;
+* :mod:`repro.net.proactive` / :mod:`repro.net.groupmod` — the §5
+  share-renewal and §6 group-modification lifecycles over real
+  sockets.
 """
 
-from repro.net.cluster import ClusterResult, LocalCluster, run_local_cluster
+from repro.net.cluster import (
+    ClusterResult,
+    LocalCluster,
+    SessionCluster,
+    run_local_cluster,
+)
+from repro.net.groupmod import GroupModClusterResult, run_groupmod_cluster
 from repro.net.host import NodeHost
 from repro.net.peers import PeerAddress, PeerRegistry
+from repro.net.proactive import RenewalClusterResult, run_renewal_cluster
 from repro.net.transport import AsyncioTransport, DropRetryLink, SimTransport, Transport
 from repro.net.wire import WireError, decode, encode, encoded_size, stamp
 
@@ -25,16 +38,21 @@ __all__ = [
     "AsyncioTransport",
     "ClusterResult",
     "DropRetryLink",
+    "GroupModClusterResult",
     "LocalCluster",
     "NodeHost",
     "PeerAddress",
     "PeerRegistry",
+    "RenewalClusterResult",
+    "SessionCluster",
     "SimTransport",
     "Transport",
     "WireError",
     "decode",
     "encode",
     "encoded_size",
+    "run_groupmod_cluster",
     "run_local_cluster",
+    "run_renewal_cluster",
     "stamp",
 ]

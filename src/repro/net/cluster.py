@@ -1,12 +1,19 @@
-"""LocalCluster: a full DKG over real asyncio TCP on localhost.
+"""Real-socket clusters: n runtime endpoints, any number of sessions.
 
-The orchestrator spawns one :class:`~repro.net.host.NodeHost` per
-member index — each with its own server socket, outbound connections,
-timers and metrics tap — injects the operator ``start`` inputs, and
-waits until every honest, finally-up node has output
-``(DKG-completed, C, s_i)``.  The byte streams between hosts are real:
-every protocol message is serialized by :mod:`repro.net.wire`, crosses
-a kernel socket, and is decoded on the far side.
+:class:`SessionCluster` is the generic orchestrator — it spawns one
+:class:`~repro.net.host.NodeHost` per member index (each a
+:class:`~repro.runtime.runtime.ProtocolRuntime` on its own server
+socket with its own timers and metrics tap) and multiplexes named
+protocol sessions over those endpoints: a DKG, four concurrent
+presignature DKGs, a proactive renewal phase and a group-modification
+agreement can all interleave on the same n sockets, every message
+wrapped in the :class:`~repro.runtime.envelope.SessionEnvelope` wire
+frame.  The byte streams are real: every protocol message is
+serialized by :mod:`repro.net.wire`, crosses a kernel socket, and is
+decoded on the far side.
+
+:class:`LocalCluster` keeps the historic one-DKG-per-cluster surface
+on top of it.
 
 Fault injection mirrors the simulator's scenarios at the transport
 level:
@@ -16,8 +23,9 @@ level:
   :class:`~repro.sim.network.PartitionDelay`) as ``delay_model``;
 * message loss healed by retransmission —
   :class:`~repro.net.transport.DropRetryLink`;
-* crash (+ optional later recovery) — :meth:`LocalCluster.crash`
-  entries, executed as wall-clock events against the live hosts.
+* crash (+ optional later recovery) — :meth:`SessionCluster.crash`
+  entries, executed as wall-clock events against the live hosts (a
+  crash takes down the endpoint, and with it *every* session on it).
 """
 
 from __future__ import annotations
@@ -32,103 +40,38 @@ from repro.dkg.runner import build_dkg_deployment
 from repro.net.host import NodeHost
 from repro.net.peers import PeerRegistry
 from repro.net.transport import DEFAULT_TIME_SCALE, AsyncioTransport
+from repro.runtime.runtime import ProtocolRuntime
 from repro.sim.metrics import Metrics
 from repro.sim.network import DelayModel
 
 COMPLETED_KIND = "dkg.out.completed"
+DKG_SESSION = "dkg"
 
 
-@dataclass
-class ClusterResult:
-    """Outcome of one real-network DKG session."""
-
-    config: DkgConfig
-    seed: int
-    completions: dict[int, DkgCompletedOutput]
-    metrics: Metrics
-    wall_seconds: float
-    crashed: set[int] = field(default_factory=set)
-    expected: set[int] = field(default_factory=set)
-    errors: list[Exception] = field(default_factory=list)
-
-    @property
-    def completed_nodes(self) -> list[int]:
-        return sorted(self.completions)
-
-    @property
-    def succeeded(self) -> bool:
-        """Every honest, finally-up node completed; no handler errors;
-        and all completions agree (Definition 4.1 agreement)."""
-        if self.errors:
-            return False
-        if not self.expected <= set(self.completions):
-            return False
-        try:
-            self.public_key
-            self.q_set
-        except AssertionError:
-            return False
-        return True
-
-    @property
-    def public_key(self) -> int:
-        keys = {out.public_key for out in self.completions.values()}
-        if len(keys) != 1:
-            raise AssertionError(f"public key disagreement: {len(keys)} keys")
-        return keys.pop()
-
-    @property
-    def q_set(self) -> tuple[int, ...]:
-        sets = {out.q_set for out in self.completions.values()}
-        if len(sets) != 1:
-            raise AssertionError("agreement violation: divergent Q sets")
-        return sets.pop()
-
-    @property
-    def shares(self) -> dict[int, int]:
-        return {i: out.share for i, out in self.completions.items()}
-
-
-class LocalCluster:
-    """n asyncio hosts on localhost running one DKG session."""
+class SessionCluster:
+    """n asyncio runtime endpoints multiplexing protocol sessions."""
 
     def __init__(
         self,
-        config: DkgConfig,
-        seed: int = 0,
-        tau: int = 0,
+        members: list[int],
         *,
+        seed: int = 0,
+        group: Any = None,
+        codec: Any = None,
         delay_model: DelayModel | None = None,
         time_scale: float = DEFAULT_TIME_SCALE,
         host: str = "127.0.0.1",
-        secrets: dict[int, int] | None = None,
-        node_factory: Callable[..., Any] | None = None,
     ):
-        self.config = config
+        self.members = sorted(members)
         self.seed = seed
-        self.tau = tau
+        self.group = group
+        self.codec = codec
+        self.delay_model = delay_model
         self.time_scale = time_scale
+        self.host_address = host
         self.metrics = Metrics()
         self.registry = PeerRegistry()
-        self.ca, self.nodes = build_dkg_deployment(
-            config, seed=seed, tau=tau, secrets=secrets, node_factory=node_factory
-        )
-        members = config.vss().indices
         self.hosts: dict[int, NodeHost] = {}
-        for i, node in self.nodes.items():
-            transport = AsyncioTransport(
-                i,
-                self.registry,
-                members,
-                seed=seed,
-                metrics=self.metrics,
-                delay_model=delay_model,
-                time_scale=time_scale,
-                group=config.group,
-                codec=config.codec,
-                host=host,
-            )
-            self.hosts[i] = NodeHost(node, transport)
         self.crashed: set[int] = set()
         self.errors: list[Exception] = []
         self._crash_plan: list[tuple[int, float, float | None]] = []
@@ -137,8 +80,111 @@ class LocalCluster:
         self._loop: asyncio.AbstractEventLoop | None = None
         self._t0: float | None = None
         self._started = False
+        for i in self.members:
+            self._build_host(i)
 
-    # -- fault injection ------------------------------------------------------
+    def _build_host(self, index: int) -> NodeHost:
+        transport = AsyncioTransport(
+            index,
+            self.registry,
+            self.members,
+            seed=self.seed,
+            metrics=self.metrics,
+            delay_model=self.delay_model,
+            time_scale=self.time_scale,
+            group=self.group,
+            codec=self.codec,
+            host=self.host_address,
+        )
+        host = NodeHost(ProtocolRuntime(index), transport)
+        self.hosts[index] = host
+        return host
+
+    # -- membership (§6.2: joiners get their own endpoint) ---------------------
+
+    async def add_member(self, index: int) -> NodeHost:
+        """Bring up an endpoint for a joining node (started if the
+        cluster already runs).  Every existing endpoint's membership
+        view is extended too, so Broadcast effects and ``Env.members``
+        include the joiner from now on (protocol-level membership —
+        which sharings count, what the thresholds are — still comes
+        from each session's config, per §6)."""
+        if index in self.hosts:
+            raise ValueError(f"node {index} already has an endpoint")
+        self.members = sorted(self.members + [index])
+        for host in self.hosts.values():
+            host.transport.members = list(self.members)
+        host = self._build_host(index)
+        if self._started:
+            await host.start()
+        return host
+
+    # -- sessions --------------------------------------------------------------
+
+    def open_session(self, session: str, nodes: dict[int, Any]) -> None:
+        """Open protocol session ``session`` with ``nodes`` mapping a
+        member index to its state machine for this instance."""
+        for index, node in nodes.items():
+            self.hosts[index].open_session(session, node)
+
+    def inject(self, session: str, index: int, payload: Any) -> bool:
+        """Operator input to one session at one node; False if dropped."""
+        return self.hosts[index].inject(payload, session=session)
+
+    def inject_all(self, session: str, payload: Any) -> dict[int, bool]:
+        """Operator input to every node hosting ``session``."""
+        return {
+            i: self.inject(session, i, payload)
+            for i, host in sorted(self.hosts.items())
+            if session in host.runtime.sessions
+        }
+
+    async def wait_session_outputs(
+        self,
+        session: str,
+        kind: str,
+        nodes: set[int],
+        timeout: float = 60.0,
+    ) -> dict[int, Any]:
+        """Wait until every node in ``nodes`` emitted a ``kind`` output
+        within ``session`` (or the wall-clock timeout passes); returns
+        whatever arrived."""
+        try:
+            await asyncio.wait_for(
+                asyncio.gather(
+                    *(
+                        self.hosts[i].wait_for_output(kind, session=session)
+                        for i in sorted(nodes)
+                    )
+                ),
+                timeout,
+            )
+        except asyncio.TimeoutError:
+            pass  # partial result; the caller inspects completeness
+        found: dict[int, Any] = {}
+        for i, host in self.hosts.items():
+            outputs = host.outputs_of_kind(kind, session=session)
+            if outputs:
+                found[i] = outputs[0].payload
+        return found
+
+    # -- fault injection -------------------------------------------------------
+
+    def elapsed_units(self) -> float:
+        """Protocol time units since cluster start (0 before start)."""
+        if self._loop is None or self._t0 is None:
+            return 0.0
+        return (self._loop.time() - self._t0) / self.time_scale
+
+    def schedule_crashes_from_now(
+        self, entries: list[tuple[int, float, float | None]]
+    ) -> None:
+        """Register crash-plan entries whose ``at`` is relative to *this
+        moment* rather than cluster start — how the lifecycle runners
+        aim a fault at one specific protocol phase."""
+        now_units = self.elapsed_units()
+        for node, at, up_after in entries:
+            self.crash(node, now_units + at, up_after)
 
     def crash(self, node: int, at: float, up_after: float | None = None) -> None:
         """Crash ``node`` at time ``at`` (protocol units); if
@@ -199,6 +245,26 @@ class LocalCluster:
         self.crashed.discard(node)
         self.metrics.record_recovery()
 
+    async def settle_recoveries(self, timeout: float = 30.0) -> None:
+        """Wait until every planned crash-and-recover entry has actually
+        run (a protocol can outrace its fault plan; smokes and tests
+        want the recovery to have happened before teardown)."""
+        planned = {node for node, _at, up in self._crash_plan if up is not None}
+        if not planned or self._loop is None:
+            return
+        deadline = self._loop.time() + timeout
+        while self._loop.time() < deadline:
+            latest = max(
+                (h.when() for h in self._fault_handles), default=0.0
+            )
+            if (
+                self._loop.time() >= latest
+                and not self._recover_tasks
+                and not planned & self.crashed
+            ):
+                return
+            await asyncio.sleep(0.02)
+
     def finally_up(self) -> set[int]:
         """Nodes the paper's liveness clause obligates to finish: every
         member not left crashed by the fault plan."""
@@ -209,7 +275,13 @@ class LocalCluster:
         }
         return {i for i in self.hosts if i not in down}
 
-    # -- lifecycle ------------------------------------------------------------
+    def collect_errors(self) -> list[Exception]:
+        errors = list(self.errors)
+        for host in self.hosts.values():
+            errors.extend(host.transport.errors)
+        return errors
+
+    # -- lifecycle -------------------------------------------------------------
 
     async def start(self) -> None:
         if self._started:
@@ -234,12 +306,149 @@ class LocalCluster:
             return_exceptions=True,
         )
 
-    async def __aenter__(self) -> "LocalCluster":
+    async def __aenter__(self) -> "SessionCluster":
         await self.start()
         return self
 
     async def __aexit__(self, *exc: Any) -> None:
         await self.stop()
+
+
+@dataclass
+class DkgBootstrap:
+    """The agreed world state a bootstrap DKG session establishes."""
+
+    completions: dict[int, DkgCompletedOutput]
+    commitment: Any
+    public_key: Any
+    shares: dict[int, int]
+
+
+async def bootstrap_dkg(
+    cluster: SessionCluster,
+    config: DkgConfig,
+    keystores: dict[int, Any],
+    ca: Any,
+    *,
+    session: str = DKG_SESSION,
+    tau: int = 0,
+    timeout: float = 60.0,
+) -> DkgBootstrap:
+    """Run one DKG as a session on ``cluster`` and return the agreed
+    commitment/shares — the first step of every multi-protocol
+    lifecycle (renewal phases, group modification)."""
+    from repro.dkg.node import DkgNode
+
+    members = config.vss().indices
+    cluster.open_session(
+        session,
+        {i: DkgNode(i, config, keystores[i], ca, tau=tau) for i in members},
+    )
+    cluster.inject_all(session, DkgStartInput(tau))
+    completions = await cluster.wait_session_outputs(
+        session, COMPLETED_KIND, set(members), timeout
+    )
+    if not completions:
+        raise RuntimeError("bootstrap DKG did not complete")
+    commitments = {out.commitment for out in completions.values()}
+    if len(commitments) != 1:
+        raise AssertionError("bootstrap commitment disagreement")
+    commitment = commitments.pop()
+    return DkgBootstrap(
+        completions=completions,
+        commitment=commitment,
+        public_key=commitment.public_key(),
+        shares={i: out.share for i, out in completions.items()},
+    )
+
+
+@dataclass
+class ClusterResult:
+    """Outcome of one real-network DKG session."""
+
+    config: DkgConfig
+    seed: int
+    completions: dict[int, DkgCompletedOutput]
+    metrics: Metrics
+    wall_seconds: float
+    crashed: set[int] = field(default_factory=set)
+    expected: set[int] = field(default_factory=set)
+    errors: list[Exception] = field(default_factory=list)
+
+    @property
+    def completed_nodes(self) -> list[int]:
+        return sorted(self.completions)
+
+    @property
+    def succeeded(self) -> bool:
+        """Every honest, finally-up node completed; no handler errors;
+        and all completions agree (Definition 4.1 agreement)."""
+        if self.errors:
+            return False
+        if not self.expected <= set(self.completions):
+            return False
+        try:
+            self.public_key
+            self.q_set
+        except AssertionError:
+            return False
+        return True
+
+    @property
+    def public_key(self) -> int:
+        keys = {out.public_key for out in self.completions.values()}
+        if len(keys) != 1:
+            raise AssertionError(f"public key disagreement: {len(keys)} keys")
+        return keys.pop()
+
+    @property
+    def q_set(self) -> tuple[int, ...]:
+        sets = {out.q_set for out in self.completions.values()}
+        if len(sets) != 1:
+            raise AssertionError("agreement violation: divergent Q sets")
+        return sets.pop()
+
+    @property
+    def shares(self) -> dict[int, int]:
+        return {i: out.share for i, out in self.completions.items()}
+
+
+class LocalCluster(SessionCluster):
+    """n asyncio hosts on localhost running one DKG session.
+
+    The historic single-protocol surface: the DKG rides as the
+    runtime's default session, so this class is now a thin veneer over
+    :class:`SessionCluster` (and additional sessions can still be
+    opened beside the DKG).
+    """
+
+    def __init__(
+        self,
+        config: DkgConfig,
+        seed: int = 0,
+        tau: int = 0,
+        *,
+        delay_model: DelayModel | None = None,
+        time_scale: float = DEFAULT_TIME_SCALE,
+        host: str = "127.0.0.1",
+        secrets: dict[int, int] | None = None,
+        node_factory: Callable[..., Any] | None = None,
+    ):
+        self.config = config
+        self.tau = tau
+        self.ca, self.nodes = build_dkg_deployment(
+            config, seed=seed, tau=tau, secrets=secrets, node_factory=node_factory
+        )
+        super().__init__(
+            config.vss().indices,
+            seed=seed,
+            group=config.group,
+            codec=config.codec,
+            delay_model=delay_model,
+            time_scale=time_scale,
+            host=host,
+        )
+        self.open_session(DKG_SESSION, self.nodes)
 
     # -- the protocol run ------------------------------------------------------
 
@@ -248,29 +457,12 @@ class LocalCluster:
         await self.start()
         loop = asyncio.get_running_loop()
         t_start = loop.time()
-        for i in self.hosts:
-            self.hosts[i].inject(DkgStartInput(self.tau))
+        self.inject_all(DKG_SESSION, DkgStartInput(self.tau))
         expected = self.finally_up()
-        try:
-            await asyncio.wait_for(
-                asyncio.gather(
-                    *(
-                        self.hosts[i].wait_for_output(COMPLETED_KIND)
-                        for i in sorted(expected)
-                    )
-                ),
-                timeout,
-            )
-        except asyncio.TimeoutError:
-            pass  # partial result; succeeded will be False
+        completions = await self.wait_session_outputs(
+            DKG_SESSION, COMPLETED_KIND, expected, timeout
+        )
         wall = loop.time() - t_start
-        completions: dict[int, DkgCompletedOutput] = {}
-        errors: list[Exception] = list(self.errors)
-        for i, hst in self.hosts.items():
-            found = hst.outputs_of_kind(COMPLETED_KIND)
-            if found:
-                completions[i] = found[0].payload
-            errors.extend(hst.transport.errors)
         return ClusterResult(
             config=self.config,
             seed=self.seed,
@@ -279,7 +471,7 @@ class LocalCluster:
             wall_seconds=wall,
             crashed=set(self.crashed),
             expected=expected,
-            errors=errors,
+            errors=self.collect_errors(),
         )
 
 

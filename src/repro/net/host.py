@@ -1,45 +1,86 @@
-"""NodeHost: one protocol state machine living on a transport.
+"""NodeHost: one runtime endpoint living on an asyncio transport.
 
-A host owns a :class:`~repro.sim.node.ProtocolNode` (any of the
-package's state machines — VSS, DKG, proactive, baselines) and an
-:class:`~repro.net.transport.AsyncioTransport`, and is the glue the
-simulator's event loop used to be: it turns inbound frames into
-``on_message`` calls, timer fires into ``on_timer``, operator inputs
-into ``on_operator``, all with a fresh :class:`~repro.sim.node.Context`
-bound to the transport — the very same ``Context`` API the node runs
-under in the simulator.
+A host binds a :class:`~repro.runtime.runtime.ProtocolRuntime` to an
+:class:`~repro.net.transport.AsyncioTransport` through the shared
+:class:`~repro.runtime.driver.MachineDriver`: inbound frames become
+``MessageReceived`` events, expiring loop timers ``TimerFired``,
+operator inputs ``OperatorInput`` — and the effects each ``step``
+returns are interpreted against the transport.  Any number of
+concurrent protocol sessions (VSS, DKG, renewal phases, group
+modification) share the host's single server socket and connection
+set; un-enveloped frames from single-protocol peers route to the
+default session.
+
+The one-argument form ``NodeHost(node, transport)`` keeps the historic
+one-node-per-endpoint API: it opens the node as the runtime's default
+session.
 """
 
 from __future__ import annotations
 
 import asyncio
+import logging
 from typing import Any
 
 from repro.net.transport import AsyncioTransport
-from repro.sim.node import Context, OutputRecord, ProtocolNode
+from repro.runtime.driver import MachineDriver
+from repro.runtime.envelope import SessionEnvelope
+from repro.runtime.runtime import ProtocolRuntime
+from repro.sim.node import OutputRecord, ProtocolNode
+
+logger = logging.getLogger(__name__)
+
+DEFAULT_SESSION = "main"
 
 
 class NodeHost:
-    """Drives one node over one transport endpoint."""
+    """Drives one runtime (one or many sessions) over one endpoint."""
 
-    def __init__(self, node: ProtocolNode, transport: AsyncioTransport):
-        if node.node_id != transport.node_id:
-            raise ValueError("node and transport disagree on the node index")
-        self.node = node
+    def __init__(
+        self,
+        node: ProtocolNode | ProtocolRuntime | None,
+        transport: AsyncioTransport,
+        *,
+        session: str = DEFAULT_SESSION,
+    ):
+        if isinstance(node, ProtocolRuntime):
+            if node.node_id != transport.node_id:
+                raise ValueError("runtime and transport disagree on the index")
+            self.runtime = node
+        else:
+            self.runtime = ProtocolRuntime(transport.node_id)
+            if node is not None:
+                if node.node_id != transport.node_id:
+                    raise ValueError(
+                        "node and transport disagree on the node index"
+                    )
+                self.runtime.open_session(session, node, default=True)
         self.transport = transport
-        transport.on_message = self._on_message
+        self.driver = MachineDriver(self.runtime, transport, transport.node_id)
+        transport.on_message = self.driver.handle_message
         transport.on_timer = self._on_timer
 
     # -- plumbing ------------------------------------------------------------
 
-    def _ctx(self) -> Context:
-        return Context(self.transport, self.node.node_id)
+    @property
+    def node(self) -> ProtocolNode | None:
+        """The default session's machine (the historic one-node
+        surface), tracked live as sessions open and close."""
+        if self.runtime.default_session is None:
+            return None
+        return self.runtime.sessions.get(self.runtime.default_session)
 
-    def _on_message(self, sender: int, payload: Any) -> None:
-        self.node.on_message(sender, payload, self._ctx())
+    def _on_timer(self, tag: Any, backend_id: int) -> None:
+        self.driver.handle_timer(backend_id, tag)
 
-    def _on_timer(self, tag: Any) -> None:
-        self.node.on_timer(tag, self._ctx())
+    # -- session management --------------------------------------------------
+
+    def open_session(self, session: str, node: ProtocolNode) -> None:
+        """Multiplex another protocol instance onto this endpoint."""
+        self.runtime.open_session(session, node)
+
+    def close_session(self, session: str) -> None:
+        self.runtime.close_session(session)
 
     # -- lifecycle -----------------------------------------------------------
 
@@ -50,45 +91,65 @@ class NodeHost:
         await self.transport.stop()
 
     def crash(self) -> None:
-        """Transport links down + the node's crash hook (§2.2)."""
+        """Transport links down + every session's crash hook (§2.2)."""
         self.transport.crash()
-        self.node.on_crash()
+        self.driver.handle_crash()
 
     async def recover(self) -> None:
-        """Restart the endpoint, then let the node run its recovery
-        (help requests + B-log replay) over the revived links."""
+        """Restart the endpoint, then let every session run its
+        recovery (help requests + B-log replay) over revived links."""
         await self.transport.recover()
-        self.node.on_recover(self._ctx())
+        self.driver.handle_recover()
 
     # -- operator surface ----------------------------------------------------
 
-    def inject(self, payload: Any) -> None:
-        """Deliver an operator ``in`` message to the node."""
+    def inject(self, payload: Any, *, session: str | None = None) -> bool:
+        """Deliver an operator ``in`` message; returns False (and logs)
+        when the endpoint is crashed and the input was dropped."""
         if self.transport.crashed:
-            return
-        self.node.on_operator(payload, self._ctx())
+            logger.warning(
+                "node %d: operator input %r dropped (endpoint crashed)",
+                self.transport.node_id,
+                getattr(payload, "kind", type(payload).__name__),
+            )
+            return False
+        if session is not None:
+            payload = SessionEnvelope(session, payload)
+        self.driver.handle_operator(payload)
+        return True
 
     @property
     def outputs(self) -> list[OutputRecord]:
         return self.transport.outputs
 
-    def outputs_of_kind(self, kind: str) -> list[OutputRecord]:
+    def outputs_of_kind(
+        self, kind: str, session: str | None = None
+    ) -> list[OutputRecord]:
+        records = self.outputs
+        if session is not None:
+            allowed = {
+                id(p) for p in self.runtime.session_outputs.get(session, [])
+            }
+            records = [o for o in records if id(o.payload) in allowed]
         return [
-            o
-            for o in self.outputs
-            if getattr(o.payload, "kind", None) == kind
+            o for o in records if getattr(o.payload, "kind", None) == kind
         ]
 
-    async def wait_for_output(self, kind: str, timeout: float | None = None) -> Any:
-        """Block until the node emits an output of ``kind``; returns it.
-
-        ``timeout`` is in wall-clock seconds; ``asyncio.TimeoutError``
-        is raised on expiry.
+    async def wait_for_output(
+        self,
+        kind: str,
+        timeout: float | None = None,
+        *,
+        session: str | None = None,
+    ) -> Any:
+        """Block until an output of ``kind`` appears (optionally within
+        ``session``); returns it.  ``timeout`` is wall-clock seconds;
+        ``asyncio.TimeoutError`` is raised on expiry.
         """
 
         async def _wait() -> Any:
             while True:
-                found = self.outputs_of_kind(kind)
+                found = self.outputs_of_kind(kind, session=session)
                 if found:
                     return found[0].payload
                 event = self.transport.output_event

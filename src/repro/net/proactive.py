@@ -1,0 +1,206 @@
+"""Proactive share renewal over real sockets (§5 on the wire).
+
+Before the session-multiplexing runtime, :class:`ProactiveSystem` was
+simulator-only: each phase spun up a fresh discrete-event world.  Here
+the *same* long-lived cluster endpoints carry the whole lifecycle —
+the bootstrap DKG runs as one session, then every renewal phase opens
+a new session over the same n sockets, exactly the paper's picture of
+a long-lived node running protocol instance after protocol instance
+over one network identity.  Crash/recovery entries hit the endpoint
+(taking down every session on it) and the recovering node replays its
+B logs per session.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import random
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.crypto.shares import Share, reconstruct_secret
+from repro.net.cluster import SessionCluster, bootstrap_dkg
+from repro.net.transport import DEFAULT_TIME_SCALE
+from repro.proactive.messages import RenewedOutput, RenewInput
+from repro.proactive.renewal import RenewalNode
+from repro.sim.metrics import Metrics
+from repro.sim.network import DelayModel
+from repro.sim.pki import CertificateAuthority, KeyStore
+from repro.dkg.config import DkgConfig
+
+RENEWED_KIND = "proactive.out.renewed"
+
+
+@dataclass
+class NetPhaseReport:
+    """One renewal phase as observed over the real network."""
+
+    phase: int
+    session: str
+    renewed_nodes: list[int]
+    public_key: Any
+    public_key_stable: bool
+    wall_seconds: float
+
+
+@dataclass
+class RenewalClusterResult:
+    """Outcome of bootstrap + renewal phases over asyncio TCP."""
+
+    config: DkgConfig
+    seed: int
+    public_key: Any
+    bootstrap_nodes: list[int]
+    phases: list[NetPhaseReport]
+    crashed: set[int]
+    metrics: Metrics
+    secret_invariant: bool
+    errors: list[Exception] = field(default_factory=list)
+
+    @property
+    def succeeded(self) -> bool:
+        return (
+            not self.errors
+            and bool(self.phases)
+            and all(p.public_key_stable for p in self.phases)
+            and self.secret_invariant
+        )
+
+
+async def _renewal_phases(
+    cluster: SessionCluster,
+    config: DkgConfig,
+    *,
+    phases: int,
+    keystores: dict[int, KeyStore],
+    ca: CertificateAuthority,
+    shares: dict[int, int],
+    commitment: Any,
+    public_key: Any,
+    crash_plan: list[tuple[int, float, float | None]],
+    timeout: float,
+) -> tuple[list[NetPhaseReport], dict[int, int], Any]:
+    loop = asyncio.get_running_loop()
+    reports: list[NetPhaseReport] = []
+    # Crash entries are relative to the *first renewal phase* (the
+    # interesting window); offset them past the bootstrap's wall time.
+    cluster.schedule_crashes_from_now(crash_plan)
+    for phase in range(1, phases + 1):
+        session = f"renew-{phase}"
+        nodes = {
+            i: RenewalNode(
+                i,
+                config,
+                keystores[i],
+                ca,
+                phase=phase,
+                prev_share=shares.get(i),
+                prev_commitment=commitment,
+            )
+            for i in config.vss().indices
+        }
+        cluster.open_session(session, nodes)
+        t_phase = loop.time()
+        cluster.inject_all(session, RenewInput(phase))
+        expected = cluster.finally_up()
+        renewed: dict[int, RenewedOutput] = await cluster.wait_session_outputs(
+            session, RENEWED_KIND, expected, timeout
+        )
+        if not renewed:
+            raise RuntimeError(f"renewal phase {phase} did not complete")
+        vectors = {out.commitment for out in renewed.values()}
+        if len(vectors) != 1:
+            raise AssertionError("renewal consistency violation")
+        commitment = vectors.pop()
+        # §5.1: safety over liveness — shares not renewed are gone.
+        shares = {i: out.share for i, out in renewed.items()}
+        reports.append(
+            NetPhaseReport(
+                phase=phase,
+                session=session,
+                renewed_nodes=sorted(renewed),
+                public_key=commitment.public_key(),
+                public_key_stable=commitment.public_key() == public_key,
+                wall_seconds=loop.time() - t_phase,
+            )
+        )
+    return reports, shares, commitment
+
+
+def run_renewal_cluster(
+    config: DkgConfig,
+    seed: int = 0,
+    *,
+    phases: int = 1,
+    delay_model: DelayModel | None = None,
+    time_scale: float = DEFAULT_TIME_SCALE,
+    crash_plan: list[tuple[int, float, float | None]] | None = None,
+    timeout: float = 60.0,
+) -> RenewalClusterResult:
+    """Bootstrap a DKG and run ``phases`` share-renewal phases, all
+    over one set of real asyncio TCP endpoints.
+
+    ``crash_plan`` entries are ``(node, at, up_after-or-None)`` with
+    ``at`` in protocol time units *from the start of the first renewal
+    phase* — the window the proactive model cares about.
+    """
+
+    async def _run() -> RenewalClusterResult:
+        members = config.vss().indices
+        enroll_rng = random.Random(("net-renewal-pki", seed).__repr__())
+        ca = CertificateAuthority(config.group)
+        keystores = {i: KeyStore.enroll(i, ca, enroll_rng) for i in members}
+        cluster = SessionCluster(
+            list(members),
+            seed=seed,
+            group=config.group,
+            codec=config.codec,
+            delay_model=delay_model,
+            time_scale=time_scale,
+        )
+        try:
+            await cluster.start()
+            boot = await bootstrap_dkg(
+                cluster, config, keystores, ca, timeout=timeout
+            )
+            secret_before = reconstruct_secret(
+                [
+                    Share(i, v, boot.commitment)
+                    for i, v in boot.shares.items()
+                ],
+                config.t,
+                config.group.q,
+            )
+            reports, shares, commitment = await _renewal_phases(
+                cluster,
+                config,
+                phases=phases,
+                keystores=keystores,
+                ca=ca,
+                shares=boot.shares,
+                commitment=boot.commitment,
+                public_key=boot.public_key,
+                crash_plan=list(crash_plan or []),
+                timeout=timeout,
+            )
+            await cluster.settle_recoveries()
+            secret_after = reconstruct_secret(
+                [Share(i, v, commitment) for i, v in shares.items()],
+                config.t,
+                config.group.q,
+            )
+            return RenewalClusterResult(
+                config=config,
+                seed=seed,
+                public_key=boot.public_key,
+                bootstrap_nodes=sorted(boot.completions),
+                phases=reports,
+                crashed=set(cluster.crashed),
+                metrics=cluster.metrics,
+                secret_invariant=secret_after == secret_before,
+                errors=cluster.collect_errors(),
+            )
+        finally:
+            await cluster.stop()
+
+    return asyncio.run(_run())

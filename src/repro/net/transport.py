@@ -34,6 +34,7 @@ from repro.crypto.feldman import FeldmanCommitment
 from repro.crypto.hashing import commitment_digest
 from repro.net import wire
 from repro.net.peers import PeerRegistry
+from repro.runtime.envelope import SessionEnvelope
 from repro.sim.metrics import Metrics
 from repro.sim.network import DelayModel
 from repro.sim.node import OutputRecord
@@ -197,9 +198,11 @@ class AsyncioTransport:
         self.outputs: list[OutputRecord] = []
         self.errors: list[Exception] = []
         self.output_event: asyncio.Event | None = None
-        # Dispatch hooks, bound by the NodeHost.
+        # Dispatch hooks, bound by the NodeHost.  Timers echo the
+        # backend timer id so the driver can translate to the
+        # machine-chosen id from the SetTimer effect.
         self.on_message: Callable[[int, Any], None] = lambda s, m: None
-        self.on_timer: Callable[[Any], None] = lambda tag: None
+        self.on_timer: Callable[[Any, int], None] = lambda tag, timer_id: None
 
         self._net_rng = random.Random(("net", seed, node_id).__repr__())
         self._node_rngs: dict[int, random.Random] = {}
@@ -297,7 +300,14 @@ class AsyncioTransport:
     def enqueue_message(self, sender: int, recipient: int, payload: Any) -> None:
         if self.crashed or self._loop is None:
             return
-        self.metrics.record_send(sender, payload.kind, payload.byte_size())
+        # Meter the protocol message, not the envelope wrapper: the
+        # session id is transport framing (like the TCP header), and
+        # keeping per-kind/per-byte accounting identical across
+        # drivers is what makes sim-vs-real comparisons exact (E12).
+        metered = (
+            payload.payload if isinstance(payload, SessionEnvelope) else payload
+        )
+        self.metrics.record_send(sender, metered.kind, metered.byte_size())
         # Under the hashed codec, echo/ready frames really do carry only
         # the 32-byte digest — the metered (stamped) size is the true
         # frame length in either mode.  Broadcasts hand the same payload
@@ -358,7 +368,7 @@ class AsyncioTransport:
         if self.crashed:
             return  # a timer firing while down is lost, as in the simulator
         try:
-            self.on_timer(tag)
+            self.on_timer(tag, timer_id)
         except Exception as exc:  # pragma: no cover - defensive
             self.errors.append(exc)
 
@@ -392,6 +402,8 @@ class AsyncioTransport:
     def _remember_commitment(self, message: Any) -> None:
         if getattr(self.codec, "name", None) != "hashed-matrix":
             return  # no compressed frames will ever reference the cache
+        if isinstance(message, SessionEnvelope):
+            message = message.payload
         commitment = getattr(message, "commitment", None)
         if not isinstance(commitment, FeldmanCommitment):
             return

@@ -46,6 +46,22 @@ frames are rejected by version gate).  Frames whose payload contains
 loose elements decode against the ``group`` argument of
 :func:`decode` when provided; without it, element fields fall back to
 raw big-endian ints (the legacy modp reading).
+
+Codec **version 4** adds the session-multiplexing runtime and takes
+the group-modification layer onto the wire (kinds ``0x23``–``0x2F``):
+
+* :class:`~repro.runtime.envelope.SessionEnvelope` (kind ``0x2F``) —
+  a session id plus one complete embedded inner frame, letting one
+  endpoint interleave any number of concurrent protocol sessions.
+  Commitment compression applies to the *inner* payload, and
+  digest-resolution (including :class:`UnresolvedDigest` buffering)
+  passes straight through the envelope;
+* the §6 agreement/addition messages (proposals, echo/ready votes,
+  Node-Add requests, subshares, joined outputs), so proactive phase
+  changes and member additions run over real sockets.
+
+All pre-v4 kinds stay byte-identical; v4 kinds claiming an earlier
+version are rejected.
 """
 
 from __future__ import annotations
@@ -60,7 +76,21 @@ from repro.crypto.hashing import commitment_digest
 from repro.crypto.pedersen import PedersenCommitment
 from repro.crypto.polynomials import Polynomial
 from repro.crypto.schnorr import Signature
+from repro.groupmod.messages import (
+    JoinedOutput,
+    ModProposal,
+    NodeAddInput,
+    NodeAddRequestMsg,
+    ProposalDeliveredOutput,
+    ProposalEchoMsg,
+    ProposalMsg,
+    ProposalReadyMsg,
+    ProposeInput,
+    SubshareMsg,
+)
 from repro.proactive.messages import ClockTickMsg, RenewedOutput, RenewInput
+from repro.runtime import envelope as _envelope_module
+from repro.runtime.envelope import SessionEnvelope
 from repro.vss import messages as _vss_messages
 from repro.vss.messages import (
     EchoMsg,
@@ -115,13 +145,17 @@ from repro.dkg.messages import (
 )
 
 MAGIC = b"KG"
-VERSION = 3  # v3: backend-typed elements (v2 added the service frames)
-SUPPORTED_VERSIONS = (1, 2, 3)
+VERSION = 4  # v4: session envelope + groupmod frames (see module doc)
+SUPPORTED_VERSIONS = (1, 2, 3, 4)
 SERVICE_KIND_MIN = 0x30
+ENVELOPE_KIND = 0x2F
+# Kinds introduced by codec v4: the groupmod range plus the envelope.
+V4_KINDS = frozenset(range(0x23, 0x30))
 STATUS_RESPONSE_KIND = 0x3A  # layout changed in v3 (name precedes key)
 HEADER_BYTES = 4 + len(MAGIC) + 1 + 1  # length + magic + version + kind
 # Fixed-size messages bake this framing cost into byte_size() directly.
 assert HEADER_BYTES == _vss_messages.WIRE_FRAME_OVERHEAD
+assert HEADER_BYTES == _envelope_module._FRAME_OVERHEAD
 
 PHASE_BYTES = 4
 REQUEST_ID_BYTES = 8  # client-chosen correlation id (service frames)
@@ -886,6 +920,113 @@ def _dec_proactive_out_renewed(r: _Reader, resolve: Resolver | None) -> RenewedO
     return RenewedOutput(phase, commitment, share, q_set)
 
 
+# -- group modification frames (codec v4, §6) ----------------------------------
+
+
+_PROPOSAL_ACTIONS = ("add", "remove")
+_DELTA_BIAS = 128  # t/f deltas are signed small ints; bias into a u8
+
+
+def _write_proposal(w: _Writer, proposal: ModProposal) -> None:
+    try:
+        w.u8(_PROPOSAL_ACTIONS.index(proposal.action))
+    except ValueError as exc:
+        raise WireError(f"unknown action {proposal.action!r}") from exc
+    w.index(proposal.node)
+    for delta in (proposal.t_delta, proposal.f_delta):
+        if not -_DELTA_BIAS <= delta < _DELTA_BIAS:
+            raise WireError(f"delta {delta} out of wire range")
+        w.u8(delta + _DELTA_BIAS)
+
+
+def _read_proposal(r: _Reader) -> ModProposal:
+    action = r.u8()
+    if action >= len(_PROPOSAL_ACTIONS):
+        raise WireError(f"bad action byte {action}")
+    node = r.index()
+    t_delta = r.u8() - _DELTA_BIAS
+    f_delta = r.u8() - _DELTA_BIAS
+    return ModProposal(_PROPOSAL_ACTIONS[action], node, t_delta, f_delta)
+
+
+def _make_proposal_codec(typ: type) -> tuple[type, Callable, Callable]:
+    def enc(w: _Writer, m: Any, mode: str) -> None:
+        _write_proposal(w, m.proposal)
+
+    def dec(r: _Reader, resolve: Resolver | None) -> Any:
+        return typ(_read_proposal(r))
+
+    return (typ, enc, dec)
+
+
+def _enc_gm_add_request(w: _Writer, m: NodeAddRequestMsg, mode: str) -> None:
+    w.index(m.new_node)
+    w.fixed(m.tau, TAU_BYTES)
+
+
+def _dec_gm_add_request(r: _Reader, resolve: Resolver | None) -> NodeAddRequestMsg:
+    return NodeAddRequestMsg(r.index(), r.fixed(TAU_BYTES))
+
+
+def _enc_gm_add_input(w: _Writer, m: NodeAddInput, mode: str) -> None:
+    w.index(m.new_node)
+    w.fixed(m.tau, TAU_BYTES)
+
+
+def _dec_gm_add_input(r: _Reader, resolve: Resolver | None) -> NodeAddInput:
+    return NodeAddInput(r.index(), r.fixed(TAU_BYTES))
+
+
+def _enc_gm_subshare(w: _Writer, m: SubshareMsg, mode: str) -> None:
+    w.fixed(m.tau, TAU_BYTES)
+    w.feldman_vector(m.vector)
+    w.group = m.vector.group
+    w.scalar(m.subshare)
+
+
+def _dec_gm_subshare(r: _Reader, resolve: Resolver | None) -> SubshareMsg:
+    tau = r.fixed(TAU_BYTES)
+    vector = r.feldman_vector()
+    return SubshareMsg(tau, vector, r.scalar())
+
+
+def _enc_gm_joined(w: _Writer, m: JoinedOutput, mode: str) -> None:
+    w.fixed(m.tau, TAU_BYTES)
+    w.feldman_vector(m.vector)
+    w.group = m.vector.group
+    w.scalar(m.share)
+
+
+def _dec_gm_joined(r: _Reader, resolve: Resolver | None) -> JoinedOutput:
+    tau = r.fixed(TAU_BYTES)
+    vector = r.feldman_vector()
+    return JoinedOutput(tau, r.scalar(), vector)
+
+
+# -- the session envelope (codec v4): multiplexed traffic -----------------------
+
+
+def _enc_envelope(w: _Writer, m: SessionEnvelope, mode: str) -> None:
+    raw = m.session.encode()
+    if len(raw) > 255:
+        raise WireError("session id too long")
+    w.lbytes(raw)
+    # The inner payload travels as one complete embedded frame, with
+    # the commitment mode the deployment codec chose for *it*.
+    w.raw(encode(m.payload, group=w.group, commitments=mode))
+
+
+def _dec_envelope(r: _Reader, resolve: Resolver | None) -> SessionEnvelope:
+    try:
+        session = r.lbytes().decode()
+    except UnicodeDecodeError as exc:
+        raise WireError("garbled session id") from exc
+    inner = bytes(r.take(len(r.data) - r.pos))
+    # UnresolvedDigest propagates: the transport buffers the *outer*
+    # frame until the referenced commitment arrives, then re-decodes.
+    return SessionEnvelope(session, decode(inner, resolve=resolve, group=r.group))
+
+
 # -- service frames (codec v2): client <-> gateway -----------------------------
 
 
@@ -1084,6 +1225,18 @@ _CODECS: dict[int, tuple[type, Callable, Callable]] = {
     0x20: (ClockTickMsg, _enc_proactive_tick, _dec_proactive_tick),
     0x21: (RenewInput, _enc_proactive_in_renew, _dec_proactive_in_renew),
     0x22: (RenewedOutput, _enc_proactive_out_renewed, _dec_proactive_out_renewed),
+    # group modification (codec v4)
+    0x23: _make_proposal_codec(ProposalMsg),
+    0x24: _make_proposal_codec(ProposalEchoMsg),
+    0x25: _make_proposal_codec(ProposalReadyMsg),
+    0x26: _make_proposal_codec(ProposeInput),
+    0x27: _make_proposal_codec(ProposalDeliveredOutput),
+    0x28: (NodeAddRequestMsg, _enc_gm_add_request, _dec_gm_add_request),
+    0x29: (NodeAddInput, _enc_gm_add_input, _dec_gm_add_input),
+    0x2A: (SubshareMsg, _enc_gm_subshare, _dec_gm_subshare),
+    0x2B: (JoinedOutput, _enc_gm_joined, _dec_gm_joined),
+    # session multiplexing (codec v4)
+    ENVELOPE_KIND: (SessionEnvelope, _enc_envelope, _dec_envelope),
     # service frames: v2 only (SERVICE_KIND_MIN marks the boundary)
     0x30: (SignRequest, _enc_svc_sign_req, _dec_svc_sign_req),
     0x31: (SignResponse, _enc_svc_sign_resp, _dec_svc_sign_resp),
@@ -1133,7 +1286,10 @@ def encode(
     # working) and unchanged service kinds to v2; STATUS changed layout
     # in v3, and any frame shaped by a non-modp group (EC commitments,
     # compressed-point elements) is only decodable by v3 peers.
-    if kind == STATUS_RESPONSE_KIND or w.needs_v3:
+    # Envelope and groupmod kinds did not exist before v4.
+    if kind in V4_KINDS:
+        version = 4
+    elif kind == STATUS_RESPONSE_KIND or w.needs_v3:
         version = 3
     elif kind >= SERVICE_KIND_MIN:
         version = 2
@@ -1177,6 +1333,10 @@ def decode(
         raise WireError(
             "status frame predates codec version 3 (layout changed)"
         )
+    if kind in V4_KINDS and data[6] < 4:
+        raise WireError(
+            f"frame kind 0x{kind:02x} requires codec version >= 4"
+        )
     entry = _CODECS.get(kind)
     if entry is None:
         raise WireError(f"unknown frame kind 0x{kind:02x}")
@@ -1195,7 +1355,10 @@ def commitment_mode(codec: Any, message: Any) -> str:
     The single source of truth shared by size stamping and the real
     transport's encoder: under the hashed codec, ``echo``/``ready``
     frames carry the 32-byte digest; everything else is inline.
+    Session envelopes compress by what they *carry*.
     """
+    if isinstance(message, SessionEnvelope):
+        return commitment_mode(codec, message.payload)
     if getattr(codec, "name", None) == "hashed-matrix" and getattr(
         message, "kind", ""
     ) in ("vss.echo", "vss.ready"):

@@ -1,0 +1,76 @@
+"""The sans-I/O protocol core and the session-multiplexing runtime.
+
+The paper's system model is a long-lived node that runs *many*
+protocol instances over one asynchronous network identity: VSS
+sessions, DKGs, proactive share renewals at phase boundaries, and
+group-modification agreements.  This package is the execution core
+that makes that literal:
+
+* **Events and effects** (:mod:`repro.runtime.events`,
+  :mod:`repro.runtime.effects`) — protocols are pure state machines
+  with the uniform interface ``step(event, env) -> list[Effect]``.
+  Events are values (``MessageReceived``/``TimerFired``/
+  ``OperatorInput``/``Crashed``/``Recovered``); effects are values
+  (``Send``/``Broadcast``/``SetTimer``/``CancelTimer``/``Output``/
+  ``SpawnSession``...).  Nothing inside a transition touches a socket,
+  a clock or a queue, which is what makes executions deterministically
+  replayable and machines testable event-by-event.
+
+* **ProtocolRuntime** (:mod:`repro.runtime.runtime`) — a composite
+  machine multiplexing any number of concurrent protocol sessions
+  (keyed by the session id carried in the
+  :class:`~repro.runtime.envelope.SessionEnvelope` wire frame) over a
+  single transport endpoint.  Concurrent DKGs share one endpoint
+  instead of one socket set each.
+
+* **MachineDriver** (:mod:`repro.runtime.driver`) — the one effect
+  interpreter all execution backends share.  The discrete-event
+  simulator (:class:`repro.sim.runner.Simulation`), the asyncio host
+  (:class:`repro.net.host.NodeHost`) and the service layer's embedded
+  forge are thin drivers built on it.
+"""
+
+from repro.runtime.core import Env, Machine
+from repro.runtime.driver import MachineDriver
+from repro.runtime.effects import (
+    Broadcast,
+    CancelTimer,
+    Effect,
+    LeaderChange,
+    Output,
+    Send,
+    SetTimer,
+    SpawnSession,
+)
+from repro.runtime.envelope import SessionEnvelope
+from repro.runtime.events import (
+    Crashed,
+    Event,
+    MessageReceived,
+    OperatorInput,
+    Recovered,
+    TimerFired,
+)
+from repro.runtime.runtime import ProtocolRuntime
+
+__all__ = [
+    "Broadcast",
+    "CancelTimer",
+    "Crashed",
+    "Effect",
+    "Env",
+    "Event",
+    "LeaderChange",
+    "Machine",
+    "MachineDriver",
+    "MessageReceived",
+    "OperatorInput",
+    "Output",
+    "ProtocolRuntime",
+    "Recovered",
+    "Send",
+    "SessionEnvelope",
+    "SetTimer",
+    "SpawnSession",
+    "TimerFired",
+]

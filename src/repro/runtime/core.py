@@ -1,0 +1,118 @@
+"""The machine interface and the effect-recording transition context.
+
+``step(event, env) -> list[Effect]`` is the whole execution contract:
+``env`` carries the only ambient inputs a transition may read (clock
+reading, seeded randomness, identity, membership), the return value
+carries everything it did.  :class:`EffectRecorder` presents the
+familiar :class:`repro.sim.node.Context` surface to the protocol
+clause code (``send``/``set_timer``/``output``...) but *records*
+effect values instead of performing anything — it is how the
+``upon``-clause methods become pure transition functions.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Any, List, Protocol, runtime_checkable
+
+from repro.runtime.effects import (
+    Broadcast,
+    CancelTimer,
+    Effect,
+    LeaderChange,
+    Output,
+    Send,
+    SetTimer,
+    SpawnSession,
+)
+from repro.runtime.events import Event
+
+
+@dataclass(frozen=True)
+class Env:
+    """The pure environment one transition may read.
+
+    ``now`` is the driver's clock in protocol time units; ``rng`` the
+    deterministic per-node randomness source (identical seeding across
+    drivers is what makes cross-driver executions reproducible);
+    ``members`` the sorted deployment membership.
+    """
+
+    now: float
+    rng: random.Random
+    node_id: int
+    members: tuple[int, ...]
+
+
+@runtime_checkable
+class Machine(Protocol):
+    """A pure protocol state machine: the uniform execution interface."""
+
+    def step(self, event: Event, env: Env) -> List[Effect]:
+        """Consume one event, mutate internal state, return effects."""
+        ...
+
+
+class EffectRecorder:
+    """A recording :class:`~repro.sim.node.Context`: same surface, no I/O.
+
+    Timer ids are allocated from the machine's own counter (passed in
+    as ``next_timer_id`` and read back after the transition), so ids
+    are stable across drivers and replays.
+    """
+
+    __slots__ = ("_env", "effects", "next_timer_id")
+
+    def __init__(self, env: Env, next_timer_id: int = 1):
+        self._env = env
+        self.effects: list[Effect] = []
+        self.next_timer_id = next_timer_id
+
+    # -- environment (mirrors Context) ---------------------------------------
+
+    @property
+    def node_id(self) -> int:
+        return self._env.node_id
+
+    @property
+    def now(self) -> float:
+        return self._env.now
+
+    @property
+    def rng(self) -> random.Random:
+        return self._env.rng
+
+    @property
+    def n(self) -> int:
+        return len(self._env.members)
+
+    @property
+    def all_nodes(self) -> list[int]:
+        return list(self._env.members)
+
+    # -- effects (mirrors Context) -------------------------------------------
+
+    def send(self, recipient: int, payload: Any) -> None:
+        self.effects.append(Send(recipient, payload))
+
+    def broadcast(self, payload: Any, include_self: bool = True) -> None:
+        self.effects.append(Broadcast(payload, include_self))
+
+    def set_timer(self, delay: float, tag: Any) -> int:
+        timer_id = self.next_timer_id
+        self.next_timer_id += 1
+        self.effects.append(SetTimer(delay, tag, timer_id))
+        return timer_id
+
+    def cancel_timer(self, timer_id: int) -> None:
+        self.effects.append(CancelTimer(timer_id))
+
+    def output(self, payload: Any) -> None:
+        self.effects.append(Output(payload))
+
+    def record_leader_change(self) -> None:
+        self.effects.append(LeaderChange())
+
+    def spawn_session(self, session: str, machine: Any) -> None:
+        self.effects.append(SpawnSession(session, machine))

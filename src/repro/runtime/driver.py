@@ -1,0 +1,130 @@
+"""MachineDriver: the one effect interpreter every backend shares.
+
+A driver binds one machine (a protocol state machine or a whole
+:class:`~repro.runtime.runtime.ProtocolRuntime`) to one object
+satisfying the :class:`repro.net.transport.Transport` protocol, turns
+backend happenings into events, steps the machine, and interprets the
+returned effects against the backend.  The discrete-event simulator,
+the asyncio :class:`~repro.net.host.NodeHost` and the service layer's
+embedded forge are all thin shells around this class — protocol
+execution semantics live here exactly once.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.runtime.core import Env, Machine
+from repro.runtime.effects import (
+    Broadcast,
+    CancelTimer,
+    Effect,
+    LeaderChange,
+    Output,
+    Send,
+    SetTimer,
+    SpawnSession,
+)
+from repro.runtime.events import (
+    Crashed,
+    Event,
+    MessageReceived,
+    OperatorInput,
+    Recovered,
+    TimerFired,
+)
+
+
+class MachineDriver:
+    """Drives one machine against one transport endpoint."""
+
+    def __init__(self, machine: Machine, transport: Any, node_id: int):
+        self.machine = machine
+        self.transport = transport
+        self.node_id = node_id
+        # machine-chosen timer id <-> backend timer id
+        self._backend_by_machine: dict[int, int] = {}
+        self._machine_by_backend: dict[int, int] = {}
+
+    # -- event entry points ----------------------------------------------------
+
+    def handle_message(self, sender: int, payload: Any) -> list[Effect]:
+        return self.dispatch(MessageReceived(sender, payload))
+
+    def handle_timer(self, backend_id: int, tag: Any) -> list[Effect]:
+        """A backend timer fired; translate to the machine's own id.
+
+        Timers armed outside the driver (the legacy live-``Context``
+        adapter talking straight to the transport) are unknown to the
+        translation maps and dispatch under their backend id — but
+        only for plain machines.  A :class:`ProtocolRuntime` routes
+        strictly by its own timer-id namespace, where a passed-through
+        backend id could collide with a live session timer, so unknown
+        ids are dropped there instead.
+        """
+        machine_id = self._machine_by_backend.pop(backend_id, None)
+        if machine_id is None:
+            from repro.runtime.runtime import ProtocolRuntime
+
+            if isinstance(self.machine, ProtocolRuntime):
+                return []
+            machine_id = backend_id
+        else:
+            self._backend_by_machine.pop(machine_id, None)
+        return self.dispatch(TimerFired(tag, machine_id))
+
+    def handle_operator(self, payload: Any) -> list[Effect]:
+        return self.dispatch(OperatorInput(payload))
+
+    def handle_crash(self) -> list[Effect]:
+        return self.dispatch(Crashed())
+
+    def handle_recover(self) -> list[Effect]:
+        return self.dispatch(Recovered())
+
+    # -- the step/interpret cycle ----------------------------------------------
+
+    def env(self) -> Env:
+        t = self.transport
+        return Env(
+            now=t.current_time(),
+            rng=t.node_rng(self.node_id),
+            node_id=self.node_id,
+            members=tuple(t.member_ids()),
+        )
+
+    def dispatch(self, event: Event) -> list[Effect]:
+        effects = self.machine.step(event, self.env())
+        self.apply(effects)
+        return effects
+
+    def apply(self, effects: list[Effect]) -> None:
+        t = self.transport
+        for effect in effects:
+            if isinstance(effect, Send):
+                t.enqueue_message(self.node_id, effect.recipient, effect.payload)
+            elif isinstance(effect, Broadcast):
+                for recipient in t.member_ids():
+                    if recipient == self.node_id and not effect.include_self:
+                        continue
+                    t.enqueue_message(self.node_id, recipient, effect.payload)
+            elif isinstance(effect, SetTimer):
+                backend_id = t.set_timer(self.node_id, effect.delay, effect.tag)
+                self._backend_by_machine[effect.timer_id] = backend_id
+                self._machine_by_backend[backend_id] = effect.timer_id
+            elif isinstance(effect, CancelTimer):
+                backend_id = self._backend_by_machine.pop(effect.timer_id, None)
+                if backend_id is not None:
+                    self._machine_by_backend.pop(backend_id, None)
+                    t.cancel_timer(self.node_id, backend_id)
+            elif isinstance(effect, Output):
+                t.record_output(self.node_id, effect.payload)
+            elif isinstance(effect, LeaderChange):
+                t.record_leader_change()
+            elif isinstance(effect, SpawnSession):
+                raise RuntimeError(
+                    "SpawnSession reached a bare driver: only a "
+                    "ProtocolRuntime can host sessions"
+                )
+            else:  # pragma: no cover - defensive
+                raise TypeError(f"unknown effect {effect!r}")

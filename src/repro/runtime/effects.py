@@ -1,0 +1,78 @@
+"""Effects: the outputs of one protocol-machine transition.
+
+A machine never sends, schedules or records anything itself — it
+*returns* effect values and the driver interprets them against a real
+backend (discrete-event queue, asyncio sockets, the service loop).
+Effects are plain values so a transition's complete observable
+behaviour is its return value: replayable, diffable, assertable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Union
+
+
+@dataclass(frozen=True)
+class Send:
+    """Send ``payload`` to ``recipient`` over the network."""
+
+    recipient: int
+    payload: Any
+
+
+@dataclass(frozen=True)
+class Broadcast:
+    """Send ``payload`` to every member (n point-to-point messages —
+    the paper has no broadcast channel; drivers expand the loop)."""
+
+    payload: Any
+    include_self: bool = True
+
+
+@dataclass(frozen=True)
+class SetTimer:
+    """Arm a timer for ``delay`` protocol-time units.
+
+    ``timer_id`` is chosen by the machine (unique within it) and echoed
+    back in the eventual :class:`~repro.runtime.events.TimerFired`;
+    :class:`CancelTimer` refers to it.
+    """
+
+    delay: float
+    tag: Any
+    timer_id: int
+
+
+@dataclass(frozen=True)
+class CancelTimer:
+    """Disarm a previously set timer (by machine-chosen id)."""
+
+    timer_id: int
+
+
+@dataclass(frozen=True)
+class Output:
+    """Emit an operator ``out`` message (a protocol result)."""
+
+    payload: Any
+
+
+@dataclass(frozen=True)
+class LeaderChange:
+    """Meter one DKG leader change (Fig. 3 instrumentation)."""
+
+
+@dataclass(frozen=True)
+class SpawnSession:
+    """Ask the enclosing :class:`~repro.runtime.runtime.ProtocolRuntime`
+    to open a new session ``session`` running ``machine``.  Only
+    meaningful under a runtime; bare drivers reject it."""
+
+    session: str
+    machine: Any
+
+
+Effect = Union[
+    Send, Broadcast, SetTimer, CancelTimer, Output, LeaderChange, SpawnSession
+]

@@ -1,0 +1,35 @@
+"""The session envelope: how multiplexed traffic travels on the wire.
+
+Every message of a runtime-hosted session crosses the network wrapped
+in a :class:`SessionEnvelope` carrying the session id, so one
+transport endpoint can interleave any number of concurrent protocol
+instances (the v4 wire frame; see :mod:`repro.net.wire`).  Frames
+without an envelope route to the runtime's *default* session, which is
+what keeps single-protocol peers from older deployments interoperable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+# Must match repro.net.wire.HEADER_BYTES (kept in sync by an assert in
+# that module); duplicated literally to keep this module import-light.
+_FRAME_OVERHEAD = 8
+
+
+@dataclass(frozen=True)
+class SessionEnvelope:
+    """``payload`` addressed to protocol session ``session``."""
+
+    session: str
+    payload: Any
+
+    kind = "runtime.envelope"
+
+    def byte_size(self) -> int:
+        """Envelope frame length: outer header + length-prefixed
+        session id + the complete inner frame."""
+        sid = len(self.session.encode())
+        prefix = 1 if sid < 0x80 else 2
+        return _FRAME_OVERHEAD + prefix + sid + self.payload.byte_size()

@@ -1,0 +1,55 @@
+"""Events: the inputs a protocol machine is stepped with.
+
+The paper drives nodes with three message categories — operator
+messages, network messages and timer messages — plus the hybrid
+model's crash/recover transitions (§2.2).  One event type per
+category; every event is an immutable value, so an execution is fully
+described by the sequence of events each machine consumed (and can be
+replayed from it).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Union
+
+
+@dataclass(frozen=True)
+class MessageReceived:
+    """A network message from ``sender`` arrived."""
+
+    sender: int
+    payload: Any
+
+
+@dataclass(frozen=True)
+class TimerFired:
+    """A timer this machine armed (``SetTimer``) expired.
+
+    ``timer_id`` is the machine-chosen id from the ``SetTimer`` effect;
+    drivers echo it back so the machine can correlate without keeping
+    driver state.
+    """
+
+    tag: Any
+    timer_id: int
+
+
+@dataclass(frozen=True)
+class OperatorInput:
+    """An operator ``in`` message (§7): external input to the machine."""
+
+    payload: Any
+
+
+@dataclass(frozen=True)
+class Crashed:
+    """The adversary crashed this node (state freezes, links drop)."""
+
+
+@dataclass(frozen=True)
+class Recovered:
+    """The node came back up with its stable-storage state (§2.2)."""
+
+
+Event = Union[MessageReceived, TimerFired, OperatorInput, Crashed, Recovered]

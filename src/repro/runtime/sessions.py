@@ -1,0 +1,153 @@
+"""Concurrent DKG sessions multiplexed over per-node runtimes.
+
+The paper's serving workloads need *many* DKGs — one per pooled
+presignature nonce — and before the session runtime each of those got
+its own simulated world (or its own socket set).  Here each member
+index hosts exactly one :class:`~repro.runtime.runtime.ProtocolRuntime`
+inside one :class:`~repro.sim.runner.Simulation`, and every requested
+DKG runs as a session multiplexed over those n endpoints: the layout
+the service layer uses for batch presignature refills and the layout
+``benchmarks/bench_e16_runtime.py`` measures against the old
+one-world-per-protocol arrangement.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.runtime.envelope import SessionEnvelope
+from repro.runtime.runtime import ProtocolRuntime
+from repro.sim.network import DelayModel, UniformDelay
+from repro.sim.pki import CertificateAuthority, KeyStore
+from repro.sim.runner import Simulation
+from repro.dkg.config import DkgConfig
+from repro.dkg.messages import DkgCompletedOutput, DkgStartInput
+from repro.dkg.node import DkgNode
+
+COMPLETED_KIND = "dkg.out.completed"
+
+
+@dataclass(frozen=True)
+class DkgSessionSpec:
+    """One DKG instance to multiplex: a session id, its deployment
+    parameters (whose ``members`` may be any subset of the cluster) and
+    the instance tag ``tau`` (distinct taus keep sharing randomness
+    independent across concurrent sessions)."""
+
+    session: str
+    config: DkgConfig
+    tau: int = 0
+    secrets: dict[int, int] | None = None
+
+
+@dataclass
+class DkgSessionResult:
+    """Per-session outcome of one multiplexed run."""
+
+    spec: DkgSessionSpec
+    completions: dict[int, DkgCompletedOutput] = field(default_factory=dict)
+
+    @property
+    def succeeded(self) -> bool:
+        members = set(self.spec.config.vss().indices)
+        return members <= set(self.completions) and self._agreed()
+
+    def _agreed(self) -> bool:
+        return (
+            len({out.public_key for out in self.completions.values()}) == 1
+            and len({out.q_set for out in self.completions.values()}) == 1
+        )
+
+    @property
+    def public_key(self) -> Any:
+        keys = {out.public_key for out in self.completions.values()}
+        if len(keys) != 1:
+            raise AssertionError("public key disagreement")
+        return keys.pop()
+
+    @property
+    def q_set(self) -> tuple[int, ...]:
+        sets = {out.q_set for out in self.completions.values()}
+        if len(sets) != 1:
+            raise AssertionError("divergent Q sets")
+        return sets.pop()
+
+    @property
+    def commitment(self) -> Any:
+        commitments = {out.commitment for out in self.completions.values()}
+        if len(commitments) != 1:
+            raise AssertionError("divergent commitments")
+        return commitments.pop()
+
+    @property
+    def shares(self) -> dict[int, int]:
+        return {i: out.share for i, out in self.completions.items()}
+
+
+def run_dkg_sessions(
+    specs: list[DkgSessionSpec],
+    *,
+    seed: int = 0,
+    delay_model: DelayModel | None = None,
+    until: float | None = None,
+    max_events: int | None = 2_000_000,
+) -> dict[str, DkgSessionResult]:
+    """Run every spec'd DKG concurrently, one runtime per member.
+
+    All sessions interleave over the same simulated endpoints — one
+    event queue, one set of node identities — and complete
+    independently.  Returns results keyed by session id.
+    """
+    if len({spec.session for spec in specs}) != len(specs):
+        raise ValueError("duplicate session ids")
+    if len({spec.config.group for spec in specs}) != 1:
+        # The shared PKI is enrolled against one group; mixed backends
+        # would fail signature checks far from the cause.
+        raise ValueError("all session specs must share one group")
+    universe = sorted(
+        {i for spec in specs for i in spec.config.vss().indices}
+    )
+    sim = Simulation(
+        delay_model=delay_model or UniformDelay(),
+        seed=seed,
+    )
+    enroll_rng = random.Random(("sessions-pki", seed).__repr__())
+    ca = CertificateAuthority(specs[0].config.group)
+    keystores = {i: KeyStore.enroll(i, ca, enroll_rng) for i in universe}
+    runtimes: dict[int, ProtocolRuntime] = {}
+    for i in universe:
+        runtimes[i] = ProtocolRuntime(i)
+        sim.add_node(runtimes[i])
+    for spec in specs:
+        for i in spec.config.vss().indices:
+            runtimes[i].open_session(
+                spec.session,
+                DkgNode(
+                    i,
+                    spec.config,
+                    keystores[i],
+                    ca,
+                    tau=spec.tau,
+                    secret=(spec.secrets or {}).get(i),
+                ),
+            )
+    for spec in specs:
+        for i in spec.config.vss().indices:
+            sim.inject(
+                i,
+                SessionEnvelope(spec.session, DkgStartInput(spec.tau)),
+                at=0.0,
+            )
+    sim.run(until=until, max_events=max_events)
+    results: dict[str, DkgSessionResult] = {}
+    for spec in specs:
+        result = DkgSessionResult(spec)
+        for i in spec.config.vss().indices:
+            for payload in runtimes[i].outputs_of(spec.session):
+                if getattr(payload, "kind", None) == COMPLETED_KIND:
+                    result.completions[i] = payload
+                    break
+        results[spec.session] = result
+    return results

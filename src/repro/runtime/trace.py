@@ -1,0 +1,35 @@
+"""Execution transcripts: canonical digests of a run's outputs.
+
+Because protocols are sans-I/O machines, a run's observable result is
+exactly its ``Output`` effects.  :func:`transcript_hash` folds a set of
+``(node, output payload)`` records into one hex digest over their
+canonical wire encoding — the cross-driver equivalence tests assert
+that the discrete-event simulator and the asyncio TCP cluster produce
+the *same* digest for the same seeded protocol, on every backend.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Any, Iterable
+
+
+def transcript_hash(records: Iterable[tuple[int, Any]], group: Any = None) -> str:
+    """Order-independent digest of ``(node, output payload)`` records.
+
+    Payloads are serialized through :mod:`repro.net.wire` (canonical,
+    value-stable bytes); records are sorted by node then ciphertext so
+    arrival order — the one thing real networks do not reproduce — has
+    no influence.
+    """
+    from repro.net import wire
+
+    encoded = sorted(
+        (node, wire.encode(payload, group=group)) for node, payload in records
+    )
+    digest = hashlib.sha256()
+    for node, frame in encoded:
+        digest.update(node.to_bytes(4, "big"))
+        digest.update(len(frame).to_bytes(4, "big"))
+        digest.update(frame)
+    return digest.hexdigest()

@@ -53,6 +53,11 @@ class Presignature:
 
 # forge(presig_id) -> (presig, {node index -> nonce share}); blocking.
 Forge = Callable[[int], tuple[Presignature, dict[int, int]]]
+# forge_batch(presig_ids) -> list of (presig, shares); blocking.  When a
+# service provides one, whole-deficit refills run as *concurrent* DKG
+# sessions multiplexed over one endpoint set (repro.runtime.sessions)
+# instead of one isolated protocol world per nonce.
+ForgeBatch = Callable[[list[int]], list[tuple[Presignature, dict[int, int]]]]
 # install(presig, shares): place shares into live workers; loop thread.
 Install = Callable[[Presignature, dict[int, int]], None]
 # discard(presig_id): drop any installed shares for an invalidated entry.
@@ -72,6 +77,7 @@ class PresigPool:
         target: int,
         low_watermark: int | None = None,
         discard: Discard | None = None,
+        forge_batch: ForgeBatch | None = None,
     ):
         if target < 0:
             raise ValueError("pool target must be >= 0")
@@ -85,6 +91,7 @@ class PresigPool:
         self.invalidated = 0
         self.refill_failures = 0
         self._forge = forge
+        self._forge_batch = forge_batch
         self._install = install
         self._discard = discard or (lambda presig_id: None)
         self._ready: deque[Presignature] = deque()
@@ -153,23 +160,46 @@ class PresigPool:
         self.forged += 1
         return presig, shares
 
+    async def _forge_some(
+        self, count: int
+    ) -> list[tuple[Presignature, dict[int, int]]]:
+        """One executor call forging ``count`` nonces as concurrent DKG
+        sessions over a single multiplexed endpoint set."""
+        assert self._forge_batch is not None
+        ids = [self._next_id + k for k in range(count)]
+        self._next_id += count
+        loop = asyncio.get_running_loop()
+        batch = await loop.run_in_executor(None, self._forge_batch, ids)
+        self.forged += len(batch)
+        return batch
+
     async def refill(self) -> None:
         """Forge until the pool is back at ``target``.  Entries whose
         contributors intersect the quarantine (forged while a crash was
         being processed) are screened out *before* any share is
         installed; if the forge keeps producing quarantined
-        contributors, give up until the next wakeup rather than spin."""
+        contributors, give up until the next wakeup rather than spin.
+
+        With a batch forge, the whole deficit is forged as concurrent
+        multiplexed DKG sessions in one call."""
         screened = 0
         while not self._closed and self.level < self.target:
-            presig, shares = await self._forge_one()
-            if self._quarantine & set(presig.contributors):
-                self.invalidated += 1
-                screened += 1
-                if screened > self.target:
-                    break
-                continue
-            self._install(presig, shares)
-            self._ready.append(presig)
+            deficit = self.target - self.level
+            if self._forge_batch is not None and deficit > 1:
+                batch = await self._forge_some(deficit)
+            else:
+                batch = [await self._forge_one()]
+            for presig, shares in batch:
+                if self._closed:
+                    return
+                if self._quarantine & set(presig.contributors):
+                    self.invalidated += 1
+                    screened += 1
+                    continue
+                self._install(presig, shares)
+                self._ready.append(presig)
+            if screened > self.target:
+                break
 
     async def _refill_loop(self) -> None:
         while not self._closed:

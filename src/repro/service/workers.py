@@ -43,6 +43,7 @@ from repro.crypto.feldman import (
 from repro.crypto.backend import AbstractGroup
 from repro.crypto.groups import toy_group
 from repro.dkg import DkgConfig, run_dkg
+from repro.runtime.sessions import DkgSessionSpec, run_dkg_sessions
 from repro.service import protocol
 from repro.service.presig import PresigPool, Presignature
 from repro.sim.network import ConstantDelay
@@ -247,6 +248,7 @@ class ThresholdService:
             target=config.pool_target,
             low_watermark=config.pool_low_watermark,
             discard=self._discard_nonce,
+            forge_batch=self._forge_nonce_batch,
         )
         self.served = 0
         self.failed = 0
@@ -284,39 +286,61 @@ class ThresholdService:
 
     # -- presignature plumbing -------------------------------------------------
 
-    def _forge_nonce(self, presig_id: int) -> tuple[Presignature, dict[int, int]]:
-        """One fresh shared nonce = one more DKG (§1), run among the
-        currently-live members.  Blocking; the pool calls it off the
-        event loop."""
+    def _forge_nonce_batch(
+        self, presig_ids: list[int]
+    ) -> list[tuple[Presignature, dict[int, int]]]:
+        """Fresh shared nonces = more DKGs (§1), run among the
+        currently-live members as *concurrent sessions* multiplexed
+        over one runtime endpoint per node — one protocol world for the
+        whole batch, not one per nonce.  Blocking; the pool calls it
+        off the event loop."""
         live = sorted(i for i, w in self.workers.items() if not w.crashed)
         if len(live) < 2 * self.t + 1:
             raise ServiceUnavailable(
                 f"{len(live)} live nodes cannot run a t={self.t} nonce DKG"
             )
-        config = DkgConfig(
-            n=len(live),
-            t=self.t,
-            group=self.group,
-            members=tuple(live),
-            initial_leader=live[presig_id % len(live)],
-            enforce_resilience=False,
-        )
-        result = run_dkg(
-            config,
-            seed=self.config.seed * 1_000_003 + presig_id + 1,
-            tau=presig_id,
+        specs = [
+            DkgSessionSpec(
+                session=f"nonce-{presig_id}",
+                config=DkgConfig(
+                    n=len(live),
+                    t=self.t,
+                    group=self.group,
+                    members=tuple(live),
+                    initial_leader=live[presig_id % len(live)],
+                    enforce_resilience=False,
+                ),
+                tau=presig_id,
+            )
+            for presig_id in presig_ids
+        ]
+        results = run_dkg_sessions(
+            specs,
+            seed=self.config.seed * 1_000_003 + presig_ids[0] + 1,
             delay_model=ConstantDelay(0.0),
         )
-        if not result.succeeded:
-            raise RuntimeError(f"nonce DKG {presig_id} did not complete")
-        commitment = result.commitment
-        presig = Presignature(
-            presig_id=presig_id,
-            commitment=commitment,
-            nonce_point=commitment.public_key(),
-            contributors=result.q_set,
-        )
-        return presig, result.shares
+        batch: list[tuple[Presignature, dict[int, int]]] = []
+        for presig_id in presig_ids:
+            result = results[f"nonce-{presig_id}"]
+            if not result.succeeded:
+                raise RuntimeError(f"nonce DKG {presig_id} did not complete")
+            commitment = result.commitment
+            batch.append(
+                (
+                    Presignature(
+                        presig_id=presig_id,
+                        commitment=commitment,
+                        nonce_point=commitment.public_key(),
+                        contributors=result.q_set,
+                    ),
+                    result.shares,
+                )
+            )
+        return batch
+
+    def _forge_nonce(self, presig_id: int) -> tuple[Presignature, dict[int, int]]:
+        """Single-nonce forge (the pool's on-demand fallback path)."""
+        return self._forge_nonce_batch([presig_id])[0]
 
     def _install_nonce(self, presig: Presignature, shares: dict[int, int]) -> None:
         # Refill-time defense in depth: check every nonce share against

@@ -2,18 +2,26 @@
 
 The paper describes nodes as deterministic state machines driven by
 three message categories: *operator* messages (in/out), *network*
-messages, and *timer* messages (start/stop timer).  This module defines
-the base class every protocol node extends, and the :class:`Context`
-through which a node performs its only allowed effects: sending
-messages, setting/cancelling timers, and emitting operator outputs.
+messages, and *timer* messages (start/stop timer).  This module
+defines the base class every protocol node extends.
 
-Handlers never touch the event queue or other nodes directly, which is
-what makes single-node unit testing of each ``upon`` clause possible —
-and, since the same :class:`Context` can sit on *any* backend that
-implements the :class:`~repro.net.transport.Transport` protocol, what
-lets the identical node logic run under the discrete-event simulator
-(:class:`~repro.sim.runner.Simulation`) or over real asyncio TCP
-(:class:`~repro.net.transport.AsyncioTransport`).
+The execution interface is sans-I/O:
+:meth:`ProtocolNode.step` consumes one
+:class:`~repro.runtime.events.Event` and returns the transition's
+:class:`~repro.runtime.effects.Effect` values — nothing inside a
+transition touches a queue, a socket or a clock.  The ``on_*`` hooks
+below are the protocol's ``upon`` clauses; they receive an
+:class:`~repro.runtime.core.EffectRecorder` whose surface matches the
+historical :class:`Context` (``send``/``set_timer``/``output``...), so
+clause code reads exactly like the paper's pseudocode while staying
+pure.  Drivers — the discrete-event simulator, the asyncio host, the
+service forge — interpret the effects through one shared
+:class:`~repro.runtime.driver.MachineDriver`.
+
+:class:`Context` is the legacy callback adapter kept one release for
+external callers: the same surface bound to a live
+:class:`~repro.net.transport.Transport`, performing effects
+immediately instead of recording them.
 """
 
 from __future__ import annotations
@@ -21,6 +29,17 @@ from __future__ import annotations
 import random
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Any
+
+from repro.runtime.core import EffectRecorder, Env
+from repro.runtime.effects import Effect
+from repro.runtime.events import (
+    Crashed,
+    Event,
+    MessageReceived,
+    OperatorInput,
+    Recovered,
+    TimerFired,
+)
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
     from repro.net.transport import Transport
@@ -96,13 +115,40 @@ class Context:
 class ProtocolNode:
     """Base class for all protocol state machines.
 
-    Subclasses override the ``on_*`` hooks.  State lives in instance
-    attributes and persists across crash/recovery (stable storage),
-    while in-flight messages during a crash are lost — the hybrid-model
-    semantics of §2.2.
+    Subclasses override the ``on_*`` clause hooks.  State lives in
+    instance attributes and persists across crash/recovery (stable
+    storage), while in-flight messages during a crash are lost — the
+    hybrid-model semantics of §2.2.
+
+    :meth:`step` is the uniform sans-I/O execution interface: it
+    dispatches the event to the matching clause with a recording
+    context and returns the effects the clause produced.
     """
 
     node_id: int
+
+    def step(self, event: Event, env: Env) -> list[Effect]:
+        """Consume one event; return the transition's effects.
+
+        Machine-local timer ids persist on the instance so that
+        ``set_timer``/``cancel_timer`` correlate across transitions —
+        and identically across drivers and replays.
+        """
+        recorder = EffectRecorder(env, getattr(self, "_next_timer_id", 1))
+        if isinstance(event, MessageReceived):
+            self.on_message(event.sender, event.payload, recorder)
+        elif isinstance(event, TimerFired):
+            self.on_timer(event.tag, recorder)
+        elif isinstance(event, OperatorInput):
+            self.on_operator(event.payload, recorder)
+        elif isinstance(event, Crashed):
+            self.on_crash()
+        elif isinstance(event, Recovered):
+            self.on_recover(recorder)
+        else:
+            raise TypeError(f"unknown event {event!r}")
+        self._next_timer_id = recorder.next_timer_id
+        return recorder.effects
 
     def on_message(self, sender: int, payload: Any, ctx: Context) -> None:
         """Handle a network message."""

@@ -1,11 +1,25 @@
-"""The simulation runner: wires nodes, network, adversary and metrics.
+"""The simulation runner: a discrete-event driver for protocol machines.
 
-A :class:`Simulation` is a deterministic function of (nodes, delay
-model, adversary, seed).  It owns the event queue and drives node state
-machines until quiescence (no events left), a time horizon, or an event
-budget — whichever comes first.  Protocol layers build a simulation,
-inject operator inputs, call :meth:`Simulation.run`, and read results
-from :attr:`Simulation.outputs` and :attr:`Simulation.metrics`.
+A :class:`Simulation` is a deterministic function of (machines, delay
+model, adversary, seed).  It owns the event queue; each queued
+happening is translated into a sans-I/O
+:class:`~repro.runtime.events.Event`, stepped through the owning
+machine via a shared :class:`~repro.runtime.driver.MachineDriver`, and
+the returned effects are interpreted against this class's
+:class:`~repro.net.transport.Transport` surface (message enqueue with
+sampled delays, timers on the virtual clock, output records).  The
+identical driver interprets the identical machines over real asyncio
+TCP (:class:`~repro.net.host.NodeHost`) — the simulator is just the
+deterministic backend.
+
+Protocol layers build a simulation, inject operator inputs, call
+:meth:`Simulation.run`, and read results from
+:attr:`Simulation.outputs` and :attr:`Simulation.metrics`.  Any object
+with a ``node_id`` and a ``step(event, env)`` is a valid node — plain
+:class:`~repro.sim.node.ProtocolNode` subclasses and whole
+:class:`~repro.runtime.runtime.ProtocolRuntime` endpoints alike (the
+latter is how many concurrent protocol sessions share one simulated
+node identity).
 """
 
 from __future__ import annotations
@@ -13,6 +27,8 @@ from __future__ import annotations
 import random
 from typing import Any
 
+from repro.runtime.driver import MachineDriver
+from repro.runtime.envelope import SessionEnvelope
 from repro.sim.adversary import Adversary
 from repro.sim.events import (
     CrashNode,
@@ -24,7 +40,7 @@ from repro.sim.events import (
 )
 from repro.sim.metrics import Metrics
 from repro.sim.network import DelayModel, UniformDelay
-from repro.sim.node import Context, OutputRecord, ProtocolNode
+from repro.sim.node import OutputRecord, ProtocolNode
 
 
 class Simulation:
@@ -42,7 +58,8 @@ class Simulation:
         self.metrics = Metrics()
         # Observers see every dispatched event (see repro.sim.tracing).
         self.observers = list(observers or [])
-        self.nodes: dict[int, ProtocolNode] = dict(nodes or {})
+        self.nodes: dict[int, ProtocolNode] = {}
+        self._drivers: dict[int, MachineDriver] = {}
         self.delay_model = delay_model or UniformDelay()
         self.adversary = adversary or Adversary.passive()
         self.seed = seed
@@ -54,13 +71,17 @@ class Simulation:
         self._cancelled_timers: set[int] = set()
         self._events_processed = 0
         self._schedule_crash_plan()
+        for node in (nodes or {}).values():
+            self.add_node(node)
 
     # -- construction --------------------------------------------------------
 
-    def add_node(self, node: ProtocolNode) -> None:
+    def add_node(self, node: Any) -> None:
+        """Register a machine (anything with ``node_id`` and ``step``)."""
         if node.node_id in self.nodes:
             raise ValueError(f"duplicate node id {node.node_id}")
         self.nodes[node.node_id] = node
+        self._drivers[node.node_id] = MachineDriver(node, self, node.node_id)
 
     def node_rng(self, node_id: int) -> random.Random:
         """A per-node RNG derived deterministically from the seed."""
@@ -95,8 +116,15 @@ class Simulation:
     def enqueue_message(self, sender: int, recipient: int, payload: Any) -> None:
         if recipient not in self.nodes:
             raise KeyError(f"unknown recipient {recipient}")
-        size = payload.byte_size()
-        self.metrics.record_send(sender, payload.kind, size)
+        # Meter the protocol message, not the envelope wrapper (the
+        # session id is transport framing), so per-kind/per-byte
+        # accounting is identical with and without multiplexing — and
+        # identical to the real transport's accounting (E12).
+        metered = (
+            payload.payload if isinstance(payload, SessionEnvelope) else payload
+        )
+        size = metered.byte_size()
+        self.metrics.record_send(sender, metered.kind, size)
         observe = getattr(self.delay_model, "observe_time", None)
         if observe is not None:
             observe(self.queue.now)
@@ -161,43 +189,41 @@ class Simulation:
             self._dispatch(event)
 
     def _dispatch(self, event: Any) -> None:
+        """Translate a queued happening into a machine event, step the
+        owning machine through the shared driver, and let the driver
+        interpret the returned effects against this simulation."""
         if isinstance(event, MessageDelivery):
             if event.recipient in self.crashed:
                 # §2.2: a crashed node's links are down; in-flight
                 # messages to it are lost (recovered later via help).
                 self.metrics.record_drop()
                 return
-            node = self.nodes[event.recipient]
-            node.on_message(event.sender, event.payload, self._ctx(node))
+            self._drivers[event.recipient].handle_message(
+                event.sender, event.payload
+            )
         elif isinstance(event, TimerFired):
             if event.timer_id in self._cancelled_timers:
                 self._cancelled_timers.discard(event.timer_id)
                 return
             if event.node in self.crashed:
                 return
-            node = self.nodes[event.node]
-            node.on_timer(event.tag, self._ctx(node))
+            self._drivers[event.node].handle_timer(event.timer_id, event.tag)
         elif isinstance(event, OperatorInput):
             if event.node in self.crashed:
                 return
-            node = self.nodes[event.node]
-            node.on_operator(event.payload, self._ctx(node))
+            self._drivers[event.node].handle_operator(event.payload)
         elif isinstance(event, CrashNode):
             if event.node not in self.crashed:
                 self.crashed.add(event.node)
                 self.metrics.record_crash()
-                self.nodes[event.node].on_crash()
+                self._drivers[event.node].handle_crash()
         elif isinstance(event, RecoverNode):
             if event.node in self.crashed:
                 self.crashed.discard(event.node)
                 self.metrics.record_recovery()
-                node = self.nodes[event.node]
-                node.on_recover(self._ctx(node))
+                self._drivers[event.node].handle_recover()
         else:  # pragma: no cover - defensive
             raise TypeError(f"unknown event {event!r}")
-
-    def _ctx(self, node: ProtocolNode) -> Context:
-        return Context(self, node.node_id)
 
     # -- result helpers -----------------------------------------------------------
 

@@ -119,6 +119,22 @@ class TestRegistry:
         assert RFC5114_1024_160.p.bit_length() == 1024
         assert RFC5114_1024_160.q.bit_length() == 160
 
+    def test_rfc5114_2048_256_constants(self) -> None:
+        # RFC 5114 §2.3: the standardized 2048-bit MODP group with a
+        # 256-bit prime-order subgroup (validate() checks p and q
+        # primality, q | p-1, and that g generates the order-q group).
+        from repro.crypto.groups import RFC5114_2048_256
+
+        RFC5114_2048_256.validate()
+        assert RFC5114_2048_256.p.bit_length() == 2048
+        assert RFC5114_2048_256.q.bit_length() == 256
+        assert RFC5114_2048_256.name == "rfc5114-2048-256"
+        assert group_by_name("rfc5114-2048-256") is RFC5114_2048_256
+        # Spot-check the checked-in hex against the RFC's first words.
+        assert hex(RFC5114_2048_256.p).startswith("0x87a8e61d")
+        assert hex(RFC5114_2048_256.q).startswith("0x8cf83642")
+        assert hex(RFC5114_2048_256.g).startswith("0x3fb32c9b")
+
     def test_unknown_name_raises(self) -> None:
         with pytest.raises(KeyError):
             group_by_name("nonexistent")

@@ -1,0 +1,97 @@
+"""The gmpy2 import-probe seam: identical results with and without it."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.crypto import intops
+from repro.crypto.groups import RFC5114_1024_160, toy_group
+
+
+def _cases(count: int = 50):
+    rng = random.Random(0xACCE1)
+    moduli = [
+        RFC5114_1024_160.p,
+        RFC5114_1024_160.q,
+        toy_group().p,
+        97,
+        2**127 - 1,
+    ]
+    for _ in range(count):
+        m = rng.choice(moduli)
+        yield rng.randrange(1, m), rng.randrange(0, m), m
+
+
+class TestDispatch:
+    def test_probe_state_is_consistent(self) -> None:
+        # Whichever way the probe resolved, the active implementations
+        # must match it — no half-configured module.
+        if intops.HAVE_GMPY2:
+            assert intops._powmod_impl is intops._powmod_gmpy2
+            assert intops._invert_impl is intops._invert_gmpy2
+        else:
+            assert intops._powmod_impl is intops._powmod_python
+            assert intops._invert_impl is intops._invert_python
+
+    def test_swapping_the_impl_changes_dispatch(self, monkeypatch) -> None:
+        # The seam the accelerated path plugs into: a fake "accelerated"
+        # implementation must be reachable through the public functions
+        # and agree with the pure-python one on every case.
+        calls = []
+
+        def fake_powmod(base, exponent, modulus):
+            calls.append((base, exponent, modulus))
+            return intops._powmod_python(base, exponent, modulus)
+
+        monkeypatch.setattr(intops, "_powmod_impl", fake_powmod)
+        assert intops.powmod(3, 20, 97) == pow(3, 20, 97)
+        assert calls == [(3, 20, 97)]
+
+
+class TestIdenticalResults:
+    def test_powmod_matches_builtin_pow(self) -> None:
+        # Runs against whichever backend the probe found: with gmpy2
+        # absent this pins the pure path; with it present it asserts
+        # the accelerated path is bit-identical to CPython's pow.
+        for base, exponent, modulus in _cases():
+            assert intops.powmod(base, exponent, modulus) == pow(
+                base, exponent, modulus
+            )
+
+    def test_invert_matches_builtin_pow(self) -> None:
+        for base, _exponent, modulus in _cases():
+            if base % modulus == 0:
+                continue
+            # Only prime moduli in _cases, so every nonzero inverts.
+            assert intops.invert(base, modulus) == pow(base, -1, modulus)
+
+    def test_invert_raises_zero_division_on_non_invertible(self) -> None:
+        with pytest.raises(ZeroDivisionError):
+            intops.invert(0, 97)
+        with pytest.raises(ZeroDivisionError):
+            intops.invert(6, 9)
+
+    def test_pure_python_impls_agree_with_builtins_directly(self) -> None:
+        # The fallback implementations themselves (independent of the
+        # probe outcome), so both sides of the seam stay covered.
+        assert intops._powmod_python(5, 117, 1009) == pow(5, 117, 1009)
+        assert intops._invert_python(42, 1009) == pow(42, -1, 1009)
+        with pytest.raises(ZeroDivisionError):
+            intops._invert_python(0, 1009)
+
+
+class TestGroupsRouteThroughIntops:
+    def test_schnorr_group_power_uses_the_seam(self, monkeypatch) -> None:
+        group = toy_group()
+        seen = []
+
+        def spy(base, exponent, modulus):
+            seen.append(modulus)
+            return intops._powmod_python(base, exponent, modulus)
+
+        monkeypatch.setattr(intops, "_powmod_impl", spy)
+        element = group.power(group.g, 12345)
+        assert group.is_element(element)
+        assert group.p in seen

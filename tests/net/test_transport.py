@@ -192,7 +192,7 @@ class TestAsyncioTransport:
         async def scenario():
             _, a, _ = _pair(time_scale=0.01)
             fired: list = []
-            a.on_timer = fired.append
+            a.on_timer = lambda tag, timer_id: fired.append(tag)
             await a.start()
             ctx = Context(a, 1)
             keep = ctx.set_timer(2.0, "keep")
@@ -209,7 +209,7 @@ class TestAsyncioTransport:
         async def scenario():
             _, a, _ = _pair(time_scale=0.01)
             fired: list = []
-            a.on_timer = fired.append
+            a.on_timer = lambda tag, timer_id: fired.append(tag)
             await a.start()
             Context(a, 1).set_timer(2.0, "tick")
             a.crash()

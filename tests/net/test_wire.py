@@ -21,8 +21,21 @@ from repro.crypto.groups import SchnorrGroup, small_group, toy_group
 from repro.crypto.hashing import FullMatrixCodec, HashedMatrixCodec, commitment_digest
 from repro.crypto.polynomials import Polynomial
 from repro.crypto.schnorr import SigningKey
+from repro.groupmod.messages import (
+    JoinedOutput,
+    ModProposal,
+    NodeAddInput,
+    NodeAddRequestMsg,
+    ProposalDeliveredOutput,
+    ProposalEchoMsg,
+    ProposalMsg,
+    ProposalReadyMsg,
+    ProposeInput,
+    SubshareMsg,
+)
 from repro.net import wire
 from repro.proactive.messages import ClockTickMsg, RenewedOutput, RenewInput
+from repro.runtime.envelope import SessionEnvelope
 from repro.service.protocol import (
     ERR_UNAVAILABLE,
     BeaconGetRequest,
@@ -129,6 +142,20 @@ MESSAGES = [
     ClockTickMsg(3),
     RenewInput(2),
     RenewedOutput(1, VEC, 9, (1, 2)),
+    # group modification frames (codec v4)
+    ProposalMsg(ModProposal("add", 8, 1, 0)),
+    ProposalEchoMsg(ModProposal("remove", 2, -1, 0)),
+    ProposalReadyMsg(ModProposal("add", 9)),
+    ProposeInput(ModProposal("add", 10, 0, 1)),
+    ProposalDeliveredOutput(ModProposal("remove", 3)),
+    NodeAddRequestMsg(8, 3),
+    NodeAddInput(8, 3),
+    SubshareMsg(2, VEC, 4242),
+    JoinedOutput(2, 77, VEC),
+    # session envelopes (codec v4): multiplexed protocol traffic
+    SessionEnvelope("dkg-0", DkgStartInput(0)),
+    SessionEnvelope("renew-1", ClockTickMsg(1)),
+    SessionEnvelope("vss", EchoMsg(SID, C, 12345)),
     # service frames (codec v2)
     SignRequest(7, b"pay carol"),
     SignResponse(7, 123, 456, True),

@@ -59,7 +59,8 @@ class TestServiceRoundTrip:
     def test_frames_carry_minimum_codec_version(self) -> None:
         # Unchanged service kinds stay at their v2 introduction stamp;
         # STATUS responses changed layout in v3 (name precedes key).
-        assert wire.VERSION == 3
+        # (v4 added only new kinds — envelope and groupmod frames.)
+        assert wire.VERSION == 4
         assert wire.encode(SignRequest(1, b"m"))[6] == 2
         status = StatusResponse(7, 7, 2, 7, 0, 0, 0, 0, 0, 1, "toy-0")
         assert wire.encode(status)[6] == 3
@@ -88,7 +89,7 @@ class TestVersionGating:
 
     def test_unknown_version_still_rejected(self) -> None:
         frame = bytearray(wire.encode(StatusRequest(1)))
-        frame[6] = 4
+        frame[6] = wire.VERSION + 1
         with pytest.raises(wire.WireError):
             wire.decode(bytes(frame))
 

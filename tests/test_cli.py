@@ -57,6 +57,37 @@ class TestCli:
         assert len(payload["phases"]) == 2
         assert all(p["public_key_stable"] for p in payload["phases"])
 
+    def test_renew_tcp_transport(self, capsys) -> None:
+        code = main(
+            ["renew", "--n", "4", "--t", "1", "--phases", "1",
+             "--transport", "tcp", "--time-scale", "0.005", "--json"]
+        )
+        payload = json.loads(capsys.readouterr().out)
+        assert code == 0
+        assert payload["transport"] == "asyncio-tcp"
+        assert payload["succeeded"] is True
+        assert payload["secret_invariant"] is True
+        assert payload["phases"][0]["renewed_nodes"] == [1, 2, 3, 4]
+
+    def test_groupmod_sim_command(self, capsys) -> None:
+        code = main(["groupmod", "--n", "4", "--t", "1", "--json"])
+        payload = json.loads(capsys.readouterr().out)
+        assert code == 0
+        assert payload["new_node"] == 5
+        assert payload["share_delivered"] is True
+        assert payload["secret_invariant"] is True
+
+    def test_groupmod_tcp_transport(self, capsys) -> None:
+        code = main(
+            ["groupmod", "--n", "4", "--t", "1", "--transport", "tcp",
+             "--time-scale", "0.005", "--json"]
+        )
+        payload = json.loads(capsys.readouterr().out)
+        assert code == 0
+        assert payload["succeeded"] is True
+        assert payload["share_verified"] is True
+        assert payload["agreement_nodes"] == [1, 2, 3, 4]
+
     def test_resilience_command(self, capsys) -> None:
         code = main(["resilience", "--t", "1", "--f", "0", "--json"])
         payload = json.loads(capsys.readouterr().out)
