@@ -1,0 +1,163 @@
+"""E17 — the cost of always-on observability.
+
+The :mod:`repro.obs` layer instruments every tier of the stack — group
+exponentiations, driver transitions, wire frames, service requests —
+and its contract is that the instrumentation is cheap enough to leave
+on in production.  This bench measures that contract directly: the
+same end-to-end DKG run with the metrics registry **enabled** (a fresh
+:class:`~repro.obs.metrics.MetricsRegistry` collecting everything)
+versus **disabled** (``set_registry(None)``, every hot-path helper a
+no-op), on both group backends.
+
+The DKG uses a realistic modp group and the secp256k1 curve, so the
+run is dominated by real group arithmetic — exactly the regime a
+deployment is in, and the fairest denominator for relative overhead.
+
+Run::
+
+    PYTHONPATH=src python benchmarks/bench_e17_observability.py [--smoke]
+
+Acceptance: enabled/disabled median overhead stays within 3% on both
+backends (the smoke gate is relaxed for shared-runner noise).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import statistics
+import time
+from pathlib import Path
+
+from repro.crypto.groups import group_by_name
+from repro.dkg import DkgConfig, run_dkg
+from repro.obs.metrics import MetricsRegistry, set_registry
+from repro.sim.network import ConstantDelay
+
+OVERHEAD_GATE = 0.03  # full runs: <= 3% median overhead
+SMOKE_GATE = 0.15  # smoke: one repeat on shared runners, noise dominates
+
+BACKENDS = ("rfc5114-1024-160", "secp256k1")
+
+
+def _one_dkg(config: DkgConfig, seed: int) -> None:
+    result = run_dkg(config, seed=seed, delay_model=ConstantDelay(0.0))
+    assert result.succeeded
+
+
+def _time_run(config: DkgConfig, seed: int, enabled: bool) -> float:
+    previous = set_registry(MetricsRegistry() if enabled else None)
+    try:
+        t0 = time.perf_counter()
+        _one_dkg(config, seed)
+        return time.perf_counter() - t0
+    finally:
+        set_registry(previous)
+
+
+def bench_backend(group_name: str, repeats: int, seed: int = 1) -> dict:
+    config = DkgConfig(n=4, t=1, group=group_by_name(group_name))
+    _one_dkg(config, seed)  # warm-up: caches, lazy imports, JIT-ish paths
+    enabled, disabled = [], []
+    # Interleave so clock drift and thermal state hit both arms equally.
+    for repeat in range(repeats):
+        disabled.append(_time_run(config, seed + repeat, enabled=False))
+        enabled.append(_time_run(config, seed + repeat, enabled=True))
+    base = statistics.median(disabled)
+    instrumented = statistics.median(enabled)
+    overhead = (instrumented - base) / base if base > 0 else 0.0
+    return {
+        "group": group_name,
+        "repeats": repeats,
+        "disabled_median_s": round(base, 4),
+        "enabled_median_s": round(instrumented, 4),
+        "overhead": round(overhead, 4),
+    }
+
+
+def _snapshot_coverage(seed: int = 1) -> dict:
+    """One instrumented run's snapshot: proof the families populate."""
+    registry = MetricsRegistry()
+    previous = set_registry(registry)
+    try:
+        _one_dkg(DkgConfig(n=4, t=1, group=group_by_name(BACKENDS[0])), seed)
+        snapshot = registry.snapshot()
+    finally:
+        set_registry(previous)
+    events = sum(
+        s["value"]
+        for s in snapshot.get("repro_runtime_events_total", {}).get("samples", [])
+    )
+    group_ops = sum(
+        s["value"]
+        for s in snapshot.get("repro_crypto_group_ops_total", {}).get("samples", [])
+    )
+    return {
+        "families": sorted(snapshot),
+        "runtime_events": int(events),
+        "crypto_group_ops": int(group_ops),
+    }
+
+
+def run_bench(smoke: bool = False) -> dict:
+    repeats = 1 if smoke else 5
+    report: dict = {
+        "bench": "e17_observability",
+        "mode": "smoke" if smoke else "full",
+        "gate": SMOKE_GATE if smoke else OVERHEAD_GATE,
+        "backends": [],
+    }
+    for group_name in BACKENDS:
+        row = bench_backend(group_name, repeats)
+        print(
+            f"{group_name}: disabled {row['disabled_median_s']}s, "
+            f"enabled {row['enabled_median_s']}s "
+            f"({row['overhead'] * 100:+.2f}%)"
+        )
+        report["backends"].append(row)
+    coverage = _snapshot_coverage()
+    report["coverage"] = coverage
+    print(
+        f"coverage: {len(coverage['families'])} metric families, "
+        f"{coverage['runtime_events']} runtime events, "
+        f"{coverage['crypto_group_ops']} group ops"
+    )
+    report["headline"] = {
+        "max_overhead": max(row["overhead"] for row in report["backends"]),
+    }
+    return report
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="one repeat per backend with a relaxed overhead gate (CI)",
+    )
+    parser.add_argument(
+        "--out",
+        type=Path,
+        default=Path(__file__).resolve().parent.parent / "BENCH_e17.json",
+        help="where to write the JSON report",
+    )
+    args = parser.parse_args(argv)
+    report = run_bench(smoke=args.smoke)
+    args.out.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"wrote {args.out}")
+    print(f"headline: {report['headline']}")
+    gate = report["gate"]
+    if report["headline"]["max_overhead"] > gate:
+        print(
+            "ACCEPTANCE MISS: observability overhead "
+            f"{report['headline']['max_overhead'] * 100:.2f}% > {gate * 100:.0f}%"
+        )
+        return 1
+    # Sanity: an instrumented run must actually populate the registry.
+    if report["coverage"]["crypto_group_ops"] <= 0:
+        print("ACCEPTANCE MISS: crypto collector recorded no group operations")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

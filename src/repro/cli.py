@@ -11,6 +11,8 @@ Examples::
     python -m repro cluster --n 7 --t 2 --seed 7        # real asyncio TCP
     python -m repro cluster --n 7 --t 2 --f 1 --crash 7@2
     python -m repro serve --n 7 --t 2 --port 7710       # threshold service
+    python -m repro serve --n 7 --t 2 --port 7710 --metrics-port 9100
+    python -m repro ops --port 7710                     # live metrics snapshot
     python -m repro loadgen --port 7710 --clients 32 --requests 4
 """
 
@@ -361,6 +363,19 @@ def cmd_serve(args: argparse.Namespace) -> int:
             service, host=args.host, port=args.port, max_queue=args.max_queue
         )
         await frontend.start()
+        metrics_server = None
+        if args.metrics_port is not None:
+            from repro.obs.http import MetricsHttpServer
+
+            metrics_server = MetricsHttpServer(
+                host=args.host, port=args.metrics_port
+            )
+            await metrics_server.start()
+            print(
+                f"metrics on http://{metrics_server.host}:"
+                f"{metrics_server.port}/metrics",
+                flush=True,
+            )
         loop = asyncio.get_running_loop()
         started = loop.time()
         for node, at, up_after in args.crash:
@@ -378,10 +393,17 @@ def cmd_serve(args: argparse.Namespace) -> int:
             else:
                 await asyncio.Event().wait()
         finally:
+            if metrics_server is not None:
+                await metrics_server.stop()
             await frontend.stop()
             await service.stop()
         return {
             "address": f"{frontend.host}:{frontend.port}",
+            "metrics_address": (
+                f"{metrics_server.host}:{metrics_server.port}"
+                if metrics_server is not None
+                else None
+            ),
             "uptime_seconds": round(loop.time() - started, 2),
             "served": service.served,
             "failed": service.failed,
@@ -398,6 +420,30 @@ def cmd_serve(args: argparse.Namespace) -> int:
     except KeyboardInterrupt:  # pragma: no cover - interactive teardown
         return 0
     _emit(args, summary)
+    return 0
+
+
+def cmd_ops(args: argparse.Namespace) -> int:
+    """Fetch a running service's live observability snapshot."""
+    import asyncio
+
+    from repro.service.loadgen import ServiceClient
+
+    async def _fetch() -> dict:
+        client = await ServiceClient.connect(
+            args.host, args.port, attempts=args.attempts
+        )
+        try:
+            return await client.ops()
+        finally:
+            await client.close()
+
+    try:
+        snapshot = asyncio.run(_fetch())
+    except (ConnectionError, RuntimeError, OSError) as exc:
+        print(f"ops query failed: {exc}", file=sys.stderr)
+        return 1
+    print(json.dumps(snapshot, indent=2, default=str))
     return 0
 
 
@@ -537,6 +583,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="bounded request queue size (backpressure beyond it)",
     )
     p_serve.add_argument(
+        "--metrics-port", type=int, default=None,
+        help="also serve the live metrics registry over HTTP on this "
+             "port (0 = ephemeral; /metrics, /metrics.json, /healthz)",
+    )
+    p_serve.add_argument(
         "--duration", type=float, default=0.0,
         help="seconds to serve before exiting (0 = until interrupted)",
     )
@@ -546,6 +597,17 @@ def build_parser() -> argparse.ArgumentParser:
         help="crash NODE after AT seconds (recover UP later); repeatable",
     )
     p_serve.set_defaults(func=cmd_serve)
+
+    p_ops = sub.add_parser(
+        "ops", help="dump a running service's live metrics snapshot"
+    )
+    p_ops.add_argument("--host", default="127.0.0.1")
+    p_ops.add_argument("--port", type=int, default=7710)
+    p_ops.add_argument(
+        "--attempts", type=int, default=4,
+        help="connection attempts before giving up",
+    )
+    p_ops.set_defaults(func=cmd_ops)
 
     p_loadgen = sub.add_parser(
         "loadgen", help="generate client load against a running service"

@@ -34,6 +34,9 @@ import random
 from collections.abc import Sequence
 from typing import Any, Protocol, runtime_checkable
 
+from repro.crypto import metering
+from repro.obs import metrics as obs_metrics
+
 
 @runtime_checkable
 class AbstractGroup(Protocol):
@@ -198,8 +201,21 @@ class BatchedClaimVerifier:
                 ip = ip * index % q
         lhs = group.fixed_base(self.base).pow(lhs_exp)
         rhs = group.multiexp(zip(self.entries, agg))
+        backend = "secp256k1" if group.name == "secp256k1" else "modp"
         if lhs == rhs:
+            obs_metrics.counter_inc(
+                metering.BATCH_VERIFY,
+                help="batch-verify outcomes",
+                backend=backend,
+                outcome="batch_ok",
+            )
             return batch, []
+        obs_metrics.counter_inc(
+            metering.BATCH_VERIFY,
+            help="batch-verify outcomes",
+            backend=backend,
+            outcome="fallback",
+        )
         good: list[tuple[int, int]] = []
         bad: list[int] = []
         for index, value in batch:

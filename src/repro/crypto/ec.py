@@ -35,6 +35,7 @@ import random
 from dataclasses import dataclass
 from functools import lru_cache
 
+from repro.crypto import metering
 from repro.crypto.multiexp import (
     PIPPENGER_CUTOFF,
     _pippenger_window,
@@ -608,9 +609,11 @@ class EcGroup:
         return INFINITY
 
     def power(self, base: EcPoint, exponent: int) -> EcPoint:
+        metering.EC.power += 1
         return scalar_mul(base, exponent)
 
     def commit(self, exponent: int) -> EcPoint:
+        metering.EC.commit += 1
         return ec_fixed_base(GENERATOR).pow(exponent)
 
     def mul(self, a: EcPoint, b: EcPoint) -> EcPoint:
@@ -625,6 +628,7 @@ class EcGroup:
     # -- engines -----------------------------------------------------------
 
     def multiexp(self, pairs) -> EcPoint:
+        metering.EC.multiexp += 1
         return ec_multiexp(pairs)
 
     def fixed_base(self, base: EcPoint) -> EcFixedBaseTable:

@@ -31,6 +31,7 @@ from dataclasses import dataclass, field
 from functools import lru_cache
 
 from repro.crypto.intops import invert, powmod
+from repro.crypto import metering
 from repro.crypto.multiexp import SharedBases, fixed_base_table, multiexp
 from repro.crypto.primes import SchnorrParams, generate_schnorr_params
 
@@ -88,6 +89,7 @@ class SchnorrGroup:
 
     def power(self, base: int, exponent: int) -> int:
         """base ** exponent mod p (exponent reduced mod q)."""
+        metering.MODP.power += 1
         return powmod(base, exponent % self.q, self.p)
 
     def commit(self, exponent: int) -> int:
@@ -97,6 +99,7 @@ class SchnorrGroup:
         ``g`` (built once per parameter set), which replaces the
         squaring chain of ``pow`` with ~|q|/5 multiplications.
         """
+        metering.MODP.commit += 1
         return fixed_base_table(self.p, self.q, self.g).pow(exponent)
 
     def mul(self, a: int, b: int) -> int:
@@ -116,6 +119,7 @@ class SchnorrGroup:
 
     def multiexp(self, pairs) -> int:
         """``prod_i base_i^{exp_i}`` via the shared-squaring-chain engine."""
+        metering.MODP.multiexp += 1
         return multiexp(pairs, self.p, self.q)
 
     def fixed_base(self, base: int):

@@ -1,0 +1,77 @@
+"""Near-zero-overhead operation counters for the crypto engines.
+
+Group exponentiations dominate every protocol run (BENCH_e13–e16), so
+the engines cannot afford a registry lookup per call — on the toy test
+groups that would cost more than the powmod itself.  Instead each
+backend bumps a plain slotted attribute here (~an attribute increment;
+no locks — counts are best-effort under free threading, exact under the
+GIL) and a snapshot-time *collector* publishes the totals, together
+with the fixed-base ``lru_cache`` statistics, into whichever registry
+is being rendered (see :func:`repro.obs.metrics.register_collector`).
+
+Metric names:
+
+* ``repro_crypto_group_ops_total{backend,op}`` — power/commit/multiexp
+  calls per backend;
+* ``repro_crypto_fixed_base_cache_total{backend,outcome}`` — hit/miss
+  counts of the fixed-base window-table caches;
+* ``repro_crypto_batch_verify_total{backend,outcome}`` — batch-verify
+  outcomes (``batch_ok`` vs ``fallback``), incremented at the call site
+  in :mod:`repro.crypto.backend` (cold path, registry helper is fine).
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.obs import metrics as obs_metrics
+
+GROUP_OPS = "repro_crypto_group_ops_total"
+CACHE_EVENTS = "repro_crypto_fixed_base_cache_total"
+BATCH_VERIFY = "repro_crypto_batch_verify_total"
+
+
+class OpCounts:
+    """Plain per-backend operation tallies (hot-path increment targets)."""
+
+    __slots__ = ("power", "commit", "multiexp")
+
+    def __init__(self) -> None:
+        self.power = 0
+        self.commit = 0
+        self.multiexp = 0
+
+
+MODP = OpCounts()
+EC = OpCounts()
+
+
+def _publish_cache(reg, backend: str, info) -> None:
+    help_text = "fixed-base window-table lru cache outcomes"
+    reg.counter(CACHE_EVENTS, help_text, backend=backend, outcome="hit").set_total(
+        info.hits
+    )
+    reg.counter(CACHE_EVENTS, help_text, backend=backend, outcome="miss").set_total(
+        info.misses
+    )
+
+
+@obs_metrics.register_collector
+def _collect(reg) -> None:
+    """Copy the raw tallies into ``reg`` (runs at snapshot/render time)."""
+    for backend, ops in (("modp", MODP), ("secp256k1", EC)):
+        for op in ("power", "commit", "multiexp"):
+            reg.counter(
+                GROUP_OPS,
+                "group exponentiations by backend and operation",
+                backend=backend,
+                op=op,
+            ).set_total(getattr(ops, op))
+    # Cache stats come from the engine modules, but only if they are
+    # already imported — a collector must never force the EC stack in.
+    multiexp_mod = sys.modules.get("repro.crypto.multiexp")
+    if multiexp_mod is not None:
+        _publish_cache(reg, "modp", multiexp_mod.fixed_base_table.cache_info())
+    ec_mod = sys.modules.get("repro.crypto.ec")
+    if ec_mod is not None:
+        _publish_cache(reg, "secp256k1", ec_mod.ec_fixed_base.cache_info())

@@ -19,16 +19,14 @@ session.
 from __future__ import annotations
 
 import asyncio
-import logging
 from typing import Any
 
 from repro.net.transport import AsyncioTransport
+from repro.obs.logging import get_logger
 from repro.runtime.driver import MachineDriver
 from repro.runtime.envelope import SessionEnvelope
 from repro.runtime.runtime import ProtocolRuntime
 from repro.sim.node import OutputRecord, ProtocolNode
-
-logger = logging.getLogger(__name__)
 
 DEFAULT_SESSION = "main"
 
@@ -56,6 +54,7 @@ class NodeHost:
                     )
                 self.runtime.open_session(session, node, default=True)
         self.transport = transport
+        self.logger = get_logger("repro.net.host", node=transport.node_id)
         self.driver = MachineDriver(self.runtime, transport, transport.node_id)
         transport.on_message = self.driver.handle_message
         transport.on_timer = self._on_timer
@@ -78,9 +77,11 @@ class NodeHost:
     def open_session(self, session: str, node: ProtocolNode) -> None:
         """Multiplex another protocol instance onto this endpoint."""
         self.runtime.open_session(session, node)
+        self.logger.bind(session=session).debug("session opened")
 
     def close_session(self, session: str) -> None:
         self.runtime.close_session(session)
+        self.logger.bind(session=session).debug("session closed")
 
     # -- lifecycle -----------------------------------------------------------
 
@@ -93,12 +94,14 @@ class NodeHost:
     def crash(self) -> None:
         """Transport links down + every session's crash hook (§2.2)."""
         self.transport.crash()
+        self.logger.info("crashed: links down, in-flight frames lost")
         self.driver.handle_crash()
 
     async def recover(self) -> None:
         """Restart the endpoint, then let every session run its
         recovery (help requests + B-log replay) over revived links."""
         await self.transport.recover()
+        self.logger.info("recovered: endpoint re-listening")
         self.driver.handle_recover()
 
     # -- operator surface ----------------------------------------------------
@@ -107,9 +110,8 @@ class NodeHost:
         """Deliver an operator ``in`` message; returns False (and logs)
         when the endpoint is crashed and the input was dropped."""
         if self.transport.crashed:
-            logger.warning(
-                "node %d: operator input %r dropped (endpoint crashed)",
-                self.transport.node_id,
+            self.logger.bind(session=session).warning(
+                "operator input %r dropped (endpoint crashed)",
                 getattr(payload, "kind", type(payload).__name__),
             )
             return False

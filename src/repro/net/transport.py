@@ -33,6 +33,7 @@ from typing import Any, Callable, Protocol, runtime_checkable
 from repro.crypto.feldman import FeldmanCommitment
 from repro.crypto.hashing import commitment_digest
 from repro.net import wire
+from repro.obs import metrics as obs_metrics
 from repro.net.peers import PeerRegistry
 from repro.runtime.envelope import SessionEnvelope
 from repro.sim.metrics import Metrics
@@ -254,12 +255,18 @@ class AsyncioTransport:
     def crash(self) -> None:
         """Take the node's links down (§2.2: in-flight messages lost)."""
         self.crashed = True
+        obs_metrics.counter_inc(
+            "repro_net_crashes_total", help="endpoint crash transitions"
+        )
         self._close_links()
 
     async def recover(self) -> None:
         """Come back up on the same address."""
         await self.start()
         self.crashed = False
+        obs_metrics.counter_inc(
+            "repro_net_recoveries_total", help="endpoint recovery transitions"
+        )
 
     def _close_links(self) -> None:
         if self._server is not None:
@@ -308,6 +315,17 @@ class AsyncioTransport:
             payload.payload if isinstance(payload, SessionEnvelope) else payload
         )
         self.metrics.record_send(sender, metered.kind, metered.byte_size())
+        obs_metrics.counter_inc(
+            "repro_net_frames_sent_total",
+            help="wire frames sent, by protocol message kind",
+            kind=metered.kind,
+        )
+        obs_metrics.counter_inc(
+            "repro_net_bytes_sent_total",
+            metered.byte_size(),
+            help="wire bytes sent, by protocol message kind",
+            kind=metered.kind,
+        )
         # Under the hashed codec, echo/ready frames really do carry only
         # the 32-byte digest — the metered (stamped) size is the true
         # frame length in either mode.  Broadcasts hand the same payload
@@ -340,9 +358,10 @@ class AsyncioTransport:
         assert self._loop is not None, "transport not started"
         self._timer_seq += 1
         timer_id = self._timer_seq
-        self.metrics.timers_set += 1
+        self.metrics.record_timer_set()
+        deadline = self._loop.time() + delay * self.time_scale
         handle = self._loop.call_later(
-            delay * self.time_scale, self._fire_timer, timer_id, tag
+            delay * self.time_scale, self._fire_timer, timer_id, tag, deadline
         )
         self._timers[timer_id] = handle
         return timer_id
@@ -363,8 +382,18 @@ class AsyncioTransport:
 
     # -- internals -----------------------------------------------------------
 
-    def _fire_timer(self, timer_id: int, tag: Any) -> None:
+    def _fire_timer(
+        self, timer_id: int, tag: Any, deadline: float | None = None
+    ) -> None:
         self._timers.pop(timer_id, None)
+        if deadline is not None and self._loop is not None:
+            # How late the event loop ran this timer — the live proxy
+            # for scheduler pressure on the node.
+            obs_metrics.observe(
+                "repro_net_timer_lag_seconds",
+                max(0.0, self._loop.time() - deadline),
+                help="delay between a timer's deadline and its callback",
+            )
         if self.crashed:
             return  # a timer firing while down is lost, as in the simulator
         try:
@@ -392,7 +421,24 @@ class AsyncioTransport:
             return
         except wire.WireError:
             self.metrics.record_drop()
+            obs_metrics.counter_inc(
+                "repro_net_frames_dropped_total",
+                help="inbound frames dropped (undecodable or node down)",
+            )
             return
+        inner = message.payload if isinstance(message, SessionEnvelope) else message
+        kind = getattr(inner, "kind", type(inner).__name__)
+        obs_metrics.counter_inc(
+            "repro_net_frames_received_total",
+            help="wire frames received, by protocol message kind",
+            kind=kind,
+        )
+        obs_metrics.counter_inc(
+            "repro_net_bytes_received_total",
+            len(frame),
+            help="wire bytes received, by protocol message kind",
+            kind=kind,
+        )
         self._remember_commitment(message)
         try:
             self.on_message(peer, message)
@@ -451,9 +497,17 @@ class AsyncioTransport:
                     )
                     writer.write(self.node_id.to_bytes(4, "big"))
                     self._writers[recipient] = writer
+                    obs_metrics.counter_inc(
+                        "repro_net_connects_total",
+                        help="outbound connections established",
+                    )
                     return writer
                 except (KeyError, ConnectionError, OSError) as exc:
                     last_error = exc
+                    obs_metrics.counter_inc(
+                        "repro_net_connect_retries_total",
+                        help="failed outbound dial attempts (will back off)",
+                    )
                     await asyncio.sleep(self.connect_backoff * (attempt + 1))
         raise ConnectionError(
             f"node {recipient} unreachable: {last_error}"
@@ -479,6 +533,10 @@ class AsyncioTransport:
                     # such — same accounting as the simulator's
                     # delivery-to-crashed-node path.
                     self.metrics.record_drop()
+                    obs_metrics.counter_inc(
+                        "repro_net_frames_dropped_total",
+                        help="inbound frames dropped (undecodable or node down)",
+                    )
                     continue
                 self._dispatch_frame(peer, header + body)
         except (asyncio.IncompleteReadError, ConnectionError, OSError):

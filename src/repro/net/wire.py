@@ -62,6 +62,14 @@ the group-modification layer onto the wire (kinds ``0x23``–``0x2F``):
 
 All pre-v4 kinds stay byte-identical; v4 kinds claiming an earlier
 version are rejected.
+
+Codec **version 5** adds the observability frames (kinds ``0x3C`` /
+``0x3D``): ``OPS`` requests a node's metrics-registry snapshot and the
+response carries it as one length-prefixed JSON document (the same
+schema the ``/metrics.json`` HTTP endpoint serves), so new metric
+families never require a codec change.  All pre-v5 kinds stay
+byte-identical; OPS frames claiming an earlier version are rejected —
+they did not exist.
 """
 
 from __future__ import annotations
@@ -116,6 +124,8 @@ from repro.service.protocol import (
     DprfEvalRequest,
     DprfResponse,
     ErrorResponse,
+    OpsRequest,
+    OpsResponse,
     SignRequest,
     SignResponse,
     StatusRequest,
@@ -145,13 +155,17 @@ from repro.dkg.messages import (
 )
 
 MAGIC = b"KG"
-VERSION = 4  # v4: session envelope + groupmod frames (see module doc)
-SUPPORTED_VERSIONS = (1, 2, 3, 4)
+VERSION = 5  # v5: OPS observability frames (see module doc)
+SUPPORTED_VERSIONS = (1, 2, 3, 4, 5)
 SERVICE_KIND_MIN = 0x30
 ENVELOPE_KIND = 0x2F
 # Kinds introduced by codec v4: the groupmod range plus the envelope.
 V4_KINDS = frozenset(range(0x23, 0x30))
 STATUS_RESPONSE_KIND = 0x3A  # layout changed in v3 (name precedes key)
+OPS_REQUEST_KIND = 0x3C
+OPS_RESPONSE_KIND = 0x3D
+# Kinds introduced by codec v5: the observability pair.
+V5_KINDS = frozenset({OPS_REQUEST_KIND, OPS_RESPONSE_KIND})
 HEADER_BYTES = 4 + len(MAGIC) + 1 + 1  # length + magic + version + kind
 # Fixed-size messages bake this framing cost into byte_size() directly.
 assert HEADER_BYTES == _vss_messages.WIRE_FRAME_OVERHEAD
@@ -1200,6 +1214,24 @@ def _dec_svc_error(r: _Reader, resolve: Resolver | None) -> ErrorResponse:
     return ErrorResponse(request_id, code, detail)
 
 
+def _enc_svc_ops_req(w: _Writer, m: OpsRequest, mode: str) -> None:
+    w.fixed(m.request_id, REQUEST_ID_BYTES)
+
+
+def _dec_svc_ops_req(r: _Reader, resolve: Resolver | None) -> OpsRequest:
+    return OpsRequest(r.fixed(REQUEST_ID_BYTES))
+
+
+def _enc_svc_ops_resp(w: _Writer, m: OpsResponse, mode: str) -> None:
+    w.fixed(m.request_id, REQUEST_ID_BYTES)
+    w.lbytes(m.snapshot)
+
+
+def _dec_svc_ops_resp(r: _Reader, resolve: Resolver | None) -> OpsResponse:
+    request_id = r.fixed(REQUEST_ID_BYTES)
+    return OpsResponse(request_id, r.lbytes())
+
+
 _CODECS: dict[int, tuple[type, Callable, Callable]] = {
     0x01: (SendMsg, _enc_vss_send, _dec_vss_send),
     0x02: (EchoMsg, _enc_vss_echo, _dec_vss_echo),
@@ -1250,6 +1282,9 @@ _CODECS: dict[int, tuple[type, Callable, Callable]] = {
     0x39: (StatusRequest, _enc_svc_status_req, _dec_svc_status_req),
     0x3A: (StatusResponse, _enc_svc_status_resp, _dec_svc_status_resp),
     0x3B: (ErrorResponse, _enc_svc_error, _dec_svc_error),
+    # observability frames (codec v5)
+    OPS_REQUEST_KIND: (OpsRequest, _enc_svc_ops_req, _dec_svc_ops_req),
+    OPS_RESPONSE_KIND: (OpsResponse, _enc_svc_ops_resp, _dec_svc_ops_resp),
 }
 
 _KIND_BY_TYPE: dict[type, int] = {typ: kind for kind, (typ, _, _) in _CODECS.items()}
@@ -1286,8 +1321,11 @@ def encode(
     # working) and unchanged service kinds to v2; STATUS changed layout
     # in v3, and any frame shaped by a non-modp group (EC commitments,
     # compressed-point elements) is only decodable by v3 peers.
-    # Envelope and groupmod kinds did not exist before v4.
-    if kind in V4_KINDS:
+    # Envelope and groupmod kinds did not exist before v4, the OPS
+    # observability pair not before v5.
+    if kind in V5_KINDS:
+        version = 5
+    elif kind in V4_KINDS:
         version = 4
     elif kind == STATUS_RESPONSE_KIND or w.needs_v3:
         version = 3
@@ -1336,6 +1374,10 @@ def decode(
     if kind in V4_KINDS and data[6] < 4:
         raise WireError(
             f"frame kind 0x{kind:02x} requires codec version >= 4"
+        )
+    if kind in V5_KINDS and data[6] < 5:
+        raise WireError(
+            f"frame kind 0x{kind:02x} requires codec version >= 5"
         )
     entry = _CODECS.get(kind)
     if entry is None:

@@ -1,0 +1,55 @@
+"""Unified observability: metrics registry, structured tracing, ops surface.
+
+``repro.obs`` is the one place every layer of the stack reports into:
+
+* :mod:`repro.obs.metrics` — a thread-safe process-wide registry of
+  labelled counters, gauges and log-bucketed latency histograms, with a
+  JSON snapshot and Prometheus-style text exposition;
+* :mod:`repro.obs.trace` — driver-agnostic structured tracing of every
+  ``step(event) -> [Effect]`` transition at the
+  :class:`~repro.runtime.driver.MachineDriver` seam (the capture format
+  for record/replay);
+* :mod:`repro.obs.http` — a dependency-free HTTP endpoint serving the
+  text and JSON expositions (``repro serve --metrics-port``);
+* :mod:`repro.obs.logging` — named structured loggers carrying
+  node/session context.
+
+The package deliberately imports nothing from the rest of ``repro`` at
+module scope (except the low-level runtime event/effect vocabulary in
+``trace``), so any layer — crypto, sim, net, service — can import it
+without cycles.
+"""
+
+from repro.obs.metrics import (
+    CardinalityError,
+    MetricsRegistry,
+    counter_inc,
+    gauge_set,
+    observe,
+    register_collector,
+    registry,
+    set_registry,
+)
+from repro.obs.trace import (
+    JsonlTraceSink,
+    MemoryTraceSink,
+    TraceSpan,
+    set_trace_sink,
+    trace_sink,
+)
+
+__all__ = [
+    "CardinalityError",
+    "MetricsRegistry",
+    "counter_inc",
+    "gauge_set",
+    "observe",
+    "register_collector",
+    "registry",
+    "set_registry",
+    "JsonlTraceSink",
+    "MemoryTraceSink",
+    "TraceSpan",
+    "set_trace_sink",
+    "trace_sink",
+]

@@ -1,0 +1,92 @@
+"""A dependency-free HTTP exposition endpoint for the metrics registry.
+
+Serves three paths over plain asyncio (no web framework in the image):
+
+* ``/metrics`` — Prometheus text exposition;
+* ``/metrics.json`` — the JSON snapshot (same document as the OPS wire
+  frame's ``metrics`` field);
+* ``/healthz`` — liveness probe.
+
+Started by ``repro serve --metrics-port`` next to the service frontend;
+also usable standalone around any workload that meters into the active
+registry.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+
+from repro.obs import metrics as obs_metrics
+
+
+class MetricsHttpServer:
+    """One-shot HTTP/1.1 responder (``Connection: close`` per request)."""
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        registry: obs_metrics.MetricsRegistry | None = None,
+    ):
+        self.host = host
+        self.port = port
+        self._registry = registry
+        self._server: asyncio.AbstractServer | None = None
+
+    def _reg(self) -> obs_metrics.MetricsRegistry | None:
+        return self._registry if self._registry is not None else obs_metrics.registry()
+
+    async def start(self) -> None:
+        self._server = await asyncio.start_server(self._serve, self.host, self.port)
+        self.port = self._server.sockets[0].getsockname()[1]
+
+    async def stop(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+
+    async def _serve(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            request_line = await reader.readline()
+            parts = request_line.decode("latin-1").split()
+            path = parts[1] if len(parts) >= 2 else "/"
+            while True:  # drain headers
+                line = await reader.readline()
+                if line in (b"\r\n", b"\n", b""):
+                    break
+            status, ctype, body = self._respond(path)
+            head = (
+                f"HTTP/1.1 {status}\r\n"
+                f"Content-Type: {ctype}\r\n"
+                f"Content-Length: {len(body)}\r\n"
+                "Connection: close\r\n\r\n"
+            )
+            writer.write(head.encode("latin-1") + body)
+            await writer.drain()
+        except (ConnectionError, OSError, asyncio.IncompleteReadError):
+            pass
+        finally:
+            try:
+                writer.close()
+            except Exception:  # pragma: no cover - teardown race
+                pass
+
+    def _respond(self, path: str) -> tuple[str, str, bytes]:
+        reg = self._reg()
+        if path.startswith("/metrics.json"):
+            doc = reg.snapshot() if reg is not None else {}
+            return (
+                "200 OK",
+                "application/json",
+                (json.dumps(doc, indent=2, default=str) + "\n").encode(),
+            )
+        if path == "/" or path.startswith("/metrics"):
+            text = reg.render_text() if reg is not None else ""
+            return ("200 OK", "text/plain; version=0.0.4", text.encode())
+        if path.startswith("/healthz"):
+            return ("200 OK", "text/plain", b"ok\n")
+        return ("404 Not Found", "text/plain", b"not found\n")

@@ -1,0 +1,35 @@
+"""Named structured loggers carrying node/session context.
+
+Hosts and service components log through adapters built here, so every
+record from ``repro.net.host`` / ``repro.service.*`` is prefixed with a
+stable ``key=value`` context block (node id, session id, ...) without
+each call site re-interpolating it.  Standard :mod:`logging` underneath
+— handlers, levels and propagation behave exactly as users configure
+them.
+"""
+
+from __future__ import annotations
+
+import logging
+from typing import Any
+
+
+class ContextAdapter(logging.LoggerAdapter):
+    """Prefixes every record with the adapter's ``key=value`` context."""
+
+    def process(self, msg: str, kwargs: dict) -> tuple[str, dict]:
+        context = " ".join(f"{k}={v}" for k, v in self.extra.items())
+        return (f"[{context}] {msg}", kwargs) if context else (msg, kwargs)
+
+    def bind(self, **context: Any) -> ContextAdapter:
+        """A child adapter with extra context merged in."""
+        merged = dict(self.extra)
+        merged.update({k: v for k, v in context.items() if v is not None})
+        return ContextAdapter(self.logger, merged)
+
+
+def get_logger(name: str, **context: Any) -> ContextAdapter:
+    """A structured logger named ``name`` with ``context`` attached
+    (``None``-valued context keys are dropped)."""
+    extra = {k: v for k, v in context.items() if v is not None}
+    return ContextAdapter(logging.getLogger(name), extra)

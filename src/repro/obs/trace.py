@@ -1,0 +1,224 @@
+"""Driver-agnostic structured tracing of machine transitions.
+
+Every backend — the discrete-event :class:`~repro.sim.runner.Simulation`,
+the asyncio :class:`~repro.net.host.NodeHost`, the service forge — steps
+machines through the same :class:`~repro.runtime.driver.MachineDriver`,
+so that seam is the one place a complete execution transcript can be
+captured regardless of transport.  The driver emits one
+:class:`TraceSpan` per ``step(event) -> [Effect]`` transition: the node,
+the event kind, the session it routed to (unwrapped from
+:class:`~repro.runtime.envelope.SessionEnvelope` payloads and
+session-namespaced timer tags), the effect kinds produced, and both the
+backend clock and wall clock.
+
+Spans are JSON-ready; :class:`JsonlTraceSink` appends one JSON object
+per line (the record/replay capture format), :class:`MemoryTraceSink`
+keeps a bounded in-memory list for tests and interactive debugging.
+This supersedes the sim-only :class:`repro.sim.tracing.Tracer`, which
+remains for queue-level (pre-dispatch) views of simulated runs.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time as _time
+from dataclasses import dataclass, field
+from typing import Any, Protocol
+
+from repro.runtime.effects import (
+    Broadcast,
+    CancelTimer,
+    LeaderChange,
+    Output,
+    Send,
+    SetTimer,
+    SpawnSession,
+)
+from repro.runtime.envelope import SessionEnvelope
+from repro.runtime.events import (
+    Crashed,
+    MessageReceived,
+    OperatorInput,
+    Recovered,
+    TimerFired,
+)
+
+
+@dataclass(frozen=True)
+class TraceSpan:
+    """One machine transition: the event consumed and effects produced."""
+
+    node: int
+    event: str
+    session: str | None
+    effects: tuple[str, ...]
+    sim_time: float
+    wall_time: float
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "node": self.node,
+            "event": self.event,
+            "session": self.session,
+            "effects": list(self.effects),
+            "t": self.sim_time,
+            "wall": self.wall_time,
+        }
+
+
+def _payload_kind(payload: Any) -> str:
+    return getattr(payload, "kind", type(payload).__name__)
+
+
+def describe_event(event: Any) -> tuple[str, str | None]:
+    """``(label, session)`` for an event; session from the envelope or
+    a runtime-namespaced ``(session, tag)`` timer tag, else ``None``."""
+    session: str | None = None
+    if isinstance(event, MessageReceived):
+        payload = event.payload
+        if isinstance(payload, SessionEnvelope):
+            session = payload.session
+            payload = payload.payload
+        return f"message:{_payload_kind(payload)}", session
+    if isinstance(event, OperatorInput):
+        payload = event.payload
+        if isinstance(payload, SessionEnvelope):
+            session = payload.session
+            payload = payload.payload
+        return f"operator:{_payload_kind(payload)}", session
+    if isinstance(event, TimerFired):
+        tag = event.tag
+        if isinstance(tag, tuple) and len(tag) == 2 and isinstance(tag[0], str):
+            session, tag = tag
+        return f"timer:{tag}", session
+    if isinstance(event, Crashed):
+        return "crash", None
+    if isinstance(event, Recovered):
+        return "recover", None
+    return type(event).__name__, None
+
+
+def describe_effect(effect: Any) -> str:
+    if isinstance(effect, Send):
+        payload = effect.payload
+        if isinstance(payload, SessionEnvelope):
+            payload = payload.payload
+        return f"send:{_payload_kind(payload)}"
+    if isinstance(effect, Broadcast):
+        payload = effect.payload
+        if isinstance(payload, SessionEnvelope):
+            payload = payload.payload
+        return f"broadcast:{_payload_kind(payload)}"
+    if isinstance(effect, SetTimer):
+        return "set-timer"
+    if isinstance(effect, CancelTimer):
+        return "cancel-timer"
+    if isinstance(effect, Output):
+        return f"output:{_payload_kind(effect.payload)}"
+    if isinstance(effect, LeaderChange):
+        return "leader-change"
+    if isinstance(effect, SpawnSession):
+        return f"spawn:{effect.session}"
+    return type(effect).__name__
+
+
+def span_for(
+    node: int, event: Any, effects: list[Any], sim_time: float
+) -> TraceSpan:
+    label, session = describe_event(event)
+    return TraceSpan(
+        node=node,
+        event=label,
+        session=session,
+        effects=tuple(describe_effect(e) for e in effects),
+        sim_time=sim_time,
+        wall_time=_time.time(),
+    )
+
+
+class TraceSink(Protocol):
+    """Anything that accepts spans (duck-typed; see the two below)."""
+
+    def record(self, span: TraceSpan) -> None: ...
+
+
+@dataclass
+class MemoryTraceSink:
+    """Bounded in-memory span store for tests and debugging."""
+
+    limit: int = 100_000
+    spans: list[TraceSpan] = field(default_factory=list)
+    dropped: int = 0
+
+    def record(self, span: TraceSpan) -> None:
+        if len(self.spans) >= self.limit:
+            self.dropped += 1
+            return
+        self.spans.append(span)
+
+    def for_node(self, node: int) -> list[TraceSpan]:
+        return [s for s in self.spans if s.node == node]
+
+    def sessions(self) -> set[str]:
+        return {s.session for s in self.spans if s.session is not None}
+
+    def output_kinds(self, node: int | None = None) -> set[str]:
+        """The distinct ``output:*`` effect labels (optionally per node)."""
+        return {
+            effect
+            for span in self.spans
+            if node is None or span.node == node
+            for effect in span.effects
+            if effect.startswith("output:")
+        }
+
+
+class JsonlTraceSink:
+    """Appends one JSON object per span to ``path`` (or a file object)."""
+
+    def __init__(self, path: Any):
+        if hasattr(path, "write"):
+            self._fh = path
+            self._owns = False
+        else:
+            self._fh = open(path, "a", encoding="utf-8")
+            self._owns = True
+        self._lock = threading.Lock()
+        self.recorded = 0
+
+    def record(self, span: TraceSpan) -> None:
+        line = json.dumps(span.as_dict(), separators=(",", ":"))
+        with self._lock:
+            self._fh.write(line + "\n")
+            self.recorded += 1
+
+    def close(self) -> None:
+        with self._lock:
+            self._fh.flush()
+            if self._owns:
+                self._fh.close()
+
+    def __enter__(self) -> JsonlTraceSink:
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.close()
+
+
+# -- the active sink -----------------------------------------------------------
+
+_sink: TraceSink | None = None
+
+
+def trace_sink() -> TraceSink | None:
+    """The process-wide sink drivers fall back to (``None`` = off)."""
+    return _sink
+
+
+def set_trace_sink(sink: TraceSink | None) -> TraceSink | None:
+    """Install the process-wide sink; returns the previous one."""
+    global _sink
+    previous = _sink
+    _sink = sink
+    return previous

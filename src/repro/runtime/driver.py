@@ -14,6 +14,8 @@ from __future__ import annotations
 
 from typing import Any
 
+from repro.obs import metrics as obs_metrics
+from repro.obs import trace as obs_trace
 from repro.runtime.core import Env, Machine
 from repro.runtime.effects import (
     Broadcast,
@@ -38,10 +40,20 @@ from repro.runtime.events import (
 class MachineDriver:
     """Drives one machine against one transport endpoint."""
 
-    def __init__(self, machine: Machine, transport: Any, node_id: int):
+    def __init__(
+        self,
+        machine: Machine,
+        transport: Any,
+        node_id: int,
+        *,
+        trace_sink: Any = None,
+    ):
         self.machine = machine
         self.transport = transport
         self.node_id = node_id
+        # Per-driver sink override; falls back to the process-wide one
+        # installed with repro.obs.trace.set_trace_sink.
+        self.trace_sink = trace_sink
         # machine-chosen timer id <-> backend timer id
         self._backend_by_machine: dict[int, int] = {}
         self._machine_by_backend: dict[int, int] = {}
@@ -96,7 +108,34 @@ class MachineDriver:
     def dispatch(self, event: Event) -> list[Effect]:
         effects = self.machine.step(event, self.env())
         self.apply(effects)
+        self._observe(event, effects)
         return effects
+
+    def _observe(self, event: Event, effects: list[Effect]) -> None:
+        """Per-transition metering and tracing (the one cross-driver
+        observability seam); both paths no-op when disabled."""
+        reg = obs_metrics.registry()
+        if reg is not None:
+            reg.counter(
+                "repro_runtime_events_total",
+                "events stepped through MachineDriver by kind",
+                event=type(event).__name__,
+            ).inc()
+            for effect in effects:
+                reg.counter(
+                    "repro_runtime_effects_total",
+                    "effects emitted by machine transitions by kind",
+                    effect=type(effect).__name__,
+                ).inc()
+        sink = self.trace_sink
+        if sink is None:
+            sink = obs_trace.trace_sink()
+        if sink is not None:
+            sink.record(
+                obs_trace.span_for(
+                    self.node_id, event, effects, self.transport.current_time()
+                )
+            )
 
     def apply(self, effects: list[Effect]) -> None:
         t = self.transport

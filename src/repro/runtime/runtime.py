@@ -25,6 +25,7 @@ from __future__ import annotations
 
 from typing import Any
 
+from repro.obs import metrics as obs_metrics
 from repro.runtime.core import Env, Machine
 from repro.runtime.effects import (
     Broadcast,
@@ -53,13 +54,25 @@ class UnknownSession(KeyError):
 class ProtocolRuntime:
     """Multiplexes protocol sessions over one transport endpoint."""
 
-    def __init__(self, node_id: int, *, strict: bool = False):
+    def __init__(
+        self,
+        node_id: int,
+        *,
+        strict: bool = False,
+        evict_completed: bool = False,
+    ):
         self.node_id = node_id
         self.strict = strict  # raise on unroutable traffic (tests)
+        # Evict a session's machine (and timers) once it reports a
+        # non-None ``completed`` attribute, keeping only its recorded
+        # outputs — bounds live state on long-lived endpoints that open
+        # sessions forever (proactive phases, presignature forging).
+        self.evict_completed = evict_completed
         self.sessions: dict[str, Machine] = {}
         self.default_session: str | None = None
         self.session_outputs: dict[str, list[Any]] = {}
         self.dropped = 0  # unroutable frames (unknown/closed session)
+        self.sessions_completed = 0  # evicted-after-completion count
         self._next_timer_id = 1
         # runtime timer id -> (session, machine timer id, machine tag)
         self._timers: dict[int, tuple[str, int, Any]] = {}
@@ -82,6 +95,7 @@ class ProtocolRuntime:
         self.session_outputs.setdefault(session, [])
         if default or self.default_session is None:
             self.default_session = session
+        self._publish_active()
         return machine
 
     def close_session(self, session: str) -> None:
@@ -104,6 +118,40 @@ class ProtocolRuntime:
             self._by_inner.pop((session, inner_id), None)
         if self.default_session == session:
             self.default_session = next(iter(self.sessions), None)
+        self._publish_active()
+
+    def _evict_session(self, session: str) -> None:
+        """Drop a *completed* session's machine and timer state.
+
+        Unlike :meth:`close_session` the recorded outputs are kept —
+        completion is detected mid-run, and waiters (``outputs_of``,
+        ``NodeHost.wait_for_output``) read results after the fact.
+        """
+        self.sessions.pop(session, None)
+        stale = [
+            timer_id
+            for timer_id, (sid, _inner, _tag) in self._timers.items()
+            if sid == session
+        ]
+        for timer_id in stale:
+            _sid, inner_id, _tag = self._timers.pop(timer_id)
+            self._by_inner.pop((session, inner_id), None)
+        if self.default_session == session:
+            self.default_session = next(iter(self.sessions), None)
+        self.sessions_completed += 1
+        obs_metrics.counter_inc(
+            "repro_runtime_sessions_completed_total",
+            help="sessions evicted after reporting completion",
+        )
+        self._publish_active()
+
+    def _publish_active(self) -> None:
+        obs_metrics.gauge_set(
+            "repro_runtime_sessions_active",
+            len(self.sessions),
+            help="live protocol sessions multiplexed on this endpoint",
+            node=self.node_id,
+        )
 
     def outputs_of(self, session: str) -> list[Any]:
         return list(self.session_outputs.get(session, []))
@@ -163,7 +211,14 @@ class ProtocolRuntime:
         self, session: str, event: Event, env: Env
     ) -> list[Effect]:
         machine = self.sessions[session]
-        return self._translate(session, machine.step(event, env))
+        effects = self._translate(session, machine.step(event, env))
+        if (
+            self.evict_completed
+            and session in self.sessions
+            and getattr(machine, "completed", None) is not None
+        ):
+            self._evict_session(session)
+        return effects
 
     def _translate(
         self, session: str, effects: list[Effect]

@@ -118,7 +118,10 @@ def run_dkg_sessions(
     keystores = {i: KeyStore.enroll(i, ca, enroll_rng) for i in universe}
     runtimes: dict[int, ProtocolRuntime] = {}
     for i in universe:
-        runtimes[i] = ProtocolRuntime(i)
+        # Completed DKG sessions are evicted as they finish (their
+        # outputs survive for the result sweep below) so a large batch
+        # holds live machines only for its stragglers.
+        runtimes[i] = ProtocolRuntime(i, evict_completed=True)
         sim.add_node(runtimes[i])
     for spec in specs:
         for i in spec.config.vss().indices:

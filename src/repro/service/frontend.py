@@ -30,6 +30,8 @@ import asyncio
 from dataclasses import dataclass, field
 
 from repro.net import wire
+from repro.obs import metrics as obs_metrics
+from repro.obs.logging import get_logger
 from repro.service import protocol
 from repro.service.workers import ThresholdService
 
@@ -84,6 +86,7 @@ class ServiceFrontend:
         self.batch_max = batch_max
         self.rejected_busy = 0
         self.connections_total = 0
+        self.logger = get_logger("repro.service.frontend")
         self._queue: asyncio.Queue[tuple[_ClientConn, object]] = asyncio.Queue()
         self._server: asyncio.AbstractServer | None = None
         self._dispatcher: asyncio.Task | None = None
@@ -130,6 +133,11 @@ class ServiceFrontend:
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
     ) -> None:
         self.connections_total += 1
+        obs_metrics.counter_inc(
+            "repro_service_connections_total",
+            help="client connections accepted by the gateway",
+        )
+        self.logger.debug("client connected (%d total)", self.connections_total)
         client = _ClientConn(writer)
         try:
             while True:
@@ -160,6 +168,7 @@ class ServiceFrontend:
         finally:
             client.closed = True
             writer.close()
+            self.logger.debug("client disconnected")
 
     async def _admit(self, client: _ClientConn, request) -> None:
         """Apply both backpressure layers before queueing."""
@@ -168,6 +177,10 @@ class ServiceFrontend:
             or self._queue.qsize() >= self.max_queue
         ):
             self.rejected_busy += 1
+            obs_metrics.counter_inc(
+                "repro_service_busy_rejections_total",
+                help="requests shed with ERR_BUSY by the gateway",
+            )
             await client.send(
                 protocol.ErrorResponse(
                     request.request_id, protocol.ERR_BUSY, "service saturated"
@@ -177,6 +190,11 @@ class ServiceFrontend:
             return
         client.inflight += 1
         self._queue.put_nowait((client, request))
+        obs_metrics.gauge_set(
+            "repro_service_queue_depth",
+            self._queue.qsize(),
+            help="admitted requests waiting for the dispatcher",
+        )
 
     # -- the dispatch path -----------------------------------------------------
 
@@ -186,6 +204,17 @@ class ServiceFrontend:
             drained = [first]
             while len(drained) < self.batch_max and not self._queue.empty():
                 drained.append(self._queue.get_nowait())
+            obs_metrics.gauge_set(
+                "repro_service_queue_depth",
+                self._queue.qsize(),
+                help="admitted requests waiting for the dispatcher",
+            )
+            obs_metrics.observe(
+                "repro_service_batch_size",
+                len(drained),
+                help="requests drained per dispatch cycle",
+                buckets=(1.0, 2.0, 4.0, 8.0, 16.0, 32.0),
+            )
             by_kind: dict[str, list[tuple[_ClientConn, object]]] = {}
             for item in drained:
                 by_kind.setdefault(item[1].kind, []).append(item)

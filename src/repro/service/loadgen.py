@@ -18,6 +18,7 @@ from __future__ import annotations
 
 import asyncio
 import itertools
+import json
 import time
 from dataclasses import dataclass, field
 
@@ -142,6 +143,13 @@ class ServiceClient:
             raise RuntimeError(f"status failed: {response}")
         return response
 
+    async def ops(self) -> dict:
+        """Fetch the server's live observability snapshot (codec v5)."""
+        response = await self.request(protocol.OpsRequest)
+        if not isinstance(response, protocol.OpsResponse):
+            raise RuntimeError(f"ops failed: {response}")
+        return json.loads(response.snapshot.decode())
+
 
 @dataclass
 class LoadReport:
@@ -155,6 +163,9 @@ class LoadReport:
     invalid_signatures: int = 0
     wall_seconds: float = 0.0
     latencies: list[float] = field(default_factory=list)
+    # The server's OPS snapshot (schema/status/metrics), when the
+    # frontend speaks codec v5; None against older servers.
+    server_snapshot: dict | None = None
 
     def _percentile(self, fraction: float) -> float:
         if not self.latencies:
@@ -176,7 +187,7 @@ class LoadReport:
         return self.completed / self.wall_seconds
 
     def as_dict(self) -> dict:
-        return {
+        report = {
             "clients": self.clients,
             "completed": self.completed,
             "presig_hits": self.presig_hits,
@@ -188,6 +199,9 @@ class LoadReport:
             "p99_ms": round(self.p99_ms, 2),
             "throughput_rps": round(self.throughput, 2),
         }
+        if self.server_snapshot is not None:
+            report["server"] = self.server_snapshot
+        return report
 
 
 class LoadGenerator:
@@ -253,6 +267,20 @@ class LoadGenerator:
             await asyncio.gather(
                 *(connection.close() for connection in connections)
             )
+        # Merge the server's view: client percentiles are half the
+        # story; the OPS snapshot adds pool depth, refill lag and
+        # server-side per-kind latency.  Older servers (codec < 5)
+        # break the connection on the unknown frame — tolerate that.
+        try:
+            probe = await ServiceClient.connect(
+                self.host, self.port, group=self._group, attempts=2
+            )
+            try:
+                report.server_snapshot = await probe.ops()
+            finally:
+                await probe.close()
+        except Exception:
+            report.server_snapshot = None
         return report
 
     def _op_for(self, client_id: int, sequence: int) -> str:

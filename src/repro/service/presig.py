@@ -27,11 +27,14 @@ signature; this pool is the amortization layer that takes it out:
 from __future__ import annotations
 
 import asyncio
+import time
 from collections import deque
 from dataclasses import dataclass
 from typing import Callable
 
 from repro.crypto.feldman import FeldmanCommitment, FeldmanVector
+from repro.obs import metrics as obs_metrics
+from repro.obs.logging import get_logger
 
 
 @dataclass(frozen=True)
@@ -100,6 +103,7 @@ class PresigPool:
         self._wakeup = asyncio.Event()
         self._refill_task: asyncio.Task | None = None
         self._closed = False
+        self.logger = get_logger("repro.service.presig")
 
     # -- introspection ---------------------------------------------------------
 
@@ -111,6 +115,13 @@ class PresigPool:
     @property
     def enabled(self) -> bool:
         return self.target > 0
+
+    def _publish_level(self) -> None:
+        obs_metrics.gauge_set(
+            "repro_service_pool_depth",
+            self.level,
+            help="presignatures ready in the pool",
+        )
 
     # -- lifecycle -------------------------------------------------------------
 
@@ -139,6 +150,7 @@ class PresigPool:
         """Pop one ready presignature, or None when the pool is dry
         (the caller then pays for :meth:`forge_now`)."""
         presig = self._ready.popleft() if self._ready else None
+        self._publish_level()
         if self.enabled and self.level < self.low_watermark:
             self._wakeup.set()
         return presig
@@ -158,6 +170,10 @@ class PresigPool:
         loop = asyncio.get_running_loop()
         presig, shares = await loop.run_in_executor(None, self._forge, presig_id)
         self.forged += 1
+        obs_metrics.counter_inc(
+            "repro_service_presigs_forged_total",
+            help="presignatures forged (pooled and on-demand)",
+        )
         return presig, shares
 
     async def _forge_some(
@@ -171,6 +187,11 @@ class PresigPool:
         loop = asyncio.get_running_loop()
         batch = await loop.run_in_executor(None, self._forge_batch, ids)
         self.forged += len(batch)
+        obs_metrics.counter_inc(
+            "repro_service_presigs_forged_total",
+            amount=len(batch),
+            help="presignatures forged (pooled and on-demand)",
+        )
         return batch
 
     async def refill(self) -> None:
@@ -182,6 +203,9 @@ class PresigPool:
 
         With a batch forge, the whole deficit is forged as concurrent
         multiplexed DKG sessions in one call."""
+        if self._closed or self.level >= self.target:
+            return
+        started = time.perf_counter()
         screened = 0
         while not self._closed and self.level < self.target:
             deficit = self.target - self.level
@@ -194,12 +218,22 @@ class PresigPool:
                     return
                 if self._quarantine & set(presig.contributors):
                     self.invalidated += 1
+                    obs_metrics.counter_inc(
+                        "repro_service_presigs_invalidated_total",
+                        help="pooled presignatures discarded or screened out",
+                    )
                     screened += 1
                     continue
                 self._install(presig, shares)
                 self._ready.append(presig)
+                self._publish_level()
             if screened > self.target:
                 break
+        obs_metrics.observe(
+            "repro_service_pool_refill_seconds",
+            time.perf_counter() - started,
+            help="wall time to bring the pool back to target",
+        )
 
     async def _refill_loop(self) -> None:
         while not self._closed:
@@ -209,12 +243,13 @@ class PresigPool:
                 await self.refill()
             except asyncio.CancelledError:
                 raise
-            except Exception:
+            except Exception as exc:
                 # A failed forge (e.g. too few live nodes for the nonce
                 # DKG) must not kill the pool: signing falls back to
                 # on-demand forging; retry once conditions may have
                 # changed.
                 self.refill_failures += 1
+                self.logger.warning("presignature refill failed: %s", exc)
                 await asyncio.sleep(_REFILL_RETRY_S)
                 if not self._closed and self.level < self.target:
                     self._wakeup.set()
@@ -238,6 +273,13 @@ class PresigPool:
                 survivors.append(presig)
         self._ready = survivors
         self.invalidated += dropped
+        if dropped:
+            obs_metrics.counter_inc(
+                "repro_service_presigs_invalidated_total",
+                amount=dropped,
+                help="pooled presignatures discarded or screened out",
+            )
+        self._publish_level()
         if self.enabled and self.level < self.low_watermark:
             self._wakeup.set()
         return dropped

@@ -98,6 +98,15 @@ class StatusRequest:
     kind = "svc.status"
 
 
+@dataclass(frozen=True)
+class OpsRequest:
+    """Observability introspection: the cluster's metrics snapshot."""
+
+    request_id: int
+
+    kind = "svc.ops"
+
+
 # -- responses -----------------------------------------------------------------
 
 
@@ -176,6 +185,22 @@ class StatusResponse:
 
 
 @dataclass(frozen=True)
+class OpsResponse:
+    """The metrics registry snapshot, JSON-encoded.
+
+    ``snapshot`` is a UTF-8 JSON document ``{"schema": 1, "status":
+    {...}, "metrics": {...}}`` — the same registry schema the
+    ``/metrics.json`` HTTP endpoint serves, carried opaquely so new
+    metric families never need a codec change.
+    """
+
+    request_id: int
+    snapshot: bytes
+
+    kind = "svc.ops.ok"
+
+
+@dataclass(frozen=True)
 class ErrorResponse:
     """Request-level failure; ``code`` is one of the ``ERR_*`` values."""
 
@@ -193,6 +218,7 @@ REQUEST_TYPES = (
     DprfEvalRequest,
     DecryptRequest,
     StatusRequest,
+    OpsRequest,
 )
 
 RESPONSE_TYPES = (
@@ -201,5 +227,6 @@ RESPONSE_TYPES = (
     DprfResponse,
     DecryptResponse,
     StatusResponse,
+    OpsResponse,
     ErrorResponse,
 )

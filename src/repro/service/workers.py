@@ -22,7 +22,9 @@ rather than one by one.
 from __future__ import annotations
 
 import asyncio
+import json
 import random
+import time
 from dataclasses import dataclass, field
 from typing import Awaitable, Callable
 
@@ -43,6 +45,8 @@ from repro.crypto.feldman import (
 from repro.crypto.backend import AbstractGroup
 from repro.crypto.groups import toy_group
 from repro.dkg import DkgConfig, run_dkg
+from repro.obs import metrics as obs_metrics
+from repro.obs.logging import get_logger
 from repro.runtime.sessions import DkgSessionSpec, run_dkg_sessions
 from repro.service import protocol
 from repro.service.presig import PresigPool, Presignature
@@ -252,6 +256,9 @@ class ThresholdService:
         )
         self.served = 0
         self.failed = 0
+        self.logger = get_logger(
+            "repro.service.workers", n=config.n, t=config.t
+        )
         self._combine_rng = random.Random(("svc-combine", config.seed).__repr__())
         self._beacon_lock = asyncio.Lock()
         self._forge_gate = asyncio.Semaphore(max(1, config.forge_concurrency))
@@ -270,11 +277,16 @@ class ThresholdService:
         invalidated (its nonce sub-share must be presumed exposed).
         Returns the number of presignatures dropped."""
         self.workers[index].crash()
-        return self.pool.invalidate(index)
+        dropped = self.pool.invalidate(index)
+        self.logger.bind(node=index).warning(
+            "worker crashed; %d pooled presignatures invalidated", dropped
+        )
+        return dropped
 
     def recover_node(self, index: int) -> None:
         self.workers[index].recover()
         self.pool.absolve(index)
+        self.logger.bind(node=index).info("worker recovered")
 
     @property
     def t(self) -> int:
@@ -471,10 +483,81 @@ class ThresholdService:
             group_name=self.group.name,
         )
 
+    def ops(self, request_id: int = 0) -> protocol.OpsResponse:
+        """The live metrics snapshot plus a status digest, as JSON.
+
+        Metric families are carried opaquely (one JSON document) so
+        adding instrumentation anywhere in the stack never requires a
+        codec change — clients read names they know and ignore the rest.
+        """
+        reg = obs_metrics.registry()
+        document = {
+            "schema": 1,
+            "status": {
+                "n": self.config.n,
+                "t": self.config.t,
+                "alive": len(self.alive),
+                "pool_ready": self.pool.level,
+                "pool_target": self.pool.target,
+                "served": self.served,
+                "failed": self.failed,
+                "beacon_height": self.beacon.height,
+                "group": self.group.name,
+            },
+            "metrics": reg.snapshot() if reg is not None else {},
+        }
+        return protocol.OpsResponse(
+            request_id,
+            json.dumps(document, separators=(",", ":"), default=str).encode(),
+        )
+
     # -- request dispatch ------------------------------------------------------
 
     async def handle(self, request) -> object:
-        """Map one protocol request to its response (never raises)."""
+        """Map one protocol request to its response (never raises).
+
+        Every singly-dispatched request is timed into
+        ``repro_service_request_seconds{kind}`` (coalesced batch paths
+        in :meth:`handle_batch` meter themselves).
+        """
+        started = time.perf_counter()
+        response = await self._handle_inner(request)
+        kind = getattr(request, "kind", type(request).__name__)
+        obs_metrics.observe(
+            "repro_service_request_seconds",
+            time.perf_counter() - started,
+            help="request handling latency by request kind",
+            kind=kind,
+        )
+        obs_metrics.counter_inc(
+            "repro_service_requests_total",
+            help="requests handled by kind and outcome",
+            kind=kind,
+            outcome="error"
+            if isinstance(response, protocol.ErrorResponse)
+            else "ok",
+        )
+        return response
+
+    def _meter_batch(self, requests: list, started: float, *, ok: bool) -> None:
+        """Meter a coalesced batch as if each request were handled alone."""
+        elapsed = time.perf_counter() - started
+        for request in requests:
+            kind = getattr(request, "kind", type(request).__name__)
+            obs_metrics.observe(
+                "repro_service_request_seconds",
+                elapsed,
+                help="request handling latency by request kind",
+                kind=kind,
+            )
+            obs_metrics.counter_inc(
+                "repro_service_requests_total",
+                help="requests handled by kind and outcome",
+                kind=kind,
+                outcome="ok" if ok else "error",
+            )
+
+    async def _handle_inner(self, request) -> object:
         rid = request.request_id
         try:
             if isinstance(request, protocol.SignRequest):
@@ -506,6 +589,8 @@ class ThresholdService:
                 )
             elif isinstance(request, protocol.StatusRequest):
                 response = self.status(rid)
+            elif isinstance(request, protocol.OpsRequest):
+                response = self.ops(rid)
             else:
                 raise ValueError(f"unsupported request {type(request).__name__}")
         except (ValueError, TypeError) as exc:
@@ -531,10 +616,12 @@ class ThresholdService:
           nonce) runs concurrently.
         """
         if len(requests) > 1 and isinstance(requests[0], protocol.BeaconNextRequest):
+            started = time.perf_counter()
             try:
                 round_ = await self.beacon_next()
             except ServiceUnavailable as exc:
                 self.failed += len(requests)
+                self._meter_batch(requests, started, ok=False)
                 return [
                     protocol.ErrorResponse(
                         r.request_id, protocol.ERR_UNAVAILABLE, str(exc)
@@ -542,6 +629,7 @@ class ThresholdService:
                     for r in requests
                 ]
             self.served += len(requests)
+            self._meter_batch(requests, started, ok=True)
             return [
                 protocol.BeaconResponse(
                     r.request_id, round_.round_number, round_.output, round_.value
@@ -549,6 +637,7 @@ class ThresholdService:
                 for r in requests
             ]
         if len(requests) > 1 and isinstance(requests[0], protocol.DprfEvalRequest):
+            started = time.perf_counter()
             unique_tags = list(dict.fromkeys(r.tag for r in requests))
             outputs: dict[bytes, object] = {}
             for tag, outcome in zip(
@@ -564,6 +653,7 @@ class ThresholdService:
                 outcome = outputs[request.tag]
                 if isinstance(outcome, BaseException):
                     self.failed += 1
+                    self._meter_batch([request], started, ok=False)
                     responses.append(
                         protocol.ErrorResponse(
                             request.request_id,
@@ -575,6 +665,7 @@ class ThresholdService:
                     )
                 else:
                     self.served += 1
+                    self._meter_batch([request], started, ok=True)
                     responses.append(
                         protocol.DprfResponse(request.request_id, outcome)
                     )

@@ -9,12 +9,22 @@ plus counts of recoveries and leader changes.  Every send passes
 through :class:`Metrics`, which tallies both, bucketed by message kind,
 so benchmarks can print per-kind breakdowns (e.g. echo vs. ready vs.
 recovery traffic) next to the paper's asymptotic bounds.
+
+The tallies stay plain attributes — a simulated run records millions of
+sends, and attribute increments are the cheapest thing python does —
+but the class is rebased onto the :mod:`repro.obs.metrics` schema for
+exposition: :meth:`publish` writes the run's totals into any registry
+under the ``repro_run_*`` metric family, and :meth:`snapshot` /
+:meth:`render_text` render that family standalone, so a simulator run
+and a live TCP deployment report through one schema.
 """
 
 from __future__ import annotations
 
 from collections import Counter
 from dataclasses import dataclass, field
+
+from repro.obs.metrics import MetricsRegistry
 
 
 @dataclass
@@ -52,6 +62,9 @@ class Metrics:
     def record_leader_change(self) -> None:
         self.leader_changes += 1
 
+    def record_timer_set(self) -> None:
+        self.timers_set += 1
+
     def record_completion(self, node: int, time: float) -> None:
         # Keep the first completion time per node.
         self.completion_times.setdefault(node, time)
@@ -74,3 +87,54 @@ class Metrics:
             "completed_nodes": len(self.completion_times),
             "last_completion": self.last_completion,
         }
+
+    # -- unified obs schema ----------------------------------------------------
+
+    def publish(self, reg: MetricsRegistry) -> None:
+        """Write this run's totals into ``reg`` as ``repro_run_*``."""
+        for kind in sorted(self.messages_by_kind):
+            reg.counter(
+                "repro_run_messages_total",
+                "protocol messages sent, by wire kind",
+                kind=kind,
+            ).set_total(self.messages_by_kind[kind])
+            reg.counter(
+                "repro_run_bytes_total",
+                "protocol bytes sent, by wire kind",
+                kind=kind,
+            ).set_total(self.bytes_by_kind[kind])
+        pairs = (
+            ("repro_run_drops_total", self.deliveries_dropped, "deliveries dropped"),
+            ("repro_run_crashes_total", self.crashes, "node crashes"),
+            ("repro_run_recoveries_total", self.recoveries, "node recoveries"),
+            (
+                "repro_run_leader_changes_total",
+                self.leader_changes,
+                "DKG leader changes",
+            ),
+            ("repro_run_timers_set_total", self.timers_set, "timers armed"),
+            (
+                "repro_run_completions_total",
+                len(self.completion_times),
+                "nodes that reached a protocol output",
+            ),
+        )
+        for name, value, help_text in pairs:
+            reg.counter(name, help_text).set_total(value)
+        if self.completion_times:
+            reg.gauge(
+                "repro_run_last_completion_time",
+                "virtual time of the slowest completion",
+            ).set(self.last_completion)
+
+    def snapshot(self) -> dict[str, object]:
+        """This run's totals in the registry snapshot schema."""
+        reg = MetricsRegistry()
+        self.publish(reg)
+        return reg.snapshot(collect=False)
+
+    def render_text(self) -> str:
+        """This run's totals in Prometheus text exposition."""
+        reg = MetricsRegistry()
+        self.publish(reg)
+        return reg.render_text(collect=False)

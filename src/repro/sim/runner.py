@@ -137,7 +137,7 @@ class Simulation:
 
     def set_timer(self, node: int, delay: float, tag: Any) -> int:
         timer_id = next(self._timer_ids)
-        self.metrics.timers_set += 1
+        self.metrics.record_timer_set()
         self.queue.push(self.queue.now + delay, TimerFired(node, tag, timer_id))
         return timer_id
 

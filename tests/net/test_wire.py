@@ -46,6 +46,8 @@ from repro.service.protocol import (
     DprfEvalRequest,
     DprfResponse,
     ErrorResponse,
+    OpsRequest,
+    OpsResponse,
     SignRequest,
     SignResponse,
     StatusRequest,
@@ -169,6 +171,9 @@ MESSAGES = [
     StatusRequest(12),
     StatusResponse(12, 7, 2, 6, 5, 16, 100, 2, 3, 9, "toy-0"),
     ErrorResponse(13, ERR_UNAVAILABLE, "too few signers"),
+    # observability frames (codec v5)
+    OpsRequest(14),
+    OpsResponse(14, b'{"schema":1,"status":{},"metrics":{}}'),
 ]
 
 _IDS = [f"{type(m).__name__}-{i}" for i, m in enumerate(MESSAGES)]

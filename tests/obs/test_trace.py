@@ -1,0 +1,134 @@
+"""Tests for repro.obs.trace: the MachineDriver-seam transcript.
+
+The headline property is backend equivalence: the same DKG traced over
+the deterministic simulator and over real asyncio TCP sockets produces
+the same *protocol-level* transcript shape — the same nodes exchanging
+the same message kinds and emitting the same outputs — because both
+backends step machines through the one shared driver.  Ordering and
+timing legitimately differ, so equivalence is asserted on kind sets,
+never on sequences.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+
+from repro.dkg import DkgConfig, run_dkg
+from repro.obs.trace import (
+    JsonlTraceSink,
+    MemoryTraceSink,
+    TraceSpan,
+    describe_event,
+    set_trace_sink,
+)
+from repro.runtime.envelope import SessionEnvelope
+from repro.runtime.events import MessageReceived, TimerFired
+
+
+def _traced_sim_dkg(n: int = 4, t: int = 1, seed: int = 3) -> MemoryTraceSink:
+    sink = MemoryTraceSink()
+    previous = set_trace_sink(sink)
+    try:
+        result = run_dkg(DkgConfig(n=n, t=t), seed=seed)
+        assert result.succeeded
+    finally:
+        set_trace_sink(previous)
+    return sink
+
+
+class TestDescribe:
+    def test_envelope_unwrapped_to_session(self) -> None:
+        class _Msg:
+            kind = "dkg.echo"
+
+        label, session = describe_event(
+            MessageReceived(1, SessionEnvelope("nonce-7", _Msg()))
+        )
+        assert label == "message:dkg.echo"
+        assert session == "nonce-7"
+
+    def test_session_namespaced_timer_tag_unwrapped(self) -> None:
+        label, session = describe_event(
+            TimerFired(("nonce-7", "echo-timeout"), 42)
+        )
+        assert label == "timer:echo-timeout"
+        assert session == "nonce-7"
+
+    def test_plain_timer_tag_has_no_session(self) -> None:
+        label, session = describe_event(TimerFired("echo-timeout", 42))
+        assert label == "timer:echo-timeout"
+        assert session is None
+
+
+class TestSimulatedRunCapture:
+    def test_sim_dkg_produces_complete_transcript(self) -> None:
+        sink = _traced_sim_dkg()
+        kinds = {span.event for span in sink.spans}
+        # The paper's DKG round structure is visible in the transcript.
+        assert "message:dkg.send" in kinds
+        assert "message:dkg.echo" in kinds
+        assert "message:dkg.ready" in kinds
+        # Every node both received events and completed.
+        for node in range(1, 5):
+            assert sink.for_node(node), f"no spans for node {node}"
+            assert "output:dkg.out.completed" in sink.output_kinds(node)
+
+    def test_memory_sink_bounds_growth(self) -> None:
+        sink = MemoryTraceSink(limit=2)
+        span = TraceSpan(1, "message:x", None, (), 0.0, 0.0)
+        for _ in range(5):
+            sink.record(span)
+        assert len(sink.spans) == 2
+        assert sink.dropped == 3
+
+
+class TestJsonlSink:
+    def test_lines_parse_and_carry_span_fields(self) -> None:
+        buffer = io.StringIO()
+        sink = JsonlTraceSink(buffer)
+        previous = set_trace_sink(sink)
+        try:
+            result = run_dkg(DkgConfig(n=4, t=1), seed=5)
+            assert result.succeeded
+        finally:
+            set_trace_sink(previous)
+            sink.close()
+        lines = [line for line in buffer.getvalue().splitlines() if line]
+        assert sink.recorded == len(lines) > 0
+        for line in lines:
+            record = json.loads(line)
+            assert set(record) == {"node", "event", "session", "effects", "t", "wall"}
+        events = {json.loads(line)["event"] for line in lines}
+        assert "message:dkg.echo" in events
+
+
+class TestBackendEquivalence:
+    def test_sim_and_tcp_transcripts_agree_on_kinds(self) -> None:
+        from repro.net.cluster import run_local_cluster
+
+        sim_sink = _traced_sim_dkg(seed=7)
+
+        tcp_sink = MemoryTraceSink()
+        previous = set_trace_sink(tcp_sink)
+        try:
+            result = run_local_cluster(
+                DkgConfig(n=4, t=1), seed=7, time_scale=0.01, timeout=60.0
+            )
+            assert result.succeeded
+        finally:
+            set_trace_sink(previous)
+
+        def message_kinds(sink: MemoryTraceSink) -> set[str]:
+            return {
+                span.event
+                for span in sink.spans
+                if span.event.startswith("message:")
+            }
+
+        shared = {"message:dkg.send", "message:dkg.echo", "message:dkg.ready"}
+        assert shared <= message_kinds(sim_sink)
+        assert shared <= message_kinds(tcp_sink)
+        # Identical completion picture, node by node.
+        for node in range(1, 5):
+            assert sim_sink.output_kinds(node) == tcp_sink.output_kinds(node)

@@ -1,0 +1,174 @@
+"""The live ops surface: OPS frames over TCP and the HTTP endpoint.
+
+These are the acceptance tests for ISSUE E17's headline capability: a
+running service answers an OPS request over its ordinary client port
+with a JSON snapshot carrying pool depth, per-kind latency histograms
+and the rest of the registry, and (separately) serves the same registry
+as Prometheus text over HTTP.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import urllib.error
+import urllib.request
+
+from repro.obs.http import MetricsHttpServer
+from repro.obs.metrics import MetricsRegistry, set_registry
+from repro.service import protocol
+from repro.service.frontend import ServiceFrontend
+from repro.service.loadgen import LoadGenerator, ServiceClient
+from repro.service.workers import ServiceConfig, ThresholdService
+
+
+def _run(coro):
+    return asyncio.run(coro)
+
+
+async def _stack(config: ServiceConfig, **frontend_kw):
+    service = ThresholdService(config)
+    await service.start()
+    frontend = ServiceFrontend(service, **frontend_kw)
+    await frontend.start()
+    return service, frontend
+
+
+async def _teardown(service, frontend, *clients) -> None:
+    for client in clients:
+        await client.close()
+    await frontend.stop()
+    await service.stop()
+
+
+class TestOpsOverTheWire:
+    def test_ops_snapshot_carries_status_and_metrics(self) -> None:
+        registry = MetricsRegistry()
+        previous = set_registry(registry)
+
+        async def scenario():
+            service, frontend = await _stack(
+                ServiceConfig(n=4, t=1, seed=3, pool_target=2)
+            )
+            client = await ServiceClient.connect(frontend.host, frontend.port)
+            await client.sign(b"warm the latency histogram")
+            snapshot = await client.ops()
+            await _teardown(service, frontend, client)
+            return snapshot
+
+        try:
+            snapshot = _run(scenario())
+        finally:
+            set_registry(previous)
+
+        assert snapshot["schema"] == 1
+        status = snapshot["status"]
+        assert status["n"] == 4 and status["t"] == 1
+        assert status["pool_target"] == 2
+        metrics = snapshot["metrics"]
+        # The headline families: pool depth, per-kind request latency.
+        assert "repro_service_pool_depth" in metrics
+        assert "repro_service_request_seconds" in metrics
+        kinds = {
+            s["labels"]["kind"]
+            for s in metrics["repro_service_request_seconds"]["samples"]
+        }
+        assert "svc.sign" in kinds
+        sign = next(
+            s
+            for s in metrics["repro_service_request_seconds"]["samples"]
+            if s["labels"]["kind"] == "svc.sign"
+        )
+        assert sign["count"] >= 1 and sign["p99"] > 0
+        # The whole document is one JSON round-trip away from the wire.
+        json.dumps(snapshot)
+
+    def test_ops_response_type_and_raw_frame(self) -> None:
+        registry = MetricsRegistry()
+        previous = set_registry(registry)
+
+        async def scenario():
+            service, frontend = await _stack(
+                ServiceConfig(n=4, t=1, seed=4, pool_target=0)
+            )
+            client = await ServiceClient.connect(frontend.host, frontend.port)
+            response = await client.request(protocol.OpsRequest)
+            await _teardown(service, frontend, client)
+            return response
+
+        try:
+            response = _run(scenario())
+        finally:
+            set_registry(previous)
+        assert isinstance(response, protocol.OpsResponse)
+        document = json.loads(response.snapshot.decode())
+        assert document["schema"] == 1
+
+    def test_loadgen_merges_server_snapshot(self) -> None:
+        registry = MetricsRegistry()
+        previous = set_registry(registry)
+
+        async def scenario():
+            service, frontend = await _stack(
+                ServiceConfig(n=4, t=1, seed=5, pool_target=2)
+            )
+            generator = LoadGenerator(
+                frontend.host,
+                frontend.port,
+                clients=2,
+                requests_per_client=2,
+                op="sign",
+            )
+            report = await generator.run()
+            await _teardown(service, frontend)
+            return report
+
+        try:
+            report = _run(scenario())
+        finally:
+            set_registry(previous)
+        assert report.completed == 4
+        assert report.server_snapshot is not None
+        assert "repro_service_pool_depth" in report.server_snapshot["metrics"]
+        assert "server" in report.as_dict()
+
+
+class TestMetricsHttpEndpoint:
+    def test_http_text_and_json_expositions(self) -> None:
+        registry = MetricsRegistry()
+        registry.counter(
+            "repro_service_requests_total", kind="svc.sign", outcome="ok"
+        ).inc(3)
+        registry.histogram("repro_service_request_seconds", kind="svc.sign").observe(
+            0.01
+        )
+
+        async def scenario():
+            server = MetricsHttpServer(registry=registry)
+            await server.start()
+            base = f"http://{server.host}:{server.port}"
+            loop = asyncio.get_running_loop()
+
+            def fetch(path: str) -> tuple[int, bytes]:
+                with urllib.request.urlopen(base + path) as response:
+                    return response.status, response.read()
+
+            text = await loop.run_in_executor(None, fetch, "/metrics")
+            as_json = await loop.run_in_executor(None, fetch, "/metrics.json")
+            health = await loop.run_in_executor(None, fetch, "/healthz")
+            try:
+                await loop.run_in_executor(None, fetch, "/nope")
+                missing_status = 200
+            except urllib.error.HTTPError as exc:
+                missing_status = exc.code
+            await server.stop()
+            return text, as_json, health, missing_status
+
+        text, as_json, health, missing_status = _run(scenario())
+        assert text[0] == 200
+        body = text[1].decode()
+        assert "# TYPE repro_service_requests_total counter" in body
+        assert 'repro_service_requests_total{kind="svc.sign",outcome="ok"} 3' in body
+        assert json.loads(as_json[1])["repro_service_requests_total"]
+        assert health[1] == b"ok\n"
+        assert missing_status == 404

@@ -1,4 +1,4 @@
-"""Wire-level tests for the service frames (codec versions 2/3).
+"""Wire-level tests for the service frames (codec versions 2/3/5).
 
 Mirrors the :mod:`tests.net.test_wire` acceptance bar for the new
 kinds: every service message round-trips, truncated/garbled frames are
@@ -23,6 +23,8 @@ from repro.service.protocol import (
     DprfEvalRequest,
     DprfResponse,
     ErrorResponse,
+    OpsRequest,
+    OpsResponse,
     SignRequest,
     SignResponse,
     StatusRequest,
@@ -46,6 +48,9 @@ MESSAGES = [
     StatusResponse(7, 7, 2, 7, 0, 0, 0, 0, 0, 123456, "rfc5114-1024-160"),
     ErrorResponse(8, ERR_BUSY, "service saturated"),
     ErrorResponse(9, ERR_BUSY, ""),
+    OpsRequest(10),
+    OpsResponse(10, b'{"schema":1,"status":{"n":7},"metrics":{}}'),
+    OpsResponse(11, b""),
 ]
 
 _IDS = [f"{type(m).__name__}-{i}" for i, m in enumerate(MESSAGES)]
@@ -59,11 +64,16 @@ class TestServiceRoundTrip:
     def test_frames_carry_minimum_codec_version(self) -> None:
         # Unchanged service kinds stay at their v2 introduction stamp;
         # STATUS responses changed layout in v3 (name precedes key).
-        # (v4 added only new kinds — envelope and groupmod frames.)
-        assert wire.VERSION == 4
+        # (v4 added only new kinds — envelope and groupmod frames;
+        # v5 likewise added only the OPS observability frames.)
+        assert wire.VERSION == 5
         assert wire.encode(SignRequest(1, b"m"))[6] == 2
         status = StatusResponse(7, 7, 2, 7, 0, 0, 0, 0, 0, 1, "toy-0")
         assert wire.encode(status)[6] == 3
+
+    def test_ops_frames_stamped_v5(self) -> None:
+        assert wire.encode(OpsRequest(1))[6] == 5
+        assert wire.encode(OpsResponse(1, b"{}"))[6] == 5
 
     def test_service_kinds_start_at_boundary(self) -> None:
         service_types = {type(m) for m in MESSAGES}
@@ -91,6 +101,14 @@ class TestVersionGating:
         frame = bytearray(wire.encode(StatusRequest(1)))
         frame[6] = wire.VERSION + 1
         with pytest.raises(wire.WireError):
+            wire.decode(bytes(frame))
+
+    def test_ops_frame_claiming_v4_rejected(self) -> None:
+        # OPS kinds did not exist before v5; a frame claiming an older
+        # codec with an OPS kind byte is a protocol violation.
+        frame = bytearray(wire.encode(OpsRequest(1)))
+        frame[6] = 4
+        with pytest.raises(wire.WireError, match="version"):
             wire.decode(bytes(frame))
 
     def test_ec_element_frames_stamped_v3(self) -> None:

@@ -47,3 +47,62 @@ class TestMetrics:
         assert summary["bytes"] == 5
         assert summary["completed_nodes"] == 1
         assert summary["last_completion"] == 2.0
+
+
+class TestRegistrySchema:
+    """The sim tallies export through the unified repro.obs schema."""
+
+    def test_snapshot_uses_registry_schema(self) -> None:
+        metrics = Metrics()
+        metrics.record_send(1, "dkg.echo", 100)
+        metrics.record_send(2, "dkg.echo", 100)
+        metrics.record_send(1, "dkg.ready", 80)
+        metrics.record_completion(1, 2.5)
+        snap = metrics.snapshot()
+        by_kind = {
+            s["labels"]["kind"]: s["value"]
+            for s in snap["repro_run_messages_total"]["samples"]
+        }
+        assert by_kind == {"dkg.echo": 2, "dkg.ready": 1}
+        bytes_by_kind = {
+            s["labels"]["kind"]: s["value"]
+            for s in snap["repro_run_bytes_total"]["samples"]
+        }
+        assert bytes_by_kind == {"dkg.echo": 200, "dkg.ready": 80}
+        assert (
+            snap["repro_run_last_completion_time"]["samples"][0]["value"] == 2.5
+        )
+
+    def test_render_text_is_prometheus_exposition(self) -> None:
+        metrics = Metrics()
+        metrics.record_send(1, "dkg.send", 64)
+        metrics.record_crash()
+        text = metrics.render_text()
+        assert 'repro_run_messages_total{kind="dkg.send"} 1' in text
+        assert "repro_run_crashes_total 1" in text
+
+    def test_publish_is_idempotent(self) -> None:
+        # set_total semantics: re-publishing the same run into the same
+        # registry must not double-count.
+        from repro.obs.metrics import MetricsRegistry
+
+        metrics = Metrics()
+        metrics.record_send(1, "a", 10)
+        reg = MetricsRegistry()
+        metrics.publish(reg)
+        metrics.publish(reg)
+        snap = reg.snapshot(collect=False)
+        assert snap["repro_run_messages_total"]["samples"][0]["value"] == 1
+
+    def test_summary_surface_unchanged(self) -> None:
+        # The historic bench surface stays exactly as it was.
+        metrics = Metrics()
+        assert set(metrics.summary()) == {
+            "messages",
+            "bytes",
+            "crashes",
+            "recoveries",
+            "leader_changes",
+            "completed_nodes",
+            "last_completion",
+        }
