@@ -14,6 +14,9 @@ Examples::
     python -m repro serve --n 7 --t 2 --port 7710 --metrics-port 9100
     python -m repro ops --port 7710                     # live metrics snapshot
     python -m repro loadgen --port 7710 --clients 32 --requests 4
+    python -m repro dkg --n 7 --t 2 --trace-out run.jsonl   # flight recorder
+    python -m repro replay run.jsonl                    # bit-identical re-run
+    python -m repro trace run.jsonl                     # latency/flow analysis
 """
 
 from __future__ import annotations
@@ -21,6 +24,7 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+from contextlib import contextmanager
 
 from repro.crypto.backend import element_hex
 from repro.crypto.groups import BACKENDS, group_by_name
@@ -75,12 +79,70 @@ def _emit(args: argparse.Namespace, payload: dict) -> None:
             print(f"{key}: {value}")
 
 
+def _trace_arg(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--trace-out", default=None, metavar="FILE.jsonl",
+        help="record a full-payload flight-recorder capture to this "
+             "file (replayable with `repro replay`, analyzable with "
+             "`repro trace`)",
+    )
+
+
+@contextmanager
+def _flight_recorder(
+    args: argparse.Namespace,
+    cmd: str,
+    *,
+    transport: str,
+    config=None,
+    group=None,
+    **extra,
+):
+    """Install a payload-mode JsonlTraceSink for the wrapped run.
+
+    The confirmation note goes to stderr: stdout may be machine-read
+    ``--json`` output (the CI smoke pipes it through ``json.load``).
+    """
+    if getattr(args, "trace_out", None) is None:
+        yield None
+        return
+    from repro.obs import trace as obs_trace
+    from repro.obs.replay import capture_meta
+
+    if config is not None:
+        group = config.group
+        meta = capture_meta(cmd, config, args.seed, transport, **extra)
+    else:
+        meta = {
+            "cmd": cmd,
+            "transport": transport,
+            "seed": args.seed,
+            "group": group.name,
+            **extra,
+        }
+    sink = obs_trace.JsonlTraceSink(
+        args.trace_out, payloads=True, group=group, meta=meta, mode="w"
+    )
+    previous = obs_trace.set_trace_sink(sink)
+    try:
+        yield sink
+    finally:
+        obs_trace.set_trace_sink(previous)
+        sink.close()
+        print(
+            f"trace: {sink.recorded} spans captured to {args.trace_out} "
+            f"(transcript {sink.transcript})",
+            file=sys.stderr,
+        )
+
+
 def cmd_dkg(args: argparse.Namespace) -> int:
     config = DkgConfig(
         n=args.n, t=args.t, f=args.f,
         group=_group(args), codec=_codec(args),
     )
-    result = run_dkg(config, seed=args.seed, reconstruct=args.reconstruct)
+    with _flight_recorder(args, "dkg", transport="sim", config=config, tau=0):
+        result = run_dkg(config, seed=args.seed, reconstruct=args.reconstruct)
     payload = {
         "succeeded": result.succeeded,
         "q_set": list(result.q_set),
@@ -140,15 +202,18 @@ def cmd_renew(args: argparse.Namespace) -> int:
     if args.transport == "tcp":
         from repro.net.proactive import run_renewal_cluster
 
-        result = run_renewal_cluster(
-            config,
-            seed=args.seed,
-            phases=args.phases,
-            delay_model=_tcp_delay_model(args),
-            time_scale=args.time_scale,
-            crash_plan=args.crash,
-            timeout=args.timeout,
-        )
+        with _flight_recorder(
+            args, "renew", transport="tcp", config=config, phases=args.phases
+        ):
+            result = run_renewal_cluster(
+                config,
+                seed=args.seed,
+                phases=args.phases,
+                delay_model=_tcp_delay_model(args),
+                time_scale=args.time_scale,
+                crash_plan=args.crash,
+                timeout=args.timeout,
+            )
         _emit(
             args,
             {
@@ -173,19 +238,24 @@ def cmd_renew(args: argparse.Namespace) -> int:
             },
         )
         return 0 if result.succeeded else 1
-    system = ProactiveSystem(config, seed=args.seed)
-    system.bootstrap()
-    secret_before = system.reconstruct()
-    phases = []
-    for _ in range(args.phases):
-        report = system.renew()
-        phases.append(
-            {
-                "phase": report.phase,
-                "messages": report.metrics.messages_total,
-                "public_key_stable": report.public_key == system.public_key,
-            }
-        )
+    # Sim renewal spins up a fresh simulation per phase, so its capture
+    # is analysis-only (`repro trace`); replay needs the tcp transport.
+    with _flight_recorder(
+        args, "renew", transport="sim", config=config, phases=args.phases
+    ):
+        system = ProactiveSystem(config, seed=args.seed)
+        system.bootstrap()
+        secret_before = system.reconstruct()
+        phases = []
+        for _ in range(args.phases):
+            report = system.renew()
+            phases.append(
+                {
+                    "phase": report.phase,
+                    "messages": report.metrics.messages_total,
+                    "public_key_stable": report.public_key == system.public_key,
+                }
+            )
     _emit(
         args,
         {
@@ -209,15 +279,18 @@ def cmd_groupmod(args: argparse.Namespace) -> int:
     if args.transport == "tcp":
         from repro.net.groupmod import run_groupmod_cluster
 
-        result = run_groupmod_cluster(
-            config,
-            seed=args.seed,
-            new_node=new_node,
-            delay_model=_tcp_delay_model(args),
-            time_scale=args.time_scale,
-            crash_plan=args.crash,
-            timeout=args.timeout,
-        )
+        with _flight_recorder(
+            args, "groupmod", transport="tcp", config=config, new_node=new_node
+        ):
+            result = run_groupmod_cluster(
+                config,
+                seed=args.seed,
+                new_node=new_node,
+                delay_model=_tcp_delay_model(args),
+                time_scale=args.time_scale,
+                crash_plan=args.crash,
+                timeout=args.timeout,
+            )
         _emit(
             args,
             {
@@ -239,13 +312,18 @@ def cmd_groupmod(args: argparse.Namespace) -> int:
     from repro.groupmod import GroupManager
     from repro.groupmod.messages import ModProposal
 
-    manager = GroupManager(config, seed=args.seed)
-    manager.bootstrap()
-    secret_before = manager.reconstruct()
-    report = manager.agree(
-        {min(manager.members): ModProposal("add", new_node)}
-    )
-    addition = manager.add_node(new_node)
+    # Sim groupmod simulates each stage separately; capture is
+    # analysis-only, like sim renewal.
+    with _flight_recorder(
+        args, "groupmod", transport="sim", config=config, new_node=new_node
+    ):
+        manager = GroupManager(config, seed=args.seed)
+        manager.bootstrap()
+        secret_before = manager.reconstruct()
+        report = manager.agree(
+            {min(manager.members): ModProposal("add", new_node)}
+        )
+        addition = manager.add_node(new_node)
     _emit(
         args,
         {
@@ -289,14 +367,15 @@ def cmd_cluster(args: argparse.Namespace) -> int:
         delay_model = DropRetryLink(
             base=delay_model, drop_probability=args.drop
         )
-    result = run_local_cluster(
-        config,
-        seed=args.seed,
-        delay_model=delay_model,
-        time_scale=args.time_scale,
-        crash_plan=args.crash,
-        timeout=args.timeout,
-    )
+    with _flight_recorder(args, "cluster", transport="tcp", config=config, tau=0):
+        result = run_local_cluster(
+            config,
+            seed=args.seed,
+            delay_model=delay_model,
+            time_scale=args.time_scale,
+            crash_plan=args.crash,
+            timeout=args.timeout,
+        )
     payload = {
         "transport": "asyncio-tcp",
         "succeeded": result.succeeded,
@@ -416,10 +495,84 @@ def cmd_serve(args: argparse.Namespace) -> int:
         }
 
     try:
-        summary = asyncio.run(_main())
+        # Service traffic is client-driven, so the capture is
+        # analysis-only (`repro trace`), not replayable.
+        with _flight_recorder(
+            args, "serve", transport="tcp", group=config.group,
+            n=args.n, t=args.t, f=args.f,
+        ):
+            summary = asyncio.run(_main())
     except KeyboardInterrupt:  # pragma: no cover - interactive teardown
         return 0
     _emit(args, summary)
+    return 0
+
+
+def cmd_replay(args: argparse.Namespace) -> int:
+    """Re-execute a flight-recorder capture and verify its transcript."""
+    from repro.obs.replay import ReplayError, replay_file
+
+    try:
+        result = replay_file(args.capture)
+    except (ReplayError, OSError) as exc:
+        print(f"replay failed: {exc}", file=sys.stderr)
+        return 2
+    _emit(args, result.as_dict())
+    return 0 if result.matched else 1
+
+
+def cmd_trace(args: argparse.Namespace) -> int:
+    """Analyze a capture: phase latencies, flow matrix, critical path."""
+    from repro.obs.analysis import analyze_file
+    from repro.obs.replay import ReplayError
+
+    try:
+        report = analyze_file(args.capture)
+    except (ReplayError, OSError) as exc:
+        print(f"trace analysis failed: {exc}", file=sys.stderr)
+        return 2
+    if args.json:
+        print(json.dumps(report.as_dict(), indent=2, default=str))
+        return 0
+    meta = report.meta
+    print(
+        f"capture: cmd={meta.get('cmd')} transport={meta.get('transport')} "
+        f"group={meta.get('group')} seed={meta.get('seed')} "
+        f"spans={report.spans}"
+    )
+    if report.thresholds:
+        th = report.thresholds
+        print(
+            f"thresholds: n={th['n']} t={th['t']} f={th['f']} "
+            f"echo={th['echo']} ready={th['ready']} output={th['output']}"
+        )
+    print("phases:")
+    for phase in report.phases:
+        lat = phase.latencies()
+        print(
+            f"  {phase.session}: spans={phase.spans} outputs={phase.outputs} "
+            f"send->echo={lat['send_to_echo']} "
+            f"echo->ready={lat['echo_to_ready']} "
+            f"ready->output={lat['ready_to_output']} "
+            f"total={lat['send_to_output']}"
+        )
+    print("flow (node x message kind):")
+    for node, kinds in sorted(report.flow.items()):
+        row = " ".join(f"{kind}={count}" for kind, count in sorted(kinds.items()))
+        print(f"  node {node}: {row}")
+    print(f"critical path ({len(report.critical_path)} steps):")
+    for step in report.critical_path:
+        print(
+            f"  t={step.t:10.4f} node={step.node} "
+            f"session={step.session} {step.event}"
+        )
+    if report.step_durations:
+        print("step durations (seconds):")
+        for event, stats in report.step_durations.items():
+            print(
+                f"  {event}: n={stats['count']} p50={stats['p50']:.6f} "
+                f"p90={stats['p90']:.6f} p99={stats['p99']:.6f}"
+            )
     return 0
 
 
@@ -477,6 +630,7 @@ def build_parser() -> argparse.ArgumentParser:
     _common_args(p_dkg)
     p_dkg.add_argument("--reconstruct", action="store_true",
                        help="also run protocol Rec afterwards")
+    _trace_arg(p_dkg)
     p_dkg.set_defaults(func=cmd_dkg)
 
     p_vss = sub.add_parser("vss", help="run one HybridVSS sharing")
@@ -514,6 +668,7 @@ def build_parser() -> argparse.ArgumentParser:
     _common_args(p_renew)
     p_renew.add_argument("--phases", type=int, default=2)
     _transport_args(p_renew)
+    _trace_arg(p_renew)
     p_renew.set_defaults(func=cmd_renew)
 
     p_gm = sub.add_parser(
@@ -527,6 +682,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="index of the joining node (default: n + 1)",
     )
     _transport_args(p_gm)
+    _trace_arg(p_gm)
     p_gm.set_defaults(func=cmd_groupmod)
 
     p_res = sub.add_parser(
@@ -560,6 +716,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--timeout", type=float, default=60.0,
         help="wall-clock seconds to wait for completion",
     )
+    _trace_arg(p_cluster)
     p_cluster.set_defaults(func=cmd_cluster)
 
     p_serve = sub.add_parser(
@@ -596,7 +753,30 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="NODE@AT[+UP]",
         help="crash NODE after AT seconds (recover UP later); repeatable",
     )
+    _trace_arg(p_serve)
     p_serve.set_defaults(func=cmd_serve)
+
+    p_replay = sub.add_parser(
+        "replay",
+        help="re-execute a flight-recorder capture in the sim driver "
+             "and verify the transcript hash",
+    )
+    p_replay.add_argument("capture", help="capture file from --trace-out")
+    p_replay.add_argument(
+        "--json", action="store_true", help="emit machine-readable JSON"
+    )
+    p_replay.set_defaults(func=cmd_replay)
+
+    p_trace = sub.add_parser(
+        "trace",
+        help="analyze a capture: phase latencies, flow matrix, "
+             "critical path, step-duration percentiles",
+    )
+    p_trace.add_argument("capture", help="capture file from --trace-out")
+    p_trace.add_argument(
+        "--json", action="store_true", help="emit machine-readable JSON"
+    )
+    p_trace.set_defaults(func=cmd_trace)
 
     p_ops = sub.add_parser(
         "ops", help="dump a running service's live metrics snapshot"

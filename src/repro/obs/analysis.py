@@ -1,0 +1,301 @@
+"""Offline analysis of flight-recorder captures (``repro trace``).
+
+A capture is a totally-ordered list of spans — one per machine
+transition, each naming its node, session, event, backend clock and
+step duration.  From that alone this module derives the reports an
+operator reaches for first when a run looks slow or wrong:
+
+* **phase latencies** — per session, when the first ``*.send`` /
+  ``*.echo`` / ``*.ready`` message was consumed and when the first
+  ``Output`` fired, as share→echo→ready→output deltas, annotated with
+  the deployment's Fig. 1 quorum thresholds (``echo = ceil((n+t+1)/2)``,
+  ``ready = t+1``, ``output = n-t-f``) so a stalled quorum is visible
+  next to the size it was waiting for;
+* **flow matrix** — node × message-kind receive counts, the quickest
+  way to spot a node that went quiet or a kind that flooded;
+* **critical path** — walks the send→receive span graph backwards from
+  the last output: a receive span's predecessor is the latest earlier
+  span at the *sender* that emitted that message kind in the same
+  session (falling back to the node's own previous span for local
+  causality), which surfaces the actual dependency chain that gated
+  completion;
+* **step durations** — p50/p90/p99 of the recorded per-step
+  ``perf_counter`` durations, grouped by event label (the offline twin
+  of the live ``repro_runtime_step_seconds`` histogram).
+
+Analysis needs only span labels; payload-mode captures sharpen the
+critical path (the recorded sender pins cross-node edges exactly).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.analysis.latency import percentile
+from repro.obs.replay import Capture, ReplayError, load_capture
+
+@dataclass
+class SessionPhases:
+    """First-arrival clock readings of one session's protocol phases."""
+
+    session: str
+    first_send: float | None = None
+    first_echo: float | None = None
+    first_ready: float | None = None
+    first_output: float | None = None
+    outputs: int = 0
+    spans: int = 0
+
+    def latencies(self) -> dict[str, float | None]:
+        def delta(a: float | None, b: float | None) -> float | None:
+            if a is None or b is None:
+                return None
+            return b - a
+
+        return {
+            "send_to_echo": delta(self.first_send, self.first_echo),
+            "echo_to_ready": delta(self.first_echo, self.first_ready),
+            "ready_to_output": delta(self.first_ready, self.first_output),
+            "send_to_output": delta(self.first_send, self.first_output),
+        }
+
+
+@dataclass
+class PathStep:
+    """One hop of the critical path (file order index for drill-down)."""
+
+    index: int
+    node: int
+    session: str | None
+    event: str
+    t: float
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "index": self.index,
+            "node": self.node,
+            "session": self.session,
+            "event": self.event,
+            "t": self.t,
+        }
+
+
+@dataclass
+class TraceReport:
+    """Everything ``repro trace`` prints, JSON-ready."""
+
+    meta: dict[str, Any]
+    spans: int
+    phases: list[SessionPhases] = field(default_factory=list)
+    thresholds: dict[str, int] | None = None
+    flow: dict[int, dict[str, int]] = field(default_factory=dict)
+    critical_path: list[PathStep] = field(default_factory=list)
+    step_durations: dict[str, dict[str, float]] = field(default_factory=dict)
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "cmd": self.meta.get("cmd"),
+            "transport": self.meta.get("transport"),
+            "group": self.meta.get("group"),
+            "seed": self.meta.get("seed"),
+            "spans": self.spans,
+            "thresholds": self.thresholds,
+            "phases": [
+                {
+                    "session": p.session,
+                    "spans": p.spans,
+                    "outputs": p.outputs,
+                    "first": {
+                        "send": p.first_send,
+                        "echo": p.first_echo,
+                        "ready": p.first_ready,
+                        "output": p.first_output,
+                    },
+                    "latency": p.latencies(),
+                }
+                for p in self.phases
+            ],
+            "flow": {
+                str(node): dict(sorted(kinds.items()))
+                for node, kinds in sorted(self.flow.items())
+            },
+            "critical_path": [step.as_dict() for step in self.critical_path],
+            "step_durations": self.step_durations,
+        }
+
+
+def _message_kind(event: str) -> str | None:
+    if event.startswith("message:"):
+        return event.split(":", 1)[1]
+    return None
+
+
+def _thresholds(meta: dict[str, Any]) -> dict[str, int] | None:
+    params = meta.get("config")
+    if not params:
+        return None
+    try:
+        from repro.vss.config import VssConfig
+
+        vss = VssConfig(n=params["n"], t=params["t"], f=params["f"])
+        return {
+            "n": vss.n,
+            "t": vss.t,
+            "f": vss.f,
+            "echo": vss.echo_threshold,
+            "ready": vss.ready_threshold,
+            "output": vss.output_threshold,
+        }
+    except Exception:
+        return None
+
+
+def _phase_breakdown(spans: list[dict[str, Any]]) -> list[SessionPhases]:
+    by_session: dict[str, SessionPhases] = {}
+    for span in spans:
+        session = span.get("session") or "<default>"
+        phases = by_session.setdefault(session, SessionPhases(session))
+        phases.spans += 1
+        t = span.get("t", 0.0)
+        kind = _message_kind(span.get("event", ""))
+        if kind is not None:
+            # Every protocol family (vss.*, dkg.*, groupmod.*) names its
+            # round messages with these suffixes — match on suffix
+            # rather than pinning one family.
+            if kind.endswith(".send") and phases.first_send is None:
+                phases.first_send = t
+            elif kind.endswith(".echo") and phases.first_echo is None:
+                phases.first_echo = t
+            elif kind.endswith(".ready") and phases.first_ready is None:
+                phases.first_ready = t
+        for effect in span.get("effects", []):
+            if effect.startswith("output:"):
+                phases.outputs += 1
+                if phases.first_output is None:
+                    phases.first_output = t
+    return sorted(by_session.values(), key=lambda p: p.session)
+
+
+def _flow_matrix(spans: list[dict[str, Any]]) -> dict[int, dict[str, int]]:
+    flow: dict[int, dict[str, int]] = defaultdict(lambda: defaultdict(int))
+    for span in spans:
+        kind = _message_kind(span.get("event", ""))
+        if kind is not None:
+            flow[span["node"]][kind] += 1
+    return {node: dict(kinds) for node, kinds in flow.items()}
+
+
+def _critical_path(
+    spans: list[dict[str, Any]], limit: int = 256
+) -> list[PathStep]:
+    """Backtrack the send→receive dependency chain from the last output.
+
+    ``spans`` must be in file order (the recorder's total order).  The
+    predecessor of a message-receive span is the latest earlier span at
+    the *sender* node that emitted (``send:`` or ``broadcast:``) the
+    same message kind in the same session; every other span chains to
+    its node's previous span (local causality).  ``limit`` bounds the
+    walk on pathological captures.
+    """
+    last_output = None
+    for index in range(len(spans) - 1, -1, -1):
+        if any(e.startswith("output:") for e in spans[index].get("effects", [])):
+            last_output = index
+            break
+    if last_output is None:
+        return []
+
+    # node -> indices of that node's spans, ascending (for local edges).
+    by_node: dict[int, list[int]] = defaultdict(list)
+    for index, span in enumerate(spans):
+        by_node[span["node"]].append(index)
+
+    def emitted(span: dict[str, Any], kind: str) -> bool:
+        return any(
+            e == f"send:{kind}" or e == f"broadcast:{kind}"
+            for e in span.get("effects", [])
+        )
+
+    def predecessor(index: int) -> int | None:
+        span = spans[index]
+        kind = _message_kind(span.get("event", ""))
+        if kind is not None:
+            sender = (span.get("data") or {}).get("sender")
+            session = span.get("session")
+            candidates = (
+                by_node.get(sender, []) if sender is not None else range(index)
+            )
+            best = None
+            for j in candidates:
+                if j >= index:
+                    break
+                other = spans[j]
+                if other.get("session") == session and emitted(other, kind):
+                    best = j
+            if best is not None:
+                return best
+        mine = by_node[span["node"]]
+        position = mine.index(index)
+        return mine[position - 1] if position > 0 else None
+
+    path: list[PathStep] = []
+    index: int | None = last_output
+    seen: set[int] = set()
+    while index is not None and index not in seen and len(path) < limit:
+        seen.add(index)
+        span = spans[index]
+        path.append(
+            PathStep(
+                index=index,
+                node=span["node"],
+                session=span.get("session"),
+                event=span.get("event", "?"),
+                t=span.get("t", 0.0),
+            )
+        )
+        index = predecessor(index)
+    path.reverse()
+    return path
+
+
+def _step_durations(
+    spans: list[dict[str, Any]]
+) -> dict[str, dict[str, float]]:
+    by_event: dict[str, list[float]] = defaultdict(list)
+    for span in spans:
+        duration = span.get("dur")
+        if duration is None:
+            continue  # pre-duration capture: backfilled as null
+        by_event[span.get("event", "?")].append(duration)
+    report: dict[str, dict[str, float]] = {}
+    for event, values in sorted(by_event.items()):
+        values.sort()
+        report[event] = {
+            "count": len(values),
+            "p50": percentile(values, 0.50),
+            "p90": percentile(values, 0.90),
+            "p99": percentile(values, 0.99),
+            "max": values[-1],
+        }
+    return report
+
+
+def analyze_capture(capture: Capture) -> TraceReport:
+    spans = capture.spans
+    if not spans:
+        raise ReplayError("capture contains no spans to analyze")
+    return TraceReport(
+        meta=capture.meta,
+        spans=len(spans),
+        phases=_phase_breakdown(spans),
+        thresholds=_thresholds(capture.meta),
+        flow=_flow_matrix(spans),
+        critical_path=_critical_path(spans),
+        step_durations=_step_durations(spans),
+    )
+
+
+def analyze_file(path: Any) -> TraceReport:
+    return analyze_capture(load_capture(path))

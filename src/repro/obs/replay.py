@@ -1,0 +1,540 @@
+"""Deterministic re-execution of flight-recorder captures.
+
+A payload-mode capture (see :class:`repro.obs.trace.JsonlTraceSink`) is
+a complete event transcript: for every ``MachineDriver.dispatch`` it
+stores the node, the backend clock at consumption time, and the event's
+canonical wire encoding.  Because protocols are sans-I/O machines whose
+only inputs are those events plus deterministic per-node RNG streams,
+replaying the transcript through fresh machines in the sim driver *is*
+the original execution — down to the bytes of every ``Output`` effect.
+:func:`replay_capture` does exactly that and checks the reproduced
+:func:`~repro.runtime.trace.transcript_hash` against the one the
+recorder wrote at close.
+
+What replay rebuilds (and how it knows):
+
+* the deployment — the capture's leading meta record names the CLI
+  command, group, codec and full :class:`~repro.dkg.config.DkgConfig`
+  parameters, so machines are reconstructed with the runner's exact
+  enrollment-RNG seeds (``("dkg-pki", seed)`` etc.);
+* the network — not at all: captured ``MessageReceived`` events stand
+  in for it, and ``Send``/``Broadcast`` effects are dropped on the
+  replay transport;
+* timers — captured ``TimerFired`` events are dispatched directly.
+  Re-execution re-arms the same timers in the same order (machine and
+  runtime timer-id counters are deterministic), so recorded ids route
+  to the right session;
+* multi-session state — ``renew-N`` / ``add-1`` sessions are built
+  from the *replayed* outputs of their predecessor sessions, mirroring
+  the live orchestrators' share/commitment chaining (crashed nodes
+  that never renewed get ``prev_share=None``, exactly like live).
+
+Captures from ``repro serve`` (client-driven traffic) record fine but
+are analysis-only; :func:`replay_capture` raises :class:`ReplayError`
+for them.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+from dataclasses import dataclass
+from itertools import count
+from typing import Any, Callable
+
+from repro.obs.trace import tag_from_json
+from repro.runtime.driver import MachineDriver
+from repro.runtime.events import (
+    Crashed,
+    MessageReceived,
+    OperatorInput,
+    Recovered,
+    TimerFired,
+)
+from repro.runtime.runtime import ProtocolRuntime
+from repro.runtime.trace import transcript_hash
+
+
+class ReplayError(Exception):
+    """The capture cannot be re-executed (wrong mode, missing data)."""
+
+
+@dataclass
+class Capture:
+    """A parsed flight-recorder file."""
+
+    meta: dict[str, Any]
+    records: list[dict[str, Any]]  # spans + control lines, file order
+    recorded_hash: str | None
+    recorded_outputs: int | None = None
+
+    @property
+    def spans(self) -> list[dict[str, Any]]:
+        return [r for r in self.records if "event" in r]
+
+
+def load_capture(source: Any) -> Capture:
+    """Parse a capture from a path or an open text file."""
+    if hasattr(source, "read"):
+        lines = source.read().splitlines()
+    else:
+        with open(source, encoding="utf-8") as fh:
+            lines = fh.read().splitlines()
+    meta: dict[str, Any] = {}
+    records: list[dict[str, Any]] = []
+    recorded_hash: str | None = None
+    recorded_outputs: int | None = None
+    for number, line in enumerate(lines, start=1):
+        if not line.strip():
+            continue
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise ReplayError(f"line {number}: not JSON ({exc})") from exc
+        kind = record.get("record")
+        if kind == "meta":
+            meta = record
+        elif kind == "end":
+            recorded_hash = record.get("transcript_hash")
+            recorded_outputs = record.get("outputs")
+        else:
+            records.append(record)
+    return Capture(meta, records, recorded_hash, recorded_outputs)
+
+
+def capture_meta(
+    cmd: str,
+    config: Any,
+    seed: int,
+    transport: str,
+    **extra: Any,
+) -> dict[str, Any]:
+    """The meta record a recorder writes so replay can rebuild the run.
+
+    Shared by the CLI's ``--trace-out`` plumbing and the tests, so the
+    two never drift on what replay needs.
+    """
+    return {
+        "cmd": cmd,
+        "transport": transport,
+        "seed": seed,
+        "group": config.group.name,
+        "codec": config.codec.name,
+        "config": {
+            "n": config.n,
+            "t": config.t,
+            "f": config.f,
+            "d_budget": config.d_budget,
+            "initial_leader": config.initial_leader,
+            "timeout": [
+                config.timeout.initial,
+                config.timeout.multiplier,
+                config.timeout.cap,
+            ],
+            "q_size": config.q_size,
+        },
+        **extra,
+    }
+
+
+def resolve_group_name(name: str) -> Any:
+    """A group object for a capture's recorded group name."""
+    from repro.net.wire import _group_from_name
+
+    group = _group_from_name(name)
+    if group is None:
+        raise ReplayError(f"unknown group name {name!r} in capture meta")
+    return group
+
+
+def _config_from_meta(meta: dict[str, Any]) -> Any:
+    from repro.crypto.hashing import FullMatrixCodec, HashedMatrixCodec
+    from repro.dkg.config import DkgConfig
+    from repro.sim.clock import TimeoutPolicy
+
+    try:
+        group = resolve_group_name(meta["group"])
+        codec = (
+            HashedMatrixCodec()
+            if meta["codec"] == "hashed-matrix"
+            else FullMatrixCodec()
+        )
+        params = meta["config"]
+        initial, multiplier, cap = params["timeout"]
+        return DkgConfig(
+            n=params["n"],
+            t=params["t"],
+            f=params["f"],
+            group=group,
+            codec=codec,
+            d_budget=params["d_budget"],
+            initial_leader=params["initial_leader"],
+            timeout=TimeoutPolicy(initial, multiplier, cap),
+            q_size=params["q_size"],
+        )
+    except KeyError as exc:
+        raise ReplayError(f"capture meta lacks {exc} — not a payload capture?")
+
+
+class ReplayTransport:
+    """The :class:`~repro.net.transport.Transport` surface of a replay.
+
+    The captured event stream *is* the network, so sends vanish; timers
+    only need fresh backend ids (fires come from the capture); the
+    clock is pinned to each span's recorded ``t`` before dispatch; the
+    per-node RNG streams mirror the live transports' derivation
+    (``("node", seed, node_id)``), cached so they advance continuously.
+    """
+
+    def __init__(
+        self,
+        node_id: int,
+        seed: int,
+        members: list[int],
+        outputs: list[tuple[int, Any]],
+    ):
+        self.node_id = node_id
+        self.seed = seed
+        self.members = sorted(members)
+        self.now = 0.0
+        self._outputs = outputs
+        self._timer_ids = count(1)
+        self._node_rngs: dict[int, random.Random] = {}
+
+    def current_time(self) -> float:
+        return self.now
+
+    def member_ids(self) -> list[int]:
+        return list(self.members)
+
+    def node_rng(self, node_id: int) -> random.Random:
+        if node_id not in self._node_rngs:
+            self._node_rngs[node_id] = random.Random(
+                ("node", self.seed, node_id).__repr__()
+            )
+        return self._node_rngs[node_id]
+
+    def enqueue_message(self, sender: int, recipient: int, payload: Any) -> None:
+        pass  # the capture stands in for the network
+
+    def set_timer(self, node: int, delay: float, tag: Any) -> int:
+        return next(self._timer_ids)
+
+    def cancel_timer(self, node: int, timer_id: int) -> None:
+        pass
+
+    def record_output(self, node: int, payload: Any) -> None:
+        self._outputs.append((node, payload))
+
+    def record_leader_change(self) -> None:
+        pass
+
+
+# -- deployment factories ------------------------------------------------------
+#
+# One per recorded command: given the replayed world so far, build the
+# machine a session-open control record asks for — with the exact
+# construction (PKI seeds, prior-session state) the live runner used.
+
+
+class _DeploymentFactory:
+    def __init__(self, meta: dict[str, Any], config: Any, world: "_World"):
+        self.meta = meta
+        self.config = config
+        self.world = world
+
+    def machine(self, node: int, session: str) -> Any:
+        raise NotImplementedError
+
+    # Prior-session results, re-derived from the *replayed* outputs.
+
+    def _session_result(
+        self, session: str, kind_attr: str = "share"
+    ) -> tuple[dict[int, Any], Any]:
+        """(per-node payload with ``share``, any node's commitment)."""
+        payloads: dict[int, Any] = {}
+        commitment = None
+        for node, runtime in self.world.runtimes.items():
+            for payload in runtime.session_outputs.get(session, []):
+                if hasattr(payload, kind_attr):
+                    payloads[node] = payload
+                    commitment = getattr(payload, "commitment", commitment)
+        if not payloads:
+            raise ReplayError(
+                f"session {session!r} produced no outputs to chain from"
+            )
+        return payloads, commitment
+
+
+class _DkgFactory(_DeploymentFactory):
+    """``repro dkg`` / ``repro cluster``: one DKG session."""
+
+    def __init__(self, meta: dict[str, Any], config: Any, world: "_World"):
+        super().__init__(meta, config, world)
+        from repro.dkg.runner import build_dkg_deployment
+
+        _ca, self.nodes = build_dkg_deployment(
+            config, seed=meta["seed"], tau=meta.get("tau", 0)
+        )
+
+    def machine(self, node: int, session: str) -> Any:
+        try:
+            return self.nodes[node]
+        except KeyError:
+            raise ReplayError(f"node {node} is not in the DKG deployment")
+
+
+class _RenewalFactory(_DeploymentFactory):
+    """``repro renew --transport tcp``: bootstrap + renew-N sessions."""
+
+    def __init__(self, meta: dict[str, Any], config: Any, world: "_World"):
+        super().__init__(meta, config, world)
+        from repro.sim.pki import CertificateAuthority, KeyStore
+
+        enroll_rng = random.Random(("net-renewal-pki", meta["seed"]).__repr__())
+        self.ca = CertificateAuthority(config.group)
+        self.keystores = {
+            i: KeyStore.enroll(i, self.ca, enroll_rng)
+            for i in config.vss().indices
+        }
+
+    def machine(self, node: int, session: str) -> Any:
+        from repro.dkg.node import DkgNode
+        from repro.proactive.renewal import RenewalNode
+
+        if session == "dkg":
+            return DkgNode(node, self.config, self.keystores[node], self.ca, tau=0)
+        if not session.startswith("renew-"):
+            raise ReplayError(f"unexpected session {session!r} in renew capture")
+        phase = int(session.split("-", 1)[1])
+        previous = "dkg" if phase == 1 else f"renew-{phase - 1}"
+        payloads, commitment = self._session_result(previous)
+        prior = payloads.get(node)
+        return RenewalNode(
+            node,
+            self.config,
+            self.keystores[node],
+            self.ca,
+            phase=phase,
+            prev_share=prior.share if prior is not None else None,
+            prev_commitment=commitment,
+        )
+
+
+class _GroupModFactory(_DeploymentFactory):
+    """``repro groupmod --transport tcp``: dkg, agree-1, add-1."""
+
+    def __init__(self, meta: dict[str, Any], config: Any, world: "_World"):
+        super().__init__(meta, config, world)
+        from repro.sim.pki import CertificateAuthority, KeyStore
+
+        enroll_rng = random.Random(
+            ("net-groupmod-pki", meta["seed"]).__repr__()
+        )
+        self.ca = CertificateAuthority(config.group)
+        self.keystores = {
+            i: KeyStore.enroll(i, self.ca, enroll_rng)
+            for i in config.vss().indices
+        }
+        self.joiner = meta.get("new_node")
+        if self.joiner is None:
+            raise ReplayError("groupmod capture meta lacks 'new_node'")
+
+    def machine(self, node: int, session: str) -> Any:
+        from repro.dkg.node import DkgNode
+        from repro.groupmod.addition import AdditionNode, JoiningNode
+        from repro.groupmod.agreement import GroupModAgreementNode
+        from repro.proactive.renewal import share_commitment_at
+
+        if session == "dkg":
+            return DkgNode(node, self.config, self.keystores[node], self.ca, tau=0)
+        if session.startswith("agree-"):
+            return GroupModAgreementNode(node, self.config.vss())
+        if session.startswith("add-"):
+            payloads, commitment = self._session_result("dkg")
+            if node == self.joiner:
+                return JoiningNode(
+                    node,
+                    t=self.config.t,
+                    group_q=self.config.group.q,
+                    expected_share_pk=share_commitment_at(commitment, node),
+                )
+            prior = payloads.get(node)
+            if prior is None:
+                raise ReplayError(f"node {node} has no bootstrap share")
+            return AdditionNode(
+                node,
+                self.config,
+                self.keystores[node],
+                self.ca,
+                new_node=self.joiner,
+                current_share=prior.share,
+                current_commitment=commitment,
+                tau=1,
+            )
+        raise ReplayError(f"unexpected session {session!r} in groupmod capture")
+
+
+_FACTORIES: dict[str, Callable[..., _DeploymentFactory]] = {
+    "dkg": _DkgFactory,
+    "cluster": _DkgFactory,
+    "renew": _RenewalFactory,
+    "groupmod": _GroupModFactory,
+}
+
+
+# -- the replay world ----------------------------------------------------------
+
+
+class _World:
+    """Per-node drivers being fed the captured event stream."""
+
+    def __init__(self, capture: Capture):
+        meta = capture.meta
+        if not meta:
+            raise ReplayError("capture has no meta record — not a payload capture")
+        self.meta = meta
+        self.config = _config_from_meta(meta)
+        self.group = self.config.group
+        self.seed = meta["seed"]
+        self.transport_kind = meta.get("transport", "sim")
+        cmd = meta.get("cmd")
+        factory_cls = _FACTORIES.get(cmd)
+        if factory_cls is None:
+            raise ReplayError(
+                f"captures from {cmd!r} are analysis-only (no replay factory)"
+            )
+        if cmd in ("renew", "groupmod") and self.transport_kind != "tcp":
+            # The sim orchestrators spin up a fresh simulation per
+            # stage, so their captures interleave worlds replay cannot
+            # reconstruct; the tcp runners keep one world end to end.
+            raise ReplayError(
+                f"sim-transport {cmd!r} captures are analysis-only; "
+                "record with --transport tcp to replay"
+            )
+        self.outputs: list[tuple[int, Any]] = []
+        self.transports: dict[int, ReplayTransport] = {}
+        self.drivers: dict[int, MachineDriver] = {}
+        self.runtimes: dict[int, ProtocolRuntime] = {}
+        self.factory = factory_cls(meta, self.config, self)
+        if self.transport_kind == "sim":
+            # Plain machines, no session multiplexing, fixed membership
+            # (exactly what the sim runner drives).
+            for i in self.config.vss().indices:
+                transport = ReplayTransport(
+                    i, self.seed, list(self.config.vss().indices), self.outputs
+                )
+                self.transports[i] = transport
+                self.drivers[i] = MachineDriver(
+                    self.factory.machine(i, "dkg"), transport, i
+                )
+
+    def _tcp_driver(self, node: int) -> MachineDriver:
+        if node not in self.drivers:
+            transport = ReplayTransport(node, self.seed, [], self.outputs)
+            runtime = ProtocolRuntime(node)
+            self.transports[node] = transport
+            self.runtimes[node] = runtime
+            self.drivers[node] = MachineDriver(runtime, transport, node)
+        return self.drivers[node]
+
+    def open_session(self, record: dict[str, Any]) -> None:
+        node = record["node"]
+        session = record["session"]
+        driver = self._tcp_driver(node)
+        self.transports[node].members = sorted(record.get("members", []))
+        runtime = self.runtimes[node]
+        if session not in runtime.sessions:
+            runtime.open_session(session, self.factory.machine(node, session))
+
+    def dispatch_span(self, record: dict[str, Any]) -> None:
+        from repro.net import wire
+
+        data = record.get("data")
+        if data is None:
+            raise ReplayError(
+                "capture has label-only spans — re-record with --trace-out "
+                "(payload mode) to make it replayable"
+            )
+        node = record["node"]
+        if self.transport_kind == "sim":
+            driver = self.drivers.get(node)
+            if driver is None:
+                raise ReplayError(f"span for unknown node {node}")
+        else:
+            driver = self._tcp_driver(node)
+        kind = data["type"]
+        if kind == "message":
+            payload = wire.decode(
+                bytes.fromhex(data["frame"]), group=self.group
+            )
+            event: Any = MessageReceived(data["sender"], payload)
+        elif kind == "operator":
+            payload = wire.decode(
+                bytes.fromhex(data["frame"]), group=self.group
+            )
+            event = OperatorInput(payload)
+        elif kind == "timer":
+            event = TimerFired(tag_from_json(data["tag"]), data["id"])
+        elif kind == "crash":
+            event = Crashed()
+        elif kind == "recover":
+            event = Recovered()
+        else:
+            raise ReplayError(f"unknown captured event type {kind!r}")
+        self.transports[node].now = record.get("t", 0.0)
+        driver.dispatch(event)
+
+
+@dataclass
+class ReplayResult:
+    """Outcome of re-executing a capture."""
+
+    meta: dict[str, Any]
+    recorded_hash: str | None
+    replayed_hash: str
+    outputs: int
+    spans: int
+
+    @property
+    def matched(self) -> bool:
+        return (
+            self.recorded_hash is not None
+            and self.recorded_hash == self.replayed_hash
+        )
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "cmd": self.meta.get("cmd"),
+            "transport": self.meta.get("transport"),
+            "group": self.meta.get("group"),
+            "seed": self.meta.get("seed"),
+            "spans": self.spans,
+            "outputs": self.outputs,
+            "recorded_hash": self.recorded_hash,
+            "replayed_hash": self.replayed_hash,
+            "matched": self.matched,
+        }
+
+
+def replay_capture(capture: Capture) -> ReplayResult:
+    """Re-execute a parsed capture; the result carries both hashes."""
+    world = _World(capture)
+    spans = 0
+    for record in capture.records:
+        if record.get("record") == "open":
+            world.open_session(record)
+        elif "event" in record:
+            world.dispatch_span(record)
+            spans += 1
+    return ReplayResult(
+        meta=capture.meta,
+        recorded_hash=capture.recorded_hash,
+        replayed_hash=transcript_hash(world.outputs, group=world.group),
+        outputs=len(world.outputs),
+        spans=spans,
+    )
+
+
+def replay_file(path: Any) -> ReplayResult:
+    return replay_capture(load_capture(path))

@@ -12,6 +12,7 @@ execution semantics live here exactly once.
 
 from __future__ import annotations
 
+import time as _time
 from typing import Any
 
 from repro.obs import metrics as obs_metrics
@@ -106,12 +107,24 @@ class MachineDriver:
         )
 
     def dispatch(self, event: Event) -> list[Effect]:
+        # Snapshot the backend clock *before* stepping: replay restores
+        # this exact value as env.now, so it must be the time the event
+        # was consumed, not whatever applying the effects advanced to.
+        clock = self.transport.current_time()
+        started = _time.perf_counter()
         effects = self.machine.step(event, self.env())
         self.apply(effects)
-        self._observe(event, effects)
+        duration = _time.perf_counter() - started
+        self._observe(event, effects, clock, duration)
         return effects
 
-    def _observe(self, event: Event, effects: list[Effect]) -> None:
+    def _observe(
+        self,
+        event: Event,
+        effects: list[Effect],
+        clock: float,
+        duration: float,
+    ) -> None:
         """Per-transition metering and tracing (the one cross-driver
         observability seam); both paths no-op when disabled."""
         reg = obs_metrics.registry()
@@ -127,13 +140,22 @@ class MachineDriver:
                     "effects emitted by machine transitions by kind",
                     effect=type(effect).__name__,
                 ).inc()
+            reg.histogram(
+                "repro_runtime_step_seconds",
+                "step + effect-apply duration of one machine transition",
+            ).observe(duration)
         sink = self.trace_sink
         if sink is None:
             sink = obs_trace.trace_sink()
         if sink is not None:
             sink.record(
                 obs_trace.span_for(
-                    self.node_id, event, effects, self.transport.current_time()
+                    self.node_id,
+                    event,
+                    effects,
+                    clock,
+                    duration=duration,
+                    codec=getattr(sink, "payload_codec", None),
                 )
             )
 

@@ -36,7 +36,7 @@ from repro.runtime.effects import (
     SetTimer,
     SpawnSession,
 )
-from repro.runtime.envelope import SessionEnvelope
+from repro.runtime.envelope import SessionEnvelope, SessionTimerTag
 from repro.runtime.events import (
     Crashed,
     Event,
@@ -246,7 +246,11 @@ class ProtocolRuntime:
                 self._timers[timer_id] = (session, effect.timer_id, effect.tag)
                 self._by_inner[(session, effect.timer_id)] = timer_id
                 out.append(
-                    SetTimer(effect.delay, (session, effect.tag), timer_id)
+                    SetTimer(
+                        effect.delay,
+                        SessionTimerTag(session, effect.tag),
+                        timer_id,
+                    )
                 )
             elif isinstance(effect, CancelTimer):
                 timer_id = self._by_inner.pop((session, effect.timer_id), None)

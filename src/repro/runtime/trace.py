@@ -24,11 +24,21 @@ def transcript_hash(records: Iterable[tuple[int, Any]], group: Any = None) -> st
     """
     from repro.net import wire
 
-    encoded = sorted(
+    return transcript_hash_frames(
         (node, wire.encode(payload, group=group)) for node, payload in records
     )
+
+
+def transcript_hash_frames(records: Iterable[tuple[int, bytes]]) -> str:
+    """:func:`transcript_hash` over pre-encoded ``(node, frame)`` pairs.
+
+    The flight recorder captures outputs as canonical wire frames, so
+    the recorded digest folds the same bytes in the same order as a
+    live run hashing the payload objects — recorded and replayed
+    hashes are directly comparable.
+    """
     digest = hashlib.sha256()
-    for node, frame in encoded:
+    for node, frame in sorted(records):
         digest.update(node.to_bytes(4, "big"))
         digest.update(len(frame).to_bytes(4, "big"))
         digest.update(frame)

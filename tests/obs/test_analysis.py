@@ -1,0 +1,168 @@
+"""Tests for ``repro trace`` analysis over flight-recorder captures.
+
+All assertions run against a real sim-DKG payload capture (one per
+backend lane via the ``group`` fixture), so the report shapes are
+exercised on genuine span streams, not synthetic fixtures — plus a few
+hand-built captures for the degenerate paths.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import math
+
+import pytest
+
+from repro.dkg import DkgConfig, run_dkg
+from repro.obs.analysis import analyze_capture, analyze_file
+from repro.obs.replay import ReplayError, capture_meta, load_capture
+from repro.obs.trace import JsonlTraceSink, set_trace_sink
+
+
+@pytest.fixture(scope="module")
+def capture_path(group, tmp_path_factory):
+    """A payload-mode sim-DKG capture shared by the whole module."""
+    config = DkgConfig(n=4, t=1, group=group)
+    path = tmp_path_factory.mktemp("trace") / "dkg.jsonl"
+    sink = JsonlTraceSink(
+        path,
+        payloads=True,
+        group=group,
+        meta=capture_meta("dkg", config, 5, "sim", tau=0),
+        mode="w",
+    )
+    previous = set_trace_sink(sink)
+    try:
+        result = run_dkg(config, seed=5)
+        assert result.succeeded
+    finally:
+        set_trace_sink(previous)
+        sink.close()
+    return path
+
+
+@pytest.fixture(scope="module")
+def report(capture_path):
+    return analyze_file(capture_path)
+
+
+class TestPhaseLatencies:
+    def test_dkg_session_sees_all_phases(self, report) -> None:
+        # The sim runner drives machines without session envelopes, so
+        # the whole run lands in the "<default>" session bucket.
+        phases = {p.session: p for p in report.phases}
+        dkg = phases["<default>"]
+        assert dkg.first_send is not None
+        assert dkg.first_echo is not None
+        assert dkg.first_ready is not None
+        assert dkg.first_output is not None
+        # Protocol order: share distribution precedes echo quorum
+        # precedes ready quorum precedes output.
+        assert (
+            dkg.first_send
+            <= dkg.first_echo
+            <= dkg.first_ready
+            <= dkg.first_output
+        )
+
+    def test_latency_deltas_are_consistent(self, report) -> None:
+        dkg = {p.session: p for p in report.phases}["<default>"]
+        latency = dkg.latencies()
+        assert latency["send_to_output"] is not None
+        assert latency["send_to_output"] >= 0.0
+        total = (
+            latency["send_to_echo"]
+            + latency["echo_to_ready"]
+            + latency["ready_to_output"]
+        )
+        assert math.isclose(total, latency["send_to_output"])
+
+    def test_thresholds_echo_fig1_quorums(self, report) -> None:
+        # n=4, t=1, f=0: echo = ceil((n+t+1)/2) = 3, ready = t+1 = 2,
+        # output = n - t - f = 3.
+        assert report.thresholds == {
+            "n": 4,
+            "t": 1,
+            "f": 0,
+            "echo": 3,
+            "ready": 2,
+            "output": 3,
+        }
+
+
+class TestFlowMatrix:
+    def test_every_node_received_round_messages(self, report) -> None:
+        assert set(report.flow) == {1, 2, 3, 4}
+        for node, kinds in report.flow.items():
+            assert kinds, f"node {node} received nothing"
+            assert any(k.endswith(".echo") for k in kinds), node
+
+    def test_counts_are_positive(self, report) -> None:
+        for kinds in report.flow.values():
+            assert all(count > 0 for count in kinds.values())
+
+
+class TestCriticalPath:
+    def test_non_empty_and_ends_at_an_output(self, capture_path, report) -> None:
+        assert report.critical_path
+        capture = load_capture(capture_path)
+        last = report.critical_path[-1]
+        effects = capture.spans[last.index].get("effects", [])
+        assert any(e.startswith("output:") for e in effects)
+
+    def test_indices_strictly_increase(self, report) -> None:
+        indices = [step.index for step in report.critical_path]
+        assert indices == sorted(set(indices))
+
+    def test_crosses_nodes(self, report) -> None:
+        # Completion depends on other nodes' shares, so the dependency
+        # chain cannot stay on a single node.
+        assert len({step.node for step in report.critical_path}) > 1
+
+
+class TestStepDurations:
+    def test_percentiles_are_ordered(self, report) -> None:
+        assert report.step_durations
+        for event, stats in report.step_durations.items():
+            assert stats["count"] >= 1, event
+            assert 0.0 <= stats["p50"] <= stats["p90"] <= stats["p99"], event
+            assert stats["p99"] <= stats["max"], event
+
+    def test_null_durations_are_skipped(self) -> None:
+        # Old captures (pre-duration) backfill dur=None — they analyze
+        # without a durations section rather than crashing.
+        lines = [
+            json.dumps({"record": "meta", "cmd": "dkg", "transport": "sim"}),
+            json.dumps(
+                {
+                    "node": 1,
+                    "event": "message:dkg.echo",
+                    "session": "dkg",
+                    "effects": [],
+                    "t": 1.0,
+                    "wall": 0.0,
+                    "dur": None,
+                }
+            ),
+        ]
+        report = analyze_capture(load_capture(io.StringIO("\n".join(lines))))
+        assert report.step_durations == {}
+        assert report.spans == 1
+
+
+class TestReportSerialization:
+    def test_as_dict_is_json_clean(self, report) -> None:
+        payload = json.loads(json.dumps(report.as_dict()))
+        assert payload["cmd"] == "dkg"
+        assert payload["spans"] == report.spans
+        assert payload["critical_path"]
+        assert payload["thresholds"]["echo"] == 3
+
+    def test_empty_capture_is_rejected(self) -> None:
+        empty = io.StringIO(
+            json.dumps({"record": "meta", "cmd": "dkg", "transport": "sim"})
+            + "\n"
+        )
+        with pytest.raises(ReplayError, match="no spans"):
+            analyze_capture(load_capture(empty))

@@ -1,0 +1,203 @@
+"""Record/replay round trips: captured runs re-execute bit-identically.
+
+Each test records a live run with a payload-mode sink — over real
+asyncio TCP sockets or the discrete-event simulator — then replays the
+capture through fresh machines in the sim driver and checks the
+reproduced ``transcript_hash`` against the one the recorder wrote at
+close.  The configs are built on the suite-wide ``group`` fixture, so
+the CI curve lane exercises the same round trips on secp256k1.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+
+import pytest
+
+from repro.dkg import DkgConfig, run_dkg
+from repro.obs.replay import (
+    ReplayError,
+    capture_meta,
+    load_capture,
+    replay_capture,
+    replay_file,
+)
+from repro.obs.trace import JsonlTraceSink, set_trace_sink
+
+
+def _record(tmp_path, name, meta, group, run):
+    """Run ``run()`` under a payload-mode recorder; returns (path, sink,
+    run's result)."""
+    path = tmp_path / name
+    sink = JsonlTraceSink(path, payloads=True, group=group, meta=meta, mode="w")
+    previous = set_trace_sink(sink)
+    try:
+        result = run()
+    finally:
+        set_trace_sink(previous)
+        sink.close()
+    return path, sink, result
+
+
+class TestTcpReplay:
+    def test_dkg_over_tcp_replays_identically(self, group, tmp_path) -> None:
+        from repro.net.cluster import run_local_cluster
+
+        config = DkgConfig(n=4, t=1, group=group)
+        path, sink, result = _record(
+            tmp_path,
+            "dkg.jsonl",
+            capture_meta("cluster", config, 3, "tcp", tau=0),
+            group,
+            lambda: run_local_cluster(
+                config, seed=3, time_scale=0.01, timeout=60.0
+            ),
+        )
+        assert result.succeeded
+        replay = replay_file(path)
+        assert replay.recorded_hash == sink.transcript
+        assert replay.matched, (replay.recorded_hash, replay.replayed_hash)
+        assert replay.outputs > 0 and replay.spans > 0
+
+    def test_renewal_phases_replay_with_state_chaining(
+        self, group, tmp_path
+    ) -> None:
+        from repro.net.proactive import run_renewal_cluster
+
+        config = DkgConfig(n=4, t=1, group=group)
+        path, sink, result = _record(
+            tmp_path,
+            "renew.jsonl",
+            capture_meta("renew", config, 5, "tcp", phases=2),
+            group,
+            lambda: run_renewal_cluster(
+                config, seed=5, phases=2, time_scale=0.01, timeout=60.0
+            ),
+        )
+        assert result.succeeded
+        replay = replay_file(path)
+        # The renew-2 machines were rebuilt from *replayed* renew-1
+        # outputs; a hash match certifies the whole chain.
+        assert replay.matched
+
+    def test_groupmod_with_crash_recover_replays(self, group, tmp_path) -> None:
+        from repro.net.groupmod import run_groupmod_cluster
+        from repro.sim.network import UniformDelay
+
+        config = DkgConfig(n=5, t=1, group=group)
+        path, sink, result = _record(
+            tmp_path,
+            "groupmod.jsonl",
+            capture_meta("groupmod", config, 9, "tcp", new_node=6),
+            group,
+            lambda: run_groupmod_cluster(
+                config,
+                seed=9,
+                new_node=6,
+                delay_model=UniformDelay(1.0, 3.0),
+                time_scale=0.01,
+                crash_plan=[(2, 2.0, 25.0)],
+                timeout=60.0,
+            ),
+        )
+        assert result.succeeded
+        capture = load_capture(path)
+        # The mid-protocol fault is part of the transcript...
+        events = {s.get("data", {}).get("type") for s in capture.spans}
+        assert "crash" in events and "recover" in events
+        # ...and the joiner's session opens with the grown membership.
+        opens = [r for r in capture.records if r.get("record") == "open"]
+        assert any(r["node"] == 6 and 6 in r["members"] for r in opens)
+        assert replay_capture(capture).matched
+
+    def test_replay_is_idempotent(self, group, tmp_path) -> None:
+        from repro.net.cluster import run_local_cluster
+
+        config = DkgConfig(n=4, t=1, group=group)
+        path, _sink, _result = _record(
+            tmp_path,
+            "twice.jsonl",
+            capture_meta("cluster", config, 11, "tcp", tau=0),
+            group,
+            lambda: run_local_cluster(
+                config, seed=11, time_scale=0.01, timeout=60.0
+            ),
+        )
+        first = replay_file(path)
+        second = replay_file(path)
+        assert first.matched and second.matched
+        assert first.replayed_hash == second.replayed_hash
+
+
+class TestSimReplay:
+    def test_sim_dkg_replays_identically(self, group, tmp_path) -> None:
+        config = DkgConfig(n=4, t=1, group=group)
+        path, sink, result = _record(
+            tmp_path,
+            "sim.jsonl",
+            capture_meta("dkg", config, 7, "sim", tau=0),
+            group,
+            lambda: run_dkg(config, seed=7),
+        )
+        assert result.succeeded
+        replay = replay_file(path)
+        assert replay.matched
+
+    def test_sim_dkg_with_reconstruct_replays(self, group, tmp_path) -> None:
+        config = DkgConfig(n=4, t=1, group=group)
+        path, _sink, result = _record(
+            tmp_path,
+            "rec.jsonl",
+            capture_meta("dkg", config, 7, "sim", tau=0),
+            group,
+            lambda: run_dkg(config, seed=7, reconstruct=True),
+        )
+        assert result.succeeded
+        # The second-stage Rec inputs are operator spans in the same
+        # capture, so they replay with everything else.
+        assert replay_file(path).matched
+
+
+class TestReplayRejections:
+    def test_label_only_capture_is_rejected(self, group, tmp_path) -> None:
+        config = DkgConfig(n=4, t=1, group=group)
+        path = tmp_path / "labels.jsonl"
+        meta = capture_meta("dkg", config, 7, "sim", tau=0)
+        # payloads=False: spans carry labels but no event data.
+        sink = JsonlTraceSink(path, group=group, meta=meta, mode="w")
+        previous = set_trace_sink(sink)
+        try:
+            run_dkg(config, seed=7)
+        finally:
+            set_trace_sink(previous)
+            sink.close()
+        with pytest.raises(ReplayError, match="label-only"):
+            replay_file(path)
+
+    def test_capture_without_meta_is_rejected(self) -> None:
+        buffer = io.StringIO('{"node": 1, "event": "crash", "t": 0.0}\n')
+        with pytest.raises(ReplayError, match="meta"):
+            replay_capture(load_capture(buffer))
+
+    def test_serve_capture_is_analysis_only(self, group) -> None:
+        config = DkgConfig(n=4, t=1, group=group)
+        meta = {"record": "meta", **capture_meta("serve", config, 0, "tcp")}
+        buffer = io.StringIO(json.dumps(meta) + "\n")
+        with pytest.raises(ReplayError, match="analysis-only"):
+            replay_capture(load_capture(buffer))
+
+    def test_sim_renew_capture_is_analysis_only(self, group) -> None:
+        config = DkgConfig(n=4, t=1, group=group)
+        meta = {
+            "record": "meta",
+            **capture_meta("renew", config, 0, "sim", phases=1),
+        }
+        buffer = io.StringIO(json.dumps(meta) + "\n")
+        with pytest.raises(ReplayError, match="analysis-only"):
+            replay_capture(load_capture(buffer))
+
+    def test_garbage_line_is_rejected(self) -> None:
+        buffer = io.StringIO("not json\n")
+        with pytest.raises(ReplayError, match="not JSON"):
+            load_capture(buffer)

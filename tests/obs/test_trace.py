@@ -14,15 +14,21 @@ from __future__ import annotations
 import io
 import json
 
+import pytest
+
 from repro.dkg import DkgConfig, run_dkg
 from repro.obs.trace import (
     JsonlTraceSink,
     MemoryTraceSink,
     TraceSpan,
+    describe_effect,
     describe_event,
     set_trace_sink,
+    tag_from_json,
+    tag_to_json,
 )
-from repro.runtime.envelope import SessionEnvelope
+from repro.runtime.effects import Broadcast, Send
+from repro.runtime.envelope import SessionEnvelope, SessionTimerTag
 from repro.runtime.events import MessageReceived, TimerFired
 
 
@@ -50,7 +56,7 @@ class TestDescribe:
 
     def test_session_namespaced_timer_tag_unwrapped(self) -> None:
         label, session = describe_event(
-            TimerFired(("nonce-7", "echo-timeout"), 42)
+            TimerFired(SessionTimerTag("nonce-7", "echo-timeout"), 42)
         )
         assert label == "timer:echo-timeout"
         assert session == "nonce-7"
@@ -59,6 +65,53 @@ class TestDescribe:
         label, session = describe_event(TimerFired("echo-timeout", 42))
         assert label == "timer:echo-timeout"
         assert session is None
+
+    def test_machine_tuple_tag_is_not_mistaken_for_session(self) -> None:
+        # The DKG arms ("dkg-timeout", view) tags: a plain 2-tuple with
+        # a leading string, which only SessionTimerTag may unwrap.
+        label, session = describe_event(TimerFired(("dkg-timeout", 3), 42))
+        assert session is None
+        assert "dkg-timeout" in label
+
+    def test_legacy_unenveloped_message(self) -> None:
+        class _Msg:
+            kind = "vss.echo"
+
+        label, session = describe_event(MessageReceived(2, _Msg()))
+        assert label == "message:vss.echo"
+        assert session is None
+
+    def test_effects_unwrap_envelopes(self) -> None:
+        class _Msg:
+            kind = "vss.ready"
+
+        assert describe_effect(Send(3, _Msg())) == "send:vss.ready"
+        assert (
+            describe_effect(Broadcast(SessionEnvelope("s1", _Msg()), False))
+            == "broadcast:vss.ready"
+        )
+
+
+class TestTagJson:
+    @pytest.mark.parametrize(
+        "tag",
+        [
+            "echo-timeout",
+            7,
+            None,
+            ("dkg-timeout", 3),
+            SessionTimerTag("renew-2", ("dkg-timeout", 0)),
+            (("a", 1), ("b", (2, 3))),
+        ],
+    )
+    def test_round_trip_preserves_value_and_shape(self, tag) -> None:
+        decoded = tag_from_json(json.loads(json.dumps(tag_to_json(tag))))
+        assert decoded == tag
+        assert type(decoded) is type(tag) or isinstance(tag, SessionTimerTag)
+        if isinstance(tag, SessionTimerTag):
+            assert isinstance(decoded, SessionTimerTag)
+            assert decoded.session == tag.session
+            assert decoded.tag == tag.tag
 
 
 class TestSimulatedRunCapture:
@@ -82,6 +135,18 @@ class TestSimulatedRunCapture:
         assert len(sink.spans) == 2
         assert sink.dropped == 3
 
+    def test_memory_sink_warns_once_on_drop(self, caplog) -> None:
+        sink = MemoryTraceSink(limit=1)
+        span = TraceSpan(1, "message:x", None, (), 0.0, 0.0)
+        with caplog.at_level("WARNING", logger="repro.obs.trace"):
+            for _ in range(4):
+                sink.record(span)
+        warnings = [
+            r for r in caplog.records if "dropping" in r.getMessage()
+        ]
+        assert len(warnings) == 1  # one-time, not per-span
+        assert sink.dropped == 3
+
 
 class TestJsonlSink:
     def test_lines_parse_and_carry_span_fields(self) -> None:
@@ -98,9 +163,51 @@ class TestJsonlSink:
         assert sink.recorded == len(lines) > 0
         for line in lines:
             record = json.loads(line)
-            assert set(record) == {"node", "event", "session", "effects", "t", "wall"}
+            assert set(record) == {
+                "node", "event", "session", "effects", "t", "wall", "dur",
+            }
+            # The driver measures every step; decoding *old* captures
+            # (without the field) backfills None via .get("dur").
+            assert record["dur"] is not None and record["dur"] >= 0.0
         events = {json.loads(line)["event"] for line in lines}
         assert "message:dkg.echo" in events
+
+    def test_flushes_every_n_records(self, tmp_path) -> None:
+        path = tmp_path / "spans.jsonl"
+        sink = JsonlTraceSink(path, flush_every=2)
+        span = TraceSpan(1, "message:x", None, (), 0.0, 0.0)
+        sink.record(span)
+        assert path.read_text() == ""  # below the flush threshold
+        sink.record(span)
+        flushed = path.read_text().splitlines()
+        assert len(flushed) == 2  # durability without close()
+        sink.record(span)
+        assert len(path.read_text().splitlines()) == 2
+        sink.close()
+        assert len(path.read_text().splitlines()) == 3
+
+    def test_payload_mode_writes_meta_end_and_transcript(self) -> None:
+        from repro.obs.replay import load_capture
+
+        buffer = io.StringIO()
+        sink = JsonlTraceSink(
+            buffer, payloads=True, meta={"cmd": "dkg", "transport": "sim"}
+        )
+        previous = set_trace_sink(sink)
+        try:
+            result = run_dkg(DkgConfig(n=4, t=1), seed=5)
+            assert result.succeeded
+        finally:
+            set_trace_sink(previous)
+            sink.close()
+        assert sink.transcript is not None
+        buffer.seek(0)
+        capture = load_capture(buffer)
+        assert capture.meta["cmd"] == "dkg"
+        assert capture.recorded_hash == sink.transcript
+        assert capture.recorded_outputs and capture.recorded_outputs > 0
+        for span in capture.spans:
+            assert "data" in span  # every event captured with payload
 
 
 class TestBackendEquivalence:
