@@ -34,6 +34,13 @@ from repro.crypto.groups import (
     small_group,
     toy_group,
 )
+from repro.crypto.parallel import (
+    CryptoExecutor,
+    acceleration_status,
+    active_executor,
+    executor_scope,
+    set_executor,
+)
 from repro.crypto.pedersen import PedersenCommitment, PedersenShare, deal_pedersen
 from repro.crypto.polynomials import (
     Polynomial,
@@ -53,7 +60,12 @@ __all__ = [
     "element_hex",
     "secp256k1_group",
     "BivariatePolynomial",
+    "CryptoExecutor",
     "DleqProof",
+    "acceleration_status",
+    "active_executor",
+    "executor_scope",
+    "set_executor",
     "FeldmanCommitment",
     "FeldmanVector",
     "FixedBaseTable",

@@ -34,7 +34,7 @@ import random
 from collections.abc import Sequence
 from typing import Any, Protocol, runtime_checkable
 
-from repro.crypto import metering
+from repro.crypto import metering, parallel
 from repro.obs import metrics as obs_metrics
 
 
@@ -188,11 +188,36 @@ class BatchedClaimVerifier:
             if self.check_one(index, value):
                 return batch, []
             return [], [index]
+        # One salt draw regardless of execution mode: the parallel path
+        # derives per-chunk salts from this single draw, so the caller's
+        # rng stream — and therefore seeded transcripts — are identical
+        # whether or not a process pool is installed.
+        salt = rng.getrandbits(128)
+        executor = parallel.active_executor()
+        if executor is not None and executor.wants_claims(len(batch)):
+            result = executor.verify_claims(
+                self.group, self.entries, self.base, batch, salt
+            )
+            if result is not None:
+                return result
+        good, bad, _ = self.verify_salted(batch, salt)
+        return good, bad
+
+    def verify_salted(
+        self, batch: list[tuple[int, int]], salt: int
+    ) -> tuple[list[tuple[int, int]], list[int], bool]:
+        """The serial RLC check over an already-deduplicated batch with
+        an explicit weight salt; returns ``(good, bad, fell_back)``.
+
+        This is also the in-worker body of one parallel chunk (see
+        :mod:`repro.crypto.parallel`): per-item fallback runs inside
+        the chunk, so Byzantine claims still pinpoint their senders.
+        """
         group = self.group
         q = group.q
         lhs_exp = 0
         agg = [0] * len(self.entries)
-        weights = self._weights(batch, salt=rng.getrandbits(128))
+        weights = self._weights(batch, salt=salt)
         for gamma, (index, value) in zip(weights, batch):
             lhs_exp = (lhs_exp + gamma * value) % q
             ip = gamma % q
@@ -209,7 +234,7 @@ class BatchedClaimVerifier:
                 backend=backend,
                 outcome="batch_ok",
             )
-            return batch, []
+            return batch, [], False
         obs_metrics.counter_inc(
             metering.BATCH_VERIFY,
             help="batch-verify outcomes",
@@ -223,4 +248,4 @@ class BatchedClaimVerifier:
                 good.append((index, value))
             else:
                 bad.append(index)
-        return good, bad
+        return good, bad, True

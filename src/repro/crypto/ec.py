@@ -26,6 +26,15 @@ Group elements are immutable :class:`EcPoint` values (affine, with a
 single :data:`INFINITY` identity), so they hash and compare exactly
 like the plain ints of the modp backend and flow through commitments,
 wire frames and caches unchanged.
+
+Like :mod:`repro.crypto.intops` (the gmpy2 seam), this module probes
+for an optional native backend at import time: when ``coincurve``
+(libsecp256k1 bindings) is importable, :func:`scalar_mul` and
+:func:`ec_multiexp` dispatch to it through module-level indirections
+(``_scalar_mul_impl`` / ``_ec_multiexp_impl``).  The group math is
+exact on both sides, so results are bit-identical — asserted by
+``tests/crypto/test_ec_probe.py`` whenever the native library is
+present — and the pure-python path remains fully supported.
 """
 
 from __future__ import annotations
@@ -35,12 +44,20 @@ import random
 from dataclasses import dataclass
 from functools import lru_cache
 
-from repro.crypto import metering
+from repro.crypto import metering, parallel
 from repro.crypto.multiexp import (
     PIPPENGER_CUTOFF,
     _pippenger_window,
     _straus_window,
 )
+
+try:  # soft probe: libsecp256k1 bindings, exercised in the accelerated CI lane
+    from coincurve import PublicKey as _NativeKey
+
+    HAVE_COINCURVE = True
+except ImportError:
+    _NativeKey = None
+    HAVE_COINCURVE = False
 
 # secp256k1 domain parameters (SEC 2 v2, section 2.4.1).
 P = 2**256 - 2**32 - 977
@@ -84,6 +101,12 @@ class EcPoint:
 
     def is_infinity(self) -> bool:
         return self.x is None
+
+    def __reduce__(self):
+        # Coordinate-preserving pickling: __slots__ plus the frozen
+        # __setattr__ defeat the default protocol, and the process-pool
+        # executor ships points between workers.
+        return (EcPoint, (self.x, self.y))
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         if self.x is None:
@@ -243,7 +266,7 @@ def _odd_multiples(point: EcPoint, count: int) -> list[tuple[int, int]]:
     return [entry for entry in affine if entry is not None]
 
 
-def scalar_mul(point: EcPoint, k: int) -> EcPoint:
+def _scalar_mul_python(point: EcPoint, k: int) -> EcPoint:
     """``k * point`` via width-5 wNAF over a batch-normalized odd-multiple
     table: ~256 doublings plus ~43 mixed additions per call."""
     k %= N
@@ -270,6 +293,34 @@ def scalar_mul(point: EcPoint, k: int) -> EcPoint:
                 (X1, Y1, Z1), x, y if d > 0 else p - y
             )
     return _from_jacobian((X1, Y1, Z1))
+
+
+def _uncompressed_sec1(point: EcPoint) -> bytes:
+    """65-byte uncompressed SEC1 (native-library input; no sqrt needed)."""
+    return b"\x04" + point.x.to_bytes(32, "big") + point.y.to_bytes(32, "big")
+
+
+def _scalar_mul_coincurve(point: EcPoint, k: int) -> EcPoint:
+    """``k * point`` through libsecp256k1.  The group law is exact on
+    both sides of the seam, so this is bit-identical to the wNAF path
+    (asserted in ``tests/crypto/test_ec_probe.py``)."""
+    k %= N
+    if k == 0 or point.is_infinity():
+        return INFINITY
+    key = _NativeKey(_uncompressed_sec1(point)).multiply(k.to_bytes(32, "big"))
+    x, y = key.point()
+    return EcPoint(x, y)
+
+
+# Module-level indirection, exactly like intops._powmod_impl: tests swap
+# the implementation to exercise both sides of the probe.
+_scalar_mul_impl = _scalar_mul_coincurve if HAVE_COINCURVE else _scalar_mul_python
+
+
+def scalar_mul(point: EcPoint, k: int) -> EcPoint:
+    """``k * point`` via the probed backend (libsecp256k1 when
+    importable, pure-python wNAF otherwise)."""
+    return _scalar_mul_impl(point, k)
 
 
 def scalar_mul_naive(point: EcPoint, k: int) -> EcPoint:
@@ -394,6 +445,36 @@ def _pippenger_points(
     return acc
 
 
+def _ec_multiexp_python(points: list[EcPoint], exps: list[int]) -> EcPoint:
+    if len(points) >= PIPPENGER_CUTOFF:
+        return _from_jacobian(_pippenger_points(points, exps))
+    return _from_jacobian(_straus_points(points, exps))
+
+
+def _ec_multiexp_coincurve(points: list[EcPoint], exps: list[int]) -> EcPoint:
+    """``sum_i exps[i] * points[i]`` as native multiplies + one combine.
+
+    libsecp256k1 has no multi-scalar API, but n native multiplications
+    beat the shared-doubling python engines at any n.  The only
+    unrepresentable value is the identity (``pubkey_combine`` rejects
+    it), which maps back to :data:`INFINITY`.
+    """
+    keys = [
+        _NativeKey(_uncompressed_sec1(pt)).multiply(e.to_bytes(32, "big"))
+        for pt, e in zip(points, exps)
+    ]
+    try:
+        x, y = _NativeKey.combine_keys(keys).point()
+    except ValueError:
+        return INFINITY
+    return EcPoint(x, y)
+
+
+_ec_multiexp_impl = (
+    _ec_multiexp_coincurve if HAVE_COINCURVE else _ec_multiexp_python
+)
+
+
 def ec_multiexp(pairs) -> EcPoint:
     """``sum_i exps[i] * points[i]``; exponents reduced mod the order."""
     points: list[EcPoint] = []
@@ -408,9 +489,7 @@ def ec_multiexp(pairs) -> EcPoint:
         return INFINITY
     if len(points) == 1:
         return scalar_mul(points[0], exps[0])
-    if len(points) >= PIPPENGER_CUTOFF:
-        return _from_jacobian(_pippenger_points(points, exps))
-    return _from_jacobian(_straus_points(points, exps))
+    return _ec_multiexp_impl(points, exps)
 
 
 class EcFixedBaseTable:
@@ -629,6 +708,13 @@ class EcGroup:
 
     def multiexp(self, pairs) -> EcPoint:
         metering.EC.multiexp += 1
+        executor = parallel.active_executor()
+        if executor is not None and executor.parallel:
+            pairs = list(pairs)
+            if executor.wants_terms(len(pairs)):
+                result = executor.multiexp(self, pairs)
+                if result is not None:
+                    return result
         return ec_multiexp(pairs)
 
     def fixed_base(self, base: EcPoint) -> EcFixedBaseTable:

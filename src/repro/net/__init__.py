@@ -7,9 +7,10 @@ discrete-event simulator:
 * :mod:`repro.net.wire` — a canonical, versioned binary codec that
   round-trips every protocol payload (length-prefixed frames);
 * :mod:`repro.net.peers` — addressing: node index -> (host, port);
-* :mod:`repro.net.transport` — the :class:`Transport` protocol behind
-  :class:`~repro.sim.node.Context`, with :class:`SimTransport`
-  (discrete-event) and :class:`AsyncioTransport` (real TCP) backends;
+* :mod:`repro.net.transport` — the :class:`Transport` protocol the
+  :class:`~repro.runtime.driver.MachineDriver` interprets effects
+  against, with :class:`SimTransport` (discrete-event) and
+  :class:`AsyncioTransport` (real TCP) backends;
 * :mod:`repro.net.host` — :class:`NodeHost`, one runtime endpoint
   (any number of protocol sessions) on a transport;
 * :mod:`repro.net.cluster` — :class:`SessionCluster`, n asyncio

@@ -1,7 +1,8 @@
 """The transport abstraction: one node logic, two networks.
 
-A :class:`~repro.sim.node.Context` performs a node's effects through
-the narrow :class:`Transport` protocol.  Two backends implement it:
+A :class:`~repro.runtime.driver.MachineDriver` interprets a node's
+effects through the narrow :class:`Transport` protocol.  Two backends
+implement it:
 
 * :class:`SimTransport` — a thin adapter over the discrete-event
   :class:`~repro.sim.runner.Simulation` (which already satisfies the
@@ -49,7 +50,8 @@ _MAX_PENDING_FRAMES = 1024  # digest frames held awaiting their matrix
 
 @runtime_checkable
 class Transport(Protocol):
-    """What a :class:`~repro.sim.node.Context` needs from its runtime."""
+    """What a :class:`~repro.runtime.driver.MachineDriver` needs from
+    its backend."""
 
     def current_time(self) -> float:
         """Clock reading in protocol time units."""

@@ -4,10 +4,11 @@
 ``env`` carries the only ambient inputs a transition may read (clock
 reading, seeded randomness, identity, membership), the return value
 carries everything it did.  :class:`EffectRecorder` presents the
-familiar :class:`repro.sim.node.Context` surface to the protocol
-clause code (``send``/``set_timer``/``output``...) but *records*
-effect values instead of performing anything — it is how the
-``upon``-clause methods become pure transition functions.
+protocol clause code's context surface
+(``send``/``set_timer``/``output``...) but *records* effect values
+instead of performing anything — it is how the ``upon``-clause methods
+become pure transition functions.  Protocol modules refer to it by the
+historical alias ``repro.sim.node.Context``.
 """
 
 from __future__ import annotations
@@ -55,7 +56,7 @@ class Machine(Protocol):
 
 
 class EffectRecorder:
-    """A recording :class:`~repro.sim.node.Context`: same surface, no I/O.
+    """The recording transition context: clause surface, no I/O.
 
     Timer ids are allocated from the machine's own counter (passed in
     as ``next_timer_id`` and read back after the transition), so ids
@@ -69,7 +70,7 @@ class EffectRecorder:
         self.effects: list[Effect] = []
         self.next_timer_id = next_timer_id
 
-    # -- environment (mirrors Context) ---------------------------------------
+    # -- environment -----------------------------------------------------------
 
     @property
     def node_id(self) -> int:
@@ -91,7 +92,7 @@ class EffectRecorder:
     def all_nodes(self) -> list[int]:
         return list(self._env.members)
 
-    # -- effects (mirrors Context) -------------------------------------------
+    # -- effects ---------------------------------------------------------------
 
     def send(self, recipient: int, payload: Any) -> None:
         self.effects.append(Send(recipient, payload))

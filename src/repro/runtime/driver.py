@@ -13,8 +13,10 @@ execution semantics live here exactly once.
 from __future__ import annotations
 
 import time as _time
+from contextlib import nullcontext
 from typing import Any
 
+from repro.crypto import parallel
 from repro.obs import metrics as obs_metrics
 from repro.obs import trace as obs_trace
 from repro.runtime.core import Env, Machine
@@ -48,6 +50,7 @@ class MachineDriver:
         node_id: int,
         *,
         trace_sink: Any = None,
+        crypto_executor: parallel.CryptoExecutor | None = None,
     ):
         self.machine = machine
         self.transport = transport
@@ -55,6 +58,12 @@ class MachineDriver:
         # Per-driver sink override; falls back to the process-wide one
         # installed with repro.obs.trace.set_trace_sink.
         self.trace_sink = trace_sink
+        # Per-driver crypto executor: installed as the ambient executor
+        # for the duration of each step, so the machine's verification
+        # work fans out across the pool while the machine itself stays
+        # single-threaded and deterministic.  None = the process-wide
+        # ambient executor (usually none: serial).
+        self.crypto_executor = crypto_executor
         # machine-chosen timer id <-> backend timer id
         self._backend_by_machine: dict[int, int] = {}
         self._machine_by_backend: dict[int, int] = {}
@@ -67,23 +76,17 @@ class MachineDriver:
     def handle_timer(self, backend_id: int, tag: Any) -> list[Effect]:
         """A backend timer fired; translate to the machine's own id.
 
-        Timers armed outside the driver (the legacy live-``Context``
-        adapter talking straight to the transport) are unknown to the
-        translation maps and dispatch under their backend id — but
-        only for plain machines.  A :class:`ProtocolRuntime` routes
-        strictly by its own timer-id namespace, where a passed-through
-        backend id could collide with a live session timer, so unknown
-        ids are dropped there instead.
+        Every live timer was armed through :meth:`apply`, so the
+        translation maps are authoritative: an unknown backend id is a
+        stale timer (armed by a driver instance that a crash/recovery
+        replaced) and is dropped.  The passthrough that used to forward
+        unknown ids to plain machines served the legacy live-``Context``
+        adapter, retired along with it.
         """
         machine_id = self._machine_by_backend.pop(backend_id, None)
         if machine_id is None:
-            from repro.runtime.runtime import ProtocolRuntime
-
-            if isinstance(self.machine, ProtocolRuntime):
-                return []
-            machine_id = backend_id
-        else:
-            self._backend_by_machine.pop(machine_id, None)
+            return []
+        self._backend_by_machine.pop(machine_id, None)
         return self.dispatch(TimerFired(tag, machine_id))
 
     def handle_operator(self, payload: Any) -> list[Effect]:
@@ -112,8 +115,14 @@ class MachineDriver:
         # was consumed, not whatever applying the effects advanced to.
         clock = self.transport.current_time()
         started = _time.perf_counter()
-        effects = self.machine.step(event, self.env())
-        self.apply(effects)
+        scope = (
+            parallel.executor_scope(self.crypto_executor)
+            if self.crypto_executor is not None
+            else nullcontext()
+        )
+        with scope:
+            effects = self.machine.step(event, self.env())
+            self.apply(effects)
         duration = _time.perf_counter() - started
         self._observe(event, effects, clock, duration)
         return effects

@@ -36,7 +36,7 @@ from repro.apps import (
     threshold_elgamal,
     threshold_schnorr,
 )
-from repro.crypto import schnorr
+from repro.crypto import parallel, schnorr
 from repro.crypto.feldman import (
     FeldmanCommitment,
     FeldmanVector,
@@ -53,6 +53,78 @@ from repro.service.presig import PresigPool, Presignature
 from repro.sim.network import ConstantDelay
 
 Commitment = FeldmanCommitment | FeldmanVector
+
+
+def _forge_sessions(
+    group: AbstractGroup,
+    live: tuple[int, ...],
+    t: int,
+    seed: int,
+    presig_ids: list[int],
+) -> list[tuple[Presignature, dict[int, int]]]:
+    """Run one batch of nonce DKGs as concurrent sessions multiplexed
+    over one embedded runtime world.  Pure and process-safe: the serial
+    forge calls it directly, the parallel forge runs one call per chunk
+    in a pool worker (seeded exactly as a serial run of that chunk
+    alone, so forge results are deterministic given (seed, cores))."""
+    specs = [
+        DkgSessionSpec(
+            session=f"nonce-{presig_id}",
+            config=DkgConfig(
+                n=len(live),
+                t=t,
+                group=group,
+                members=tuple(live),
+                initial_leader=live[presig_id % len(live)],
+                enforce_resilience=False,
+            ),
+            tau=presig_id,
+        )
+        for presig_id in presig_ids
+    ]
+    results = run_dkg_sessions(
+        specs,
+        seed=seed * 1_000_003 + presig_ids[0] + 1,
+        delay_model=ConstantDelay(0.0),
+    )
+    batch: list[tuple[Presignature, dict[int, int]]] = []
+    for presig_id in presig_ids:
+        result = results[f"nonce-{presig_id}"]
+        if not result.succeeded:
+            raise RuntimeError(f"nonce DKG {presig_id} did not complete")
+        commitment = result.commitment
+        batch.append(
+            (
+                Presignature(
+                    presig_id=presig_id,
+                    commitment=commitment,
+                    nonce_point=commitment.public_key(),
+                    contributors=result.q_set,
+                ),
+                result.shares,
+            )
+        )
+    return batch
+
+
+def _forge_sessions_job(payload: tuple) -> tuple[float, list]:
+    """Pool-worker wrapper around :func:`_forge_sessions`: commitments
+    cross back to the parent in canonical serialized form (the
+    :class:`FeldmanCommitment` memo caches are per-process and must not
+    travel)."""
+    spec, live, t, seed, presig_ids = payload
+    started = time.perf_counter()
+    group = parallel.group_from_spec(spec)
+    encoded = []
+    for presig, shares in _forge_sessions(group, live, t, seed, list(presig_ids)):
+        rows = [
+            [group.element_to_bytes(entry) for entry in row]
+            for row in presig.commitment.matrix
+        ]
+        encoded.append(
+            (presig.presig_id, tuple(presig.contributors), dict(shares), rows)
+        )
+    return time.perf_counter() - started, encoded
 
 
 class WorkerCrashed(Exception):
@@ -208,6 +280,7 @@ class ServiceConfig:
     pool_low_watermark: int | None = None  # default: half the target
     beacon_output_bytes: int = 32
     forge_concurrency: int = 4  # concurrent on-demand nonce DKGs
+    cores: int = 1  # process-pool width for the forge (0 = all cores)
 
 
 class ThresholdService:
@@ -262,6 +335,13 @@ class ThresholdService:
         self._combine_rng = random.Random(("svc-combine", config.seed).__repr__())
         self._beacon_lock = asyncio.Lock()
         self._forge_gate = asyncio.Semaphore(max(1, config.forge_concurrency))
+        # The forge's process pool (None = serial).  Created and warmed
+        # here, before any event loop runs, so the fork happens from a
+        # quiet process.
+        self.crypto_executor: parallel.CryptoExecutor | None = None
+        if parallel.resolve_cores(config.cores) > 1:
+            self.crypto_executor = parallel.CryptoExecutor(cores=config.cores)
+            self.crypto_executor.warm()
 
     # -- lifecycle -------------------------------------------------------------
 
@@ -270,6 +350,8 @@ class ThresholdService:
 
     async def stop(self) -> None:
         await self.pool.stop()
+        if self.crypto_executor is not None:
+            self.crypto_executor.close()
 
     def crash_node(self, index: int) -> int:
         """Crash one member mid-run: its worker loses all ephemeral
@@ -303,52 +385,59 @@ class ThresholdService:
     ) -> list[tuple[Presignature, dict[int, int]]]:
         """Fresh shared nonces = more DKGs (§1), run among the
         currently-live members as *concurrent sessions* multiplexed
-        over one runtime endpoint per node — one protocol world for the
-        whole batch, not one per nonce.  Blocking; the pool calls it
-        off the event loop."""
+        over one runtime endpoint per node.  With a crypto executor the
+        whole-deficit batch is partitioned into per-core chunks, each
+        chunk one embedded protocol world in a pool worker; without one
+        (or if the pool fails) the batch runs serially in one world.
+        Blocking; the pool calls it off the event loop."""
         live = sorted(i for i, w in self.workers.items() if not w.crashed)
         if len(live) < 2 * self.t + 1:
             raise ServiceUnavailable(
                 f"{len(live)} live nodes cannot run a t={self.t} nonce DKG"
             )
-        specs = [
-            DkgSessionSpec(
-                session=f"nonce-{presig_id}",
-                config=DkgConfig(
-                    n=len(live),
-                    t=self.t,
-                    group=self.group,
-                    members=tuple(live),
-                    initial_leader=live[presig_id % len(live)],
-                    enforce_resilience=False,
-                ),
-                tau=presig_id,
-            )
-            for presig_id in presig_ids
-        ]
-        results = run_dkg_sessions(
-            specs,
-            seed=self.config.seed * 1_000_003 + presig_ids[0] + 1,
-            delay_model=ConstantDelay(0.0),
+        executor = self.crypto_executor
+        if executor is not None and executor.parallel and len(presig_ids) > 1:
+            chunks = parallel.partition(presig_ids, executor.cores)
+            if len(chunks) > 1:
+                spec = parallel.group_spec(self.group)
+                payloads = [
+                    (spec, tuple(live), self.t, self.config.seed, chunk)
+                    for chunk in chunks
+                ]
+                results = executor.map_jobs("forge", _forge_sessions_job, payloads)
+                if results is not None:
+                    batch: list[tuple[Presignature, dict[int, int]]] = []
+                    for _, encoded in results:
+                        batch.extend(
+                            self._decode_forged(item) for item in encoded
+                        )
+                    return batch
+        return _forge_sessions(
+            self.group, tuple(live), self.t, self.config.seed, presig_ids
         )
-        batch: list[tuple[Presignature, dict[int, int]]] = []
-        for presig_id in presig_ids:
-            result = results[f"nonce-{presig_id}"]
-            if not result.succeeded:
-                raise RuntimeError(f"nonce DKG {presig_id} did not complete")
-            commitment = result.commitment
-            batch.append(
-                (
-                    Presignature(
-                        presig_id=presig_id,
-                        commitment=commitment,
-                        nonce_point=commitment.public_key(),
-                        contributors=result.q_set,
-                    ),
-                    result.shares,
-                )
-            )
-        return batch
+
+    def _decode_forged(
+        self, item: tuple
+    ) -> tuple[Presignature, dict[int, int]]:
+        """Rebuild one forged presignature from its canonical encoding
+        (element decode validates what came back across the pool)."""
+        presig_id, contributors, shares, rows = item
+        group = self.group
+        commitment = FeldmanCommitment(
+            tuple(
+                tuple(group.element_decode(raw) for raw in row) for row in rows
+            ),
+            group,
+        )
+        return (
+            Presignature(
+                presig_id=presig_id,
+                commitment=commitment,
+                nonce_point=commitment.public_key(),
+                contributors=contributors,
+            ),
+            shares,
+        )
 
     def _forge_nonce(self, presig_id: int) -> tuple[Presignature, dict[int, int]]:
         """Single-nonce forge (the pool's on-demand fallback path)."""
@@ -503,6 +592,11 @@ class ThresholdService:
                 "failed": self.failed,
                 "beacon_height": self.beacon.height,
                 "group": self.group.name,
+                # Which fast paths this server actually has: native
+                # probes (gmpy2, coincurve) and the forge's pool width.
+                "acceleration": parallel.acceleration_status(
+                    self.crypto_executor
+                ),
             },
             "metrics": reg.snapshot() if reg is not None else {},
         }

@@ -11,24 +11,24 @@ The execution interface is sans-I/O:
 :class:`~repro.runtime.effects.Effect` values — nothing inside a
 transition touches a queue, a socket or a clock.  The ``on_*`` hooks
 below are the protocol's ``upon`` clauses; they receive an
-:class:`~repro.runtime.core.EffectRecorder` whose surface matches the
-historical :class:`Context` (``send``/``set_timer``/``output``...), so
-clause code reads exactly like the paper's pseudocode while staying
-pure.  Drivers — the discrete-event simulator, the asyncio host, the
-service forge — interpret the effects through one shared
+:class:`~repro.runtime.core.EffectRecorder`
+(``send``/``set_timer``/``output``...), so clause code reads exactly
+like the paper's pseudocode while staying pure.  Drivers — the
+discrete-event simulator, the asyncio host, the service forge —
+interpret the effects through one shared
 :class:`~repro.runtime.driver.MachineDriver`.
 
-:class:`Context` is the legacy callback adapter kept one release for
-external callers: the same surface bound to a live
-:class:`~repro.net.transport.Transport`, performing effects
-immediately instead of recording them.
+``Context`` is re-exported here as an alias of
+:class:`~repro.runtime.core.EffectRecorder`: the historical live
+callback adapter of that name (bound directly to a transport,
+performing effects immediately) is retired, and the clause-hook
+annotations keep their established vocabulary.
 """
 
 from __future__ import annotations
 
-import random
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Any
+from typing import Any
 
 from repro.runtime.core import EffectRecorder, Env
 from repro.runtime.effects import Effect
@@ -41,8 +41,11 @@ from repro.runtime.events import (
     TimerFired,
 )
 
-if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
-    from repro.net.transport import Transport
+# The name protocol clause signatures are written against.  One release
+# ago this was a live adapter performing effects against a transport;
+# the recorder has the identical surface, so the alias keeps every
+# ``ctx: Context`` annotation accurate.
+Context = EffectRecorder
 
 
 @dataclass
@@ -52,63 +55,6 @@ class OutputRecord:
     node: int
     time: float
     payload: Any
-
-
-class Context:
-    """A node's window onto its runtime: effects and environment.
-
-    ``transport`` is anything implementing the narrow
-    :class:`~repro.net.transport.Transport` protocol — the simulation
-    runner satisfies it structurally, so existing call sites passing a
-    :class:`~repro.sim.runner.Simulation` are unchanged.
-    """
-
-    def __init__(self, transport: "Transport", node_id: int):
-        self._transport = transport
-        self.node_id = node_id
-
-    @property
-    def now(self) -> float:
-        return self._transport.current_time()
-
-    @property
-    def rng(self) -> random.Random:
-        return self._transport.node_rng(self.node_id)
-
-    @property
-    def n(self) -> int:
-        return len(self._transport.member_ids())
-
-    @property
-    def all_nodes(self) -> list[int]:
-        return self._transport.member_ids()
-
-    def send(self, recipient: int, payload: Any) -> None:
-        """Send a network message (metered, delivered per the transport)."""
-        self._transport.enqueue_message(self.node_id, recipient, payload)
-
-    def broadcast(self, payload: Any, include_self: bool = True) -> None:
-        """Send ``payload`` to every node (n point-to-point messages —
-        the paper has no broadcast channel; this is sugar for a loop)."""
-        for recipient in self.all_nodes:
-            if recipient == self.node_id and not include_self:
-                continue
-            self.send(recipient, payload)
-
-    def set_timer(self, delay: float, tag: Any) -> int:
-        """Start a timer; returns an id usable with :meth:`cancel_timer`."""
-        return self._transport.set_timer(self.node_id, delay, tag)
-
-    def cancel_timer(self, timer_id: int) -> None:
-        self._transport.cancel_timer(self.node_id, timer_id)
-
-    def output(self, payload: Any) -> None:
-        """Emit an operator ``out`` message (protocol result)."""
-        self._transport.record_output(self.node_id, payload)
-
-    def record_leader_change(self) -> None:
-        """Count one leader change in the run's metrics (DKG Fig. 3)."""
-        self._transport.record_leader_change()
 
 
 @dataclass

@@ -111,7 +111,7 @@ class Simulation:
             if up_duration is not None:
                 self.queue.push(time + up_duration, RecoverNode(node))
 
-    # -- effects used by Context ---------------------------------------------
+    # -- effects interpreted by MachineDriver ----------------------------------
 
     def enqueue_message(self, sender: int, recipient: int, payload: Any) -> None:
         if recipient not in self.nodes:

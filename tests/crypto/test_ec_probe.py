@@ -1,0 +1,139 @@
+"""The coincurve/libsecp256k1 import-probe seam: identical results with
+and without it — the EC twin of ``tests/crypto/test_intops.py``.
+
+With coincurve absent these tests pin the pure-python wNAF/Straus
+engines against the naive double-and-add oracle; with it present (the
+accelerated CI lane) they additionally assert the native paths are
+bit-identical to the python ones on the same inputs.
+"""
+
+from __future__ import annotations
+
+import pickle
+import random
+
+import pytest
+
+from repro.crypto import ec
+from repro.crypto.ec import (
+    HAVE_COINCURVE,
+    INFINITY,
+    N,
+    EcPoint,
+    ec_multiexp,
+    scalar_mul,
+    scalar_mul_naive,
+    secp256k1_group,
+)
+
+G = secp256k1_group()
+
+
+def _points_and_scalars(count: int = 12, seed: int = 0xEC5EA):
+    rng = random.Random(seed)
+    cases = []
+    for _ in range(count):
+        point = scalar_mul_naive(G.g, rng.randrange(1, N))
+        cases.append((point, rng.randrange(0, N)))
+    # Edge scalars on a fixed point.
+    for k in (0, 1, 2, N - 1, N, N + 1):
+        cases.append((G.g, k))
+    return cases
+
+
+class TestDispatch:
+    def test_probe_state_is_consistent(self) -> None:
+        # Whichever way the probe resolved, the active implementations
+        # must match it — no half-configured module.
+        if HAVE_COINCURVE:
+            assert ec._scalar_mul_impl is ec._scalar_mul_coincurve
+            assert ec._ec_multiexp_impl is ec._ec_multiexp_coincurve
+        else:
+            assert ec._scalar_mul_impl is ec._scalar_mul_python
+            assert ec._ec_multiexp_impl is ec._ec_multiexp_python
+
+    def test_swapping_the_impl_changes_dispatch(self, monkeypatch) -> None:
+        calls = []
+
+        def fake_scalar_mul(point, k):
+            calls.append(k)
+            return ec._scalar_mul_python(point, k)
+
+        monkeypatch.setattr(ec, "_scalar_mul_impl", fake_scalar_mul)
+        assert scalar_mul(G.g, 12345) == scalar_mul_naive(G.g, 12345)
+        assert calls == [12345]
+
+    def test_multiexp_routes_through_the_seam(self, monkeypatch) -> None:
+        seen = []
+
+        def spy(points, exps):
+            seen.append(len(points))
+            return ec._ec_multiexp_python(points, exps)
+
+        monkeypatch.setattr(ec, "_ec_multiexp_impl", spy)
+        pairs = [(scalar_mul_naive(G.g, i + 1), i + 2) for i in range(5)]
+        expected = ec._ec_multiexp_python(
+            [p for p, _ in pairs], [e for _, e in pairs]
+        )
+        assert ec_multiexp(pairs) == expected
+        assert seen == [5]
+
+
+class TestIdenticalResults:
+    def test_scalar_mul_matches_naive_oracle(self) -> None:
+        # Runs against whichever backend the probe found: with
+        # coincurve absent this pins the wNAF path; with it present it
+        # asserts the native path is bit-identical to the oracle.
+        for point, k in _points_and_scalars():
+            assert scalar_mul(point, k) == scalar_mul_naive(point, k)
+
+    def test_python_impl_agrees_with_oracle_directly(self) -> None:
+        # The fallback engine itself, independent of the probe outcome,
+        # so both sides of the seam stay covered.
+        for point, k in _points_and_scalars(seed=0xFA11):
+            assert ec._scalar_mul_python(point, k) == scalar_mul_naive(point, k)
+
+    def test_infinity_handling(self) -> None:
+        assert scalar_mul(INFINITY, 7) == INFINITY
+        assert scalar_mul(G.g, 0) == INFINITY
+        assert ec_multiexp([]) == INFINITY
+
+
+@pytest.mark.skipif(not HAVE_COINCURVE, reason="coincurve not installed")
+class TestNativeBitIdentity:
+    """Only meaningful where libsecp256k1 is importable (accelerated CI
+    lane): the native implementations against the python ones."""
+
+    def test_scalar_mul_native_equals_python(self) -> None:
+        for point, k in _points_and_scalars(count=20, seed=0xC01):
+            assert ec._scalar_mul_coincurve(point, k) == ec._scalar_mul_python(
+                point, k
+            )
+
+    def test_multiexp_native_equals_python(self) -> None:
+        rng = random.Random(0xC02)
+        for size in (2, 3, 17, 40):
+            points = [
+                ec._scalar_mul_python(G.g, rng.randrange(1, N))
+                for _ in range(size)
+            ]
+            exps = [rng.randrange(1, N) for _ in range(size)]
+            assert ec._ec_multiexp_coincurve(
+                points, exps
+            ) == ec._ec_multiexp_python(points, exps)
+
+    def test_multiexp_native_identity_maps_to_infinity(self) -> None:
+        # k*P + (N-k)*P = identity, which pubkey_combine rejects; the
+        # wrapper maps that refusal back to INFINITY.
+        point = ec._scalar_mul_python(G.g, 777)
+        assert ec._ec_multiexp_coincurve([point, point], [5, N - 5]) == INFINITY
+
+
+class TestPicklability:
+    def test_point_round_trips_through_pickle(self) -> None:
+        # EcPoint uses __slots__ with a frozen __setattr__, so pool
+        # workers depend on the explicit __reduce__.
+        point = scalar_mul_naive(G.g, 123456789)
+        clone = pickle.loads(pickle.dumps(point))
+        assert clone == point and clone.x == point.x and clone.y == point.y
+        assert pickle.loads(pickle.dumps(INFINITY)) == INFINITY

@@ -1,0 +1,274 @@
+"""The process-pool crypto executor: serial ≡ parallel under seeded
+claims, per-item Byzantine fallback, and pool-crash degradation.
+
+The determinism contract under test: installing an executor never
+changes results *or* the caller's rng stream — transcripts are
+identical whether work fanned out or not.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.crypto import parallel
+from repro.crypto.backend import BatchedClaimVerifier
+from repro.crypto.parallel import CryptoExecutor
+from repro.crypto.polynomials import Polynomial
+from repro.obs import metrics as obs_metrics
+
+from tests.helpers import default_test_group
+
+G = default_test_group()
+
+
+def _claims(group, t: int = 3, count: int = 40, seed: int = 11):
+    """A degree-t sharing: entries commit to the coefficients, claims
+    are the polynomial's evaluations (the DKG/VSS verification shape)."""
+    rng = random.Random(seed)
+    poly = Polynomial(
+        tuple(rng.randrange(group.q) for _ in range(t + 1)), group.q
+    )
+    entries = [group.power(group.g, c) for c in poly.coeffs]
+    batch = [(i, poly.evaluate(i)) for i in range(1, count + 1)]
+    return entries, batch
+
+
+def _pool_executor(**kwargs) -> CryptoExecutor:
+    """A real 2-worker pool with thresholds protocol-sized tests meet."""
+    kwargs.setdefault("min_claims", 8)
+    kwargs.setdefault("min_terms", 10)
+    return CryptoExecutor(cores=2, **kwargs)
+
+
+class _FailingFuture:
+    def __init__(self, exc: Exception):
+        self._exc = exc
+
+    def result(self):
+        raise self._exc
+
+
+class _FailingPool:
+    """Stands in for a ProcessPoolExecutor whose chunks all fail."""
+
+    def __init__(self, exc: Exception):
+        self._exc = exc
+        self.shutdowns = 0
+
+    def submit(self, job, payload):
+        return _FailingFuture(self._exc)
+
+    def shutdown(self, **kwargs):
+        self.shutdowns += 1
+
+
+class TestPartition:
+    def test_contiguous_and_order_preserving(self) -> None:
+        items = list(range(10))
+        chunks = parallel.partition(items, 3)
+        assert [len(c) for c in chunks] == [4, 3, 3]
+        assert [x for chunk in chunks for x in chunk] == items
+
+    def test_never_more_chunks_than_items(self) -> None:
+        assert parallel.partition([1, 2], 8) == [[1], [2]]
+
+    def test_empty(self) -> None:
+        assert parallel.partition([], 4) == []
+
+
+class TestChunkSalt:
+    def test_deterministic_and_distinct(self) -> None:
+        salt = random.Random(0).getrandbits(128)
+        derived = [parallel.derive_chunk_salt(salt, i) for i in range(8)]
+        assert derived == [parallel.derive_chunk_salt(salt, i) for i in range(8)]
+        assert len(set(derived)) == 8
+        assert all(0 <= s < 2**128 for s in derived)
+
+    def test_salt_sensitivity(self) -> None:
+        assert parallel.derive_chunk_salt(1, 0) != parallel.derive_chunk_salt(2, 0)
+
+
+class TestResolveCores:
+    def test_semantics(self) -> None:
+        assert parallel.resolve_cores(None) == 1
+        assert parallel.resolve_cores(1) == 1
+        assert parallel.resolve_cores(3) == 3
+        assert parallel.resolve_cores(0) == parallel.available_cpus()
+        assert parallel.resolve_cores(0) >= 1
+
+
+class TestSerialParallelEquivalence:
+    def test_results_and_rng_stream_identical(self) -> None:
+        entries, batch = _claims(G)
+        serial_rng, pool_rng = random.Random(7), random.Random(7)
+        serial = BatchedClaimVerifier(G, entries).verify(batch, rng=serial_rng)
+        with _pool_executor() as executor:
+            with parallel.executor_scope(executor):
+                pooled = BatchedClaimVerifier(G, entries).verify(
+                    batch, rng=pool_rng
+                )
+        assert pooled == serial
+        assert pooled[0] == batch and pooled[1] == []
+        # The parallel path consumed exactly the serial path's one draw.
+        assert pool_rng.getstate() == serial_rng.getstate()
+
+    def test_byzantine_claims_pinpointed_across_chunks(self) -> None:
+        entries, batch = _claims(G)
+        # Corrupt one claim in each half, i.e. one per worker chunk.
+        batch[3] = (batch[3][0], (batch[3][1] + 1) % G.q)
+        batch[29] = (batch[29][0], (batch[29][1] + 5) % G.q)
+        serial = BatchedClaimVerifier(G, entries).verify(
+            batch, rng=random.Random(7)
+        )
+        with _pool_executor() as executor:
+            with parallel.executor_scope(executor):
+                good, bad = BatchedClaimVerifier(G, entries).verify(
+                    batch, rng=random.Random(7)
+                )
+        assert (good, bad) == serial
+        assert sorted(bad) == [batch[3][0], batch[29][0]]
+        assert len(good) == len(batch) - 2
+
+    def test_verify_claim_sets_matches_serial(self) -> None:
+        jobs = []
+        expected = []
+        for seed in (1, 2, 3):
+            entries, batch = _claims(G, count=12, seed=seed)
+            salt = random.Random(seed).getrandbits(128)
+            jobs.append((entries, G.g, batch, salt))
+            good, bad, _ = BatchedClaimVerifier(G, entries).verify_salted(
+                batch, salt
+            )
+            expected.append((good, bad))
+        with _pool_executor() as executor:
+            results = executor.verify_claim_sets(G, jobs)
+        assert results == expected
+
+    def test_multiexp_matches_serial(self) -> None:
+        rng = random.Random(13)
+        pairs = [
+            (G.power(G.g, rng.randrange(1, G.q)), rng.randrange(G.q))
+            for _ in range(30)
+        ]
+        serial = G.multiexp(pairs)
+        with _pool_executor() as executor:
+            direct = executor.multiexp(G, pairs)
+            with parallel.executor_scope(executor):
+                routed = G.multiexp(pairs)
+        assert direct == serial
+        assert routed == serial
+
+
+class TestThresholdsAndPassthrough:
+    def test_serial_executor_never_engages(self) -> None:
+        executor = CryptoExecutor(cores=1)
+        assert not executor.parallel
+        assert not executor.wants_claims(10**6)
+        entries, batch = _claims(G, count=10)
+        assert executor.verify_claims(G, entries, G.g, batch, salt=1) is None
+
+    def test_small_batches_stay_serial(self) -> None:
+        with _pool_executor(min_claims=64) as executor:
+            assert not executor.wants_claims(40)
+            assert executor.wants_claims(64)
+
+    def test_single_chunk_is_refused(self) -> None:
+        # One chunk would serialize through the pool for pure overhead.
+        entries, batch = _claims(G, count=1)
+        with _pool_executor() as executor:
+            assert executor.verify_claims(G, entries, G.g, batch, 1) is None
+
+
+class TestDegradation:
+    def test_broken_pool_degrades_permanently_to_serial(self) -> None:
+        from concurrent.futures.process import BrokenProcessPool
+
+        entries, batch = _claims(G)
+        executor = _pool_executor()
+        fake = _FailingPool(BrokenProcessPool("worker died"))
+        executor._pool = fake
+        with parallel.executor_scope(executor):
+            good, bad = BatchedClaimVerifier(G, entries).verify(
+                batch, rng=random.Random(7)
+            )
+        # Same answer through the serial fallback...
+        assert (good, bad) == (batch, [])
+        # ...and the executor is poisoned: no further fan-out attempts.
+        assert executor._broken and not executor.parallel
+        assert fake.shutdowns == 1
+        assert executor.verify_claims(G, entries, G.g, batch, 1) is None
+
+    def test_chunk_exception_fails_one_call_only(self) -> None:
+        entries, batch = _claims(G)
+        executor = _pool_executor()
+        executor._pool = _FailingPool(ValueError("bad payload"))
+        with parallel.executor_scope(executor):
+            good, bad = BatchedClaimVerifier(G, entries).verify(
+                batch, rng=random.Random(7)
+            )
+        assert (good, bad) == (batch, [])
+        # An ordinary failure does not poison the executor.
+        assert not executor._broken and executor.parallel
+
+
+class TestMetrics:
+    def test_chunks_counted_by_mode(self) -> None:
+        entries, batch = _claims(G)
+        registry = obs_metrics.MetricsRegistry()
+        previous = obs_metrics.set_registry(registry)
+        try:
+            with _pool_executor() as executor:
+                with parallel.executor_scope(executor):
+                    BatchedClaimVerifier(G, entries).verify(
+                        batch, rng=random.Random(7)
+                    )
+            families = registry.snapshot()
+        finally:
+            obs_metrics.set_registry(previous)
+        chunk_counts = {
+            tuple(sorted(sample["labels"].items())): sample["value"]
+            for sample in families[parallel.CHUNKS_TOTAL]["samples"]
+        }
+        assert chunk_counts[(("kind", "verify"), ("mode", "pool"))] == 2
+        assert parallel.CHUNK_SECONDS in families
+        assert parallel.WORKERS_GAUGE in families
+
+
+class TestAccelerationStatus:
+    def test_reports_probes_and_executor(self) -> None:
+        status = parallel.acceleration_status()
+        assert set(status) == {
+            "gmpy2",
+            "coincurve",
+            "parallel_cores",
+            "parallel_active",
+            "available_cpus",
+        }
+        assert status["parallel_cores"] == 1 and not status["parallel_active"]
+        with _pool_executor() as executor:
+            active = parallel.acceleration_status(executor)
+        assert active["parallel_cores"] == 2 and active["parallel_active"]
+
+    def test_ambient_scope_install_and_restore(self) -> None:
+        assert parallel.active_executor() is None
+        executor = CryptoExecutor(cores=1)
+        with parallel.executor_scope(executor) as installed:
+            assert installed is executor
+            assert parallel.active_executor() is executor
+        assert parallel.active_executor() is None
+
+
+@pytest.mark.parametrize("count", [32, 33, 47])
+def test_uneven_batch_sizes_round_trip(count: int) -> None:
+    # Chunk-boundary property check: odd sizes partition unevenly and
+    # must still concatenate back to the serial answer.
+    entries, batch = _claims(G, count=count, seed=count)
+    serial = BatchedClaimVerifier(G, entries).verify(batch, rng=random.Random(3))
+    with _pool_executor() as executor:
+        with parallel.executor_scope(executor):
+            pooled = BatchedClaimVerifier(G, entries).verify(
+                batch, rng=random.Random(3)
+            )
+    assert pooled == serial

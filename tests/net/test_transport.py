@@ -16,7 +16,7 @@ from repro.net.transport import (
 )
 from repro.net.host import NodeHost
 from repro.sim.network import ConstantDelay, RawPayload
-from repro.sim.node import Context, RecordingNode
+from repro.sim.node import RecordingNode
 from repro.sim.runner import Simulation
 
 from tests.helpers import default_test_group
@@ -56,22 +56,38 @@ class TestTransportProtocol:
         transport = SimTransport(sim)
         assert transport.member_ids() == [1, 2]
         assert transport.current_time() == 0.0
-        ctx = Context(transport, 1)
-        ctx.send(2, RawPayload("ping", 10))
+        transport.enqueue_message(1, 2, RawPayload("ping", 10))
         sim.run()
         assert len(peer.received) == 1
         assert sim.metrics.messages_total == 1
 
-    def test_context_over_sim_transport_timers(self) -> None:
+    def test_sim_transport_timers(self) -> None:
+        from repro.sim.node import Context
+
+        class ArmingNode(RecordingNode):
+            def on_operator(self, payload: object, ctx: Context) -> None:
+                tick = ctx.set_timer(5.0, "tick")
+                ctx.cancel_timer(tick)
+                ctx.set_timer(7.0, "tock")
+
+        sim = Simulation()
+        node = ArmingNode(1)
+        sim.add_node(node)
+        sim.inject(1, "arm", at=0.0)
+        sim.run()
+        assert [tag for _, tag in node.timers] == ["tock"]
+
+    def test_directly_armed_backend_timer_is_stale(self) -> None:
+        # Timers not armed through machine effects have no machine-side
+        # id; the driver drops them instead of forwarding raw backend
+        # ids (the passthrough retired with the live-Context adapter).
         sim = Simulation()
         node = RecordingNode(1)
         sim.add_node(node)
-        ctx = Context(SimTransport(sim), 1)
-        timer = ctx.set_timer(5.0, "tick")
-        ctx.cancel_timer(timer)
-        ctx.set_timer(7.0, "tock")
+        transport = SimTransport(sim)
+        transport.set_timer(1, 5.0, "tick")
         sim.run()
-        assert [tag for _, tag in node.timers] == ["tock"]
+        assert node.timers == []
 
 
 class TestDropRetryLink:
@@ -131,8 +147,7 @@ class TestAsyncioTransport:
             await b.start()
             from repro.vss.messages import HelpMsg, SessionId
 
-            ctx = Context(a, 1)
-            ctx.send(2, HelpMsg(SessionId(1, 0)))
+            a.enqueue_message(1, 2, HelpMsg(SessionId(1, 0)))
             for _ in range(100):
                 if received:
                     break
@@ -194,10 +209,9 @@ class TestAsyncioTransport:
             fired: list = []
             a.on_timer = lambda tag, timer_id: fired.append(tag)
             await a.start()
-            ctx = Context(a, 1)
-            keep = ctx.set_timer(2.0, "keep")
-            kill = ctx.set_timer(2.0, "kill")
-            ctx.cancel_timer(kill)
+            keep = a.set_timer(1, 2.0, "keep")
+            kill = a.set_timer(1, 2.0, "kill")
+            a.cancel_timer(1, kill)
             assert keep != kill
             await asyncio.sleep(0.1)
             await a.stop()
@@ -211,7 +225,7 @@ class TestAsyncioTransport:
             fired: list = []
             a.on_timer = lambda tag, timer_id: fired.append(tag)
             await a.start()
-            Context(a, 1).set_timer(2.0, "tick")
+            a.set_timer(1, 2.0, "tick")
             a.crash()
             await asyncio.sleep(0.1)
             await a.recover()
@@ -274,7 +288,7 @@ class TestAsyncioTransport:
             await hb.start()
             from repro.vss.messages import HelpMsg, SessionId
 
-            Context(ta, 1).broadcast(HelpMsg(SessionId(1, 0)), include_self=False)
+            ta.enqueue_message(1, 2, HelpMsg(SessionId(1, 0)))
             for _ in range(100):
                 if nb.received:
                     break

@@ -1,0 +1,84 @@
+"""The parallel presignature forge: a ``cores > 1`` service fans the
+whole pool deficit across a process pool and still produces valid,
+deterministic presignatures; ops reports the acceleration status."""
+
+from __future__ import annotations
+
+import asyncio
+import json
+
+from repro.crypto.feldman import share_verifier
+from repro.service.workers import ServiceConfig, ThresholdService
+
+
+def _run(coro):
+    return asyncio.run(coro)
+
+
+def _config(cores: int) -> ServiceConfig:
+    return ServiceConfig(n=5, t=1, seed=3, pool_target=6, cores=cores)
+
+
+async def _forged_pool(config: ServiceConfig) -> tuple:
+    service = ThresholdService(config)
+    await service.start()
+    presigs = {}
+    for presig in service.pool._ready:
+        shares = {
+            worker.index: worker._nonce_shares[presig.presig_id]
+            for worker in service.workers.values()
+            if presig.presig_id in worker._nonce_shares
+        }
+        presigs[presig.presig_id] = (presig, shares)
+    signature, from_pool = await service.sign(b"parallel forge")
+    ops_doc = json.loads(service.ops().snapshot.decode())
+    await service.stop()
+    return service, presigs, signature, from_pool, ops_doc
+
+
+class TestParallelForge:
+    def test_forged_presignatures_are_valid_and_pool_serves(self) -> None:
+        service, presigs, _sig, from_pool, _ops = _run(
+            _forged_pool(_config(cores=2))
+        )
+        assert service.crypto_executor is not None
+        assert not service.crypto_executor._broken
+        assert from_pool
+        assert len(presigs) >= 1
+        for presig, shares in presigs.values():
+            # Every worker share must verify against the commitment —
+            # the same check the signing path applies per request.
+            good, bad = share_verifier(presig.commitment).batch_verify(
+                list(shares.items())
+            )
+            assert bad == []
+            assert len(good) == len(shares)
+            assert presig.commitment.public_key() == presig.nonce_point
+
+    def test_forge_is_deterministic_for_fixed_seed_and_cores(self) -> None:
+        _, first, *_ = _run(_forged_pool(_config(cores=2)))
+        _, second, *_ = _run(_forged_pool(_config(cores=2)))
+        assert set(first) == set(second)
+        for presig_id in first:
+            presig_a, shares_a = first[presig_id]
+            presig_b, shares_b = second[presig_id]
+            assert shares_a == shares_b
+            assert presig_a.nonce_point == presig_b.nonce_point
+            assert presig_a.contributors == presig_b.contributors
+
+    def test_ops_reports_acceleration_status(self) -> None:
+        *_, ops_doc = _run(_forged_pool(_config(cores=2)))
+        acceleration = ops_doc["status"]["acceleration"]
+        assert acceleration["parallel_cores"] == 2
+        assert acceleration["parallel_active"] is True
+        assert set(acceleration) >= {"gmpy2", "coincurve", "available_cpus"}
+
+    def test_serial_service_has_no_executor(self) -> None:
+        service, presigs, _sig, from_pool, ops_doc = _run(
+            _forged_pool(_config(cores=1))
+        )
+        assert service.crypto_executor is None
+        assert from_pool and len(presigs) >= 1
+        acceleration = ops_doc["status"]["acceleration"]
+        assert acceleration["parallel_cores"] == 1
+        assert acceleration["parallel_active"] is False
