@@ -1,0 +1,117 @@
+"""Link-check the documentation tree.
+
+Validates every Markdown link in README.md and docs/*.md that points
+inside the repository:
+
+* repo-relative file targets must exist on disk;
+* ``#fragment`` anchors (own-page or cross-page) must match a heading
+  in the target document, using GitHub's heading-slug rules.
+
+External ``http(s)://`` links are skipped — CI must not depend on the
+network — as are ``mailto:`` links.  Exit status is the number of
+broken links (capped at process-exit semantics), so CI fails on any.
+
+Usage: python .github/scripts/check_links.py [root]
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+HEADING = re.compile(r"^(#{1,6})\s+(.*?)\s*#*\s*$")
+FENCE = re.compile(r"^\s*(```|~~~)")
+
+
+def slugify(heading: str) -> str:
+    """GitHub's anchor algorithm: lowercase, drop everything but
+    alphanumerics/spaces/hyphens/underscores, spaces become hyphens."""
+    text = re.sub(r"`([^`]*)`", r"\1", heading)        # unwrap code spans
+    text = re.sub(r"\[([^\]]*)\]\([^)]*\)", r"\1", text)  # unwrap links
+    text = text.lower()
+    text = re.sub(r"[^\w\- ]", "", text)
+    return text.replace(" ", "-")
+
+
+def anchors_of(path: Path) -> set[str]:
+    """All heading anchors a document exposes, with GitHub's ``-N``
+    deduplication for repeated headings."""
+    seen: dict[str, int] = {}
+    anchors: set[str] = set()
+    in_fence = False
+    for line in path.read_text(encoding="utf-8").splitlines():
+        if FENCE.match(line):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        match = HEADING.match(line)
+        if not match:
+            continue
+        slug = slugify(match.group(2))
+        count = seen.get(slug, 0)
+        seen[slug] = count + 1
+        anchors.add(slug if count == 0 else f"{slug}-{count}")
+    return anchors
+
+
+def check_file(doc: Path, root: Path, anchor_cache: dict[Path, set[str]]) -> list[str]:
+    errors: list[str] = []
+    in_fence = False
+    for lineno, line in enumerate(doc.read_text(encoding="utf-8").splitlines(), 1):
+        if FENCE.match(line):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        for target in LINK.findall(line):
+            if target.startswith(("http://", "https://", "mailto:")):
+                continue
+            path_part, _, fragment = target.partition("#")
+            if path_part:
+                resolved = (doc.parent / path_part).resolve()
+            else:
+                resolved = doc.resolve()
+            try:
+                resolved.relative_to(root.resolve())
+            except ValueError:
+                errors.append(f"{doc}:{lineno}: escapes the repo: {target}")
+                continue
+            if not resolved.exists():
+                errors.append(f"{doc}:{lineno}: missing file: {target}")
+                continue
+            if fragment:
+                if resolved.suffix != ".md":
+                    errors.append(
+                        f"{doc}:{lineno}: anchor into non-markdown: {target}"
+                    )
+                    continue
+                if resolved not in anchor_cache:
+                    anchor_cache[resolved] = anchors_of(resolved)
+                if fragment not in anchor_cache[resolved]:
+                    errors.append(f"{doc}:{lineno}: missing anchor: {target}")
+    return errors
+
+
+def main(argv: list[str]) -> int:
+    root = Path(argv[1]) if len(argv) > 1 else Path.cwd()
+    docs = sorted((root / "docs").glob("*.md")) + [root / "README.md"]
+    anchor_cache: dict[Path, set[str]] = {}
+    errors: list[str] = []
+    for doc in docs:
+        errors.extend(check_file(doc, root, anchor_cache))
+    for error in errors:
+        print(error, file=sys.stderr)
+    checked = len(docs)
+    if errors:
+        print(f"{len(errors)} broken link(s) across {checked} documents",
+              file=sys.stderr)
+        return 1
+    print(f"link check ok: {checked} documents")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv))

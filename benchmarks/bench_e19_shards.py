@@ -1,0 +1,332 @@
+"""E19 — the sharded serving layer: signed-ops/s vs committee count.
+
+E13 measured one committee behind one frontend; E18 bought parallelism
+*inside* a process.  This experiment measures the axis the shard router
+(PR 9, ``repro.service.shard``) adds: **M independent committees in M
+separate processes** behind one consistent-hash router.  Each shard is
+a real ``repro serve`` subprocess (secp256k1, n=4, t=1) bootstrapping
+its own DKG and holding its own key; the parent process runs a
+:class:`~repro.service.shard.router.ShardRouter` over remote shards and
+drives concurrent keyed SIGN traffic spread over many key ids.
+
+The workload is deliberately **forge-bound** (``--pool 0``: every sign
+runs its nonce DKG on demand).  That puts the per-request cost on the
+shard's CPU, where the scaling claim lives — a pooled workload measures
+the router's dispatch loop instead, which is not the axis under test.
+
+Honest-accounting notes, in the E18 tradition:
+
+* ``available_cpus`` is recorded.  M processes cannot beat one process
+  on a single-core box, so the throughput gate (M=4 >= 3x M=1) is
+  enforced only when ``available_cpus >= 4``.  Correctness gates —
+  every request answered with a verifying signature under its *own*
+  committee's key, distinct keys across committees, a clean fleet
+  snapshot — are enforced everywhere, every run.
+* Signatures are verified *outside* the timed window, so the parent's
+  verification cost never flatters or taxes a configuration.
+
+Run::
+
+    PYTHONPATH=src python benchmarks/bench_e19_shards.py [--smoke]
+
+Acceptance (multi-core hardware): signed-ops/s at M=4 >= 3x M=1.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import os
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+from repro.crypto import schnorr
+from repro.crypto.groups import group_by_name
+from repro.service import protocol
+from repro.service.shard import api
+from repro.service.shard.router import ShardRouter
+from repro.service.workers import ServiceConfig
+
+_SERVE_BANNER = "serving "
+_SEED_BASE = 1900
+
+
+class ShardProcess:
+    """One ``repro serve`` subprocess: spawn, wait for the banner,
+    expose the bound port, terminate."""
+
+    def __init__(self, index: int, *, pool: int):
+        self.index = index
+        self.seed = _SEED_BASE + 7919 * index
+        env = dict(os.environ)
+        src = str(Path(__file__).resolve().parent.parent / "src")
+        env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+        self.proc = subprocess.Popen(
+            [
+                sys.executable,
+                "-m",
+                "repro",
+                "serve",
+                "--backend",
+                "secp256k1",
+                "--n",
+                "4",
+                "--t",
+                "1",
+                "--seed",
+                str(self.seed),
+                "--pool",
+                str(pool),
+                "--port",
+                "0",
+            ],
+            stdout=subprocess.PIPE,
+            stderr=subprocess.DEVNULL,
+            text=True,
+            env=env,
+        )
+        self.port = self._await_banner()
+
+    def _await_banner(self, timeout: float = 120.0) -> int:
+        deadline = time.monotonic() + timeout
+        assert self.proc.stdout is not None
+        while time.monotonic() < deadline:
+            line = self.proc.stdout.readline()
+            if not line:
+                raise RuntimeError(
+                    f"shard process {self.index} exited before serving "
+                    f"(rc={self.proc.poll()})"
+                )
+            if line.startswith(_SERVE_BANNER) and " on " in line:
+                return int(line.rsplit(":", 1)[1])
+        raise RuntimeError(f"shard process {self.index}: no banner")
+
+    def stop(self) -> None:
+        self.proc.terminate()
+        try:
+            self.proc.wait(timeout=10)
+        except subprocess.TimeoutExpired:
+            self.proc.kill()
+            self.proc.wait(timeout=10)
+
+
+async def _drive(
+    router: ShardRouter,
+    *,
+    requests: int,
+    concurrency: int,
+    keys: int,
+) -> tuple[float, list[tuple[bytes, bytes, object]]]:
+    """Issue ``requests`` keyed signs through the router from
+    ``concurrency`` closed-loop workers; return (wall, transcript)."""
+    sequence = iter(range(requests))
+    transcript: list[tuple[bytes, bytes, object]] = []
+
+    async def worker() -> None:
+        for i in sequence:
+            key_id = f"bench-key-{i % keys}".encode()
+            message = f"e19 op {i}".encode()
+            response = await router.handle(
+                api.ShardSignRequest(i, key_id, message)
+            )
+            transcript.append((key_id, message, response))
+
+    t0 = time.perf_counter()
+    await asyncio.gather(*(worker() for _ in range(concurrency)))
+    return time.perf_counter() - t0, transcript
+
+
+async def _measure(
+    shards: list[ShardProcess],
+    *,
+    requests: int,
+    concurrency: int,
+    keys: int,
+) -> dict:
+    group = group_by_name("secp256k1")
+    template = ServiceConfig(n=4, t=1, group=group, seed=0, pool_target=0)
+    router = ShardRouter(template)
+    for shard in shards:
+        await router.add_remote_shard(
+            f"shard-{shard.index}", "127.0.0.1", shard.port
+        )
+    try:
+        wall, transcript = await _drive(
+            router, requests=requests, concurrency=concurrency, keys=keys
+        )
+
+        # Post-hoc verification, off the clock: each signature must
+        # verify under the public key of the committee that owns its
+        # key id *now* — routing is stable, so that is the signer.
+        pubkeys: dict[bytes, int] = {}
+        failures = 0
+        for key_id, message, response in transcript:
+            if not isinstance(response, protocol.SignResponse):
+                failures += 1
+                continue
+            if key_id not in pubkeys:
+                status = await router.handle(
+                    api.ShardStatusRequest(0, key_id)
+                )
+                assert isinstance(status, protocol.StatusResponse), status
+                pubkeys[key_id] = status.public_key
+            if not schnorr.verify(
+                group,
+                pubkeys[key_id],
+                message,
+                schnorr.Signature(response.challenge, response.response),
+            ):
+                failures += 1
+
+        fleet = await router.fleet_document()
+        distinct_keys = len(set(pubkeys.values()))
+        # How many committees actually own the touched key ids — the
+        # number of distinct group keys we should have seen.
+        owning_shards = len({router.ring.route(k) for k in pubkeys})
+        routed = {
+            sid: handle.routed_total
+            for sid, handle in sorted(router.handles.items())
+        }
+    finally:
+        await router.stop()
+    return {
+        "shards": len(shards),
+        "requests": requests,
+        "concurrency": concurrency,
+        "key_ids": keys,
+        "wall_seconds": round(wall, 3),
+        "signed_ops_per_s": round(len(transcript) / wall, 2),
+        "failures": failures,
+        "distinct_committee_keys": distinct_keys,
+        "owning_shards": owning_shards,
+        "fleet_down": fleet["fleet"]["down"],
+        "routed_per_shard": routed,
+    }
+
+
+def measure_sweep(
+    m: int, *, requests: int, concurrency: int, keys: int
+) -> dict:
+    shards = [ShardProcess(i, pool=0) for i in range(m)]
+    try:
+        return asyncio.run(
+            _measure(
+                shards,
+                requests=requests,
+                concurrency=concurrency,
+                keys=keys,
+            )
+        )
+    finally:
+        for shard in shards:
+            shard.stop()
+
+
+def run_bench(smoke: bool = False) -> dict:
+    m_axis = [1, 2] if smoke else [1, 2, 4]
+    requests = 4 if smoke else 12
+    concurrency = 4 if smoke else 8
+    keys = 16
+    cpus = os.cpu_count() or 1
+    report: dict = {
+        "bench": "e19_shards",
+        "mode": "smoke" if smoke else "full",
+        "available_cpus": cpus,
+        "backend": "secp256k1",
+        "committee": {"n": 4, "t": 1},
+        "workload": "forge-bound (pool=0): every sign is an on-demand "
+        "nonce DKG on the owning shard",
+        "m_axis": m_axis,
+        "sweep": {},
+    }
+    for m in m_axis:
+        row = measure_sweep(
+            m, requests=requests, concurrency=concurrency, keys=keys
+        )
+        report["sweep"][str(m)] = row
+        print(
+            f"-- M={m}: {row['signed_ops_per_s']} signed-ops/s "
+            f"({row['failures']} failures, "
+            f"{row['distinct_committee_keys']} committee keys)"
+        )
+    base = report["sweep"][str(m_axis[0])]["signed_ops_per_s"]
+    top = report["sweep"][str(m_axis[-1])]["signed_ops_per_s"]
+    report["headline"] = {
+        "all_requests_verified": all(
+            row["failures"] == 0 for row in report["sweep"].values()
+        ),
+        "committees_independent": all(
+            row["distinct_committee_keys"] == row["owning_shards"]
+            for row in report["sweep"].values()
+        ),
+        "fleet_clean": all(
+            row["fleet_down"] == 0 for row in report["sweep"].values()
+        ),
+        f"speedup_m{m_axis[-1]}_vs_m1": round(top / base, 2),
+    }
+    return report
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="M in {1,2}, few requests; correctness gates only",
+    )
+    parser.add_argument(
+        "--out",
+        type=Path,
+        default=Path(__file__).resolve().parent.parent / "BENCH_e19.json",
+        help="where to write the JSON report",
+    )
+    args = parser.parse_args(argv)
+    report = run_bench(smoke=args.smoke)
+    if not args.smoke:
+        args.out.write_text(json.dumps(report, indent=2) + "\n")
+        print(f"wrote {args.out}")
+    headline = report["headline"]
+    print(f"headline: {headline}")
+    # Correctness gates: unconditional, every run, every M.
+    if not headline["all_requests_verified"]:
+        print(
+            "ACCEPTANCE MISS: a request failed or a signature did not "
+            "verify under its committee key",
+            file=sys.stderr,
+        )
+        return 1
+    if not headline["committees_independent"]:
+        print(
+            "ACCEPTANCE MISS: shard committees share a group key",
+            file=sys.stderr,
+        )
+        return 1
+    if not headline["fleet_clean"]:
+        print("ACCEPTANCE MISS: fleet snapshot reported a shard down",
+              file=sys.stderr)
+        return 1
+    # Throughput gate: only where the hardware can express it.
+    cpus = report["available_cpus"]
+    if not args.smoke and cpus >= 4:
+        speedup = headline["speedup_m4_vs_m1"]
+        if speedup < 3.0:
+            print(
+                f"ACCEPTANCE MISS: M=4 signed-ops/s only {speedup}x M=1 "
+                f"(< 3x) on {cpus} cpus",
+                file=sys.stderr,
+            )
+            return 1
+    elif not args.smoke:
+        print(
+            f"note: {cpus} cpu(s) available — the M=4 >= 3x M=1 gate is "
+            "waived, correctness gates enforced"
+        )
+    print("acceptance ok")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -70,6 +70,18 @@ schema the ``/metrics.json`` HTTP endpoint serves), so new metric
 families never require a codec change.  All pre-v5 kinds stay
 byte-identical; OPS frames claiming an earlier version are rejected —
 they did not exist.
+
+Codec **version 6** adds the shard-router frames (kinds ``0x3E``–
+``0x43``) of :mod:`repro.service.shard.api`: the keyed data path
+(SHARD_SIGN / SHARD_STATUS — the single-committee requests plus the
+``key_id`` that consistent hashing maps to a shard), the fleet
+observability pair (FLEET_OPS carrying one aggregated JSON snapshot,
+OPS-style), and the admin pair (SHARDCTL: a one-byte verb index into
+``SHARDCTL_OPS`` + target shard id, answered with an opaque JSON
+document).  Responses to the keyed path reuse the existing v2/v3
+SIGN/STATUS response frames — a sharded signature is wire-identical to
+a single-committee one.  All pre-v6 kinds stay byte-identical; shard
+frames claiming an earlier version are rejected — they did not exist.
 """
 
 from __future__ import annotations
@@ -131,6 +143,15 @@ from repro.service.protocol import (
     StatusRequest,
     StatusResponse,
 )
+from repro.service.shard.api import (
+    SHARDCTL_OPS,
+    FleetOpsRequest,
+    FleetOpsResponse,
+    ShardCtlRequest,
+    ShardCtlResponse,
+    ShardSignRequest,
+    ShardStatusRequest,
+)
 from repro.dkg.messages import (
     DIGEST_BYTES,
     INDEX_BYTES,
@@ -155,8 +176,8 @@ from repro.dkg.messages import (
 )
 
 MAGIC = b"KG"
-VERSION = 5  # v5: OPS observability frames (see module doc)
-SUPPORTED_VERSIONS = (1, 2, 3, 4, 5)
+VERSION = 6  # v6: shard-router frames (see module doc)
+SUPPORTED_VERSIONS = (1, 2, 3, 4, 5, 6)
 SERVICE_KIND_MIN = 0x30
 ENVELOPE_KIND = 0x2F
 # Kinds introduced by codec v4: the groupmod range plus the envelope.
@@ -166,6 +187,14 @@ OPS_REQUEST_KIND = 0x3C
 OPS_RESPONSE_KIND = 0x3D
 # Kinds introduced by codec v5: the observability pair.
 V5_KINDS = frozenset({OPS_REQUEST_KIND, OPS_RESPONSE_KIND})
+SHARD_SIGN_KIND = 0x3E
+SHARD_STATUS_KIND = 0x3F
+FLEET_OPS_REQUEST_KIND = 0x40
+FLEET_OPS_RESPONSE_KIND = 0x41
+SHARDCTL_REQUEST_KIND = 0x42
+SHARDCTL_RESPONSE_KIND = 0x43
+# Kinds introduced by codec v6: the shard-router range.
+V6_KINDS = frozenset(range(SHARD_SIGN_KIND, SHARDCTL_RESPONSE_KIND + 1))
 HEADER_BYTES = 4 + len(MAGIC) + 1 + 1  # length + magic + version + kind
 # Fixed-size messages bake this framing cost into byte_size() directly.
 assert HEADER_BYTES == _vss_messages.WIRE_FRAME_OVERHEAD
@@ -1232,6 +1261,79 @@ def _dec_svc_ops_resp(r: _Reader, resolve: Resolver | None) -> OpsResponse:
     return OpsResponse(request_id, r.lbytes())
 
 
+# -- shard-router frames (codec v6) --------------------------------------------
+
+
+def _enc_shard_sign(w: _Writer, m: ShardSignRequest, mode: str) -> None:
+    w.fixed(m.request_id, REQUEST_ID_BYTES)
+    w.lbytes(m.key_id)
+    w.lbytes(m.message)
+
+
+def _dec_shard_sign(r: _Reader, resolve: Resolver | None) -> ShardSignRequest:
+    request_id = r.fixed(REQUEST_ID_BYTES)
+    key_id = r.lbytes()
+    return ShardSignRequest(request_id, key_id, r.lbytes())
+
+
+def _enc_shard_status(w: _Writer, m: ShardStatusRequest, mode: str) -> None:
+    w.fixed(m.request_id, REQUEST_ID_BYTES)
+    w.lbytes(m.key_id)
+
+
+def _dec_shard_status(r: _Reader, resolve: Resolver | None) -> ShardStatusRequest:
+    request_id = r.fixed(REQUEST_ID_BYTES)
+    return ShardStatusRequest(request_id, r.lbytes())
+
+
+def _enc_fleet_ops_req(w: _Writer, m: FleetOpsRequest, mode: str) -> None:
+    w.fixed(m.request_id, REQUEST_ID_BYTES)
+
+
+def _dec_fleet_ops_req(r: _Reader, resolve: Resolver | None) -> FleetOpsRequest:
+    return FleetOpsRequest(r.fixed(REQUEST_ID_BYTES))
+
+
+def _enc_fleet_ops_resp(w: _Writer, m: FleetOpsResponse, mode: str) -> None:
+    w.fixed(m.request_id, REQUEST_ID_BYTES)
+    w.lbytes(m.snapshot)
+
+
+def _dec_fleet_ops_resp(r: _Reader, resolve: Resolver | None) -> FleetOpsResponse:
+    request_id = r.fixed(REQUEST_ID_BYTES)
+    return FleetOpsResponse(request_id, r.lbytes())
+
+
+def _enc_shardctl_req(w: _Writer, m: ShardCtlRequest, mode: str) -> None:
+    if m.op not in SHARDCTL_OPS:
+        raise WireError(f"unknown shardctl op {m.op!r}")
+    w.fixed(m.request_id, REQUEST_ID_BYTES)
+    w.u8(SHARDCTL_OPS.index(m.op))
+    w.lbytes(m.shard_id.encode())
+
+
+def _dec_shardctl_req(r: _Reader, resolve: Resolver | None) -> ShardCtlRequest:
+    request_id = r.fixed(REQUEST_ID_BYTES)
+    op_index = r.u8()
+    if op_index >= len(SHARDCTL_OPS):
+        raise WireError(f"unknown shardctl op index {op_index}")
+    try:
+        shard_id = r.lbytes().decode()
+    except UnicodeDecodeError as exc:
+        raise WireError("garbled shard id") from exc
+    return ShardCtlRequest(request_id, SHARDCTL_OPS[op_index], shard_id)
+
+
+def _enc_shardctl_resp(w: _Writer, m: ShardCtlResponse, mode: str) -> None:
+    w.fixed(m.request_id, REQUEST_ID_BYTES)
+    w.lbytes(m.document)
+
+
+def _dec_shardctl_resp(r: _Reader, resolve: Resolver | None) -> ShardCtlResponse:
+    request_id = r.fixed(REQUEST_ID_BYTES)
+    return ShardCtlResponse(request_id, r.lbytes())
+
+
 _CODECS: dict[int, tuple[type, Callable, Callable]] = {
     0x01: (SendMsg, _enc_vss_send, _dec_vss_send),
     0x02: (EchoMsg, _enc_vss_echo, _dec_vss_echo),
@@ -1285,6 +1387,21 @@ _CODECS: dict[int, tuple[type, Callable, Callable]] = {
     # observability frames (codec v5)
     OPS_REQUEST_KIND: (OpsRequest, _enc_svc_ops_req, _dec_svc_ops_req),
     OPS_RESPONSE_KIND: (OpsResponse, _enc_svc_ops_resp, _dec_svc_ops_resp),
+    # shard-router frames (codec v6)
+    SHARD_SIGN_KIND: (ShardSignRequest, _enc_shard_sign, _dec_shard_sign),
+    SHARD_STATUS_KIND: (ShardStatusRequest, _enc_shard_status, _dec_shard_status),
+    FLEET_OPS_REQUEST_KIND: (FleetOpsRequest, _enc_fleet_ops_req, _dec_fleet_ops_req),
+    FLEET_OPS_RESPONSE_KIND: (
+        FleetOpsResponse,
+        _enc_fleet_ops_resp,
+        _dec_fleet_ops_resp,
+    ),
+    SHARDCTL_REQUEST_KIND: (ShardCtlRequest, _enc_shardctl_req, _dec_shardctl_req),
+    SHARDCTL_RESPONSE_KIND: (
+        ShardCtlResponse,
+        _enc_shardctl_resp,
+        _dec_shardctl_resp,
+    ),
 }
 
 _KIND_BY_TYPE: dict[type, int] = {typ: kind for kind, (typ, _, _) in _CODECS.items()}
@@ -1322,8 +1439,11 @@ def encode(
     # in v3, and any frame shaped by a non-modp group (EC commitments,
     # compressed-point elements) is only decodable by v3 peers.
     # Envelope and groupmod kinds did not exist before v4, the OPS
-    # observability pair not before v5.
-    if kind in V5_KINDS:
+    # observability pair not before v5, the shard-router range not
+    # before v6.
+    if kind in V6_KINDS:
+        version = 6
+    elif kind in V5_KINDS:
         version = 5
     elif kind in V4_KINDS:
         version = 4
@@ -1378,6 +1498,10 @@ def decode(
     if kind in V5_KINDS and data[6] < 5:
         raise WireError(
             f"frame kind 0x{kind:02x} requires codec version >= 5"
+        )
+    if kind in V6_KINDS and data[6] < 6:
+        raise WireError(
+            f"frame kind 0x{kind:02x} requires codec version >= 6"
         )
     entry = _CODECS.get(kind)
     if entry is None:

@@ -1,0 +1,173 @@
+"""Fleet-wide aggregation of per-shard OPS snapshots.
+
+The shard router serves M committees, each with its own OPS document
+(``{"schema": 1, "status": {...}, "metrics": registry.snapshot()}``,
+the PR-6 surface).  This module folds M of those into one fleet view:
+per-shard pool depth / refill lag / per-kind request latency plus fleet
+totals, the document behind ``repro ops --fleet``.
+
+Two honesty rules shape the merge:
+
+* **Histograms do not merge exactly.**  Percentiles interpolated from
+  per-shard bucket counts cannot be combined into a true fleet
+  percentile without the raw buckets, so fleet-level ``p50``/``p99``
+  report the *maximum* across shards — a correct upper bound ("no
+  shard is slower than this"), with counts summed so traffic volume
+  stays truthful.
+* **A crashed shard must not sink the snapshot.**  Shards whose OPS
+  document is missing (fetch failed, process down) appear with
+  ``ok: false`` and their error string; they are excluded from fleet
+  sums but still counted, so the fleet view degrades instead of
+  erroring — asserted in ``tests/service/test_fleet_merge.py``.
+
+Metric scoping: shards embedded in the router process share one
+registry, so their samples are distinguished by a ``shard`` label
+(``labeled=True`` entries filter on it); remote shards run their own
+registry and their whole snapshot belongs to them (``labeled=False``).
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+FLEET_SCHEMA = 1
+
+#: Status fields summed into the fleet totals (absent fields count 0).
+_SUMMED_STATUS = ("pool_ready", "pool_target", "served", "failed")
+
+_REQUEST_FAMILY = "repro_service_request_seconds"
+_POOL_DEPTH_FAMILY = "repro_service_pool_depth"
+_REFILL_FAMILY = "repro_service_pool_refill_seconds"
+
+
+def _family_samples(
+    metrics: dict[str, Any], family: str, shard_id: str, labeled: bool
+) -> list[dict[str, Any]]:
+    entry = metrics.get(family)
+    if not isinstance(entry, dict):
+        return []
+    samples = entry.get("samples", [])
+    if labeled:
+        samples = [
+            s for s in samples if s.get("labels", {}).get("shard") == shard_id
+        ]
+    return samples
+
+
+def _merge_histograms(samples: list[dict[str, Any]]) -> dict[str, Any] | None:
+    """Fold histogram samples: counts/sums add, quantiles take the max
+    (the upper-bound rule from the module doc)."""
+    if not samples:
+        return None
+    return {
+        "count": sum(s.get("count", 0) for s in samples),
+        "sum": sum(s.get("sum", 0.0) for s in samples),
+        "p50": max(s.get("p50", 0.0) for s in samples),
+        "p99": max(s.get("p99", 0.0) for s in samples),
+    }
+
+
+def _request_latency(
+    metrics: dict[str, Any], shard_id: str, labeled: bool
+) -> dict[str, dict[str, Any]]:
+    """Per-kind latency digest from the service request histogram."""
+    by_kind: dict[str, list[dict[str, Any]]] = {}
+    for sample in _family_samples(metrics, _REQUEST_FAMILY, shard_id, labeled):
+        kind = sample.get("labels", {}).get("kind", "")
+        by_kind.setdefault(kind, []).append(sample)
+    return {
+        kind: digest
+        for kind in sorted(by_kind)
+        if (digest := _merge_histograms(by_kind[kind])) is not None
+    }
+
+
+def shard_digest(
+    shard_id: str,
+    entry: dict[str, Any],
+) -> dict[str, Any]:
+    """One shard's row of the fleet view.
+
+    ``entry`` is the router's per-shard record: ``state`` (active /
+    draining / retired / down), ``document`` (the shard's OPS dict or
+    ``None``), ``error`` (why the document is missing), ``inflight``,
+    ``routed_total`` and ``labeled`` (metric scoping, see module doc).
+    """
+    document = entry.get("document")
+    ok = isinstance(document, dict)
+    row: dict[str, Any] = {
+        "state": entry.get("state", "unknown"),
+        "ok": ok,
+        "inflight": entry.get("inflight", 0),
+        "routed_total": entry.get("routed_total", 0),
+    }
+    if not ok:
+        row["error"] = entry.get("error") or "ops document unavailable"
+        return row
+    labeled = bool(entry.get("labeled"))
+    metrics = document.get("metrics", {})
+    row["status"] = document.get("status", {})
+    depth_samples = _family_samples(
+        metrics, _POOL_DEPTH_FAMILY, shard_id, labeled
+    )
+    row["pool"] = {
+        "depth": sum(s.get("value", 0.0) for s in depth_samples),
+        "refill": _merge_histograms(
+            _family_samples(metrics, _REFILL_FAMILY, shard_id, labeled)
+        ),
+    }
+    row["requests"] = _request_latency(metrics, shard_id, labeled)
+    return row
+
+
+def merge_fleet(
+    entries: dict[str, dict[str, Any]],
+    *,
+    ring: dict[str, Any] | None = None,
+) -> dict[str, Any]:
+    """The fleet document: per-shard digests + totals + the shard map.
+
+    ``entries`` maps shard id to the per-shard record described in
+    :func:`shard_digest`; ``ring`` is ``HashRing.describe()`` (the
+    routing map the snapshot is consistent with).
+    """
+    shards = {sid: shard_digest(sid, entries[sid]) for sid in sorted(entries)}
+
+    states: dict[str, int] = {}
+    totals: dict[str, Any] = {field: 0 for field in _SUMMED_STATUS}
+    totals["inflight"] = 0
+    totals["routed_total"] = 0
+    kinds: dict[str, list[dict[str, Any]]] = {}
+    down = 0
+    for row in shards.values():
+        states[row["state"]] = states.get(row["state"], 0) + 1
+        totals["routed_total"] += row["routed_total"]
+        if not row["ok"]:
+            down += 1
+            continue
+        if row["state"] == "retired":
+            continue  # counted above, excluded from live sums
+        totals["inflight"] += row["inflight"]
+        status = row["status"]
+        for field in _SUMMED_STATUS:
+            totals[field] += status.get(field, 0)
+        for kind, digest in row["requests"].items():
+            kinds.setdefault(kind, []).append(digest)
+
+    fleet = {
+        "shards": len(shards),
+        "down": down,
+        "states": {state: states[state] for state in sorted(states)},
+        **totals,
+        "requests": {
+            kind: merged
+            for kind in sorted(kinds)
+            if (merged := _merge_histograms(kinds[kind])) is not None
+        },
+    }
+    return {
+        "schema": FLEET_SCHEMA,
+        "ring": ring or {},
+        "fleet": fleet,
+        "shards": shards,
+    }

@@ -26,13 +26,14 @@ from repro.analysis import percentile
 from repro.crypto import schnorr
 from repro.net import wire
 from repro.service import protocol
+from repro.service.shard import api as shard_api
 
 _CONNECT_ATTEMPTS = 40
 _CONNECT_BACKOFF_S = 0.25
 _BUSY_RETRIES = 50
 _BUSY_BACKOFF_S = 0.05
 
-OPS = ("sign", "beacon", "dprf", "decrypt", "status", "mix")
+OPS = ("sign", "beacon", "dprf", "decrypt", "status", "mix", "shard")
 
 
 class ServiceClient:
@@ -150,6 +151,41 @@ class ServiceClient:
             raise RuntimeError(f"ops failed: {response}")
         return json.loads(response.snapshot.decode())
 
+    # -- shard-router conveniences (codec v6) ----------------------------------
+
+    async def shard_sign(self, key_id: bytes, message: bytes) -> object:
+        return await self.request(
+            lambda rid: shard_api.ShardSignRequest(rid, key_id, message)
+        )
+
+    async def shard_status(self, key_id: bytes) -> protocol.StatusResponse:
+        response = await self.request(
+            lambda rid: shard_api.ShardStatusRequest(rid, key_id)
+        )
+        if not isinstance(response, protocol.StatusResponse):
+            raise RuntimeError(f"shard status failed: {response}")
+        return response
+
+    async def fleet_ops(self) -> dict:
+        """The router's aggregated fleet snapshot (see repro.obs.fleet)."""
+        response = await self.request(shard_api.FleetOpsRequest)
+        if not isinstance(response, shard_api.FleetOpsResponse):
+            raise RuntimeError(f"fleet ops failed: {response}")
+        return json.loads(response.snapshot.decode())
+
+    async def shardctl(self, op: str, shard_id: str = "") -> dict:
+        """Administer the shard set; returns the outcome document."""
+        response = await self.request(
+            lambda rid: shard_api.ShardCtlRequest(rid, op, shard_id)
+        )
+        if isinstance(response, protocol.ErrorResponse):
+            raise RuntimeError(
+                f"shardctl {op} failed: {response.detail}"
+            )
+        if not isinstance(response, shard_api.ShardCtlResponse):
+            raise RuntimeError(f"shardctl {op} failed: {response}")
+        return json.loads(response.document.decode())
+
 
 @dataclass
 class LoadReport:
@@ -217,9 +253,12 @@ class LoadGenerator:
         op: str = "sign",
         payload_bytes: int = 16,
         expect_backend: str | None = None,
+        keys: int = 16,
     ):
         if op not in OPS:
             raise ValueError(f"unknown op {op!r} (choose from {OPS})")
+        if keys < 1:
+            raise ValueError("keys must be >= 1")
         self.host = host
         self.port = port
         self.clients = clients
@@ -227,15 +266,28 @@ class LoadGenerator:
         self.op = op
         self.payload_bytes = payload_bytes
         self.expect_backend = expect_backend
+        # Shard mode: requests spread over this many distinct key ids,
+        # so consistent hashing exercises every shard of the fleet.
+        self.keys = keys
         self._group = None
         self._public_key = 0
+        self._shard_pubkeys: dict[bytes, int] = {}
 
     async def run(self) -> LoadReport:
         report = LoadReport(clients=self.clients)
         probe = await ServiceClient.connect(self.host, self.port)
         try:
-            status = await probe.status()
-            self._public_key = status.public_key
+            if self.op == "shard":
+                # Against a shard router there is no fleet-wide public
+                # key: resolve each key id's owning committee up front
+                # (STATUS per key) so signatures verify per shard.
+                for index in range(self.keys):
+                    key_id = self._key_id(index)
+                    status = await probe.shard_status(key_id)
+                    self._shard_pubkeys[key_id] = status.public_key
+            else:
+                status = await probe.status()
+                self._public_key = status.public_key
             self._group = wire._group_from_name(status.group_name)
         finally:
             await probe.close()
@@ -276,7 +328,11 @@ class LoadGenerator:
                 self.host, self.port, group=self._group, attempts=2
             )
             try:
-                report.server_snapshot = await probe.ops()
+                report.server_snapshot = (
+                    await probe.fleet_ops()
+                    if self.op == "shard"
+                    else await probe.ops()
+                )
             finally:
                 await probe.close()
         except Exception:
@@ -321,14 +377,22 @@ class LoadGenerator:
             : self.payload_bytes
         ]
 
+    def _key_id(self, index: int) -> bytes:
+        return f"key-{index % self.keys}".encode()
+
     def _verify(
         self, client_id: int, sequence: int, response: protocol.SignResponse
     ) -> bool:
         if self._group is None:
             return True
+        public_key = self._public_key
+        if self.op == "shard":
+            public_key = self._shard_pubkeys[
+                self._key_id(client_id + sequence)
+            ]
         return schnorr.verify(
             self._group,
-            self._public_key,
+            public_key,
             self._payload(client_id, sequence),
             schnorr.Signature(response.challenge, response.response),
         )
@@ -359,6 +423,11 @@ class LoadGenerator:
     ) -> object:
         if op == "sign":
             return await client.sign(self._payload(client_id, sequence))
+        if op == "shard":
+            return await client.shard_sign(
+                self._key_id(client_id + sequence),
+                self._payload(client_id, sequence),
+            )
         if op == "beacon":
             return await client.beacon_next()
         if op == "dprf":
@@ -379,6 +448,7 @@ def run_loadgen(
     op: str = "sign",
     payload_bytes: int = 16,
     expect_backend: str | None = None,
+    keys: int = 16,
 ) -> LoadReport:
     """Synchronous convenience wrapper around :class:`LoadGenerator`."""
     generator = LoadGenerator(
@@ -389,5 +459,6 @@ def run_loadgen(
         op=op,
         payload_bytes=payload_bytes,
         expect_backend=expect_backend,
+        keys=keys,
     )
     return asyncio.run(generator.run())

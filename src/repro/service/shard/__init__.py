@@ -1,0 +1,51 @@
+"""repro.service.shard — M independent DKG committees behind one router.
+
+The paper's unit of deployment is one committee of ``n`` nodes holding
+one key.  A service for many keys runs *many* committees; this
+subpackage is the layer that makes them look like one endpoint:
+
+* :mod:`repro.service.shard.ring` — deterministic consistent-hash
+  key→shard routing (stable under add/remove, pinned-vector tested);
+* :mod:`repro.service.shard.api` — the versioned typed request/response
+  models of the router's client surface (wire codec v6);
+* :mod:`repro.service.shard.router` — :class:`ShardRouter`: per-shard
+  :class:`~repro.service.workers.ThresholdService` committees (embedded
+  or remote processes), live add — optionally commissioning the new
+  committee through the §6.2 groupmod lifecycle over real TCP — and
+  drain (stop-routing → wait in-flight → pool-flush → retire), plus
+  fleet ops aggregation (:mod:`repro.obs.fleet`);
+* :mod:`repro.service.shard.frontend` — :class:`ShardFrontend`, the
+  router's TCP surface (the gateway's accept/backpressure/dispatch
+  machinery, accepting the shard API frames).
+
+Exports are lazy (PEP 562) so :mod:`repro.net.wire` can register the
+v6 frame codecs without importing the server machinery.
+"""
+
+from __future__ import annotations
+
+_EXPORTS = {
+    "HashRing": "ring",
+    "ShardFrontend": "frontend",
+    "ShardHandle": "router",
+    "ShardRouter": "router",
+    "SHARD_API_VERSION": "api",
+}
+
+__all__ = sorted(_EXPORTS)
+
+
+def __getattr__(name: str):
+    module_name = _EXPORTS.get(name)
+    if module_name is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    import importlib
+
+    module = importlib.import_module(f"{__name__}.{module_name}")
+    value = getattr(module, name)
+    globals()[name] = value
+    return value
+
+
+def __dir__() -> list[str]:
+    return sorted(set(globals()) | set(_EXPORTS))

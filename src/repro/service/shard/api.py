@@ -1,0 +1,136 @@
+"""Versioned typed request/response models for the shard router.
+
+This is the router's *client surface*: frozen dataclasses mirroring
+:mod:`repro.service.protocol` (same correlation-id discipline, same
+``kind`` strings, same framing via :mod:`repro.net.wire` — codec
+version 6), shaped after the thin typed-model API slice the related
+``neo4j-ai`` service uses in front of its backend.  The keyed data
+path adds exactly one field to the single-committee frames — the
+``key_id`` that consistent hashing maps to a shard — and the admin
+path carries opaque JSON documents, so the shard map can grow fields
+without another codec bump.
+
+``SHARD_API_VERSION`` stamps every document the router emits
+(``shardctl`` replies and fleet snapshots); clients check it the way
+they check ``schema`` on OPS documents.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.service.protocol import (
+    ErrorResponse,
+    SignResponse,
+    StatusResponse,
+)
+
+SHARD_API_VERSION = 1
+
+# Admin verbs carried by ShardCtlRequest, in wire order (encoded as a
+# one-byte index — extend by appending only).
+SHARDCTL_OPS = ("add", "drain", "status")
+
+
+# -- keyed data path -----------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ShardSignRequest:
+    """Threshold-sign ``message`` under the committee owning ``key_id``.
+
+    Answered with the plain :class:`~repro.service.protocol.SignResponse`
+    of the owning shard — a threshold signature is indistinguishable
+    from a single-signer one, and so is a sharded one.
+    """
+
+    request_id: int
+    key_id: bytes
+    message: bytes
+
+    kind = "svc.shard-sign"
+
+
+@dataclass(frozen=True)
+class ShardStatusRequest:
+    """Introspect the shard owning ``key_id`` (its STATUS response
+    carries the group name + public key a client verifies against)."""
+
+    request_id: int
+    key_id: bytes
+
+    kind = "svc.shard-status"
+
+
+# -- fleet observability -------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class FleetOpsRequest:
+    """One aggregated observability snapshot across every shard."""
+
+    request_id: int
+
+    kind = "svc.fleet-ops"
+
+
+@dataclass(frozen=True)
+class FleetOpsResponse:
+    """The fleet snapshot, JSON-encoded.
+
+    ``snapshot`` is a UTF-8 JSON document ``{"schema": 1,
+    "api_version": 1, "fleet": {...}, "shards": {...}, "ring": {...},
+    "metrics": {...}}`` (see :mod:`repro.obs.fleet`), carried opaquely
+    for the same reason OPS snapshots are: new fields never need a
+    codec change.
+    """
+
+    request_id: int
+    snapshot: bytes
+
+    kind = "svc.fleet-ops.ok"
+
+
+# -- admin path ----------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ShardCtlRequest:
+    """Administer the shard set: ``add`` | ``drain`` | ``status``.
+
+    ``shard_id`` names the target for ``drain`` (and optionally for
+    ``add``); empty means "router's choice" for add and "whole map"
+    for status.
+    """
+
+    request_id: int
+    op: str
+    shard_id: str
+
+    kind = "svc.shardctl"
+
+
+@dataclass(frozen=True)
+class ShardCtlResponse:
+    """The admin outcome as a JSON document (api_version-stamped)."""
+
+    request_id: int
+    document: bytes
+
+    kind = "svc.shardctl.ok"
+
+
+ROUTER_REQUEST_TYPES = (
+    ShardSignRequest,
+    ShardStatusRequest,
+    FleetOpsRequest,
+    ShardCtlRequest,
+)
+
+ROUTER_RESPONSE_TYPES = (
+    SignResponse,
+    StatusResponse,
+    FleetOpsResponse,
+    ShardCtlResponse,
+    ErrorResponse,
+)

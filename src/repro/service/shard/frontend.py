@@ -1,0 +1,20 @@
+"""The router's TCP surface: the ordinary gateway, shard-API framed.
+
+:class:`ShardFrontend` is :class:`~repro.service.frontend.ServiceFrontend`
+with exactly one thing changed — the set of frames it admits.  All the
+load discipline (per-client in-flight caps, the bounded global queue,
+ERR_BUSY shedding, drain-and-group batching) applies unchanged, because
+the :class:`~repro.service.shard.router.ShardRouter` duck-types the
+service the gateway drives: ``group``, ``handle`` and ``handle_batch``.
+"""
+
+from __future__ import annotations
+
+from repro.service.frontend import ServiceFrontend
+from repro.service.shard import api
+
+
+class ShardFrontend(ServiceFrontend):
+    """Accepts shard-API connections and drives the shard router."""
+
+    request_types = api.ROUTER_REQUEST_TYPES

@@ -1,0 +1,122 @@
+"""Consistent-hash key→shard routing for the multi-committee layer.
+
+One shard is one DKG committee; the router in front of M of them must
+send every operation on a given key id to the *same* committee (the key
+share only exists there) while keeping the key space balanced and —
+critically for live add/drain — moving as few keys as possible when the
+shard set changes.  A classic consistent-hash ring does exactly that:
+each shard owns ``vnodes`` pseudo-random points on a 64-bit circle, a
+key routes to the first shard point clockwise of its own hash, and
+adding or removing one shard only reassigns the arcs adjacent to that
+shard's points (~1/M of the key space) instead of reshuffling
+everything.
+
+Determinism is a contract here, not an accident: the point placement is
+pure SHA-256 over domain-separated inputs, with no process-local salt,
+so every router instance — today's and next release's — routes a key
+identically.  ``tests/service/test_shard_ring.py`` pins a golden
+routing vector; a change that silently reshuffles the ring fails it.
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+
+DEFAULT_VNODES = 64
+
+# Domain-separation tags: shard points and key points must never
+# collide structurally, and neither may drift between releases.
+_RING_TAG = b"repro-shard-ring|"
+_KEY_TAG = b"repro-shard-key|"
+
+
+def _shard_point(shard_id: str, replica: int) -> int:
+    payload = _RING_TAG + shard_id.encode() + b"|" + replica.to_bytes(4, "big")
+    return int.from_bytes(hashlib.sha256(payload).digest()[:8], "big")
+
+
+def key_point(key_id: bytes) -> int:
+    """A key's position on the 64-bit circle."""
+    return int.from_bytes(hashlib.sha256(_KEY_TAG + key_id).digest()[:8], "big")
+
+
+class HashRing:
+    """A deterministic consistent-hash ring over shard ids.
+
+    ``version`` increments on every membership change, so snapshots of
+    the shard map (STATUS / fleet ops) can be ordered and a client can
+    tell a stale map from a current one.
+    """
+
+    def __init__(self, *, vnodes: int = DEFAULT_VNODES):
+        if vnodes < 1:
+            raise ValueError("vnodes must be >= 1")
+        self.vnodes = vnodes
+        self.version = 0
+        self._members: set[str] = set()
+        # Sorted lockstep arrays: point value -> owning shard.  Ties
+        # (astronomically unlikely 64-bit collisions) resolve by shard
+        # id via the tuple sort, keeping the ring order deterministic.
+        self._points: list[tuple[int, str]] = []
+        self._hashes: list[int] = []
+
+    # -- membership ------------------------------------------------------------
+
+    def add(self, shard_id: str) -> None:
+        if not shard_id:
+            raise ValueError("shard id must be non-empty")
+        if shard_id in self._members:
+            raise ValueError(f"shard {shard_id!r} is already on the ring")
+        self._members.add(shard_id)
+        for replica in range(self.vnodes):
+            entry = (_shard_point(shard_id, replica), shard_id)
+            index = bisect.bisect(self._points, entry)
+            self._points.insert(index, entry)
+            self._hashes.insert(index, entry[0])
+        self.version += 1
+
+    def remove(self, shard_id: str) -> None:
+        if shard_id not in self._members:
+            raise KeyError(f"shard {shard_id!r} is not on the ring")
+        self._members.discard(shard_id)
+        kept = [entry for entry in self._points if entry[1] != shard_id]
+        self._points = kept
+        self._hashes = [point for point, _ in kept]
+        self.version += 1
+
+    def __contains__(self, shard_id: str) -> bool:
+        return shard_id in self._members
+
+    def __len__(self) -> int:
+        return len(self._members)
+
+    @property
+    def shards(self) -> list[str]:
+        return sorted(self._members)
+
+    # -- routing ---------------------------------------------------------------
+
+    def route(self, key_id: bytes) -> str:
+        """The shard owning ``key_id`` — first point clockwise."""
+        if not self._points:
+            raise KeyError("ring is empty")
+        index = bisect.bisect_right(self._hashes, key_point(key_id))
+        if index == len(self._points):
+            index = 0  # wrap past the top of the circle
+        return self._points[index][1]
+
+    def spread(self, keys: list[bytes]) -> dict[str, int]:
+        """Keys-per-shard histogram (balance diagnostics and tests)."""
+        counts = {shard: 0 for shard in self._members}
+        for key in keys:
+            counts[self.route(key)] += 1
+        return counts
+
+    def describe(self) -> dict:
+        """The shard-map document STATUS/fleet snapshots embed."""
+        return {
+            "vnodes": self.vnodes,
+            "version": self.version,
+            "shards": self.shards,
+        }

@@ -1,0 +1,459 @@
+"""The shard router: M independent committees behind one dispatch surface.
+
+:class:`ShardRouter` owns a set of :class:`ShardHandle`\\ s, each one
+DKG committee with its own presignature pool — **embedded** (a
+:class:`~repro.service.workers.ThresholdService` in this process, its
+metrics scoped by a ``shard`` label) or **remote** (a service frontend
+in another process, reached through a pipelined
+:class:`~repro.service.loadgen.ServiceClient`).  A consistent-hash
+ring (:mod:`repro.service.shard.ring`) maps every ``key_id`` to its
+owning shard; the keyed requests of :mod:`repro.service.shard.api`
+are unwrapped to the ordinary single-committee frames and dispatched
+there, so a sharded signature is wire-identical to a plain one.
+
+Live topology changes reuse the protocol machinery instead of
+inventing ops-plane magic:
+
+* **add** spins up a fresh committee — by embedded bootstrap DKG, or
+  with ``commission="tcp"`` by running the full §6.1 agreement + §6.2
+  member-addition lifecycle over real sockets
+  (:func:`repro.net.groupmod.run_groupmod_cluster`) and commissioning
+  the grown committee's key material directly as a service;
+* **drain** retires a shard without failing anything in flight:
+  *stop-routing* (the shard leaves the ring atomically with respect to
+  routing decisions) → *wait for in-flight requests to complete* →
+  *pool-flush* (unused one-time nonces are discarded on every worker)
+  → *retire*.  Draining the last active shard is refused.
+
+The router is deliberately duck-type-compatible with
+``ThresholdService`` where the frontend machinery cares (``group``,
+``handle``, ``handle_batch``), so :class:`ShardFrontend` is the
+ordinary gateway with a different request-type gate.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import dataclasses
+import json
+import time
+from typing import Any
+
+from repro.obs import metrics as obs_metrics
+from repro.obs.fleet import merge_fleet
+from repro.obs.logging import get_logger
+from repro.service import protocol
+from repro.service.loadgen import ServiceClient
+from repro.service.shard import api
+from repro.service.shard.ring import DEFAULT_VNODES, HashRing
+from repro.service.workers import (
+    ServiceConfig,
+    ServiceUnavailable,
+    ThresholdService,
+)
+
+ACTIVE = "active"
+DRAINING = "draining"
+RETIRED = "retired"
+
+#: Seed spacing between shard committees — each shard's bootstrap DKG
+#: and forge stream must be independent of its siblings'.
+_SEED_STRIDE = 7919
+
+
+class ShardHandle:
+    """One committee as the router sees it: backend + routing state."""
+
+    def __init__(
+        self,
+        shard_id: str,
+        *,
+        service: ThresholdService | None = None,
+        remote: tuple[str, int] | None = None,
+    ):
+        if (service is None) == (remote is None):
+            raise ValueError("a shard is embedded xor remote")
+        self.shard_id = shard_id
+        self.service = service
+        self.remote = remote
+        self.state = ACTIVE
+        self.routed_total = 0
+        self.inflight = 0
+        self._idle = asyncio.Event()
+        self._idle.set()
+        self._client: ServiceClient | None = None
+        self._dial = asyncio.Lock()
+
+    @property
+    def embedded(self) -> bool:
+        return self.service is not None
+
+    # -- in-flight accounting (the drain barrier) ------------------------------
+
+    def begin(self) -> None:
+        self.inflight += 1
+        self.routed_total += 1
+        self._idle.clear()
+
+    def end(self) -> None:
+        self.inflight -= 1
+        if self.inflight <= 0:
+            self._idle.set()
+
+    async def wait_idle(self) -> None:
+        await self._idle.wait()
+
+    # -- backend access --------------------------------------------------------
+
+    async def client(self) -> ServiceClient:
+        """The (lazily dialed) connection to a remote shard.  The dial
+        is serialized: concurrent first requests must share one
+        connection, not leak one each."""
+        assert self.remote is not None
+        if self._client is None:
+            async with self._dial:
+                if self._client is None:
+                    host, port = self.remote
+                    self._client = await ServiceClient.connect(host, port)
+        return self._client
+
+    async def dispatch(self, request) -> object:
+        """Hand one single-committee request to the backend, preserving
+        the caller's correlation id across the remote hop."""
+        if self.service is not None:
+            return await self.service.handle(request)
+        client = await self.client()
+        response = await client.request(
+            lambda rid: dataclasses.replace(request, request_id=rid)
+        )
+        return dataclasses.replace(response, request_id=request.request_id)
+
+    async def ops_document(self) -> dict:
+        """The shard's OPS snapshot as a dict (either backend)."""
+        if self.service is not None:
+            return json.loads(self.service.ops().snapshot.decode())
+        client = await self.client()
+        return await client.ops()
+
+    async def close(self) -> None:
+        if self._client is not None:
+            await self._client.close()
+            self._client = None
+
+
+class ShardRouter:
+    """Consistent-hash routing + lifecycle over a fleet of committees."""
+
+    def __init__(
+        self,
+        template: ServiceConfig,
+        *,
+        vnodes: int = DEFAULT_VNODES,
+    ):
+        self.template = template
+        self.group = template.group
+        self.ring = HashRing(vnodes=vnodes)
+        self.handles: dict[str, ShardHandle] = {}
+        self.logger = get_logger("repro.service.shard")
+        self._counter = 0
+        # Serializes routing decisions against membership changes, so a
+        # request is never routed to a shard after drain removed it.
+        self._lock = asyncio.Lock()
+
+    # -- lifecycle -------------------------------------------------------------
+
+    async def start(self, shards: int = 1, *, prefill: bool = True) -> None:
+        """Bring up ``shards`` embedded committees."""
+        if shards < 1:
+            raise ValueError("a router needs at least one shard")
+        for _ in range(shards):
+            await self.add_shard(prefill=prefill)
+
+    async def stop(self) -> None:
+        for handle in self.handles.values():
+            if handle.service is not None and handle.state != RETIRED:
+                await handle.service.stop()
+            await handle.close()
+
+    def _next_id(self) -> str:
+        while (sid := f"shard-{self._counter}") in self.handles:
+            self._counter += 1
+        self._counter += 1
+        return sid
+
+    def _shard_config(self, shard_id: str, index: int, **overrides) -> ServiceConfig:
+        return dataclasses.replace(
+            self.template,
+            seed=self.template.seed + _SEED_STRIDE * (index + 1),
+            shard=shard_id,
+            **overrides,
+        )
+
+    # -- topology: add ---------------------------------------------------------
+
+    async def add_shard(
+        self,
+        shard_id: str | None = None,
+        *,
+        commission: str = "embedded",
+        prefill: bool = True,
+    ) -> ShardHandle:
+        """Commission a fresh committee and put it in rotation.
+
+        ``commission="embedded"`` bootstraps the committee's DKG in the
+        deterministic embedded runtime; ``commission="tcp"`` runs the
+        §6.1 + §6.2 lifecycle over real sockets — an n-member committee
+        bootstraps, agrees on an add proposal, reshares to the joiner —
+        and commissions the resulting (n+1)-member committee's key
+        material directly (the shard then serves n+1 workers).
+        """
+        if commission not in ("embedded", "tcp"):
+            raise ValueError(f"unknown commission mode {commission!r}")
+        async with self._lock:
+            sid = shard_id or self._next_id()
+            if sid in self.handles:
+                raise ValueError(f"shard {sid!r} already exists")
+            index = len(self.handles)
+        if commission == "tcp":
+            service = await self._commission_tcp(sid, index)
+        else:
+            config = self._shard_config(sid, index)
+            # The bootstrap DKG is CPU-bound and synchronous; keep the
+            # event loop (and any in-flight requests) responsive.
+            service = await asyncio.to_thread(ThresholdService, config)
+        await service.start(prefill=prefill)
+        handle = ShardHandle(sid, service=service)
+        async with self._lock:
+            self.handles[sid] = handle
+            self.ring.add(sid)
+        self.logger.info(
+            "shard %s commissioned (%s, n=%d)", sid, commission, service.config.n
+        )
+        return handle
+
+    async def _commission_tcp(self, shard_id: str, index: int) -> ThresholdService:
+        from repro.dkg.config import DkgConfig
+        from repro.net.groupmod import run_groupmod_cluster
+
+        config = self._shard_config(shard_id, index)
+        dkg_config = DkgConfig(
+            n=config.n, t=config.t, f=config.f, group=config.group
+        )
+        # run_groupmod_cluster owns its own event loop (asyncio.run);
+        # it must not run on ours.
+        result = await asyncio.to_thread(
+            run_groupmod_cluster, dkg_config, config.seed
+        )
+        if not result.succeeded:
+            raise RuntimeError(
+                f"shard {shard_id}: groupmod commissioning failed "
+                f"({[str(e) for e in result.errors] or 'join incomplete'})"
+            )
+        grown = dataclasses.replace(config, n=config.n + 1)
+        return await asyncio.to_thread(
+            ThresholdService, grown, bootstrap=result
+        )
+
+    async def add_remote_shard(
+        self, shard_id: str, host: str, port: int
+    ) -> ShardHandle:
+        """Put an already-serving frontend (another process) in
+        rotation as a shard."""
+        async with self._lock:
+            if shard_id in self.handles:
+                raise ValueError(f"shard {shard_id!r} already exists")
+            handle = ShardHandle(shard_id, remote=(host, port))
+            self.handles[shard_id] = handle
+            self.ring.add(shard_id)
+        self.logger.info("remote shard %s at %s:%d in rotation", shard_id, host, port)
+        return handle
+
+    # -- topology: drain -------------------------------------------------------
+
+    async def drain(self, shard_id: str) -> dict:
+        """Retire ``shard_id``: stop-routing → wait in-flight →
+        pool-flush → retire.  Returns the drain report document."""
+        async with self._lock:
+            handle = self.handles.get(shard_id)
+            if handle is None:
+                raise ValueError(f"no shard {shard_id!r}")
+            if handle.state != ACTIVE:
+                raise ValueError(f"shard {shard_id!r} is {handle.state}")
+            active = [
+                h for h in self.handles.values() if h.state == ACTIVE
+            ]
+            if len(active) <= 1:
+                raise ValueError("refusing to drain the last active shard")
+            # Stop-routing happens atomically with respect to routing
+            # decisions: after this point route() cannot name the shard.
+            self.ring.remove(shard_id)
+            handle.state = DRAINING
+        await handle.wait_idle()
+        flushed = 0
+        if handle.service is not None:
+            # Stop first (the refill task must not replace what we
+            # flush), then discard every pooled one-time nonce.
+            await handle.service.stop()
+            flushed = handle.service.flush_presignatures()
+        await handle.close()
+        handle.state = RETIRED
+        self.logger.info(
+            "shard %s retired (%d presignatures flushed)", shard_id, flushed
+        )
+        return {
+            "api_version": api.SHARD_API_VERSION,
+            "shard": shard_id,
+            "state": RETIRED,
+            "flushed_presignatures": flushed,
+            "remote": not handle.embedded,
+            "ring": self.ring.describe(),
+        }
+
+    # -- introspection ---------------------------------------------------------
+
+    def describe(self) -> dict:
+        """The shard map: ring + per-shard routing state."""
+        return {
+            "api_version": api.SHARD_API_VERSION,
+            "ring": self.ring.describe(),
+            "shards": {
+                sid: {
+                    "state": handle.state,
+                    "embedded": handle.embedded,
+                    "inflight": handle.inflight,
+                    "routed_total": handle.routed_total,
+                }
+                for sid, handle in sorted(self.handles.items())
+            },
+        }
+
+    async def fleet_document(self) -> dict:
+        """Aggregate every shard's OPS snapshot into the fleet view."""
+
+        async def entry(handle: ShardHandle) -> dict[str, Any]:
+            record: dict[str, Any] = {
+                "state": handle.state,
+                "inflight": handle.inflight,
+                "routed_total": handle.routed_total,
+                "labeled": handle.embedded,
+                "document": None,
+                "error": None,
+            }
+            if handle.state == RETIRED:
+                record["error"] = "retired"
+                return record
+            try:
+                record["document"] = await handle.ops_document()
+            except Exception as exc:  # crashed shard: degrade, don't die
+                record["error"] = f"{type(exc).__name__}: {exc}"
+            return record
+
+        items = sorted(self.handles.items())
+        records = await asyncio.gather(*(entry(h) for _, h in items))
+        document = merge_fleet(
+            {sid: record for (sid, _), record in zip(items, records)},
+            ring=self.ring.describe(),
+        )
+        document["api_version"] = api.SHARD_API_VERSION
+        return document
+
+    # -- request dispatch ------------------------------------------------------
+
+    async def handle(self, request) -> object:
+        """Map one shard-API request to its response (never raises)."""
+        started = time.perf_counter()
+        response = await self._handle_inner(request)
+        kind = getattr(request, "kind", type(request).__name__)
+        obs_metrics.observe(
+            "repro_shard_router_request_seconds",
+            time.perf_counter() - started,
+            help="router request latency by request kind",
+            kind=kind,
+        )
+        obs_metrics.counter_inc(
+            "repro_shard_router_requests_total",
+            help="router requests by kind and outcome",
+            kind=kind,
+            outcome="error"
+            if isinstance(response, protocol.ErrorResponse)
+            else "ok",
+        )
+        return response
+
+    async def handle_batch(self, requests: list) -> list:
+        return list(await asyncio.gather(*(self.handle(r) for r in requests)))
+
+    async def _handle_inner(self, request) -> object:
+        rid = request.request_id
+        try:
+            if isinstance(request, api.ShardSignRequest):
+                return await self._keyed(
+                    request.key_id,
+                    protocol.SignRequest(rid, request.message),
+                )
+            if isinstance(request, api.ShardStatusRequest):
+                return await self._keyed(
+                    request.key_id, protocol.StatusRequest(rid)
+                )
+            if isinstance(request, api.FleetOpsRequest):
+                document = await self.fleet_document()
+                return api.FleetOpsResponse(rid, _json_bytes(document))
+            if isinstance(request, api.ShardCtlRequest):
+                return api.ShardCtlResponse(
+                    rid, _json_bytes(await self.shardctl(request.op, request.shard_id))
+                )
+            raise ValueError(f"unsupported request {type(request).__name__}")
+        except (ValueError, TypeError) as exc:
+            return protocol.ErrorResponse(rid, protocol.ERR_BAD_REQUEST, str(exc))
+        except ServiceUnavailable as exc:
+            return protocol.ErrorResponse(rid, protocol.ERR_UNAVAILABLE, str(exc))
+        except ConnectionError as exc:
+            return protocol.ErrorResponse(
+                rid, protocol.ERR_UNAVAILABLE, f"shard unreachable: {exc}"
+            )
+        except Exception as exc:
+            return protocol.ErrorResponse(rid, protocol.ERR_FAILED, str(exc))
+
+    async def _keyed(self, key_id: bytes, inner) -> object:
+        """Route one keyed request: ring lookup and in-flight accounting
+        are atomic against drain's stop-routing step."""
+        if not key_id:
+            raise ValueError("key_id must be non-empty")
+        async with self._lock:
+            shard_id = self.ring.route(key_id)  # KeyError when ring empty
+            handle = self.handles[shard_id]
+            handle.begin()
+        obs_metrics.counter_inc(
+            "repro_shard_router_routed_total",
+            help="keyed requests routed, by owning shard",
+            shard=shard_id,
+        )
+        try:
+            return await handle.dispatch(inner)
+        finally:
+            handle.end()
+
+    # -- admin -----------------------------------------------------------------
+
+    async def shardctl(self, op: str, shard_id: str = "") -> dict:
+        """The ``repro shardctl`` verbs (also the SHARDCTL frame)."""
+        if op == "status":
+            return self.describe()
+        if op == "add":
+            handle = await self.add_shard(shard_id or None)
+            return {
+                "api_version": api.SHARD_API_VERSION,
+                "shard": handle.shard_id,
+                "state": handle.state,
+                "n": handle.service.config.n if handle.service else None,
+                "ring": self.ring.describe(),
+            }
+        if op == "drain":
+            if not shard_id:
+                raise ValueError("drain needs a shard id")
+            return await self.drain(shard_id)
+        raise ValueError(f"unknown shardctl op {op!r}")
+
+
+def _json_bytes(document: dict) -> bytes:
+    return json.dumps(document, separators=(",", ":"), default=str).encode()

@@ -281,6 +281,11 @@ class ServiceConfig:
     beacon_output_bytes: int = 32
     forge_concurrency: int = 4  # concurrent on-demand nonce DKGs
     cores: int = 1  # process-pool width for the forge (0 = all cores)
+    # Shard id when this service is one committee of a ShardRouter
+    # fleet: embedded shards share the process registry, so every
+    # service/pool metric is labelled with the shard for the fleet
+    # merge to scope by (see repro.obs.fleet).
+    shard: str | None = None
 
 
 class ThresholdService:
@@ -294,24 +299,49 @@ class ThresholdService:
     are the dispatch surface the frontend uses.
     """
 
-    def __init__(self, config: ServiceConfig):
+    def __init__(self, config: ServiceConfig, *, bootstrap=None):
         self.config = config
         self.group = config.group
-        dkg_config = DkgConfig(
-            n=config.n, t=config.t, f=config.f, group=config.group
-        )
-        result = run_dkg(
-            dkg_config, seed=config.seed, delay_model=ConstantDelay(0.0)
-        )
-        if not result.succeeded:
-            raise RuntimeError("bootstrap DKG did not complete")
-        self.key_commitment: Commitment = result.commitment
-        self.public_key = result.public_key
+        self._labels = {"shard": config.shard} if config.shard else {}
+        if bootstrap is None:
+            dkg_config = DkgConfig(
+                n=config.n, t=config.t, f=config.f, group=config.group
+            )
+            # Each member's contributed secret must depend on the
+            # service seed: node-local DKG randomness is seeded by
+            # (tau, node_id) alone, and every shard of a router runs
+            # tau=0 — without this, all shards would derive the same
+            # group key.
+            secrets = {
+                i: config.group.random_scalar(
+                    random.Random(("svc-bootstrap", config.seed, i).__repr__())
+                )
+                for i in dkg_config.vss().indices
+            }
+            bootstrap = run_dkg(
+                dkg_config,
+                seed=config.seed,
+                delay_model=ConstantDelay(0.0),
+                secrets=secrets,
+            )
+            if not bootstrap.succeeded:
+                raise RuntimeError("bootstrap DKG did not complete")
+        # ``bootstrap`` may also be any completed key-establishment
+        # outcome carrying .commitment / .shares / .public_key — e.g. a
+        # GroupModClusterResult, so a committee grown over real TCP via
+        # the §6.2 machinery can be commissioned as a service directly.
+        if len(bootstrap.shares) != config.n:
+            raise ValueError(
+                f"bootstrap carries {len(bootstrap.shares)} shares "
+                f"for an n={config.n} service"
+            )
+        self.key_commitment: Commitment = bootstrap.commitment
+        self.public_key = bootstrap.public_key
         self.workers = {
             i: SignerWorker(
                 i, config.group, share, self.key_commitment, seed=config.seed
             )
-            for i, share in result.shares.items()
+            for i, share in bootstrap.shares.items()
         }
         self.beacon = Beacon(
             config.group,
@@ -326,6 +356,7 @@ class ThresholdService:
             low_watermark=config.pool_low_watermark,
             discard=self._discard_nonce,
             forge_batch=self._forge_nonce_batch,
+            labels=self._labels,
         )
         self.served = 0
         self.failed = 0
@@ -369,6 +400,18 @@ class ThresholdService:
         self.workers[index].recover()
         self.pool.absolve(index)
         self.logger.bind(node=index).info("worker recovered")
+
+    def flush_presignatures(self) -> int:
+        """Drain the pool and discard every worker's nonce shares for
+        the drained presignatures (the shard-drain step: a retiring
+        committee must not leave usable one-time nonces behind).
+        Returns the number of presignatures flushed."""
+        flushed = 0
+        while (presig := self.pool.take()) is not None:
+            self._discard_nonce(presig.presig_id)
+            flushed += 1
+        self.logger.info("flushed %d pooled presignatures", flushed)
+        return flushed
 
     @property
     def t(self) -> int:
@@ -622,6 +665,7 @@ class ThresholdService:
             time.perf_counter() - started,
             help="request handling latency by request kind",
             kind=kind,
+            **self._labels,
         )
         obs_metrics.counter_inc(
             "repro_service_requests_total",
@@ -630,6 +674,7 @@ class ThresholdService:
             outcome="error"
             if isinstance(response, protocol.ErrorResponse)
             else "ok",
+            **self._labels,
         )
         return response
 
@@ -643,12 +688,14 @@ class ThresholdService:
                 elapsed,
                 help="request handling latency by request kind",
                 kind=kind,
+                **self._labels,
             )
             obs_metrics.counter_inc(
                 "repro_service_requests_total",
                 help="requests handled by kind and outcome",
                 kind=kind,
                 outcome="ok" if ok else "error",
+                **self._labels,
             )
 
     async def _handle_inner(self, request) -> object:

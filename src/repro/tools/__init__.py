@@ -1,0 +1,7 @@
+"""Developer tooling that ships with the package but stays off every
+runtime path: documentation generators and similar build-time scripts.
+
+* :mod:`repro.tools.gendocs` — emit ``docs/cli.md`` from the live
+  argparse tree (``python -m repro.tools.gendocs``; ``--check`` is the
+  CI regenerate-and-diff gate).
+"""

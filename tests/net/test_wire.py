@@ -36,6 +36,14 @@ from repro.groupmod.messages import (
 from repro.net import wire
 from repro.proactive.messages import ClockTickMsg, RenewedOutput, RenewInput
 from repro.runtime.envelope import SessionEnvelope
+from repro.service.shard.api import (
+    FleetOpsRequest,
+    FleetOpsResponse,
+    ShardCtlRequest,
+    ShardCtlResponse,
+    ShardSignRequest,
+    ShardStatusRequest,
+)
 from repro.service.protocol import (
     ERR_UNAVAILABLE,
     BeaconGetRequest,
@@ -174,6 +182,14 @@ MESSAGES = [
     # observability frames (codec v5)
     OpsRequest(14),
     OpsResponse(14, b'{"schema":1,"status":{},"metrics":{}}'),
+    # shard-router frames (codec v6)
+    ShardSignRequest(15, b"wallet-7", b"pay carol"),
+    ShardStatusRequest(16, b"wallet-7"),
+    FleetOpsRequest(17),
+    FleetOpsResponse(17, b'{"schema":1,"api_version":1,"fleet":{}}'),
+    ShardCtlRequest(18, "drain", "shard-1"),
+    ShardCtlRequest(19, "add", ""),
+    ShardCtlResponse(18, b'{"api_version":1,"state":"retired"}'),
 ]
 
 _IDS = [f"{type(m).__name__}-{i}" for i, m in enumerate(MESSAGES)]

@@ -1,0 +1,188 @@
+"""Fleet OPS aggregation: the merge honesty rules (summed counts,
+max-quantile upper bounds, shard-label scoping) and the crashed-shard
+degradation contract."""
+
+from __future__ import annotations
+
+import asyncio
+
+from repro.obs.fleet import FLEET_SCHEMA, merge_fleet, shard_digest
+from repro.obs.metrics import MetricsRegistry, set_registry
+from repro.service.shard.router import ShardRouter
+from repro.service.workers import ServiceConfig
+
+
+def _document(
+    *, pool_ready=2, served=5, shard=None, p99=0.25, count=4
+) -> dict:
+    """A synthetic per-shard OPS document in the PR-6 snapshot shape."""
+    labels = {"kind": "svc.sign"}
+    depth_labels: dict[str, str] = {}
+    if shard is not None:
+        labels["shard"] = shard
+        depth_labels = {"shard": shard}
+    return {
+        "schema": 1,
+        "status": {
+            "pool_ready": pool_ready,
+            "pool_target": 4,
+            "served": served,
+            "failed": 1,
+        },
+        "metrics": {
+            "repro_service_request_seconds": {
+                "type": "histogram",
+                "samples": [
+                    {
+                        "labels": labels,
+                        "count": count,
+                        "sum": 1.0,
+                        "p50": 0.1,
+                        "p99": p99,
+                    }
+                ],
+            },
+            "repro_service_pool_depth": {
+                "type": "gauge",
+                "samples": [
+                    {"labels": depth_labels, "value": float(pool_ready)}
+                ],
+            },
+        },
+    }
+
+
+def _entry(document, *, state="active", labeled=False, **overrides) -> dict:
+    entry = {
+        "state": state,
+        "document": document,
+        "error": None,
+        "inflight": 1,
+        "routed_total": 10,
+        "labeled": labeled,
+    }
+    entry.update(overrides)
+    return entry
+
+
+class TestMergeRules:
+    def test_counts_sum_and_quantiles_take_the_max(self) -> None:
+        merged = merge_fleet(
+            {
+                "a": _entry(_document(pool_ready=2, served=5, p99=0.25)),
+                "b": _entry(_document(pool_ready=3, served=7, p99=0.75)),
+            }
+        )
+        fleet = merged["fleet"]
+        assert merged["schema"] == FLEET_SCHEMA
+        assert fleet["shards"] == 2
+        assert fleet["down"] == 0
+        assert fleet["pool_ready"] == 5
+        assert fleet["served"] == 12
+        assert fleet["failed"] == 2
+        assert fleet["inflight"] == 2
+        assert fleet["routed_total"] == 20
+        sign = fleet["requests"]["svc.sign"]
+        assert sign["count"] == 8  # counts add: traffic volume is truthful
+        assert sign["p99"] == 0.75  # quantiles take the max: upper bound
+
+    def test_crashed_shard_degrades_instead_of_sinking(self) -> None:
+        merged = merge_fleet(
+            {
+                "alive": _entry(_document(pool_ready=2, served=5)),
+                "dead": _entry(
+                    None, error="ConnectionRefusedError: [Errno 111]"
+                ),
+            }
+        )
+        fleet = merged["fleet"]
+        assert fleet["shards"] == 2
+        assert fleet["down"] == 1
+        # The dead shard is excluded from live sums...
+        assert fleet["pool_ready"] == 2
+        assert fleet["served"] == 5
+        # ...but its row survives with the error attached.
+        dead = merged["shards"]["dead"]
+        assert dead["ok"] is False
+        assert "ConnectionRefused" in dead["error"]
+        assert merged["shards"]["alive"]["ok"] is True
+
+    def test_retired_shard_counted_but_excluded_from_live_sums(self) -> None:
+        merged = merge_fleet(
+            {
+                "live": _entry(_document(pool_ready=2, served=5)),
+                "old": _entry(
+                    _document(pool_ready=9, served=100), state="retired"
+                ),
+            }
+        )
+        fleet = merged["fleet"]
+        assert fleet["states"] == {"active": 1, "retired": 1}
+        assert fleet["pool_ready"] == 2
+        assert fleet["served"] == 5
+        # Lifetime routing totals still include the retired shard.
+        assert fleet["routed_total"] == 20
+
+    def test_shard_label_scoping(self) -> None:
+        """Embedded shards share a registry: a labeled entry only sees
+        its own samples, never a sibling's."""
+        document = _document(shard="s1")
+        # Splice in a second shard's samples, as a shared registry would.
+        other = _document(shard="s2", pool_ready=7, p99=9.0)
+        for family in ("repro_service_request_seconds", "repro_service_pool_depth"):
+            document["metrics"][family]["samples"].extend(
+                other["metrics"][family]["samples"]
+            )
+        row = shard_digest("s1", _entry(document, labeled=True))
+        assert row["pool"]["depth"] == 2.0  # not 9.0: s2's gauge filtered out
+        assert row["requests"]["svc.sign"]["p99"] == 0.25
+        # An unlabeled (remote) shard owns its whole snapshot.
+        remote = shard_digest("s1", _entry(_document(), labeled=False))
+        assert remote["requests"]["svc.sign"]["count"] == 4
+
+    def test_empty_fleet(self) -> None:
+        merged = merge_fleet({})
+        assert merged["fleet"]["shards"] == 0
+        assert merged["fleet"]["requests"] == {}
+
+    def test_ring_is_carried_through(self) -> None:
+        ring = {"vnodes": 64, "version": 3, "shards": ["a"]}
+        assert merge_fleet({}, ring=ring)["ring"] == ring
+
+
+class TestRouterFleetDocument:
+    def test_live_fleet_tolerates_a_crashed_shard(self) -> None:
+        """The router-level acceptance case: one embedded shard answers,
+        one shard's OPS fetch blows up, the fleet document still merges."""
+
+        async def scenario():
+            router = ShardRouter(ServiceConfig(n=4, t=1, seed=5, pool_target=2))
+            await router.start(2)
+            # Simulate a crashed committee: its OPS path raises.
+            broken = router.handles["shard-1"]
+
+            async def boom():
+                raise ConnectionResetError("committee went away")
+
+            broken.ops_document = boom  # type: ignore[method-assign]
+            document = await router.fleet_document()
+            await router.stop()
+            return document
+
+        previous = set_registry(MetricsRegistry())
+        try:
+            document = asyncio.run(scenario())
+        finally:
+            set_registry(previous)
+
+        fleet = document["fleet"]
+        assert fleet["shards"] == 2
+        assert fleet["down"] == 1
+        assert fleet["states"] == {"active": 2}
+        # The healthy shard's pool still shows up in the totals.
+        assert fleet["pool_ready"] == 2
+        assert document["shards"]["shard-1"]["ok"] is False
+        assert "committee went away" in document["shards"]["shard-1"]["error"]
+        assert document["shards"]["shard-0"]["ok"] is True
+        assert document["shards"]["shard-0"]["pool"]["depth"] == 2.0
+        assert sorted(document["ring"]["shards"]) == ["shard-0", "shard-1"]

@@ -1,0 +1,141 @@
+"""Consistent-hash ring properties: balance, minimal movement, and the
+pinned golden vector that keeps routing stable across releases."""
+
+import pytest
+
+from repro.service.shard.ring import DEFAULT_VNODES, HashRing, key_point
+
+# Routing is a persistence contract: a key's owning shard determines
+# where its committee (and share) lives, so the mapping must never
+# silently reshuffle between releases.  Generated from the
+# implementation once, then frozen — a failure here means the ring
+# function changed, which is a breaking change to every deployment.
+GOLDEN_VECTOR = [
+    (b"user-0", "shard-3"),
+    (b"user-1", "shard-1"),
+    (b"user-2", "shard-0"),
+    (b"user-3", "shard-1"),
+    (b"user-4", "shard-2"),
+    (b"user-5", "shard-1"),
+    (b"user-6", "shard-0"),
+    (b"user-7", "shard-1"),
+    (b"user-8", "shard-2"),
+    (b"user-9", "shard-1"),
+    (b"user-10", "shard-0"),
+    (b"user-11", "shard-3"),
+    (b"user-12", "shard-0"),
+    (b"user-13", "shard-1"),
+    (b"user-14", "shard-0"),
+    (b"user-15", "shard-1"),
+]
+
+GOLDEN_KEY_POINT = (b"user-0", 5506206504861864138)
+
+
+def _ring(shards=4, **kwargs):
+    ring = HashRing(**kwargs)
+    for index in range(shards):
+        ring.add(f"shard-{index}")
+    return ring
+
+
+def _keys(count):
+    return [f"k{i}".encode() for i in range(count)]
+
+
+def test_pinned_golden_vector():
+    ring = _ring(4)
+    for key_id, expected in GOLDEN_VECTOR:
+        assert ring.route(key_id) == expected, key_id
+
+
+def test_pinned_key_point():
+    key_id, expected = GOLDEN_KEY_POINT
+    assert key_point(key_id) == expected
+
+
+def test_deterministic_across_instances_and_insert_order():
+    forward = HashRing()
+    backward = HashRing()
+    for sid in ("a", "b", "c"):
+        forward.add(sid)
+    for sid in ("c", "b", "a"):
+        backward.add(sid)
+    keys = _keys(256)
+    assert [forward.route(k) for k in keys] == [backward.route(k) for k in keys]
+
+
+def test_balance_within_bounds():
+    ring = _ring(4)
+    spread = ring.spread(_keys(4096))
+    fair = 4096 / 4
+    for shard, count in spread.items():
+        assert 0.5 * fair <= count <= 1.6 * fair, (shard, count)
+
+
+def test_minimal_movement_on_add():
+    before = _ring(4)
+    keys = _keys(2048)
+    owners = {k: before.route(k) for k in keys}
+    before.add("shard-4")
+    moved = sum(1 for k in keys if before.route(k) != owners[k])
+    # Adding one of five shards should move about 1/5 of the keys; a
+    # naive mod-N rehash would move ~4/5.
+    assert moved <= 0.35 * len(keys), moved
+    # Every moved key moved *to the new shard*, never between old ones.
+    for k in keys:
+        after = before.route(k)
+        assert after == owners[k] or after == "shard-4"
+
+
+def test_minimal_movement_on_remove():
+    ring = _ring(4)
+    keys = _keys(2048)
+    owners = {k: ring.route(k) for k in keys}
+    ring.remove("shard-2")
+    for k in keys:
+        after = ring.route(k)
+        assert after != "shard-2"
+        if owners[k] != "shard-2":
+            # Keys not owned by the removed shard do not move at all.
+            assert after == owners[k], k
+
+
+def test_remove_then_readd_restores_routing():
+    ring = _ring(4)
+    keys = _keys(512)
+    owners = [ring.route(k) for k in keys]
+    ring.remove("shard-1")
+    ring.add("shard-1")
+    assert [ring.route(k) for k in keys] == owners
+
+
+def test_version_counter_and_describe():
+    ring = HashRing(vnodes=8)
+    assert ring.version == 0
+    ring.add("a")
+    ring.add("b")
+    ring.remove("a")
+    assert ring.version == 3
+    assert ring.describe() == {"vnodes": 8, "version": 3, "shards": ["b"]}
+    assert "b" in ring and "a" not in ring
+    assert len(ring) == 1
+
+
+def test_membership_errors():
+    ring = HashRing()
+    with pytest.raises(KeyError):
+        ring.route(b"anything")
+    with pytest.raises(ValueError):
+        ring.add("")
+    ring.add("a")
+    with pytest.raises(ValueError):
+        ring.add("a")
+    with pytest.raises(KeyError):
+        ring.remove("missing")
+    with pytest.raises(ValueError):
+        HashRing(vnodes=0)
+
+
+def test_default_vnodes():
+    assert _ring(1).vnodes == DEFAULT_VNODES

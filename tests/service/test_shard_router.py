@@ -1,0 +1,397 @@
+"""The shard router end to end: keyed routing over real TCP, the
+drain-under-load guarantee, live add (embedded and the §6.2 groupmod
+path), and the shardctl admin surface."""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.crypto import schnorr
+from repro.obs.metrics import MetricsRegistry, set_registry
+from repro.service import protocol
+from repro.service.loadgen import LoadGenerator, ServiceClient
+from repro.service.shard import api
+from repro.service.shard.frontend import ShardFrontend
+from repro.service.shard.router import (
+    ACTIVE,
+    DRAINING,
+    RETIRED,
+    ShardHandle,
+    ShardRouter,
+)
+from repro.service.workers import ServiceConfig
+
+
+def _run(coro):
+    return asyncio.run(coro)
+
+
+def _template(**overrides) -> ServiceConfig:
+    defaults = dict(n=4, t=1, seed=11, pool_target=2)
+    defaults.update(overrides)
+    return ServiceConfig(**defaults)
+
+
+async def _stack(template: ServiceConfig, shards: int, **frontend_kw):
+    router = ShardRouter(template)
+    await router.start(shards)
+    frontend = ShardFrontend(router, **frontend_kw)
+    await frontend.start()
+    return router, frontend
+
+
+async def _teardown(router, frontend, *clients) -> None:
+    for client in clients:
+        await client.close()
+    await frontend.stop()
+    await router.stop()
+
+
+def _key_owned_by(router: ShardRouter, shard_id: str) -> bytes:
+    """A key id the ring currently routes to ``shard_id``."""
+    for index in range(4096):
+        key_id = f"owned-{index}".encode()
+        if router.ring.route(key_id) == shard_id:
+            return key_id
+    raise AssertionError(f"no key routes to {shard_id}")
+
+
+class _Registry:
+    """Fresh metrics registry per test (embedded shards share one)."""
+
+    def __enter__(self):
+        self._previous = set_registry(MetricsRegistry())
+        return self
+
+    def __exit__(self, *exc):
+        set_registry(self._previous)
+
+
+class TestKeyedRouting:
+    def test_shard_sign_verifies_per_committee_over_tcp(self) -> None:
+        """Each key's signature verifies under *its* shard's group key,
+        and the two committees hold distinct keys."""
+
+        async def scenario():
+            router, frontend = await _stack(_template(), shards=2)
+            client = await ServiceClient.connect(frontend.host, frontend.port)
+            key_a = _key_owned_by(router, "shard-0")
+            key_b = _key_owned_by(router, "shard-1")
+            results = []
+            for key_id in (key_a, key_b):
+                status = await client.shard_status(key_id)
+                message = b"routed to " + key_id
+                response = await client.shard_sign(key_id, message)
+                assert isinstance(response, protocol.SignResponse), response
+                results.append(
+                    schnorr.verify(
+                        router.group,
+                        status.public_key,
+                        message,
+                        schnorr.Signature(
+                            response.challenge, response.response
+                        ),
+                    )
+                )
+            pubkeys = {
+                router.handles[sid].service.public_key
+                for sid in ("shard-0", "shard-1")
+            }
+            routed = {
+                sid: handle.routed_total
+                for sid, handle in router.handles.items()
+            }
+            await _teardown(router, frontend, client)
+            return results, pubkeys, routed
+
+        with _Registry():
+            results, pubkeys, routed = _run(scenario())
+        assert results == [True, True]
+        assert len(pubkeys) == 2  # independent committees, independent keys
+        assert routed == {"shard-0": 2, "shard-1": 2}  # status + sign each
+
+    def test_empty_key_and_empty_ring_become_error_responses(self) -> None:
+        async def scenario():
+            router = ShardRouter(_template())
+            await router.start(1)
+            empty = await router.handle(api.ShardSignRequest(1, b"", b"m"))
+            await router.stop()
+
+            bare = ShardRouter(_template())
+            unrouted = await bare.handle(api.ShardSignRequest(2, b"k", b"m"))
+            return empty, unrouted
+
+        with _Registry():
+            empty, unrouted = _run(scenario())
+        assert isinstance(empty, protocol.ErrorResponse)
+        assert empty.code == protocol.ERR_BAD_REQUEST
+        assert isinstance(unrouted, protocol.ErrorResponse)
+
+    def test_loadgen_shard_op_drives_the_fleet(self) -> None:
+        async def scenario():
+            router, frontend = await _stack(_template(), shards=2)
+            generator = LoadGenerator(
+                frontend.host,
+                frontend.port,
+                clients=2,
+                requests_per_client=4,
+                op="shard",
+                keys=4,
+            )
+            report = await generator.run()
+            await _teardown(router, frontend)
+            return report
+
+        with _Registry():
+            report = _run(scenario())
+        assert report.completed == 8
+        assert report.errors == 0
+        assert report.invalid_signatures == 0
+        assert report.server_snapshot["fleet"]["shards"] == 2
+
+
+class TestDrainUnderLoad:
+    def test_drain_waits_for_inflight_and_stops_routing(self) -> None:
+        """The headline drain guarantee over real TCP: an in-flight
+        request on the retiring shard completes, nothing new routes
+        there, and its pooled nonces are flushed."""
+
+        async def scenario():
+            # pool_target=0: every sign forges its nonce DKG on demand,
+            # holding the request in flight long enough to drain under.
+            router, frontend = await _stack(
+                _template(pool_target=0), shards=2
+            )
+            client = await ServiceClient.connect(frontend.host, frontend.port)
+            victim = "shard-0"
+            handle = router.handles[victim]
+            key_id = _key_owned_by(router, victim)
+            status = await client.shard_status(key_id)
+            message = b"signed while draining"
+
+            inflight = asyncio.create_task(
+                client.shard_sign(key_id, message)
+            )
+            for _ in range(200):  # wait until the sign is on the shard
+                if handle.inflight > 0:
+                    break
+                await asyncio.sleep(0.005)
+            assert handle.inflight > 0, "sign never went in flight"
+
+            report = await client.shardctl("drain", victim)
+            routed_at_retire = handle.routed_total
+            response = await inflight
+            assert isinstance(response, protocol.SignResponse), response
+            ok = schnorr.verify(
+                router.group,
+                status.public_key,
+                message,
+                schnorr.Signature(response.challenge, response.response),
+            )
+
+            # The drained key is re-homed; later traffic lands on the
+            # survivor and never touches the retired shard.
+            assert router.ring.route(key_id) == "shard-1"
+            moved_status = await client.shard_status(key_id)
+            after = await client.shard_sign(key_id, b"after the drain")
+            assert isinstance(after, protocol.SignResponse), after
+            ok_after = schnorr.verify(
+                router.group,
+                moved_status.public_key,
+                b"after the drain",
+                schnorr.Signature(after.challenge, after.response),
+            )
+            routed_after = handle.routed_total
+
+            await _teardown(router, frontend, client)
+            return (
+                report,
+                handle,
+                ok,
+                ok_after,
+                routed_at_retire,
+                routed_after,
+                status.public_key,
+                moved_status.public_key,
+            )
+
+        with _Registry():
+            (
+                report,
+                handle,
+                ok,
+                ok_after,
+                routed_at_retire,
+                routed_after,
+                old_key,
+                new_key,
+            ) = _run(scenario())
+        assert ok, "in-flight request failed during drain"
+        assert ok_after
+        assert handle.state == RETIRED
+        assert report["state"] == RETIRED
+        assert report["shard"] == "shard-0"
+        assert "shard-0" not in report["ring"]["shards"]
+        # Nothing was routed to the shard after drain returned.
+        assert routed_after == routed_at_retire
+        # The key genuinely moved committees.
+        assert old_key != new_key
+
+    def test_drain_flushes_pooled_presignatures(self) -> None:
+        async def scenario():
+            router = ShardRouter(_template(pool_target=3))
+            await router.start(2)
+            report = await router.drain("shard-1")
+            await router.stop()
+            return report
+
+        with _Registry():
+            report = _run(scenario())
+        assert report["flushed_presignatures"] == 3
+
+    def test_drain_refuses_last_active_shard(self) -> None:
+        async def scenario():
+            router = ShardRouter(_template())
+            await router.start(1)
+            try:
+                with pytest.raises(ValueError, match="last active shard"):
+                    await router.drain("shard-0")
+            finally:
+                await router.stop()
+
+        with _Registry():
+            _run(scenario())
+
+    def test_drain_rejects_unknown_and_repeated(self) -> None:
+        async def scenario():
+            router = ShardRouter(_template())
+            await router.start(3)
+            await router.drain("shard-2")
+            try:
+                with pytest.raises(ValueError, match="no shard"):
+                    await router.drain("shard-9")
+                with pytest.raises(ValueError, match="retired"):
+                    await router.drain("shard-2")
+            finally:
+                await router.stop()
+
+        with _Registry():
+            _run(scenario())
+
+
+class TestLiveAdd:
+    def test_shardctl_add_grows_the_ring_over_tcp(self) -> None:
+        async def scenario():
+            router, frontend = await _stack(_template(), shards=1)
+            client = await ServiceClient.connect(frontend.host, frontend.port)
+            doc = await client.shardctl("add")
+            status_doc = await client.shardctl("status")
+
+            # The new shard serves traffic for the keys it now owns.
+            key_id = _key_owned_by(router, doc["shard"])
+            response = await client.shard_sign(key_id, b"fresh shard")
+            assert isinstance(response, protocol.SignResponse), response
+
+            await _teardown(router, frontend, client)
+            return doc, status_doc
+
+        with _Registry():
+            doc, status_doc = _run(scenario())
+        assert doc["shard"] == "shard-1"
+        assert doc["state"] == ACTIVE
+        assert sorted(doc["ring"]["shards"]) == ["shard-0", "shard-1"]
+        assert status_doc["shards"]["shard-1"]["state"] == ACTIVE
+
+    def test_commission_tcp_runs_groupmod_and_serves(self) -> None:
+        """``commission="tcp"`` commissions a committee grown by the
+        §6.1 + §6.2 lifecycle over real sockets: the shard comes up with
+        n+1 workers and signs for the keys it owns."""
+
+        async def scenario():
+            router = ShardRouter(_template(pool_target=1))
+            await router.start(1)
+            handle = await router.add_shard("grown", commission="tcp")
+            assert handle.service.config.n == 5  # 4-member boot + joiner
+
+            key_id = _key_owned_by(router, "grown")
+            message = b"signed by the grown committee"
+            response = await router.handle(
+                api.ShardSignRequest(1, key_id, message)
+            )
+            assert isinstance(response, protocol.SignResponse), response
+            ok = schnorr.verify(
+                router.group,
+                handle.service.public_key,
+                message,
+                schnorr.Signature(response.challenge, response.response),
+            )
+            await router.stop()
+            return ok
+
+        with _Registry():
+            assert _run(scenario())
+
+    def test_duplicate_and_bogus_commission_rejected(self) -> None:
+        async def scenario():
+            router = ShardRouter(_template())
+            await router.start(1)
+            try:
+                with pytest.raises(ValueError, match="already exists"):
+                    await router.add_shard("shard-0")
+                with pytest.raises(ValueError, match="unknown commission"):
+                    await router.add_shard(commission="carrier-pigeon")
+            finally:
+                await router.stop()
+
+        with _Registry():
+            _run(scenario())
+
+
+class TestHandles:
+    def test_handle_is_embedded_xor_remote(self) -> None:
+        with pytest.raises(ValueError, match="embedded xor remote"):
+            ShardHandle("s")
+
+        async def scenario():
+            handle = ShardHandle("s", remote=("127.0.0.1", 1))
+            assert not handle.embedded
+            assert handle.state == ACTIVE
+            handle.begin()
+            assert handle.inflight == 1
+            waiter = asyncio.create_task(handle.wait_idle())
+            await asyncio.sleep(0)
+            assert not waiter.done()
+            handle.end()
+            await asyncio.wait_for(waiter, timeout=1)
+
+        _run(scenario())
+
+    def test_unreachable_remote_shard_degrades_to_error(self) -> None:
+        async def scenario():
+            router = ShardRouter(_template())
+            await router.start(1)
+            # A remote shard nobody is serving: connection refused.
+            await router.add_remote_shard("ghost", "127.0.0.1", 9)
+            key_id = _key_owned_by(router, "ghost")
+            response = await router.handle(
+                api.ShardSignRequest(1, key_id, b"m")
+            )
+            await router.stop()
+            return response
+
+        with _Registry():
+            response = _run(scenario())
+        assert isinstance(response, protocol.ErrorResponse)
+        assert response.code == protocol.ERR_UNAVAILABLE
+        assert "unreachable" in response.detail
+
+
+class TestStates:
+    def test_state_constants(self) -> None:
+        assert (ACTIVE, DRAINING, RETIRED) == (
+            "active",
+            "draining",
+            "retired",
+        )
