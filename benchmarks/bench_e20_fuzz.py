@@ -1,0 +1,171 @@
+"""E20 — the schedule fuzzer: adversarial interleavings/second, with
+the detection pipeline gated on every run.
+
+PR 10 added ``repro.fuzz``: seeded mutation of flight-recorder
+captures, re-executed through the replay world and checked against the
+paper's invariants (agreement, share-consistency, quorum certificates,
+liveness-under-budget).  This experiment measures what that costs —
+how many adversarial interleavings per second the fuzzer explores on
+each crypto backend — and proves, every run, that the pipeline still
+*detects*: a planted share corruption must be caught, shrunk to the
+single faulty op, and reproduced from its emitted capture.
+
+Correctness gates (unconditional, both modes):
+
+* honest campaigns report **zero** violations on every backend;
+* the planted-bug self-check passes end to end (detect -> shrink to
+  exactly one op -> reproducer replays to the same verdict);
+* per-seed plans are deterministic: re-running a campaign yields the
+  same mutation count.
+
+Throughput is reported, not gated — on the 1-CPU reference box the
+modp backend explores tens of interleavings per second while
+secp256k1 pays real curve arithmetic per replayed frame; both numbers
+are the experiment's result, neither is a pass/fail axis.
+
+Run::
+
+    PYTHONPATH=src python benchmarks/bench_e20_fuzz.py [--smoke] [--out FILE]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import time
+from pathlib import Path
+
+from repro.crypto.groups import group_by_name, toy_group
+from repro.fuzz import FuzzRunner, Schedule, generate_capture
+
+# (backend, seeds) per mode: secp256k1 replays cost real curve ops, so
+# its campaign is shorter for comparable wall time.
+_FULL_CAMPAIGNS = {"modp": 200, "secp256k1": 40}
+_SMOKE_CAMPAIGNS = {"modp": 20, "secp256k1": 5}
+
+
+def _group(backend: str):
+    return toy_group() if backend == "modp" else group_by_name(backend)
+
+
+def run_campaign(backend: str, seeds: int) -> dict:
+    """One honest fuzz campaign + self-check on one backend."""
+    base = Schedule.from_capture(
+        generate_capture("dkg", n=4, t=1, f=0, seed=0, group=_group(backend))
+    )
+    runner = FuzzRunner(base, max_ops=6)
+    started = time.monotonic()
+    report = runner.run(seeds, self_check=False)
+    campaign_wall = time.monotonic() - started
+
+    # Determinism gate: the same (capture, seed) range must plan the
+    # same mutations again.
+    rerun = FuzzRunner(base.copy(), max_ops=6).run(seeds, self_check=False)
+
+    # Detection gate: plant, detect, shrink, reproduce.
+    import tempfile
+
+    with tempfile.TemporaryDirectory() as tmp:
+        check_runner = FuzzRunner(base.copy(), max_ops=6, reproducer_dir=tmp)
+        started = time.monotonic()
+        self_check = check_runner.run_self_check()
+        self_check_wall = time.monotonic() - started
+        shrink_executions = check_runner.executions
+
+    return {
+        "backend": backend,
+        "seeds": seeds,
+        "mutations": report.mutations,
+        "executions": report.executions,
+        "violations": sum(len(r.violations) for r in report.failures),
+        "schedules_per_second": (
+            round(report.executions / campaign_wall, 2)
+            if campaign_wall > 0
+            else None
+        ),
+        "mutations_per_second": (
+            round(report.mutations / campaign_wall, 2)
+            if campaign_wall > 0
+            else None
+        ),
+        "campaign_wall_seconds": round(campaign_wall, 3),
+        "deterministic": rerun.mutations == report.mutations,
+        "self_check": {
+            "ok": bool(self_check.get("ok")),
+            "shrunk_ops": self_check.get("shrunk_ops"),
+            "reproduced": bool(self_check.get("reproduced")),
+            "executions": shrink_executions,
+            "wall_seconds": round(self_check_wall, 3),
+        },
+    }
+
+
+def run_bench(smoke: bool) -> dict:
+    campaigns = _SMOKE_CAMPAIGNS if smoke else _FULL_CAMPAIGNS
+    results = [
+        run_campaign(backend, seeds) for backend, seeds in campaigns.items()
+    ]
+    headline = {
+        r["backend"]: r["schedules_per_second"] for r in results
+    }
+    return {
+        "bench": "e20_fuzz",
+        "mode": "smoke" if smoke else "full",
+        "available_cpus": os.cpu_count(),
+        "protocol": "dkg",
+        "committee": {"n": 4, "t": 1, "f": 0},
+        "workload": (
+            "seeded mutation campaigns over a sim DKG capture, replayed "
+            "and invariant-checked per seed; planted-fault self-check gated"
+        ),
+        "campaigns": results,
+        "headline": {"schedules_per_second": headline},
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="short campaigns for CI; same unconditional gates",
+    )
+    parser.add_argument(
+        "--out",
+        type=Path,
+        default=Path(__file__).resolve().parent.parent / "BENCH_e20.json",
+        help="where to write the JSON report",
+    )
+    args = parser.parse_args(argv)
+    report = run_bench(smoke=args.smoke)
+    args.out.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"wrote {args.out}")
+    print(f"headline: {report['headline']}")
+    for campaign in report["campaigns"]:
+        backend = campaign["backend"]
+        if campaign["violations"]:
+            print(
+                f"ACCEPTANCE MISS: {campaign['violations']} violations on an "
+                f"honest {backend} campaign"
+            )
+            return 1
+        if not campaign["deterministic"]:
+            print(f"ACCEPTANCE MISS: {backend} campaign is nondeterministic")
+            return 1
+        check = campaign["self_check"]
+        if not check["ok"] or not check["reproduced"]:
+            print(f"ACCEPTANCE MISS: planted-bug self-check failed on {backend}")
+            return 1
+        if check["shrunk_ops"] != 1:
+            print(
+                f"ACCEPTANCE MISS: shrink left {check['shrunk_ops']} ops on "
+                f"{backend} (want the 1 planted op)"
+            )
+            return 1
+    print("acceptance ok")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

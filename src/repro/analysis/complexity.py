@@ -13,6 +13,11 @@ from __future__ import annotations
 import math
 from collections.abc import Sequence
 
+# Re-exported reference functions: the closed-form tables quote the
+# same Fig. 1 formulas the protocols enforce, from the one shared
+# module, so paper-vs-measured rows can never drift from the code.
+from repro.quorum import echo_threshold, resilience_bound  # noqa: F401
+
 
 # -- HybridVSS (§3, Efficiency Discussion) -------------------------------------
 
@@ -71,16 +76,7 @@ def dkg_messages_worst_case(n: int, t: int, d: int) -> int:
     return (t + 1) * max(d, 1) * n**2 * (n + max(d, 1))
 
 
-# -- resilience (§2.2) ----------------------------------------------------------------
-
-
-def resilience_bound(t: int, f: int) -> int:
-    """Minimum n: 3t + 2f + 1."""
-    return 3 * t + 2 * f + 1
-
-
-def echo_threshold(n: int, t: int) -> int:
-    return math.ceil((n + t + 1) / 2)
+# -- resilience (§2.2): echo_threshold / resilience_bound re-exported above ----
 
 
 # -- empirical shape fitting ---------------------------------------------------------------

@@ -9,10 +9,10 @@ the quorum-intersection argument.
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass, field
 from typing import Any
 
+from repro import quorum
 from repro.sim.node import Context, ProtocolNode
 
 
@@ -82,7 +82,8 @@ class BrachaNode(ProtocolNode):
 
     @property
     def echo_quorum(self) -> int:
-        return math.ceil((self.n + self.t + 1) / 2)
+        # Same Fig. 1 echo-intersection count as HybridVSS (f = 0 here).
+        return quorum.echo_threshold(self.n, self.t)
 
     def _broadcast(self, ctx: Context, msg: Any) -> None:
         for j in range(1, self.n + 1):

@@ -432,7 +432,9 @@ def cmd_cluster(args: argparse.Namespace) -> int:
 
 def cmd_resilience(args: argparse.Namespace) -> int:
     """Probe the n >= 3t + 2f + 1 boundary for the given (t, f)."""
-    bound = 3 * args.t + 2 * args.f + 1
+    from repro import quorum
+
+    bound = quorum.resilience_bound(args.t, args.f)
     results = {}
     for n in (bound, bound - 1):
         if n < 1:
@@ -648,16 +650,88 @@ def cmd_shardctl(args: argparse.Namespace) -> int:
 
 def cmd_replay(args: argparse.Namespace) -> int:
     """Re-execute a flight-recorder capture and verify its transcript."""
-    from repro.obs.replay import ReplayError, replay_file
+    from repro.obs.replay import ReplayError, TruncatedCaptureError, replay_file
 
     try:
         with _crypto_pool(args):
             result = replay_file(args.capture)
     except (ReplayError, OSError) as exc:
-        print(f"replay failed: {exc}", file=sys.stderr)
+        # A structured, machine-readable failure: the fuzzer's
+        # reproducer-emit path makes truncated/partial JSONL captures a
+        # reachable state, and scripts drive this command with --json.
+        error = {
+            "error": type(exc).__name__,
+            "message": str(exc),
+            "capture": args.capture,
+            "truncated": isinstance(exc, TruncatedCaptureError),
+        }
+        print(json.dumps(error, indent=2), file=sys.stderr)
         return 2
     _emit(args, result.as_dict())
     return 0 if result.matched else 1
+
+
+def cmd_fuzz(args: argparse.Namespace) -> int:
+    """Fuzz protocol schedules: mutate, replay, assert invariants."""
+    from repro.fuzz import FuzzRunner, Schedule, generate_capture, load_schedule
+    from repro.obs.replay import ReplayError
+
+    if args.smoke:
+        # The bounded CI/acceptance shape: smallest resilient
+        # deployment, capped mutation count, fast tcp phases.
+        args.n, args.t, args.f = 4, 1, 0
+        args.max_ops = min(args.max_ops, 6)
+        args.phases = 1
+    try:
+        if args.reproduce is not None:
+            base = load_schedule(args.reproduce)
+            runner = FuzzRunner(
+                base,
+                max_ops=args.max_ops,
+                reproducer_dir=args.reproducers,
+            )
+            verdict = runner.reproduce(base)
+            _emit(args, verdict)
+            return 0 if verdict["matched"] else 1
+        if args.capture is not None:
+            base = load_schedule(args.capture)
+        else:
+            capture = generate_capture(
+                args.protocol,
+                n=args.n,
+                t=args.t,
+                f=args.f,
+                seed=args.seed,
+                group=_group(args),
+                phases=args.phases,
+            )
+            base = Schedule.from_capture(capture)
+        runner = FuzzRunner(
+            base,
+            protocol=args.protocol,
+            max_ops=args.max_ops,
+            reproducer_dir=args.reproducers,
+        )
+        report = runner.run(
+            args.seeds,
+            first_seed=args.first_seed,
+            self_check=not args.no_self_check,
+        )
+    except (ReplayError, OSError, ValueError) as exc:
+        print(
+            json.dumps(
+                {"error": type(exc).__name__, "message": str(exc)}, indent=2
+            ),
+            file=sys.stderr,
+        )
+        return 2
+    document = report.as_dict()
+    if args.report is not None:
+        with open(args.report, "w", encoding="utf-8") as fh:
+            json.dump(document, fh, indent=2)
+            fh.write("\n")
+    _emit(args, document)
+    return 0 if report.ok else 1
 
 
 def cmd_trace(args: argparse.Namespace) -> int:
@@ -918,6 +992,63 @@ def build_parser() -> argparse.ArgumentParser:
         "--json", action="store_true", help="emit machine-readable JSON"
     )
     p_replay.set_defaults(func=cmd_replay)
+
+    p_fuzz = sub.add_parser(
+        "fuzz",
+        help="mutate captured schedules deterministically and assert "
+             "the paper's safety invariants over every mutant",
+    )
+    _common_args(p_fuzz)
+    p_fuzz.add_argument(
+        "--protocol", default="dkg", choices=("dkg", "renew", "groupmod"),
+        help="protocol whose schedules to fuzz (renew/groupmod generate "
+             "their base capture over local TCP)",
+    )
+    p_fuzz.add_argument(
+        "--seeds", type=int, default=50,
+        help="number of mutation seeds to run; every failure prints its "
+             "seed, and the same (capture, seed) reproduces bit-identically",
+    )
+    p_fuzz.add_argument(
+        "--first-seed", type=int, default=0,
+        help="start of the seed range (shard long campaigns across jobs)",
+    )
+    p_fuzz.add_argument(
+        "--max-ops", type=int, default=8,
+        help="mutation operators per seed (budgets still cap crashes "
+             "at f and Byzantine senders at t)",
+    )
+    p_fuzz.add_argument(
+        "--phases", type=int, default=1,
+        help="[renew] renewal phases in the generated base capture",
+    )
+    p_fuzz.add_argument(
+        "--smoke", action="store_true",
+        help="bounded CI shape: n=4 t=1 f=0, at most 6 ops per seed",
+    )
+    p_fuzz.add_argument(
+        "--capture", default=None, metavar="FILE.jsonl",
+        help="fuzz this recorded capture instead of generating one "
+             "(must be replayable: sim dkg or tcp renew/groupmod)",
+    )
+    p_fuzz.add_argument(
+        "--reproduce", default=None, metavar="FILE.jsonl",
+        help="re-run a reproducer emitted by a failing campaign and "
+             "verify it reaches the recorded verdict",
+    )
+    p_fuzz.add_argument(
+        "--report", default=None, metavar="FILE.json",
+        help="also write the JSON campaign report to this file",
+    )
+    p_fuzz.add_argument(
+        "--reproducers", default=None, metavar="DIR",
+        help="emit shrunk failure reproducers into this directory",
+    )
+    p_fuzz.add_argument(
+        "--no-self-check", action="store_true",
+        help="skip the planted-bug verifier self-check",
+    )
+    p_fuzz.set_defaults(func=cmd_fuzz)
 
     p_trace = sub.add_parser(
         "trace",

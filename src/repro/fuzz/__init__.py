@@ -1,0 +1,38 @@
+"""repro.fuzz — deterministic adversarial schedule fuzzing.
+
+The flight recorder (PR 7) made every execution a first-class value: a
+payload capture is the complete input stream of a run, and
+:mod:`repro.obs.replay` re-executes it bit-identically.  This package
+turns that replay seam into an adversary.  A :class:`ScheduleMutator`
+applies seeded mutation operators to a captured schedule — reordering
+within causal-delivery constraints, duplication, drops, targeted delay
+of ECHO/READY at the Fig. 1 quorum thresholds (:mod:`repro.quorum`),
+crash/recover injection, and Byzantine payload mutation through the
+wire codec — and a :class:`FuzzRunner` replays each mutant, asserting
+the paper's safety invariants (agreement on the DKG public key, share
+consistency, resilience boundary, liveness under the ``t``/``f``
+budgets).  Failures shrink to a minimal reproducer emitted as a
+replayable capture.
+
+Everything is deterministic per ``(capture, seed)``: a CI failure
+reproduces locally from the printed seed alone.
+"""
+
+from repro.fuzz.invariants import Violation, check_invariants
+from repro.fuzz.mutators import MutationBudget, ScheduleMutator, apply_plan
+from repro.fuzz.runner import FuzzReport, FuzzRunner, SeedResult
+from repro.fuzz.schedule import Schedule, generate_capture, load_schedule
+
+__all__ = [
+    "FuzzReport",
+    "FuzzRunner",
+    "MutationBudget",
+    "Schedule",
+    "ScheduleMutator",
+    "SeedResult",
+    "Violation",
+    "apply_plan",
+    "check_invariants",
+    "generate_capture",
+    "load_schedule",
+]

@@ -1,0 +1,146 @@
+"""Re-execution of mutated schedules, with failure downgraded to data.
+
+:class:`FuzzWorld` is :class:`~repro.obs.replay.ReplayWorld` with the
+error model a fuzzer needs: a frame that no longer decodes after
+payload mutation is an *observation* (the network dropped a garbled
+frame), and a machine that raises on adversarial input is an
+*invariant violation* (sans-I/O machines must never blow up on any
+event stream), not a replay crash.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.fuzz.mutators import ApplyReport
+from repro.fuzz.schedule import Schedule
+from repro.obs.replay import FrameDecodeError, ReplayError, ReplayWorld
+
+
+@dataclass
+class ExecutionResult:
+    """Everything the invariant checker needs from one mutated run."""
+
+    # (node, session) -> output payloads, in emission order
+    outputs: dict[tuple[int, str], list[Any]] = field(default_factory=dict)
+    spans: int = 0
+    undecodable: int = 0
+    step_errors: list[str] = field(default_factory=list)
+    chain_errors: list[str] = field(default_factory=list)
+
+    def sessions(self) -> set[str]:
+        return {session for _node, session in self.outputs}
+
+    def by_kind(self, session: str, kind: str) -> dict[int, list[Any]]:
+        found: dict[int, list[Any]] = {}
+        for (node, sess), payloads in self.outputs.items():
+            if sess != session:
+                continue
+            matching = [
+                p for p in payloads if getattr(p, "kind", None) == kind
+            ]
+            if matching:
+                found[node] = matching
+        return found
+
+
+class FuzzWorld(ReplayWorld):
+    """A replay world that survives adversarial schedules."""
+
+    def __init__(self, capture: Any):
+        super().__init__(capture)
+        self.undecodable = 0
+        self.step_errors: list[str] = []
+        self.chain_errors: list[str] = []
+
+    def safe_open(self, record: dict[str, Any]) -> None:
+        try:
+            self.open_session(record)
+        except ReplayError as exc:
+            # Session chaining failed — mutations starved the
+            # predecessor session of every output.  Frames for the
+            # unopened session fall to the runtime's non-strict drop
+            # path; liveness accounting decides whether that matters.
+            self.chain_errors.append(str(exc))
+
+    def safe_dispatch(self, record: dict[str, Any]) -> bool:
+        try:
+            self.dispatch_span(record)
+            return True
+        except FrameDecodeError:
+            self.undecodable += 1
+            return False
+        except ReplayError:
+            raise  # structural: bad capture, not an adversarial effect
+        except Exception as exc:
+            self.step_errors.append(
+                f"node {record.get('node')} {record.get('event')}: "
+                f"{type(exc).__name__}: {exc}"
+            )
+            return False
+
+
+def execute_schedule(schedule: Schedule) -> ExecutionResult:
+    """Replay a (mutated) schedule; never raises on adversarial input."""
+    world = FuzzWorld(schedule.to_capture())
+    spans = 0
+    for record in schedule.records:
+        if record.get("record") == "open":
+            world.safe_open(record)
+        elif "event" in record:
+            world.safe_dispatch(record)
+            spans += 1
+    outputs: dict[tuple[int, str], list[Any]] = {}
+    if world.runtimes:
+        for node, runtime in world.runtimes.items():
+            for session, payloads in runtime.session_outputs.items():
+                outputs[(node, session)] = list(payloads)
+    else:
+        # Sim worlds have no session multiplexing; everything is the
+        # one recorded session.
+        for node, payload in world.outputs:
+            outputs.setdefault((node, "dkg"), []).append(payload)
+    return ExecutionResult(
+        outputs=outputs,
+        spans=spans,
+        undecodable=world.undecodable,
+        step_errors=world.step_errors,
+        chain_errors=world.chain_errors,
+    )
+
+
+def apply_post_ops(
+    execution: ExecutionResult, report: ApplyReport, group: Any
+) -> None:
+    """Apply post-execution ops (the planted-bug seam) to the outputs.
+
+    ``corrupt-output`` bumps one completer's share by 1 mod q — the
+    canonical "a node holds a share that does not match the agreed
+    commitment" fault the share-consistency invariant exists to catch.
+    """
+    terminal = ("dkg.out.completed", "proactive.out.renewed", "groupmod.out.joined")
+    for op in report.post_ops:
+        if op["op"] != "corrupt-output":
+            raise ValueError(f"unknown post-execution op {op['op']!r}")
+        node = op["node"]
+        # Prefer the session-terminal share (the one downstream
+        # protocols would actually use); fall back to any share.
+        candidates: list[tuple[list[Any], int]] = []
+        for (out_node, _session), payloads in sorted(execution.outputs.items()):
+            if out_node != node:
+                continue
+            for index, payload in enumerate(payloads):
+                if isinstance(getattr(payload, "share", None), int):
+                    candidates.append((payloads, index))
+        terminal_first = sorted(
+            candidates,
+            key=lambda c: getattr(c[0][c[1]], "kind", None) not in terminal,
+        )
+        if terminal_first:
+            payloads, index = terminal_first[0]
+            payload = payloads[index]
+            payloads[index] = dataclasses.replace(
+                payload, share=(payload.share + 1) % group.q
+            )

@@ -1,0 +1,287 @@
+"""The paper's guarantees, as checkable properties of a replayed run.
+
+Every check is stated over the *outputs* of a (possibly mutated)
+execution plus the mutation bookkeeping of
+:class:`~repro.fuzz.mutators.ApplyReport`:
+
+``step-error``
+    Sans-I/O machines must never raise on any event stream — an
+    exception on adversarial input is a bug regardless of what the
+    paper says.
+``resilience``
+    No honest output below the ``n >= 3t + 2f + 1`` boundary
+    (:func:`repro.quorum.satisfies_resilience`).
+``agreement``
+    All completers of a DKG session agree on the public key *and* on
+    the qualified set Q — the crux of the protocol.
+``quorum-certificate``
+    A completer's Q carries at least ``t + 1`` VSS instances, so at
+    least one honest dealer's randomness is in the key.
+``share-consistency``
+    Every output share matches the agreed commitment in the exponent:
+    ``g^share == commitment(node)``.  Shares that pass this
+    interpolate to the same secret by Lagrange on the commitment
+    polynomial — checked per node, no reconstruction needed.
+``public-key``
+    Proactive renewal and group modification must never change the
+    group key: renewed/joined commitments evaluate to the bootstrap
+    DKG's public key at 0.
+``double-output``
+    A session completes at most once per node.
+``liveness``
+    Weak termination under budget: every node the mutation report
+    does *not* exempt (crash-injected, or degraded beyond the Fig. 1
+    quorum slack — see :mod:`repro.fuzz.mutators`) must produce the
+    session's terminal output.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from repro import quorum
+from repro.fuzz.executor import ExecutionResult
+from repro.fuzz.mutators import ApplyReport
+
+
+@dataclass(frozen=True)
+class Violation:
+    kind: str
+    session: str
+    node: int | None
+    detail: str
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "kind": self.kind,
+            "session": self.session,
+            "node": self.node,
+            "detail": self.detail,
+        }
+
+
+_TERMINAL_KINDS = (
+    "dkg.out.completed",
+    "proactive.out.renewed",
+    "groupmod.out.joined",
+    "groupmod.out.delivered",
+)
+
+
+def expected_sessions(meta: dict[str, Any]) -> dict[str, tuple[str, list[int]]]:
+    """session -> (terminal output kind, nodes expected to emit it)."""
+    params = meta.get("config") or {}
+    members = list(range(1, params.get("n", 0) + 1))
+    cmd = meta.get("cmd")
+    if cmd in ("dkg", "cluster"):
+        return {"dkg": ("dkg.out.completed", members)}
+    if cmd == "renew":
+        expected = {"dkg": ("dkg.out.completed", members)}
+        for phase in range(1, int(meta.get("phases", 1)) + 1):
+            expected[f"renew-{phase}"] = ("proactive.out.renewed", members)
+        return expected
+    if cmd == "groupmod":
+        joiner = meta.get("new_node")
+        return {
+            "dkg": ("dkg.out.completed", members),
+            "agree-1": ("groupmod.out.delivered", members),
+            "add-1": ("groupmod.out.joined", [joiner] if joiner else []),
+        }
+    return {}
+
+
+def _element_hex(group: Any, element: Any) -> str:
+    from repro.crypto.backend import element_hex
+
+    return element_hex(group, element)
+
+
+def _share_commitment(commitment: Any, node: int) -> Any:
+    from repro.proactive.renewal import share_commitment_at
+
+    return share_commitment_at(commitment, node)
+
+
+def check_invariants(
+    meta: dict[str, Any],
+    group: Any,
+    execution: ExecutionResult,
+    report: ApplyReport,
+) -> list[Violation]:
+    violations: list[Violation] = []
+    params = meta.get("config") or {}
+    n, t, f = params.get("n", 0), params.get("t", 0), params.get("f", 0)
+    exempt = report.exempt()
+
+    # -- step-error: machines never raise -------------------------------------
+    for detail in execution.step_errors:
+        violations.append(Violation("step-error", "-", None, detail))
+
+    # -- resilience: no honest output below the boundary ----------------------
+    if execution.outputs and not quorum.satisfies_resilience(n, t, f):
+        violations.append(
+            Violation(
+                "resilience",
+                "-",
+                None,
+                f"outputs produced at n={n}, t={t}, f={f} below "
+                f"3t+2f+1={quorum.resilience_bound(t, f)}",
+            )
+        )
+
+    # -- share consistency, over every output that carries a share -------------
+    # g^share must equal the agreed commitment evaluated at the node's
+    # index — for intermediate VSS shares and terminal DKG / renewal /
+    # join shares alike.  Shares that pass interpolate to the same
+    # secret by Lagrange on the commitment polynomial, so this per-node
+    # check is the paper's share-consistency property without needing a
+    # reconstruction round.
+    for (node, session), payloads in sorted(execution.outputs.items()):
+        for payload in payloads:
+            share = getattr(payload, "share", None)
+            commitment = getattr(payload, "commitment", None)
+            if commitment is None:
+                commitment = getattr(payload, "vector", None)
+            if not isinstance(share, int) or commitment is None:
+                continue
+            try:
+                if getattr(payload, "kind", None) == "groupmod.out.joined":
+                    # The joiner's vector commits to *its* share
+                    # polynomial: the share sits at 0, not at the
+                    # joiner's index.
+                    expected_pk = commitment.public_key()
+                else:
+                    expected_pk = _share_commitment(commitment, node)
+            except Exception as exc:
+                violations.append(
+                    Violation(
+                        "share-consistency",
+                        session,
+                        node,
+                        f"commitment unevaluable: {exc}",
+                    )
+                )
+                continue
+            if group.commit(share) != expected_pk:
+                violations.append(
+                    Violation(
+                        "share-consistency",
+                        session,
+                        node,
+                        f"g^share != commitment(node) for "
+                        f"{getattr(payload, 'kind', type(payload).__name__)}",
+                    )
+                )
+
+    # -- per-session terminal-output checks ------------------------------------
+    dkg_pk_hex: str | None = None
+    dkg_commitment: Any = None
+    for session, (kind, nodes) in expected_sessions(meta).items():
+        completions = execution.by_kind(session, kind)
+
+        # double-output: at most one terminal output per node
+        for node, payloads in completions.items():
+            if len(payloads) > 1:
+                violations.append(
+                    Violation(
+                        "double-output",
+                        session,
+                        node,
+                        f"{len(payloads)} {kind} outputs",
+                    )
+                )
+
+        # agreement + quorum certificates (DKG sessions)
+        if kind == "dkg.out.completed" and completions:
+            keys = {
+                _element_hex(group, p[0].public_key)
+                for p in completions.values()
+            }
+            q_sets = {tuple(sorted(p[0].q_set)) for p in completions.values()}
+            if len(keys) > 1:
+                violations.append(
+                    Violation(
+                        "agreement",
+                        session,
+                        None,
+                        f"{len(keys)} distinct public keys among "
+                        f"completers {sorted(completions)}",
+                    )
+                )
+            if len(q_sets) > 1:
+                violations.append(
+                    Violation(
+                        "agreement",
+                        session,
+                        None,
+                        f"{len(q_sets)} distinct qualified sets among "
+                        f"completers {sorted(completions)}",
+                    )
+                )
+            if len(keys) == 1:
+                dkg_pk_hex = keys.pop()
+                first = min(completions)
+                dkg_commitment = completions[first][0].commitment
+            for node, payloads in completions.items():
+                if len(payloads[0].q_set) < quorum.ready_threshold(t):
+                    violations.append(
+                        Violation(
+                            "quorum-certificate",
+                            session,
+                            node,
+                            f"|Q|={len(payloads[0].q_set)} < t+1="
+                            f"{quorum.ready_threshold(t)}",
+                        )
+                    )
+
+        # public-key stability across renewal / join: renewal must not
+        # move the group key; a joiner must receive a share of the
+        # *bootstrap* secret (its vector evaluates, at 0, to the DKG
+        # commitment's value at the joiner's index).
+        if kind == "proactive.out.renewed" and dkg_pk_hex is not None:
+            for node, payloads in completions.items():
+                commitment = payloads[0].commitment
+                if _element_hex(group, commitment.public_key()) != dkg_pk_hex:
+                    violations.append(
+                        Violation(
+                            "public-key",
+                            session,
+                            node,
+                            "renewed public key drifted from the "
+                            "bootstrap DKG key",
+                        )
+                    )
+        if kind == "groupmod.out.joined" and dkg_commitment is not None:
+            for node, payloads in completions.items():
+                vector = payloads[0].vector
+                expected_hex = _element_hex(
+                    group, _share_commitment(dkg_commitment, node)
+                )
+                if _element_hex(group, vector.public_key()) != expected_hex:
+                    violations.append(
+                        Violation(
+                            "public-key",
+                            session,
+                            node,
+                            "joiner's share does not open the bootstrap "
+                            "DKG commitment at its index",
+                        )
+                    )
+
+        # liveness under budget
+        for node in nodes:
+            if node in exempt:
+                continue
+            if node not in completions:
+                violations.append(
+                    Violation(
+                        "liveness",
+                        session,
+                        node,
+                        f"no {kind} despite mutations within budget "
+                        f"(exempt={sorted(exempt)})",
+                    )
+                )
+
+    return violations

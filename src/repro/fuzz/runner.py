@@ -1,0 +1,351 @@
+"""The fuzzing loop: plan, execute, check, shrink, reproduce.
+
+Determinism contract: one run is identified by ``(base capture,
+seed)``.  The per-seed RNG is ``random.Random(("repro-fuzz",
+base_digest, seed).__repr__())`` where ``base_digest`` is the SHA-256
+of the base schedule's canonical serialization — so a CI failure line
+``seed=1723`` reproduces exactly on any machine that can regenerate
+the base capture (same protocol, params, seed, group backend).
+
+Shrinking is greedy op-removal to a fixpoint: drop one op, re-execute,
+keep the smaller plan whenever the violation *kinds* still intersect
+the original ones.  Each candidate is a full deterministic re-run, so
+the minimized plan provably still fails — the property tests assert
+exactly that, and every reproducer records the shrunk plan next to the
+base schedule it applies to.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+import time
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.fuzz.executor import apply_post_ops, execute_schedule
+from repro.fuzz.invariants import Violation, check_invariants
+from repro.fuzz.mutators import MutationBudget, ScheduleMutator, apply_plan
+from repro.fuzz.schedule import Schedule
+from repro.obs import metrics as obs_metrics
+from repro.obs.replay import resolve_group_name
+
+_SHRINK_EXECUTION_CAP = 200
+
+
+@dataclass
+class SeedResult:
+    seed: int
+    planned: int
+    applied: int
+    violations: list[Violation]
+    shrunk_plan: list[dict[str, Any]] | None = None
+    reproducer: str | None = None
+
+    @property
+    def failed(self) -> bool:
+        return bool(self.violations)
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "seed": self.seed,
+            "planned": self.planned,
+            "applied": self.applied,
+            "violations": [v.as_dict() for v in self.violations],
+            "shrunk_ops": (
+                len(self.shrunk_plan) if self.shrunk_plan is not None else None
+            ),
+            "reproducer": self.reproducer,
+        }
+
+
+@dataclass
+class FuzzReport:
+    protocol: str
+    group: str
+    config: dict[str, Any]
+    base_digest: str
+    seeds: int = 0
+    mutations: int = 0
+    executions: int = 0
+    failures: list[SeedResult] = field(default_factory=list)
+    wall_seconds: float = 0.0
+    self_check: dict[str, Any] | None = None
+
+    @property
+    def ok(self) -> bool:
+        passed_self_check = (
+            self.self_check is None or self.self_check.get("ok", False)
+        )
+        return not self.failures and passed_self_check
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "protocol": self.protocol,
+            "group": self.group,
+            "config": self.config,
+            "base_digest": self.base_digest,
+            "seeds": self.seeds,
+            "mutations": self.mutations,
+            "executions": self.executions,
+            "violations": sum(len(r.violations) for r in self.failures),
+            "failures": [r.as_dict() for r in self.failures],
+            "schedules_per_second": (
+                round(self.executions / self.wall_seconds, 2)
+                if self.wall_seconds > 0
+                else None
+            ),
+            "wall_seconds": round(self.wall_seconds, 3),
+            "self_check": self.self_check,
+            "ok": self.ok,
+        }
+
+
+class FuzzRunner:
+    """Drives seeded mutation campaigns against one base schedule."""
+
+    def __init__(
+        self,
+        schedule: Schedule,
+        *,
+        protocol: str | None = None,
+        max_ops: int = 8,
+        budget: MutationBudget | None = None,
+        reproducer_dir: Any = None,
+    ):
+        self.base = schedule
+        self.meta = schedule.meta
+        self.protocol = protocol or self.meta.get("cmd", "dkg")
+        self.group = resolve_group_name(self.meta["group"])
+        self.max_ops = max_ops
+        self.budget = budget
+        self.reproducer_dir = reproducer_dir
+        self.base_digest = schedule.digest()
+        self.mutator = ScheduleMutator(schedule, budget)
+        self.executions = 0
+
+    # -- single deterministic execution ----------------------------------------
+
+    def seed_rng(self, seed: int) -> random.Random:
+        return random.Random(("repro-fuzz", self.base_digest, seed).__repr__())
+
+    def plan_for_seed(self, seed: int) -> list[dict[str, Any]]:
+        return self.mutator.plan(self.seed_rng(seed), self.max_ops)
+
+    def execute_plan(
+        self, plan: list[dict[str, Any]]
+    ) -> tuple[list[Violation], Any]:
+        mutated, report = apply_plan(self.base, plan, self.budget)
+        execution = execute_schedule(mutated)
+        apply_post_ops(execution, report, self.group)
+        self.executions += 1
+        violations = check_invariants(self.meta, self.group, execution, report)
+        return violations, report
+
+    def run_seed(self, seed: int) -> SeedResult:
+        plan = self.plan_for_seed(seed)
+        violations, report = self.execute_plan(plan)
+        for op in report.applied:
+            obs_metrics.counter_inc(
+                "repro_fuzz_mutations_total",
+                help="Mutation operators applied to fuzzed schedules",
+                op=op["op"],
+            )
+        result = SeedResult(
+            seed=seed,
+            planned=len(plan),
+            applied=len(report.applied),
+            violations=violations,
+        )
+        if violations:
+            for violation in violations:
+                obs_metrics.counter_inc(
+                    "repro_fuzz_violations_total",
+                    help="Invariant violations found by the schedule fuzzer",
+                    kind=violation.kind,
+                )
+            result.shrunk_plan = self.shrink(plan, violations)
+            result.reproducer = self.emit_reproducer(
+                seed, result.shrunk_plan, violations
+            )
+        return result
+
+    # -- shrinking --------------------------------------------------------------
+
+    def shrink(
+        self,
+        plan: list[dict[str, Any]],
+        violations: list[Violation],
+        max_executions: int = _SHRINK_EXECUTION_CAP,
+    ) -> list[dict[str, Any]]:
+        """Greedy one-op removal to a fixpoint; the result still fails."""
+        target_kinds = {v.kind for v in violations}
+        current = list(plan)
+        spent = 0
+        shrinking = True
+        while shrinking and spent < max_executions:
+            shrinking = False
+            for index in range(len(current)):
+                candidate = current[:index] + current[index + 1 :]
+                candidate_violations, _report = self.execute_plan(candidate)
+                spent += 1
+                obs_metrics.counter_inc(
+                    "repro_fuzz_shrink_executions_total",
+                    help="Schedule re-executions spent shrinking failures",
+                )
+                if target_kinds & {v.kind for v in candidate_violations}:
+                    current = candidate
+                    shrinking = True
+                    break
+                if spent >= max_executions:
+                    break
+        return current
+
+    # -- reproducers -------------------------------------------------------------
+
+    def emit_reproducer(
+        self,
+        seed: int,
+        plan: list[dict[str, Any]],
+        violations: list[Violation],
+    ) -> str | None:
+        """Write base schedule + shrunk plan as one replayable capture.
+
+        The records are the *unmutated* base (so ``repro replay`` on
+        the file verifies the pristine transcript), and the meta's
+        ``fuzz`` block carries the plan — ``repro fuzz --reproduce``
+        re-applies it deterministically and compares verdicts.
+        """
+        if self.reproducer_dir is None:
+            return None
+        import pathlib
+
+        directory = pathlib.Path(self.reproducer_dir)
+        directory.mkdir(parents=True, exist_ok=True)
+        path = directory / f"repro-{self.protocol}-seed{seed}.jsonl"
+        meta = {
+            "record": "meta",
+            **{k: v for k, v in self.meta.items() if k != "record"},
+            "fuzz": {
+                "seed": seed,
+                "base_digest": self.base_digest,
+                "plan": plan,
+                "violations": [v.as_dict() for v in violations],
+            },
+        }
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write(json.dumps(meta, sort_keys=True) + "\n")
+            for record in self.base.records:
+                fh.write(json.dumps(record, sort_keys=True) + "\n")
+            fh.write(
+                json.dumps(
+                    {
+                        "record": "end",
+                        "transcript_hash": self.base.recorded_hash,
+                        "spans": len(self.base.spans),
+                    }
+                )
+                + "\n"
+            )
+        return str(path)
+
+    def reproduce(self, schedule: Schedule) -> dict[str, Any]:
+        """Re-run a reproducer's plan; verdicts must match its record."""
+        fuzz = schedule.meta.get("fuzz")
+        if not fuzz:
+            raise ValueError("capture has no fuzz block — not a reproducer")
+        violations, _report = self.execute_plan(fuzz["plan"])
+        expected = {v["kind"] for v in fuzz.get("violations", [])}
+        found = {v.kind for v in violations}
+        return {
+            "seed": fuzz.get("seed"),
+            "expected_kinds": sorted(expected),
+            "found_kinds": sorted(found),
+            "matched": bool(expected & found) if expected else not found,
+            "violations": [v.as_dict() for v in violations],
+        }
+
+    # -- the campaign ------------------------------------------------------------
+
+    def run(
+        self, seeds: int, *, first_seed: int = 0, self_check: bool = True
+    ) -> FuzzReport:
+        report = FuzzReport(
+            protocol=self.protocol,
+            group=self.meta.get("group", "?"),
+            config=dict(self.meta.get("config") or {}),
+            base_digest=self.base_digest,
+        )
+        started = time.monotonic()
+        for seed in range(first_seed, first_seed + seeds):
+            result = self.run_seed(seed)
+            obs_metrics.counter_inc(
+                "repro_fuzz_seeds_total",
+                help="Fuzz seeds executed",
+                protocol=self.protocol,
+            )
+            report.seeds += 1
+            report.mutations += result.applied
+            if result.failed:
+                report.failures.append(result)
+        if self_check:
+            report.self_check = self.run_self_check()
+        report.executions = self.executions
+        report.wall_seconds = time.monotonic() - started
+        return report
+
+    # -- planted-bug self-check ---------------------------------------------------
+
+    def run_self_check(self) -> dict[str, Any]:
+        """Verify the verifier: plant a fault, demand it is caught,
+        shrunk to the single faulty op, and reproducible.
+
+        The plant is a post-execution ``corrupt-output`` (tamper one
+        completer's share), padded with benign reorder noise; a healthy
+        pipeline (a) reports a share-consistency violation, (b) shrinks
+        the plan back to just the corruption, and (c) emits a
+        reproducer whose re-run reaches the same verdict.
+        """
+        node = min(
+            (r["node"] for r in self.base.spans), default=None
+        )
+        if node is None:
+            return {"ok": False, "reason": "base schedule has no spans"}
+        noise = self.mutator.plan(
+            random.Random(("repro-fuzz-selfcheck", self.base_digest).__repr__()),
+            2,
+        )
+        benign = [op for op in noise if op["op"] in ("move", "dup")]
+        plan = benign + [{"op": "corrupt-output", "node": node}]
+        violations, _report = self.execute_plan(plan)
+        kinds = {v.kind for v in violations}
+        if "share-consistency" not in kinds:
+            return {
+                "ok": False,
+                "reason": "planted share corruption was not detected",
+                "found_kinds": sorted(kinds),
+            }
+        shrunk = self.shrink(plan, violations)
+        minimal = shrunk == [{"op": "corrupt-output", "node": node}]
+        reproducer = self.emit_reproducer(-1, shrunk, violations)
+        verdict: dict[str, Any] = {
+            "ok": minimal,
+            "planted": "corrupt-output",
+            "detected_kinds": sorted(kinds),
+            "plan_ops": len(plan),
+            "shrunk_ops": len(shrunk),
+            "minimal": minimal,
+            "reproducer": reproducer,
+        }
+        if not minimal:
+            verdict["reason"] = "shrinking did not reach the minimal plan"
+            return verdict
+        if reproducer is not None:
+            from repro.fuzz.schedule import load_schedule
+
+            replayed = self.reproduce(load_schedule(reproducer))
+            verdict["reproduced"] = replayed["matched"]
+            verdict["ok"] = minimal and replayed["matched"]
+            if not replayed["matched"]:
+                verdict["reason"] = "reproducer did not replay to the verdict"
+        return verdict

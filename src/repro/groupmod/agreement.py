@@ -19,6 +19,7 @@ from collections.abc import Callable
 from dataclasses import dataclass, field
 from typing import Any
 
+from repro import quorum
 from repro.sim.node import Context, ProtocolNode
 from repro.vss.config import VssConfig
 from repro.groupmod.messages import (
@@ -46,7 +47,7 @@ def default_policy(config: VssConfig, proposal: ModProposal) -> bool:
         return False
     if proposal.action == "remove" and proposal.node not in config.indices:
         return False
-    return t >= 0 and f >= 0 and n >= 3 * t + 2 * f + 1
+    return t >= 0 and f >= 0 and quorum.satisfies_resilience(n, t, f)
 
 
 @dataclass

@@ -137,17 +137,9 @@ def _thresholds(meta: dict[str, Any]) -> dict[str, int] | None:
     if not params:
         return None
     try:
-        from repro.vss.config import VssConfig
+        from repro import quorum
 
-        vss = VssConfig(n=params["n"], t=params["t"], f=params["f"])
-        return {
-            "n": vss.n,
-            "t": vss.t,
-            "f": vss.f,
-            "echo": vss.echo_threshold,
-            "ready": vss.ready_threshold,
-            "output": vss.output_threshold,
-        }
+        return quorum.thresholds(params["n"], params["t"], params["f"])
     except Exception:
         return None
 

@@ -59,6 +59,25 @@ class ReplayError(Exception):
     """The capture cannot be re-executed (wrong mode, missing data)."""
 
 
+class TruncatedCaptureError(ReplayError):
+    """The capture file ends mid-write (no end record / partial line).
+
+    A recorder that died mid-run — or a fuzz reproducer interrupted
+    while being emitted — leaves exactly this shape behind, so callers
+    (the CLI, the fuzzer) distinguish it from structurally bad input.
+    """
+
+
+class FrameDecodeError(ReplayError):
+    """A captured wire frame failed to decode back into an event.
+
+    Pristine captures never hit this (frames round-trip by
+    construction); mutated schedules from :mod:`repro.fuzz` reach it
+    whenever a bit-flip lands outside the codec's validity envelope —
+    the replay-level analogue of a garbled frame dropped on the wire.
+    """
+
+
 @dataclass
 class Capture:
     """A parsed flight-recorder file."""
@@ -67,6 +86,7 @@ class Capture:
     records: list[dict[str, Any]]  # spans + control lines, file order
     recorded_hash: str | None
     recorded_outputs: int | None = None
+    has_end: bool = False  # the recorder's close marker was seen
 
     @property
     def spans(self) -> list[dict[str, Any]]:
@@ -84,22 +104,33 @@ def load_capture(source: Any) -> Capture:
     records: list[dict[str, Any]] = []
     recorded_hash: str | None = None
     recorded_outputs: int | None = None
+    has_end = False
+    non_empty = [number for number, line in enumerate(lines, start=1) if line.strip()]
+    last_line = non_empty[-1] if non_empty else 0
     for number, line in enumerate(lines, start=1):
         if not line.strip():
             continue
         try:
             record = json.loads(line)
         except json.JSONDecodeError as exc:
+            if number == last_line:
+                # A bad *final* line is the signature of a recorder (or
+                # reproducer emit) killed mid-write, not of a corrupt file.
+                raise TruncatedCaptureError(
+                    f"line {number}: not JSON — partial line at end of "
+                    f"capture, truncated file? ({exc})"
+                ) from exc
             raise ReplayError(f"line {number}: not JSON ({exc})") from exc
         kind = record.get("record")
         if kind == "meta":
             meta = record
         elif kind == "end":
+            has_end = True
             recorded_hash = record.get("transcript_hash")
             recorded_outputs = record.get("outputs")
         else:
             records.append(record)
-    return Capture(meta, records, recorded_hash, recorded_outputs)
+    return Capture(meta, records, recorded_hash, recorded_outputs, has_end)
 
 
 def capture_meta(
@@ -238,7 +269,7 @@ class ReplayTransport:
 
 
 class _DeploymentFactory:
-    def __init__(self, meta: dict[str, Any], config: Any, world: "_World"):
+    def __init__(self, meta: dict[str, Any], config: Any, world: "ReplayWorld"):
         self.meta = meta
         self.config = config
         self.world = world
@@ -269,7 +300,7 @@ class _DeploymentFactory:
 class _DkgFactory(_DeploymentFactory):
     """``repro dkg`` / ``repro cluster``: one DKG session."""
 
-    def __init__(self, meta: dict[str, Any], config: Any, world: "_World"):
+    def __init__(self, meta: dict[str, Any], config: Any, world: "ReplayWorld"):
         super().__init__(meta, config, world)
         from repro.dkg.runner import build_dkg_deployment
 
@@ -287,7 +318,7 @@ class _DkgFactory(_DeploymentFactory):
 class _RenewalFactory(_DeploymentFactory):
     """``repro renew --transport tcp``: bootstrap + renew-N sessions."""
 
-    def __init__(self, meta: dict[str, Any], config: Any, world: "_World"):
+    def __init__(self, meta: dict[str, Any], config: Any, world: "ReplayWorld"):
         super().__init__(meta, config, world)
         from repro.sim.pki import CertificateAuthority, KeyStore
 
@@ -324,7 +355,7 @@ class _RenewalFactory(_DeploymentFactory):
 class _GroupModFactory(_DeploymentFactory):
     """``repro groupmod --transport tcp``: dkg, agree-1, add-1."""
 
-    def __init__(self, meta: dict[str, Any], config: Any, world: "_World"):
+    def __init__(self, meta: dict[str, Any], config: Any, world: "ReplayWorld"):
         super().__init__(meta, config, world)
         from repro.sim.pki import CertificateAuthority, KeyStore
 
@@ -386,8 +417,13 @@ _FACTORIES: dict[str, Callable[..., _DeploymentFactory]] = {
 # -- the replay world ----------------------------------------------------------
 
 
-class _World:
-    """Per-node drivers being fed the captured event stream."""
+class ReplayWorld:
+    """Per-node drivers being fed the captured event stream.
+
+    Public because :mod:`repro.fuzz` subclasses it: a mutated schedule
+    is replayed through the same world-building, with decode failures
+    and machine exceptions downgraded from hard errors to observations.
+    """
 
     def __init__(self, capture: Capture):
         meta = capture.meta
@@ -447,9 +483,16 @@ class _World:
         if session not in runtime.sessions:
             runtime.open_session(session, self.factory.machine(node, session))
 
-    def dispatch_span(self, record: dict[str, Any]) -> None:
+    def decode_frame(self, frame_hex: str) -> Any:
         from repro.net import wire
 
+        try:
+            return wire.decode(bytes.fromhex(frame_hex), group=self.group)
+        except ValueError as exc:
+            # WireError is a ValueError; bad hex raises one directly.
+            raise FrameDecodeError(f"frame does not decode: {exc}") from exc
+
+    def dispatch_span(self, record: dict[str, Any]) -> None:
         data = record.get("data")
         if data is None:
             raise ReplayError(
@@ -465,14 +508,10 @@ class _World:
             driver = self._tcp_driver(node)
         kind = data["type"]
         if kind == "message":
-            payload = wire.decode(
-                bytes.fromhex(data["frame"]), group=self.group
-            )
+            payload = self.decode_frame(data["frame"])
             event: Any = MessageReceived(data["sender"], payload)
         elif kind == "operator":
-            payload = wire.decode(
-                bytes.fromhex(data["frame"]), group=self.group
-            )
+            payload = self.decode_frame(data["frame"])
             event = OperatorInput(payload)
         elif kind == "timer":
             event = TimerFired(tag_from_json(data["tag"]), data["id"])
@@ -519,7 +558,18 @@ class ReplayResult:
 
 def replay_capture(capture: Capture) -> ReplayResult:
     """Re-execute a parsed capture; the result carries both hashes."""
-    world = _World(capture)
+    world = ReplayWorld(capture)
+    # A payload-mode recorder writes the end record (with the transcript
+    # hash) at close — a payload capture without one was interrupted
+    # mid-run and has nothing to verify the replay against.  Label-only
+    # sinks write no end record at all; their spans (no "data") fall
+    # through to the label-only rejection below.
+    payload_mode = any("data" in r for r in capture.spans)
+    if not capture.has_end and (payload_mode or not capture.spans):
+        raise TruncatedCaptureError(
+            "capture has no end record — recorder interrupted mid-run "
+            "or file truncated"
+        )
     spans = 0
     for record in capture.records:
         if record.get("record") == "open":

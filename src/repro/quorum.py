@@ -1,0 +1,62 @@
+"""The Fig. 1 quorum-threshold formulas, in exactly one place.
+
+The paper's weak-termination and agreement arguments hinge on three
+counts (Fig. 1) plus the hybrid-model resilience bound of §2.2:
+
+* ``echo_threshold``   — ``ceil((n + t + 1) / 2)`` echoes pin down a
+  unique commitment ``C`` (two echo quorums must intersect in an
+  honest node);
+* ``ready_threshold``  — ``t + 1`` readies contain at least one honest
+  one and trigger ready amplification;
+* ``output_threshold`` — ``n - t - f`` readies certify that every
+  *finally up* honest node is represented, so ``Sh`` may complete;
+* ``resilience_bound`` — ``n >= 3t + 2f + 1`` nodes overall.
+
+Protocol nodes (:mod:`repro.vss.config` feeds every machine), the
+offline trace analyzer (:mod:`repro.obs.analysis`) and the schedule
+fuzzer (:mod:`repro.fuzz`) all read the formulas from here, so the
+quorum arithmetic the system *enforces*, *reports* and *attacks* can
+never drift apart.
+"""
+
+from __future__ import annotations
+
+import math
+
+
+def echo_threshold(n: int, t: int) -> int:
+    """ceil((n + t + 1) / 2) — echoes needed to lock one commitment."""
+    return math.ceil((n + t + 1) / 2)
+
+
+def ready_threshold(t: int) -> int:
+    """t + 1 — readies that guarantee one honest vote (amplification)."""
+    return t + 1
+
+
+def output_threshold(n: int, t: int, f: int) -> int:
+    """n - t - f — the ready count at which Sh completes."""
+    return n - t - f
+
+
+def resilience_bound(t: int, f: int) -> int:
+    """The minimum n admitting (t, f): 3t + 2f + 1 (§2.2)."""
+    return 3 * t + 2 * f + 1
+
+
+def satisfies_resilience(n: int, t: int, f: int) -> bool:
+    """Whether (n, t, f) sits on or above the hybrid-model bound."""
+    return n >= resilience_bound(t, f)
+
+
+def thresholds(n: int, t: int, f: int) -> dict[str, int]:
+    """All Fig. 1 counts for one deployment, as a JSON-ready dict."""
+    return {
+        "n": n,
+        "t": t,
+        "f": f,
+        "echo": echo_threshold(n, t),
+        "ready": ready_threshold(t),
+        "output": output_threshold(n, t, f),
+        "bound": resilience_bound(t, f),
+    }

@@ -15,9 +15,9 @@ Node indices run 1..n — index 0 is reserved for the secret itself
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass, field
 
+from repro import quorum
 from repro.crypto.backend import AbstractGroup
 from repro.crypto.groups import toy_group
 from repro.crypto.hashing import FullMatrixCodec, HashedMatrixCodec
@@ -62,26 +62,27 @@ class VssConfig:
             object.__setattr__(self, "members", members)
         if self.enforce_resilience and not self.satisfies_resilience():
             raise ResilienceError(
-                f"n={self.n} < 3t+2f+1 = {3 * self.t + 2 * self.f + 1}"
+                f"n={self.n} < 3t+2f+1 = "
+                f"{quorum.resilience_bound(self.t, self.f)}"
             )
 
     def satisfies_resilience(self) -> bool:
-        return self.n >= 3 * self.t + 2 * self.f + 1
+        return quorum.satisfies_resilience(self.n, self.t, self.f)
 
     @property
     def echo_threshold(self) -> int:
         """ceil((n + t + 1) / 2) — enough echoes to pin down one C."""
-        return math.ceil((self.n + self.t + 1) / 2)
+        return quorum.echo_threshold(self.n, self.t)
 
     @property
     def ready_threshold(self) -> int:
         """t + 1 — at least one honest ready, triggers amplification."""
-        return self.t + 1
+        return quorum.ready_threshold(self.t)
 
     @property
     def output_threshold(self) -> int:
         """n - t - f — ready count at which Sh completes."""
-        return self.n - self.t - self.f
+        return quorum.output_threshold(self.n, self.t, self.f)
 
     @property
     def help_per_node_budget(self) -> int:

@@ -1,0 +1,26 @@
+"""Shared base schedules for the fuzzer tests.
+
+Generating a capture runs a full DKG, which is the expensive part on
+the secp256k1 lane — so the base schedule is session-scoped and every
+test works on copies.  The sim transport is used throughout: its event
+ordering is a pure function of ``(params, seed)``, identical across
+group backends, which is what makes pinned corpus plans portable.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.fuzz.schedule import Schedule, generate_capture
+
+
+@pytest.fixture(scope="session")
+def base_schedule(group) -> Schedule:
+    """One honest n=4, t=1 DKG capture for the active backend."""
+    capture = generate_capture("dkg", n=4, t=1, f=0, seed=0, group=group)
+    return Schedule.from_capture(capture)
+
+
+@pytest.fixture
+def schedule(base_schedule) -> Schedule:
+    return base_schedule.copy()

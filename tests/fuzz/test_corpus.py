@@ -1,0 +1,69 @@
+"""The seed corpus: pinned mutation plans with pinned verdicts.
+
+Each ``corpus/*.json`` entry records how to *regenerate* its base
+capture (protocol + parameters, not raw frames — frames are backend
+specific, the sim's event ordering is not) plus a literal mutation
+plan and the violation kinds it must produce.  The suite replays every
+entry under the active ``REPRO_TEST_BACKEND`` group, so a mutator or
+invariant-checker change that flips any historical verdict fails
+tier-1 on both lanes.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+
+import pytest
+
+from repro.fuzz.runner import FuzzRunner
+from repro.fuzz.schedule import Schedule, generate_capture
+
+CORPUS_DIR = pathlib.Path(__file__).parent / "corpus"
+ENTRIES = sorted(CORPUS_DIR.glob("*.json"))
+
+_BASE_CACHE: dict[tuple, Schedule] = {}
+
+
+def _base_schedule(entry: dict, group) -> Schedule:
+    params = entry["params"]
+    key = (entry["protocol"], tuple(sorted(params.items())))
+    if key not in _BASE_CACHE:
+        _BASE_CACHE[key] = Schedule.from_capture(
+            generate_capture(entry["protocol"], group=group, **params)
+        )
+    return _BASE_CACHE[key].copy()
+
+
+def test_corpus_is_not_empty():
+    assert len(ENTRIES) >= 5
+
+
+@pytest.mark.parametrize(
+    "path", ENTRIES, ids=[p.stem for p in ENTRIES]
+)
+def test_corpus_entry_verdict(path, group):
+    entry = json.loads(path.read_text())
+    runner = FuzzRunner(_base_schedule(entry, group))
+    violations, report = runner.execute_plan(entry["plan"])
+    kinds = sorted({v.kind for v in violations})
+    assert kinds == entry["expect"], (
+        f"{path.stem}: expected {entry['expect']}, got {kinds} "
+        f"(applied={len(report.applied)}, skipped={len(report.skipped)})"
+    )
+
+
+@pytest.mark.parametrize(
+    "path", ENTRIES, ids=[p.stem for p in ENTRIES]
+)
+def test_corpus_entry_shape(path):
+    """Entries are self-contained: regeneration params, literal plan,
+    expected kinds — everything a failure needs to reproduce."""
+    entry = json.loads(path.read_text())
+    assert set(entry) >= {"name", "protocol", "params", "plan", "expect"}
+    assert entry["name"] == path.stem
+    assert {"n", "t", "f", "seed"} <= set(entry["params"])
+    assert isinstance(entry["plan"], list) and entry["plan"]
+    for op in entry["plan"]:
+        assert isinstance(op.get("op"), str)
+    assert entry["expect"] == sorted(entry["expect"])

@@ -1,0 +1,112 @@
+"""The fuzz loop end-to-end: honest runs stay clean, planted faults
+are caught, shrinking is monotone, reproducers replay to the verdict."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.fuzz.runner import FuzzRunner
+from repro.fuzz.schedule import load_schedule
+from repro.obs.replay import replay_file
+
+
+def test_unmutated_schedule_has_no_violations(schedule):
+    runner = FuzzRunner(schedule)
+    violations, report = runner.execute_plan([])
+    assert violations == []
+    assert report.applied == []
+
+
+def test_small_campaign_is_clean_and_deterministic(schedule):
+    runner = FuzzRunner(schedule, max_ops=5)
+    report = runner.run(8, self_check=False)
+    assert report.ok
+    assert report.seeds == 8
+    assert report.mutations > 0
+    again = FuzzRunner(schedule.copy(), max_ops=5).run(8, self_check=False)
+    assert again.base_digest == report.base_digest
+    assert again.mutations == report.mutations
+
+
+def test_report_round_trips_through_json(schedule):
+    report = FuzzRunner(schedule, max_ops=4).run(3, self_check=False)
+    decoded = json.loads(json.dumps(report.as_dict()))
+    assert decoded["ok"] is True
+    assert decoded["seeds"] == 3
+    assert decoded["protocol"] == "dkg"
+
+
+def test_planted_corruption_is_caught_and_shrunk(schedule):
+    """Shrinking is monotone: the minimized plan still fails with the
+    same violation kind, and nothing smaller does."""
+    runner = FuzzRunner(schedule, max_ops=6)
+    node = min(r["node"] for r in runner.base.spans)
+    noise = [
+        op
+        for op in runner.plan_for_seed(0)
+        if op["op"] in ("move", "dup")
+    ]
+    plan = noise + [{"op": "corrupt-output", "node": node}]
+    violations, _report = runner.execute_plan(plan)
+    kinds = {v.kind for v in violations}
+    assert "share-consistency" in kinds
+
+    shrunk = runner.shrink(plan, violations)
+    assert len(shrunk) <= len(plan)
+    shrunk_violations, _report = runner.execute_plan(shrunk)
+    assert kinds & {v.kind for v in shrunk_violations}
+    assert shrunk == [{"op": "corrupt-output", "node": node}]
+
+
+def test_reproducer_round_trip(schedule, tmp_path):
+    runner = FuzzRunner(schedule, reproducer_dir=tmp_path)
+    node = min(r["node"] for r in runner.base.spans)
+    plan = [{"op": "corrupt-output", "node": node}]
+    violations, _report = runner.execute_plan(plan)
+    path = runner.emit_reproducer(7, plan, violations)
+
+    loaded = load_schedule(path)
+    fuzz = loaded.meta["fuzz"]
+    assert fuzz["seed"] == 7
+    assert fuzz["base_digest"] == runner.base_digest
+    verdict = FuzzRunner(loaded).reproduce(loaded)
+    assert verdict["matched"]
+    assert "share-consistency" in verdict["found_kinds"]
+
+    # The reproducer's records are the *unmutated* base, so the stock
+    # replayer verifies the pristine transcript bit-identically.
+    result = replay_file(str(path))
+    assert result.matched
+
+
+def test_reproduce_rejects_plain_captures(schedule):
+    runner = FuzzRunner(schedule)
+    with pytest.raises(ValueError, match="fuzz block"):
+        runner.reproduce(schedule)
+
+
+def test_self_check_passes_on_healthy_pipeline(schedule, tmp_path):
+    runner = FuzzRunner(schedule, reproducer_dir=tmp_path)
+    verdict = runner.run_self_check()
+    assert verdict["ok"], verdict
+    assert verdict["minimal"]
+    assert verdict["reproduced"]
+    assert verdict["shrunk_ops"] == 1
+
+
+def test_fuzz_metrics_registered(schedule):
+    from repro.obs import metrics as obs_metrics
+
+    scoped = obs_metrics.MetricsRegistry()
+    previous = obs_metrics.set_registry(scoped)
+    try:
+        FuzzRunner(schedule, max_ops=4).run(2, self_check=False)
+        families = scoped.snapshot()
+    finally:
+        obs_metrics.set_registry(previous)
+    assert "repro_fuzz_seeds_total" in families
+    assert "repro_fuzz_mutations_total" in families
+    seeds = families["repro_fuzz_seeds_total"]["samples"]
+    assert seeds == [{"labels": {"protocol": "dkg"}, "value": 2}]

@@ -80,7 +80,7 @@ class TestPhaseLatencies:
 
     def test_thresholds_echo_fig1_quorums(self, report) -> None:
         # n=4, t=1, f=0: echo = ceil((n+t+1)/2) = 3, ready = t+1 = 2,
-        # output = n - t - f = 3.
+        # output = n - t - f = 3, bound = 3t + 2f + 1 = 4.
         assert report.thresholds == {
             "n": 4,
             "t": 1,
@@ -88,6 +88,7 @@ class TestPhaseLatencies:
             "echo": 3,
             "ready": 2,
             "output": 3,
+            "bound": 4,
         }
 
 

@@ -201,3 +201,59 @@ class TestReplayRejections:
         buffer = io.StringIO("not json\n")
         with pytest.raises(ReplayError, match="not JSON"):
             load_capture(buffer)
+
+
+class TestTruncatedCaptures:
+    """Interrupted recordings fail loudly, not with a hash mismatch."""
+
+    def _recorded_lines(self, group, tmp_path) -> list[str]:
+        config = DkgConfig(n=4, t=1, group=group)
+        path, _sink, result = _record(
+            tmp_path,
+            "full.jsonl",
+            capture_meta("dkg", config, 7, "sim", tau=0),
+            group,
+            lambda: run_dkg(config, seed=7),
+        )
+        assert result.succeeded
+        return path.read_text().splitlines()
+
+    def test_missing_end_record_is_truncation(self, group, tmp_path) -> None:
+        from repro.obs.replay import TruncatedCaptureError
+
+        lines = self._recorded_lines(group, tmp_path)
+        clipped = tmp_path / "no-end.jsonl"
+        clipped.write_text("\n".join(lines[:-1]) + "\n")
+        with pytest.raises(TruncatedCaptureError, match="no end record"):
+            replay_file(clipped)
+
+    def test_partial_final_line_is_truncation(self, group, tmp_path) -> None:
+        from repro.obs.replay import TruncatedCaptureError
+
+        lines = self._recorded_lines(group, tmp_path)
+        # A crash mid-write leaves half a JSON object on the last line.
+        clipped = tmp_path / "partial.jsonl"
+        clipped.write_text("\n".join(lines[:-2]) + "\n" + lines[-2][: len(lines[-2]) // 2])
+        with pytest.raises(TruncatedCaptureError, match="truncated"):
+            load_capture(clipped)
+
+    def test_garbage_middle_line_is_not_truncation(self) -> None:
+        from repro.obs.replay import TruncatedCaptureError
+
+        buffer = io.StringIO('not json\n{"record": "end"}\n')
+        with pytest.raises(ReplayError, match="not JSON") as excinfo:
+            load_capture(buffer)
+        assert not isinstance(excinfo.value, TruncatedCaptureError)
+
+    def test_undecodable_frame_raises_frame_decode_error(
+        self, group, tmp_path
+    ) -> None:
+        from repro.obs.replay import FrameDecodeError, ReplayWorld
+
+        lines = self._recorded_lines(group, tmp_path)
+        world = ReplayWorld(load_capture(tmp_path / "full.jsonl"))
+        with pytest.raises(FrameDecodeError, match="does not decode"):
+            world.decode_frame("zz-not-hex")
+        with pytest.raises(FrameDecodeError, match="does not decode"):
+            world.decode_frame("00ff00ff")
+        assert len(lines) > 3

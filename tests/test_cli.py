@@ -150,3 +150,76 @@ class TestCli:
     def test_unknown_group_rejected(self) -> None:
         with pytest.raises(KeyError):
             main(["dkg", "--n", "4", "--t", "1", "--group", "nope"])
+
+
+class TestFuzzCli:
+    def test_fuzz_smoke_campaign(self, capsys, tmp_path) -> None:
+        code = main(
+            ["fuzz", "--protocol", "dkg", "--seeds", "5", "--smoke",
+             "--reproducers", str(tmp_path), "--json"]
+        )
+        payload = json.loads(capsys.readouterr().out)
+        assert code == 0
+        assert payload["ok"] is True
+        assert payload["seeds"] == 5
+        assert payload["mutations"] > 0
+        assert payload["self_check"]["ok"] is True
+        # The self-check's planted-fault reproducer must land on disk.
+        assert payload["self_check"]["reproducer"] is not None
+
+    def test_fuzz_report_file(self, capsys, tmp_path) -> None:
+        report = tmp_path / "report.json"
+        code = main(
+            ["fuzz", "--seeds", "2", "--smoke", "--no-self-check",
+             "--report", str(report), "--json"]
+        )
+        capsys.readouterr()
+        assert code == 0
+        document = json.loads(report.read_text())
+        assert document["ok"] is True
+        assert document["protocol"] == "dkg"
+
+    def test_fuzz_missing_capture_is_structured_error(self, capsys) -> None:
+        code = main(["fuzz", "--capture", "/nonexistent/capture.jsonl"])
+        err = capsys.readouterr().err
+        assert code == 2
+        payload = json.loads(err)
+        assert payload["error"] == "FileNotFoundError"
+
+    def test_fuzz_parser_defaults(self) -> None:
+        parser = build_parser()
+        args = parser.parse_args(["fuzz"])
+        assert (args.protocol, args.seeds, args.max_ops) == ("dkg", 50, 8)
+        with pytest.raises(SystemExit):
+            parser.parse_args(["fuzz", "--protocol", "nope"])
+
+
+class TestReplayCliErrors:
+    def test_truncated_capture_structured_error(self, capsys, tmp_path) -> None:
+        from repro.dkg.config import DkgConfig
+        from repro.crypto.groups import toy_group
+        from repro.obs.replay import capture_meta
+
+        meta = {
+            "record": "meta",
+            **capture_meta(
+                "dkg", DkgConfig(n=4, t=1, group=toy_group()), 0, "sim", tau=0
+            ),
+        }
+        path = tmp_path / "truncated.jsonl"
+        path.write_text(json.dumps(meta) + "\n")
+        code = main(["replay", str(path)])
+        err = capsys.readouterr().err
+        assert code == 2
+        payload = json.loads(err)
+        assert payload["error"] == "TruncatedCaptureError"
+        assert payload["truncated"] is True
+        assert payload["capture"] == str(path)
+
+    def test_missing_capture_structured_error(self, capsys) -> None:
+        code = main(["replay", "/nonexistent/capture.jsonl"])
+        err = capsys.readouterr().err
+        assert code == 2
+        payload = json.loads(err)
+        assert payload["error"] == "FileNotFoundError"
+        assert payload["truncated"] is False
